@@ -1,0 +1,49 @@
+"""Ablation — Bloom filters in the log-structured engines.
+
+Section 3.3: the Log engine builds a Bloom filter per run "to quickly
+determine at runtime whether it contains entries associated with a
+tuple to avoid unnecessary index look-ups". This ablation compares the
+default 10 bits/key filters against degenerate 1-bit/1-hash filters
+(which saturate and pass everything) on a read-heavy workload over a
+multi-run LSM tree.
+"""
+
+from repro.analysis.tables import format_table
+from repro.harness.runner import run_ycsb
+
+
+def _run(scale):
+    rows = []
+    for engine in ("log", "nvm-log"):
+        measures = {}
+        for label, bits, hashes in (("bloom", 10, 3),
+                                    ("saturated", 1, 1)):
+            result = run_ycsb(
+                engine, "read-heavy", "low",
+                num_tuples=scale.ycsb_tuples,
+                num_txns=scale.ycsb_txns,
+                engine_config=scale.engine_config(
+                    bloom_bits_per_key=bits, bloom_hashes=hashes,
+                    memtable_threshold_bytes=16 * 1024),
+                cache_bytes=scale.cache_bytes)
+            measures[label] = result
+        rows.append([engine,
+                     measures["bloom"].throughput,
+                     measures["saturated"].throughput,
+                     measures["bloom"].nvm_loads,
+                     measures["saturated"].nvm_loads])
+    headers = ["engine", "bloom txn/s", "saturated txn/s",
+               "bloom loads", "saturated loads"]
+    return headers, rows
+
+
+def test_ablation_bloom_filters(benchmark, report, scale):
+    headers, rows = benchmark.pedantic(
+        _run, args=(scale,), rounds=1, iterations=1)
+    report("ablation bloom",
+           format_table(headers, rows,
+                        title="Ablation — Bloom filters "
+                              "(YCSB read-heavy/low)"))
+    for row in rows:
+        engine, with_bloom, saturated, __, __l = row
+        assert with_bloom >= saturated * 0.95, engine

@@ -1,0 +1,46 @@
+"""Ablation — group commit batch size.
+
+The traditional engines batch log flushes / directory flips to
+amortize durable-storage costs (Sections 3.1-3.2); the NVM-InP engine
+persists immediately and should be insensitive. This ablation sweeps
+the batch size on a write-heavy workload.
+"""
+
+from repro.analysis.tables import format_table
+from repro.harness.runner import run_ycsb
+
+BATCHES = (1, 4, 16, 64)
+
+
+def _run(scale):
+    rows = []
+    for engine in ("inp", "cow", "nvm-inp"):
+        row = [engine]
+        for batch in BATCHES:
+            result = run_ycsb(
+                engine, "write-heavy", "low",
+                num_tuples=scale.ycsb_tuples,
+                num_txns=scale.ycsb_txns,
+                engine_config=scale.engine_config(
+                    group_commit_size=batch),
+                cache_bytes=scale.cache_bytes)
+            row.append(result.throughput)
+        rows.append(row)
+    headers = ["engine", *[f"batch={batch}" for batch in BATCHES]]
+    return headers, rows
+
+
+def test_ablation_group_commit(benchmark, report, scale):
+    headers, rows = benchmark.pedantic(
+        _run, args=(scale,), rounds=1, iterations=1)
+    report("ablation group commit",
+           format_table(headers, rows,
+                        title="Ablation — group commit batch size "
+                              "(YCSB write-heavy/low, txn/s)"))
+    by_engine = {row[0]: row[1:] for row in rows}
+    # Batching helps the engines that defer durability...
+    assert by_engine["inp"][-1] > by_engine["inp"][0]
+    assert by_engine["cow"][-1] > by_engine["cow"][0] * 0.9
+    # ...and NVM-InP, which persists per-operation, barely moves.
+    spread = max(by_engine["nvm-inp"]) / min(by_engine["nvm-inp"])
+    assert spread < 1.2

@@ -1,0 +1,49 @@
+"""Extension — hybrid OLTP + OLAP workload (Appendix D).
+
+"We are interested in exploring methods for supporting hybrid
+workloads (i.e., OLTP + OLAP) on NVM." This extension mixes analytical
+range aggregates into the OLTP stream and compares the engines: the
+in-place engines scan well; the log-structured engines pay tuple
+coalescing for every scanned tuple.
+"""
+
+from repro.analysis.tables import format_table
+from repro.config import CacheConfig, PlatformConfig
+from repro.core.database import Database
+from repro.engines.base import ENGINE_NAMES
+from repro.workloads.htap import HTAPConfig, HTAPWorkload
+
+
+def _run(scale):
+    rows = []
+    for engine in ENGINE_NAMES.ALL:
+        config = HTAPConfig(num_tuples=scale.ycsb_tuples,
+                            scan_fraction=0.05, seed=53)
+        workload = HTAPWorkload(config)
+        platform_config = PlatformConfig(
+            cache=CacheConfig(capacity_bytes=scale.cache_bytes),
+            seed=53)
+        db = Database(engine=engine, platform_config=platform_config,
+                      engine_config=scale.engine_config(), seed=53)
+        workload.load(db)
+        db.settle()
+        start_ns = db.now_ns
+        counts = workload.run(db, scale.ycsb_txns)
+        elapsed = (db.now_ns - start_ns) / 1e9
+        rows.append([engine, scale.ycsb_txns / elapsed,
+                     counts["scan"]])
+    return ["engine", "txn/s", "scans executed"], rows
+
+
+def test_extension_htap(benchmark, report, scale):
+    headers, rows = benchmark.pedantic(
+        _run, args=(scale,), rounds=1, iterations=1)
+    report("extension htap",
+           format_table(headers, rows,
+                        title="Extension — HTAP mixture "
+                              "(5% analytical scans, txn/s)"))
+    by_engine = {row[0]: row[1] for row in rows}
+    # The in-place engines handle the hybrid mixture best; the
+    # log-structured engines pay coalescing on every scanned tuple.
+    assert by_engine["nvm-inp"] > by_engine["nvm-log"]
+    assert by_engine["inp"] > by_engine["log"]

@@ -1,0 +1,56 @@
+"""Extension — hybrid DRAM + NVM storage hierarchy (Appendix D).
+
+The paper's future work: "A hybrid DRAM and NVM storage hierarchy is a
+viable alternative, particularly in case of high NVM latency
+technologies and analytical workloads." This extension places the InP
+engine's volatile indexes on a DRAM tier and measures the benefit
+against both the NVM-only InP and NVM-InP across latency profiles —
+the hybrid advantage should grow with NVM latency.
+"""
+
+from repro.analysis.tables import format_table
+from repro.config import CacheConfig, PlatformConfig
+from repro.core.database import Database
+from repro.harness.experiments import LATENCIES
+from repro.workloads.ycsb import YCSBConfig, YCSBWorkload
+
+ENGINES = ("inp", "hybrid-inp", "nvm-inp")
+
+
+def _run(scale):
+    rows = []
+    for engine in ENGINES:
+        row = [engine]
+        for latency_name in ("dram", "low-nvm", "high-nvm"):
+            platform_config = PlatformConfig(
+                latency=LATENCIES[latency_name](),
+                cache=CacheConfig(capacity_bytes=scale.cache_bytes),
+                dram_capacity_bytes=32 * 1024 * 1024, seed=31)
+            workload = YCSBWorkload(YCSBConfig(
+                num_tuples=scale.ycsb_tuples, mixture="read-heavy",
+                skew="low", seed=31))
+            db = Database(engine=engine,
+                          platform_config=platform_config,
+                          engine_config=scale.engine_config(), seed=31)
+            workload.load(db)
+            db.settle()
+            start_ns = db.now_ns
+            workload.run(db, scale.ycsb_txns)
+            row.append(scale.ycsb_txns / ((db.now_ns - start_ns) / 1e9))
+        rows.append(row)
+    return ["engine", "dram", "low-nvm", "high-nvm"], rows
+
+
+def test_extension_hybrid_hierarchy(benchmark, report, scale):
+    headers, rows = benchmark.pedantic(
+        _run, args=(scale,), rounds=1, iterations=1)
+    report("extension hybrid",
+           format_table(headers, rows,
+                        title="Extension — hybrid DRAM+NVM hierarchy "
+                              "(YCSB read-heavy/low, txn/s)"))
+    by_engine = {row[0]: row[1:] for row in rows}
+    # DRAM-resident indexes help, and help more at higher NVM latency.
+    gain_low = by_engine["hybrid-inp"][0] / by_engine["inp"][0]
+    gain_high = by_engine["hybrid-inp"][2] / by_engine["inp"][2]
+    assert gain_high > 1.0
+    assert gain_high >= gain_low * 0.95

@@ -1,0 +1,46 @@
+"""Extension — per-technology latency profiles (Table 1).
+
+The hardware emulator's latency knob "enables us to evaluate multiple
+hardware profiles that are not specific to a particular NVM
+technology" (Section 2.2). This extension runs the NVM-InP engine
+under latency profiles derived from Table 1's actual technologies:
+STT-MRAM (20 ns — "expected to deliver lower read and write latencies
+than DRAM", Section 1), PCM (50/150 ns), and RRAM (100 ns).
+"""
+
+from repro.analysis.tables import format_table
+from repro.harness.runner import run_ycsb
+from repro.nvm.constants import TECHNOLOGIES
+
+PROFILES = ("MRAM", "PCM", "RRAM")
+
+
+def _run(scale):
+    rows = []
+    for technology in PROFILES:
+        profile = TECHNOLOGIES[technology].latency_profile()
+        row = [technology]
+        for mixture in ("read-heavy", "write-heavy"):
+            result = run_ycsb(
+                "nvm-inp", mixture, "low", latency=profile,
+                num_tuples=scale.ycsb_tuples,
+                num_txns=scale.ycsb_txns,
+                engine_config=scale.engine_config(),
+                cache_bytes=scale.cache_bytes)
+            row.append(result.throughput)
+        rows.append(row)
+    return ["technology", "read-heavy", "write-heavy"], rows
+
+
+def test_extension_technologies(benchmark, report, scale):
+    headers, rows = benchmark.pedantic(
+        _run, args=(scale,), rounds=1, iterations=1)
+    report("extension technologies",
+           format_table(headers, rows,
+                        title="Extension — NVM-InP across Table 1 "
+                              "technologies (txn/s)"))
+    by_technology = {row[0]: row[1:] for row in rows}
+    # Faster technologies yield higher throughput, in Table 1's order.
+    assert by_technology["MRAM"][0] > by_technology["PCM"][0]
+    assert by_technology["PCM"][0] > by_technology["RRAM"][0]
+    assert by_technology["MRAM"][1] > by_technology["RRAM"][1]

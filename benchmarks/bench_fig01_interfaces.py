@@ -1,0 +1,32 @@
+"""Fig. 1 — durable write bandwidth: allocator vs filesystem interface.
+
+The paper's microbenchmark (Section 2.2): an application performs
+durable writes of 1-256 byte chunks through each interface, sequential
+and random. Expected shape: the NVM-aware allocator delivers ~10-12x
+the filesystem's bandwidth, most prominently for small sequential
+chunks, and the sequential/random gap is small.
+"""
+
+from repro.analysis.tables import format_table
+from repro.harness.experiments import fig1_interfaces
+
+
+def test_fig01_interface_bandwidth(benchmark, report):
+    headers, rows = benchmark.pedantic(
+        fig1_interfaces, rounds=1, iterations=1)
+    report("fig01 interfaces",
+           format_table(headers, rows,
+                        title="Fig. 1 — durable write bandwidth (MB/s)"))
+    by_chunk = {row[0]: row for row in rows}
+    # Allocator beats the filesystem at every chunk size...
+    for row in rows:
+        assert row[1] > row[2], f"allocator slower at chunk {row[0]}"
+        assert row[3] > row[4]
+    # ...by an order of magnitude for small chunks...
+    assert by_chunk[1][5] > 8
+    assert by_chunk[8][5] > 8
+    # ...and the gap narrows as chunks grow.
+    assert by_chunk[256][5] < by_chunk[8][5]
+    # Sequential vs random gap is small (byte-addressable NVM).
+    for row in rows:
+        assert row[3] >= row[1] * 0.5

@@ -1,0 +1,64 @@
+"""Fig. 5 — YCSB throughput at the DRAM latency configuration (160 ns).
+
+Expected shapes (Section 5.2): on the read-only mixture InP and
+NVM-InP are equivalent (both read through the allocator interface),
+NVM-CoW is ~2x CoW, and the Log engine is the slowest. On the
+write-heavy mixture every NVM-aware engine beats its traditional
+counterpart, with NVM-CoW showing the largest speedup over CoW, and
+the CoW engine is the slowest overall.
+"""
+
+from repro.analysis.tables import format_table
+from repro.harness.experiments import ycsb_throughput
+
+
+def _col(headers, rows, engine, column):
+    index = headers.index(column)
+    for row in rows:
+        if row[0] == engine:
+            return row[index]
+    raise KeyError(engine)
+
+
+def test_fig05_ycsb_dram_latency(benchmark, report, scale):
+    headers, rows, __ = benchmark.pedantic(
+        ycsb_throughput, args=("dram", scale), rounds=1, iterations=1)
+    report("fig05 ycsb dram",
+           format_table(headers, rows,
+                        title="Fig. 5 — YCSB throughput, DRAM latency "
+                              "(txn/s)"))
+    # Read-only: InP ~= NVM-InP; Log slowest; NVM-CoW ~2x CoW.
+    ro = "read-only/low"
+    assert abs(_col(headers, rows, "inp", ro)
+               - _col(headers, rows, "nvm-inp", ro)) \
+        < 0.15 * _col(headers, rows, "inp", ro)
+    for engine in ("inp", "cow", "nvm-inp", "nvm-cow", "nvm-log"):
+        assert _col(headers, rows, engine, ro) \
+            > _col(headers, rows, "log", ro)
+    ratio = _col(headers, rows, "nvm-cow", ro) \
+        / _col(headers, rows, "cow", ro)
+    assert 1.3 < ratio < 3.5
+    # Write-heavy: NVM-aware engines beat their counterparts; CoW is
+    # the slowest engine; NVM-InP is the fastest.
+    wh = "write-heavy/low"
+    for traditional, nvm in (("inp", "nvm-inp"), ("cow", "nvm-cow"),
+                             ("log", "nvm-log")):
+        assert _col(headers, rows, nvm, wh) \
+            > _col(headers, rows, traditional, wh)
+    for engine in ("inp", "nvm-inp", "nvm-cow", "nvm-log"):
+        assert _col(headers, rows, engine, wh) \
+            > _col(headers, rows, "cow", wh)
+    # Log vs CoW is the paper's closest pairing (1.6-4.1x on the
+    # balanced mixture); at simulator scale compaction timing adds
+    # noise on write-heavy, so assert the balanced ordering strictly
+    # and write-heavy within noise.
+    assert _col(headers, rows, "log", "balanced/low") \
+        > _col(headers, rows, "cow", "balanced/low")
+    assert _col(headers, rows, "log", wh) \
+        > 0.7 * _col(headers, rows, "cow", wh)
+    assert max(row[headers.index(wh)] for row in rows) \
+        == _col(headers, rows, "nvm-inp", wh)
+    # Higher skew helps (caching benefits).
+    for engine in ("inp", "nvm-inp"):
+        assert _col(headers, rows, engine, "read-only/high") \
+            > _col(headers, rows, engine, "read-only/low")

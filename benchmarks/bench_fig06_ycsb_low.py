@@ -1,0 +1,23 @@
+"""Fig. 6 — YCSB throughput at the low NVM latency configuration (2x).
+
+Same series as Fig. 5 with 320 ns NVM reads. The engine ordering is
+preserved; absolute throughput drops relative to the DRAM profile.
+"""
+
+from repro.analysis.tables import format_table
+from repro.harness.experiments import ycsb_throughput
+
+
+def test_fig06_ycsb_low_nvm_latency(benchmark, report, scale):
+    headers, rows, __ = benchmark.pedantic(
+        ycsb_throughput, args=("low-nvm", scale), rounds=1, iterations=1)
+    report("fig06 ycsb low-nvm",
+           format_table(headers, rows,
+                        title="Fig. 6 — YCSB throughput, low NVM "
+                              "latency 2x (txn/s)"))
+    index = headers.index("write-heavy/low")
+    by_engine = {row[0]: row[index] for row in rows}
+    assert by_engine["nvm-inp"] > by_engine["inp"]
+    assert by_engine["nvm-cow"] > by_engine["cow"]
+    assert by_engine["nvm-log"] > by_engine["log"]
+    assert max(by_engine.values()) == by_engine["nvm-inp"]

@@ -1,0 +1,46 @@
+"""Fig. 12 — recovery latency vs number of transactions to recover.
+
+Expected shape (Section 5.4): InP and Log recovery latency grows
+linearly with the transaction count (redo since the last checkpoint /
+MemTable flush); NVM-InP and NVM-Log are near-constant (undo-only) and
+always well under the traditional engines at scale. CoW and NVM-CoW
+are omitted — they never need to recover.
+"""
+
+from repro.analysis.tables import format_table
+from repro.harness.experiments import recovery_latency
+
+
+def test_fig12a_ycsb_recovery(benchmark, report, scale):
+    headers, rows = benchmark.pedantic(
+        recovery_latency, args=("ycsb", scale), rounds=1, iterations=1)
+    report("fig12a recovery ycsb",
+           format_table(headers, rows,
+                        title="Fig. 12a — YCSB recovery latency (ms)"))
+    by_engine = {row[0]: row[1:] for row in rows}
+    counts = scale.recovery_txn_counts
+    span = counts[-1] / counts[0]
+    # Traditional engines grow with history (the constant
+    # checkpoint-reload term keeps the measured slope a bit under the
+    # pure replay slope at simulator scale)...
+    for engine in ("inp", "log"):
+        growth = by_engine[engine][-1] / by_engine[engine][0]
+        assert growth > span * 0.2, f"{engine} growth {growth:.1f}"
+    # ...NVM-aware engines stay flat...
+    for engine in ("nvm-inp", "nvm-log"):
+        growth = by_engine[engine][-1] / max(by_engine[engine][0], 1e-9)
+        assert growth < 3.0, f"{engine} growth {growth:.1f}"
+    # ...and are much faster at the largest history.
+    assert by_engine["inp"][-1] > 10 * by_engine["nvm-inp"][-1]
+    assert by_engine["log"][-1] > 10 * by_engine["nvm-log"][-1]
+
+
+def test_fig12b_tpcc_recovery(benchmark, report, scale):
+    headers, rows = benchmark.pedantic(
+        recovery_latency, args=("tpcc", scale), rounds=1, iterations=1)
+    report("fig12b recovery tpcc",
+           format_table(headers, rows,
+                        title="Fig. 12b — TPC-C recovery latency (ms)"))
+    by_engine = {row[0]: row[1:] for row in rows}
+    assert by_engine["inp"][-1] > by_engine["nvm-inp"][-1]
+    assert by_engine["log"][-1] > by_engine["nvm-log"][-1]

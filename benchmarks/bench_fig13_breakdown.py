@@ -1,0 +1,47 @@
+"""Fig. 13 — execution time breakdown by engine component.
+
+Expected shape (Section 5.5): on the write-heavy mixture the NVM-aware
+engines spend a much smaller share of time on recovery-related tasks
+(logging / dirty-directory persistence) than the traditional engines;
+the recovery share grows as the mixture becomes write-intensive; the
+Log engines spend a larger share on index accesses (LSM look-ups).
+"""
+
+from repro.analysis.tables import format_table
+from repro.harness.experiments import time_breakdown
+
+
+def test_fig13_execution_breakdown(benchmark, report, scale):
+    figures = benchmark.pedantic(
+        time_breakdown, args=(scale,), rounds=1, iterations=1)
+    for mixture, (headers, rows) in figures.items():
+        report(f"fig13 breakdown {mixture}",
+               format_table(headers, rows,
+                            title=f"Fig. 13 — time breakdown, "
+                                  f"{mixture} (%)"))
+
+    def share(mixture, engine, component):
+        headers, rows = figures[mixture]
+        index = headers.index(f"{component} %")
+        for row in rows:
+            if row[0] == engine:
+                return row[index]
+        raise KeyError(engine)
+
+    # Write-heavy: traditional logging engines spend a larger share on
+    # recovery mechanisms than their NVM-aware counterparts.
+    assert share("write-heavy", "inp", "recovery") \
+        > share("write-heavy", "nvm-inp", "recovery")
+    assert share("write-heavy", "log", "recovery") \
+        > share("write-heavy", "nvm-log", "recovery")
+    # Recovery share increases as the workload becomes write-heavy.
+    for engine in ("inp", "log"):
+        assert share("write-heavy", engine, "recovery") \
+            > share("read-heavy", engine, "recovery")
+    # Log engines spend a larger index share than InP (LSM look-ups).
+    assert share("balanced", "log", "index") \
+        > share("balanced", "inp", "index") * 0.8
+    # Fractions sum to ~100.
+    for mixture, (headers, rows) in figures.items():
+        for row in rows:
+            assert abs(sum(row[1:]) - 100.0) < 1.0

@@ -1,0 +1,41 @@
+"""Fig. 14 — storage footprint on NVM by engine component.
+
+Expected shape (Section 5.6): the CoW engine has the largest footprint
+(dirty-directory copies + page cache duplication); the NVM-aware
+engines are smaller than their traditional counterparts because they
+log pointers instead of tuple images and keep no duplicated caches.
+"""
+
+from repro.analysis.tables import format_table
+from repro.harness.experiments import storage_footprint
+
+
+def test_fig14a_ycsb_footprint(benchmark, report, scale):
+    headers, rows = benchmark.pedantic(
+        storage_footprint, args=("ycsb", scale), rounds=1, iterations=1)
+    report("fig14a footprint ycsb",
+           format_table(headers, rows,
+                        title="Fig. 14a — YCSB storage footprint (KB)"))
+    total = {row[0]: row[-1] for row in rows}
+    assert total["cow"] == max(total.values())
+    assert total["nvm-inp"] < total["inp"]
+    assert total["nvm-cow"] < total["cow"]
+    assert total["nvm-log"] < total["log"] * 1.25
+    # The InP/Log engines carry logs (and InP checkpoints); the
+    # NVM-aware engines' logs are pointer-sized or truncated.
+    log_kb = {row[0]: row[headers.index("log (KB)")] for row in rows}
+    assert log_kb["inp"] > log_kb["nvm-inp"]
+    assert log_kb["log"] > log_kb["nvm-log"]
+    assert log_kb["cow"] == 0
+    assert log_kb["nvm-cow"] == 0
+
+
+def test_fig14b_tpcc_footprint(benchmark, report, scale):
+    headers, rows = benchmark.pedantic(
+        storage_footprint, args=("tpcc", scale), rounds=1, iterations=1)
+    report("fig14b footprint tpcc",
+           format_table(headers, rows,
+                        title="Fig. 14b — TPC-C storage footprint (KB)"))
+    total = {row[0]: row[-1] for row in rows}
+    assert total["nvm-inp"] < total["inp"]
+    assert total["nvm-cow"] < total["cow"]

@@ -1,0 +1,33 @@
+"""Fig. 15 / Appendix B — B+tree node size sensitivity.
+
+Expected shape: the effect of node size is more significant for the
+copy-on-write B+tree (NVM-CoW) than for the STX B+tree engines; larger
+CoW nodes help read-heavy workloads (shallower tree, less indirection)
+but hurt write-heavy ones (more copying per update).
+"""
+
+from repro.analysis.tables import format_table
+from repro.harness.experiments import node_size_sensitivity
+
+
+def test_fig15_node_size(benchmark, report, scale):
+    figures = benchmark.pedantic(
+        node_size_sensitivity, args=(scale,), rounds=1, iterations=1)
+    for engine, (headers, rows) in figures.items():
+        report(f"fig15 node size {engine}",
+               format_table(headers, rows,
+                            title=f"Fig. 15 — node size sweep, "
+                                  f"{engine} (txn/s)"))
+
+    def spread(engine, mixture):
+        headers, rows = figures[engine]
+        index = headers.index(mixture)
+        values = [row[index] for row in rows]
+        return max(values) / min(values)
+
+    # The CoW B+tree is more sensitive to node size than the STX trees.
+    assert spread("nvm-cow", "write-heavy") > 1.15
+    # Every configuration still completes with sane throughput.
+    for engine, (headers, rows) in figures.items():
+        for row in rows:
+            assert all(value > 0 for value in row[1:])

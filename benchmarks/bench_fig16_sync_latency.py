@@ -1,0 +1,48 @@
+"""Fig. 16 / Appendix C — sync primitive latency sensitivity.
+
+The appendix emulates the proposed PCOMMIT/CLWB instruction set
+extensions by varying the latency of the durable sync primitive from
+10 ns to 10 us. Expected shape: throughput of every NVM-aware engine
+drops as sync latency grows, the impact is strongest on write-heavy
+mixtures, and NVM-CoW is the least sensitive (it syncs per batch, not
+per operation).
+"""
+
+from repro.analysis.tables import format_table
+from repro.harness.experiments import sync_latency_sensitivity
+
+
+def test_fig16_sync_latency(benchmark, report, scale):
+    figures = benchmark.pedantic(
+        sync_latency_sensitivity, args=(scale,), rounds=1, iterations=1)
+    for engine, (headers, rows) in figures.items():
+        report(f"fig16 sync latency {engine}",
+               format_table(headers, rows,
+                            title=f"Fig. 16 — sync latency sweep, "
+                                  f"{engine} (txn/s)"))
+
+    def series(engine, mixture):
+        headers, rows = figures[engine]
+        index = headers.index(mixture)
+        return [row[index] for row in rows]
+
+    for engine in figures:
+        write_heavy = series(engine, "write-heavy")
+        # Throughput decreases monotonically (within noise) with sync
+        # latency and collapses at 10 us.
+        assert write_heavy[0] > write_heavy[-1]
+        assert write_heavy[-1] < write_heavy[0] * 0.7, engine
+    # Write-heavy suffers more than read-heavy (more syncs per txn).
+    for engine in ("nvm-inp", "nvm-log"):
+        wh_drop = series(engine, "write-heavy")[0] \
+            / series(engine, "write-heavy")[-1]
+        rh_drop = series(engine, "read-heavy")[0] \
+            / series(engine, "read-heavy")[-1]
+        assert wh_drop > rh_drop * 0.9
+    # Every engine is heavily degraded by a 10 us primitive — the
+    # appendix's conclusion that efficient hardware support (PCOMMIT/
+    # CLWB) is required for NVM-aware DBMSs.
+    for engine in figures:
+        drop = series(engine, "write-heavy")[0] \
+            / series(engine, "write-heavy")[-1]
+        assert drop > 2.0, engine

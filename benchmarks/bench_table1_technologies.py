@@ -1,0 +1,25 @@
+"""Table 1 — NVM technology characteristics, plus the device-wear
+motivation: halving stores doubles effective lifetime for
+endurance-limited technologies (PCM, RRAM)."""
+
+from repro.analysis.tables import format_table
+from repro.harness.experiments import table1_technologies
+from repro.nvm.constants import TECHNOLOGIES, wear_fraction
+
+
+def test_table1_technologies(benchmark, report):
+    headers, rows = benchmark.pedantic(
+        table1_technologies, rounds=1, iterations=1)
+    report("table1 technologies",
+           format_table(headers, rows,
+                        title="Table 1 — NVM technology comparison"))
+    assert set(headers[1:]) == set(TECHNOLOGIES)
+    # DRAM is the only volatile technology in the table.
+    volatile_row = next(row for row in rows if row[0] == "volatile")
+    assert volatile_row[1 + list(TECHNOLOGIES).index("DRAM")] == "True"
+    # Wear: the same store count consumes 100x more of RRAM's
+    # endurance than PCM's.
+    stores = 10 ** 6
+    pcm = wear_fraction(stores, TECHNOLOGIES["PCM"].endurance_writes)
+    rram = wear_fraction(stores, TECHNOLOGIES["RRAM"].endurance_writes)
+    assert rram / pcm == 100

@@ -1,0 +1,49 @@
+"""Shared infrastructure for the figure/table benchmarks.
+
+Each benchmark regenerates one table or figure from the paper's
+evaluation (Section 5) and registers a plain-text table that is printed
+in the terminal summary (and written to ``benchmarks/results/``), so
+``pytest benchmarks/ --benchmark-only`` produces the full paper-style
+report. Set ``REPRO_BENCH_PROFILE=full`` for larger workloads.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+from typing import Dict, List
+
+import pytest
+
+from repro.harness.experiments import FULL_SCALE, QUICK_SCALE, Scale
+
+_REPORTS: Dict[str, str] = {}
+_RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def register_report(name: str, text: str) -> None:
+    """Record a figure's rendered table for the terminal summary."""
+    _REPORTS[name] = text
+    _RESULTS_DIR.mkdir(exist_ok=True)
+    safe = name.replace("/", "_").replace(" ", "_")
+    (_RESULTS_DIR / f"{safe}.txt").write_text(text + "\n")
+
+
+@pytest.fixture(scope="session")
+def scale() -> Scale:
+    profile = os.environ.get("REPRO_BENCH_PROFILE", "quick")
+    return FULL_SCALE if profile == "full" else QUICK_SCALE
+
+
+@pytest.fixture
+def report():
+    return register_report
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _REPORTS:
+        return
+    terminalreporter.section("paper figure reproductions")
+    for name in sorted(_REPORTS):
+        terminalreporter.write_line("")
+        terminalreporter.write_line(_REPORTS[name])

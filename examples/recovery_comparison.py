@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Crash-recovery comparison across the six engines (the Fig. 12 story).
+
+Loads a table, runs a batch of transactions, kills the machine, and
+measures how long each engine takes to restore a consistent state —
+then verifies the state really is consistent. The traditional engines
+replay history; the NVM-aware engines only undo in-flight transactions
+and come back almost instantaneously; the CoW pair never recovers at
+all.
+
+Run:  python examples/recovery_comparison.py
+"""
+
+from repro import Column, ColumnType, Database, EngineConfig, Schema
+from repro import ENGINE_NAMES
+from repro.analysis.tables import format_table
+
+
+def schema() -> Schema:
+    return Schema.build(
+        "events",
+        [Column("id", ColumnType.INT),
+         Column("kind", ColumnType.INT),
+         Column("payload", ColumnType.STRING, capacity=120)],
+        primary_key=["id"])
+
+
+def main() -> None:
+    headers = ["engine", "recovery (ms)", "state intact"]
+    rows = []
+    for engine in ENGINE_NAMES.ALL:
+        config = EngineConfig(checkpoint_interval_txns=10 ** 9,
+                              memtable_threshold_bytes=2 ** 30,
+                              nvm_cow_node_size=512)
+        db = Database(engine=engine, engine_config=config, seed=17)
+        db.create_table(schema())
+        for i in range(800):
+            db.insert("events", {"id": i, "kind": i % 5,
+                                 "payload": f"event-{i}-" + "x" * 40})
+        for i in range(0, 800, 4):
+            db.update("events", i, {"kind": 99})
+        db.flush()
+
+        db.crash()
+        millis = db.recover() * 1e3
+
+        intact = all(
+            (db.get("events", i) or {}).get("kind")
+            == (99 if i % 4 == 0 else i % 5)
+            for i in range(0, 800, 37))
+        rows.append([engine, millis, "yes" if intact else "NO"])
+
+    print(format_table(headers, rows,
+                       title="Recovery after a kill (1000 committed "
+                             "txns, no checkpoints)"))
+    by_engine = {row[0]: row[1] for row in rows}
+    speedup = by_engine["inp"] / max(by_engine["nvm-inp"], 1e-9)
+    print(f"\nNVM-InP recovers {speedup:,.0f}x faster than InP; "
+          f"the CoW engines need no recovery at all.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""repro — storage & recovery methods for NVM database systems.
+
+A faithful, simulation-backed reproduction of *"Let's Talk About
+Storage & Recovery Methods for Non-Volatile Memory Database Systems"*
+(Arulraj, Pavlo, Dulloor — SIGMOD 2015): a modular OLTP DBMS testbed on
+an emulated NVM-only storage hierarchy, with three traditional storage
+engines (in-place, copy-on-write, log-structured) and their three
+NVM-aware variants.
+
+Quick start::
+
+    from repro import Database, Schema, Column, ColumnType
+
+    db = Database(engine="nvm-inp")
+    db.create_table(Schema.build(
+        "kv", [Column("k", ColumnType.INT),
+               Column("v", ColumnType.STRING, capacity=100)],
+        primary_key=["k"]))
+    db.insert("kv", {"k": 1, "v": "hello"})
+    db.crash()
+    db.recover()
+    assert db.get("kv", 1)["v"] == "hello"
+"""
+
+from .config import (CacheConfig, EngineConfig, FilesystemConfig,
+                     LatencyProfile, PlatformConfig)
+from .core.database import Database
+from .core.schema import Column, ColumnType, Schema
+from .core.transaction import Transaction, TransactionStatus
+from .engines import ENGINE_NAMES, StorageEngine, create_engine
+from .errors import (DuplicateKeyError, ReproError, TransactionAborted,
+                     TupleNotFoundError)
+from .nvm.platform import Platform
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CacheConfig",
+    "Column",
+    "ColumnType",
+    "Database",
+    "DuplicateKeyError",
+    "ENGINE_NAMES",
+    "EngineConfig",
+    "FilesystemConfig",
+    "LatencyProfile",
+    "Platform",
+    "PlatformConfig",
+    "ReproError",
+    "Schema",
+    "StorageEngine",
+    "Transaction",
+    "TransactionAborted",
+    "TransactionStatus",
+    "TupleNotFoundError",
+    "create_engine",
+    "__version__",
+]

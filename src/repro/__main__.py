@@ -1,0 +1,176 @@
+"""Command-line interface: run workloads and regenerate paper figures.
+
+Examples::
+
+    python -m repro engines
+    python -m repro ycsb --engine nvm-inp --mixture write-heavy
+    python -m repro ycsb --all-engines --mixture balanced --skew high
+    python -m repro tpcc --engine nvm-cow --txns 500
+    python -m repro figure 1
+    python -m repro figure 12 --workload tpcc
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis.tables import format_table
+from .config import LatencyProfile
+from .engines.base import ENGINE_NAMES, engine_names
+from .harness.experiments import (FULL_SCALE, QUICK_SCALE,
+                                  fig1_interfaces, recovery_latency,
+                                  storage_footprint, tpcc_throughput,
+                                  ycsb_throughput)
+from .harness.runner import run_tpcc, run_ycsb
+from .workloads.ycsb import MIXTURES, SKEWS
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--latency", default="dram",
+                        choices=("dram", "low-nvm", "high-nvm"),
+                        help="NVM latency profile (Section 5.2)")
+    parser.add_argument("--full", action="store_true",
+                        help="use the larger FULL scale")
+
+
+def _scale(args) -> object:
+    return FULL_SCALE if args.full else QUICK_SCALE
+
+
+def _cmd_engines(args) -> int:
+    rows = []
+    for name in engine_names():
+        kind = "NVM-aware" if name.startswith("nvm") else (
+            "hybrid extension" if name.startswith("hybrid")
+            else "traditional")
+        rows.append([name, kind])
+    print(format_table(["engine", "kind"], rows,
+                       title="Registered storage engines"))
+    return 0
+
+
+def _cmd_ycsb(args) -> int:
+    scale = _scale(args)
+    engines = list(ENGINE_NAMES.ALL) if args.all_engines \
+        else [args.engine]
+    rows = []
+    for engine in engines:
+        result = run_ycsb(
+            engine, args.mixture, args.skew,
+            latency=LatencyProfile.by_name(args.latency),
+            num_tuples=args.tuples or scale.ycsb_tuples,
+            num_txns=args.txns or scale.ycsb_txns,
+            engine_config=scale.engine_config(),
+            cache_bytes=scale.cache_bytes)
+        rows.append([engine, result.throughput, result.nvm_loads,
+                     result.nvm_stores])
+    print(format_table(
+        ["engine", "txn/s", "NVM loads", "NVM stores"], rows,
+        title=f"YCSB {args.mixture}/{args.skew} @ {args.latency}"))
+    return 0
+
+
+def _cmd_tpcc(args) -> int:
+    scale = _scale(args)
+    engines = list(ENGINE_NAMES.ALL) if args.all_engines \
+        else [args.engine]
+    rows = []
+    for engine in engines:
+        result = run_tpcc(
+            engine, latency=LatencyProfile.by_name(args.latency),
+            tpcc_config=scale.tpcc,
+            num_txns=args.txns or scale.tpcc_txns,
+            engine_config=scale.engine_config(),
+            cache_bytes=scale.tpcc_cache_bytes)
+        rows.append([engine, result.throughput, result.nvm_loads,
+                     result.nvm_stores])
+    print(format_table(
+        ["engine", "txn/s", "NVM loads", "NVM stores"], rows,
+        title=f"TPC-C @ {args.latency}"))
+    return 0
+
+
+def _cmd_figure(args) -> int:
+    scale = _scale(args)
+    number = args.number
+    if number == 1:
+        headers, rows = fig1_interfaces()
+        print(format_table(headers, rows,
+                           title="Fig. 1 — durable write bandwidth "
+                                 "(MB/s)"))
+    elif number in (5, 6, 7):
+        latency = {5: "dram", 6: "low-nvm", 7: "high-nvm"}[number]
+        headers, rows, __ = ycsb_throughput(latency, scale)
+        print(format_table(headers, rows,
+                           title=f"Fig. {number} — YCSB throughput "
+                                 f"@ {latency} (txn/s)"))
+    elif number == 8:
+        headers, rows, __ = tpcc_throughput(scale)
+        print(format_table(headers, rows,
+                           title="Fig. 8 — TPC-C throughput (txn/s)"))
+    elif number == 12:
+        headers, rows = recovery_latency(args.workload, scale)
+        print(format_table(headers, rows,
+                           title=f"Fig. 12 — recovery latency, "
+                                 f"{args.workload} (ms)"))
+    elif number == 14:
+        headers, rows = storage_footprint(args.workload, scale)
+        print(format_table(headers, rows,
+                           title=f"Fig. 14 — storage footprint, "
+                                 f"{args.workload} (KB)"))
+    else:
+        print(f"figure {number} not wired into the CLI; run "
+              f"`pytest benchmarks/ --benchmark-only` for the full "
+              f"set", file=sys.stderr)
+        return 2
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="NVM DBMS storage & recovery reproduction "
+                    "(SIGMOD 2015)")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    engines_parser = commands.add_parser(
+        "engines", help="list registered storage engines")
+    engines_parser.set_defaults(func=_cmd_engines)
+
+    ycsb_parser = commands.add_parser("ycsb", help="run a YCSB point")
+    ycsb_parser.add_argument("--engine", default="nvm-inp",
+                             choices=engine_names())
+    ycsb_parser.add_argument("--all-engines", action="store_true")
+    ycsb_parser.add_argument("--mixture", default="balanced",
+                             choices=sorted(MIXTURES))
+    ycsb_parser.add_argument("--skew", default="low",
+                             choices=sorted(SKEWS))
+    ycsb_parser.add_argument("--tuples", type=int, default=None)
+    ycsb_parser.add_argument("--txns", type=int, default=None)
+    _add_common(ycsb_parser)
+    ycsb_parser.set_defaults(func=_cmd_ycsb)
+
+    tpcc_parser = commands.add_parser("tpcc", help="run a TPC-C point")
+    tpcc_parser.add_argument("--engine", default="nvm-inp",
+                             choices=engine_names())
+    tpcc_parser.add_argument("--all-engines", action="store_true")
+    tpcc_parser.add_argument("--txns", type=int, default=None)
+    _add_common(tpcc_parser)
+    tpcc_parser.set_defaults(func=_cmd_tpcc)
+
+    figure_parser = commands.add_parser(
+        "figure", help="regenerate one paper figure")
+    figure_parser.add_argument("number", type=int)
+    figure_parser.add_argument("--workload", default="ycsb",
+                               choices=("ycsb", "tpcc"))
+    _add_common(figure_parser)
+    figure_parser.set_defaults(func=_cmd_figure)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,7 @@
+"""Analysis utilities: the Table 3 cost model and table formatting."""
+
+from .cost_model import CostModelParams, OperationCost, engine_cost
+from .tables import format_table
+
+__all__ = ["CostModelParams", "OperationCost", "engine_cost",
+           "format_table"]

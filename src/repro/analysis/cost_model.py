@@ -1,0 +1,107 @@
+"""Analytical cost model for NVM writes per operation (Appendix A).
+
+Table 3 of the paper estimates the amount of data written to NVM per
+successful insert / update / delete for each engine, split into three
+categories: memory (table storage writes), log, and table (durable
+table-structure writes). Notation:
+
+* ``T`` — tuple size (table-dependent);
+* ``F`` / ``V`` — sizes of the fixed-length and variable-length fields
+  the canonical update modifies;
+* ``p`` — pointer size (8 bytes);
+* ``B`` — CoW B+tree node size;
+* ``theta`` — write amplification factor of the log-structured
+  engines' compaction;
+* ``epsilon`` — small fixed-length status writes (slot states etc.).
+
+For the CoW engines two cases exist depending on whether the affected
+node already has a copy in the dirty directory; this module reports the
+*fresh-copy* (worst) case, which is what the bench compares against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+POINTER_SIZE = 8
+
+
+@dataclass(frozen=True)
+class CostModelParams:
+    """Inputs of the Table 3 formulas."""
+
+    tuple_size: int                 # T
+    fixed_field_size: int           # F
+    varlen_field_size: int          # V
+    cow_node_size: int = 4096       # B
+    write_amplification: float = 2.0  # theta
+    epsilon: int = 1                # status-byte writes
+    pointer_size: int = POINTER_SIZE  # p
+
+
+@dataclass(frozen=True)
+class OperationCost:
+    """Bytes written to NVM by one operation, per category."""
+
+    memory: float
+    log: float
+    table: float
+
+    @property
+    def total(self) -> float:
+        return self.memory + self.log + self.table
+
+
+def engine_cost(engine: str, operation: str,
+                params: CostModelParams) -> OperationCost:
+    """Table 3 entry for ``engine`` x ``operation``.
+
+    ``engine`` is one of the six canonical names; ``operation`` is
+    "insert", "update", or "delete".
+    """
+    T = params.tuple_size
+    F = params.fixed_field_size
+    V = params.varlen_field_size
+    B = params.cow_node_size
+    theta = params.write_amplification
+    p = params.pointer_size
+    eps = params.epsilon
+
+    table: Dict[tuple, OperationCost] = {
+        ("inp", "insert"): OperationCost(T, T, T),
+        ("inp", "update"): OperationCost(F + V, 2 * (F + V), F + V),
+        ("inp", "delete"): OperationCost(eps, T, eps),
+        ("cow", "insert"): OperationCost(B + T, 0, B),
+        ("cow", "update"): OperationCost(B + F + V, 0, B),
+        ("cow", "delete"): OperationCost(B + eps, 0, B),
+        ("log", "insert"): OperationCost(T, T, theta * T),
+        ("log", "update"): OperationCost(F + V, 2 * (F + V),
+                                         theta * (F + V)),
+        ("log", "delete"): OperationCost(eps, T, eps),
+        ("nvm-inp", "insert"): OperationCost(T, p, p),
+        ("nvm-inp", "update"): OperationCost(F + V + p, F + p, 0),
+        ("nvm-inp", "delete"): OperationCost(eps, p, eps),
+        ("nvm-cow", "insert"): OperationCost(T, 0, B + p),
+        ("nvm-cow", "update"): OperationCost(T + F + V, 0, B + p),
+        ("nvm-cow", "delete"): OperationCost(eps, 0, B + eps),
+        ("nvm-log", "insert"): OperationCost(T, p, theta * T),
+        ("nvm-log", "update"): OperationCost(F + V + p, F + p,
+                                             theta * (F + p)),
+        ("nvm-log", "delete"): OperationCost(eps, p, eps),
+    }
+    try:
+        return table[(engine, operation)]
+    except KeyError:
+        raise ValueError(
+            f"no cost model entry for engine={engine!r}, "
+            f"operation={operation!r}") from None
+
+
+def cost_table(params: CostModelParams) -> Dict[str, Dict[str, OperationCost]]:
+    """The full Table 3 as nested dicts: engine -> operation -> cost."""
+    engines = ("inp", "cow", "log", "nvm-inp", "nvm-cow", "nvm-log")
+    operations = ("insert", "update", "delete")
+    return {engine: {operation: engine_cost(engine, operation, params)
+                     for operation in operations}
+            for engine in engines}

@@ -1,0 +1,46 @@
+"""Plain-text table formatting for the benchmark harness output."""
+
+from __future__ import annotations
+
+from typing import Any, List, Sequence
+
+
+def _render(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str],
+                 rows: Sequence[Sequence[Any]],
+                 title: str = "") -> str:
+    """Fixed-width table with right-aligned numeric columns."""
+    rendered: List[List[str]] = [[_render(cell) for cell in row]
+                                 for row in rows]
+    widths = [len(header) for header in headers]
+    for row in rendered:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def format_row(cells: Sequence[str]) -> str:
+        parts = []
+        for index, cell in enumerate(cells):
+            parts.append(cell.rjust(widths[index]) if index else
+                         cell.ljust(widths[index]))
+        return "  ".join(parts)
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(format_row(list(headers)))
+    lines.append("  ".join("-" * width for width in widths))
+    lines.extend(format_row(row) for row in rendered)
+    return "\n".join(lines)

@@ -1,0 +1,20 @@
+"""The DBMS testbed core: schema, tuples, transactions, coordination.
+
+This package implements the lightweight testbed from Fig. 2 of the
+paper: a coordinator receives transaction requests and routes them to
+partitions, where they execute serially under timestamp ordering
+against the active storage engine.
+"""
+
+from .database import Database
+from .schema import Column, ColumnType, Schema
+from .transaction import Transaction, TransactionStatus
+
+__all__ = [
+    "Column",
+    "ColumnType",
+    "Database",
+    "Schema",
+    "Transaction",
+    "TransactionStatus",
+]

@@ -1,0 +1,229 @@
+"""The public Database facade.
+
+This is the DBMS testbed of Fig. 2: a coordinator that receives
+transaction requests and routes each to its partition, where it runs
+serially against the active storage engine. Typical usage::
+
+    from repro import Database, Schema, Column, ColumnType
+
+    db = Database(engine="nvm-inp")
+    db.create_table(Schema.build(
+        "accounts",
+        [Column("id", ColumnType.INT),
+         Column("balance", ColumnType.FLOAT)],
+        primary_key=["id"]))
+
+    def deposit(ctx, account_id, amount):
+        row = ctx.get("accounts", account_id)
+        ctx.update("accounts", account_id,
+                   {"balance": row["balance"] + amount})
+
+    db.execute(deposit, 7, 100.0)
+
+    db.crash()                    # simulated power failure
+    seconds = db.recover()        # engine-specific recovery
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..config import EngineConfig, LatencyProfile, PlatformConfig
+from ..engines.base import ENGINE_NAMES
+from ..errors import ConfigError, CrashedError
+from ..sim.stats import Category
+from .partition import Partition, StoredProcedure
+from .schema import Schema
+
+
+def stable_partition_hash(key: Any) -> int:
+    """Deterministic cross-process hash used for partition routing."""
+    if isinstance(key, int):
+        return key
+    return zlib.crc32(repr(key).encode("utf-8"))
+
+
+class Database:
+    """A partitioned OLTP database on an NVM-only storage hierarchy."""
+
+    def __init__(self, engine: str = ENGINE_NAMES.NVM_INP,
+                 partitions: int = 1,
+                 latency: Optional[LatencyProfile] = None,
+                 platform_config: Optional[PlatformConfig] = None,
+                 engine_config: Optional[EngineConfig] = None,
+                 seed: int = 0x5EED) -> None:
+        if partitions < 1:
+            raise ConfigError("need at least one partition")
+        base_config = platform_config or PlatformConfig(seed=seed)
+        if latency is not None:
+            base_config = base_config.with_latency(latency)
+        self.engine_name = engine
+        self.engine_config = engine_config or EngineConfig()
+        self.partitions = [
+            Partition(pid, engine, base_config, self.engine_config)
+            for pid in range(partitions)
+        ]
+        self._crashed = False
+
+    # ------------------------------------------------------------------
+    # Schema & routing
+    # ------------------------------------------------------------------
+
+    def create_table(self, schema: Schema) -> None:
+        """Create the table on every partition."""
+        self._require_alive()
+        for partition in self.partitions:
+            partition.engine.create_table(schema)
+
+    def route(self, key: Any) -> int:
+        """Partition index responsible for ``key``."""
+        return stable_partition_hash(key) % len(self.partitions)
+
+    # ------------------------------------------------------------------
+    # Transaction execution
+    # ------------------------------------------------------------------
+
+    def execute(self, procedure: StoredProcedure, *args: Any,
+                partition: int = 0) -> Any:
+        """Run a stored procedure as one transaction on a partition."""
+        self._require_alive()
+        return self.partitions[partition].execute(procedure, *args)
+
+    def insert(self, table: str, values: Dict[str, Any],
+               partition: Optional[int] = None) -> None:
+        """Single-operation insert transaction (routed by key)."""
+        schema = self._schema(table)
+        pid = self.route(schema.key_of(values)) \
+            if partition is None else partition
+        self.execute(lambda ctx: ctx.insert(table, values), partition=pid)
+
+    def get(self, table: str, key: Any,
+            partition: Optional[int] = None) -> Optional[Dict[str, Any]]:
+        """Single-operation point look-up."""
+        pid = self.route(key) if partition is None else partition
+        return self.execute(lambda ctx: ctx.get(table, key), partition=pid)
+
+    def update(self, table: str, key: Any, changes: Dict[str, Any],
+               partition: Optional[int] = None) -> None:
+        """Single-operation update transaction."""
+        pid = self.route(key) if partition is None else partition
+        self.execute(lambda ctx: ctx.update(table, key, changes),
+                     partition=pid)
+
+    def delete(self, table: str, key: Any,
+               partition: Optional[int] = None) -> None:
+        """Single-operation delete transaction."""
+        pid = self.route(key) if partition is None else partition
+        self.execute(lambda ctx: ctx.delete(table, key), partition=pid)
+
+    def scan(self, table: str, lo: Any = None, hi: Any = None
+             ) -> List[Tuple[Any, Dict[str, Any]]]:
+        """Range scan merged across partitions (read-only)."""
+        self._require_alive()
+        rows: List[Tuple[Any, Dict[str, Any]]] = []
+        for partition in self.partitions:
+            rows.extend(partition.execute(
+                lambda ctx: list(ctx.scan(table, lo=lo, hi=hi))))
+        rows.sort(key=lambda pair: pair[0])
+        return rows
+
+    def flush(self) -> None:
+        """Force a durable point on every partition (group commit)."""
+        self._require_alive()
+        for partition in self.partitions:
+            partition.engine.flush_commits()
+
+    def settle(self) -> None:
+        """Write back all dirty CPU-cache lines (steady state before a
+        measurement window; the cost is charged outside it)."""
+        self._require_alive()
+        for partition in self.partitions:
+            partition.platform.cache.drain()
+
+    # ------------------------------------------------------------------
+    # Restart events
+    # ------------------------------------------------------------------
+
+    def crash(self) -> None:
+        """Simulated power failure across all partitions."""
+        for partition in self.partitions:
+            partition.platform.crash()
+            partition.engine.on_crash()
+        self._crashed = True
+
+    def recover(self) -> float:
+        """Run engine recovery; returns the simulated seconds until the
+        database is consistent (partitions recover in parallel, so the
+        slowest one determines the latency)."""
+        latency = 0.0
+        for partition in self.partitions:
+            latency = max(latency, partition.engine.recover())
+        self._crashed = False
+        return latency
+
+    def checkpoint(self) -> None:
+        self._require_alive()
+        for partition in self.partitions:
+            partition.engine.checkpoint()
+
+    def _require_alive(self) -> None:
+        if self._crashed:
+            raise CrashedError(
+                "database crashed; call recover() before new operations")
+
+    def _schema(self, table: str) -> Schema:
+        return self.partitions[0].engine._schema(table)
+
+    # ------------------------------------------------------------------
+    # Metrics
+    # ------------------------------------------------------------------
+
+    @property
+    def now_ns(self) -> float:
+        """Simulated wall-clock: the slowest partition's clock."""
+        return max(partition.now_ns for partition in self.partitions)
+
+    @property
+    def committed_txns(self) -> int:
+        return sum(partition.engine.committed_txns
+                   for partition in self.partitions)
+
+    @property
+    def aborted_txns(self) -> int:
+        return sum(partition.engine.aborted_txns
+                   for partition in self.partitions)
+
+    def nvm_counters(self) -> Dict[str, int]:
+        """Aggregated NVM loads/stores across partitions (Figs. 9-11)."""
+        loads = stores = 0
+        for partition in self.partitions:
+            loads += partition.platform.device.loads
+            stores += partition.platform.device.stores
+        return {"loads": loads, "stores": stores}
+
+    def storage_breakdown(self) -> Dict[str, int]:
+        """Aggregated live NVM bytes per component (Fig. 14)."""
+        totals: Dict[str, int] = {}
+        for partition in self.partitions:
+            for component, size in \
+                    partition.engine.storage_breakdown().items():
+                totals[component] = totals.get(component, 0) + size
+        return totals
+
+    def time_breakdown(self) -> Dict[str, float]:
+        """Aggregated execution-time fractions per category (Fig. 13)."""
+        totals = {category.value: 0.0 for category in Category}
+        for partition in self.partitions:
+            stats = partition.platform.stats
+            for category in Category:
+                totals[category.value] += stats.category_ns(category)
+        grand_total = sum(totals.values())
+        if grand_total == 0:
+            return totals
+        return {name: value / grand_total
+                for name, value in totals.items()}
+
+    def __repr__(self) -> str:
+        return (f"Database(engine={self.engine_name!r}, "
+                f"partitions={len(self.partitions)})")

@@ -1,0 +1,70 @@
+"""Query execution context handed to stored procedures.
+
+A stored procedure is a plain callable receiving a
+:class:`TransactionContext` — the "query executor that invokes the
+necessary operations on the DBMS's active storage engine" from Fig. 2.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from ..engines.base import StorageEngine
+from ..errors import TransactionAborted
+from .transaction import Transaction
+
+
+class TransactionContext:
+    """Engine operations bound to one running transaction.
+
+    Each primitive operation charges the configured per-operation CPU
+    cost (query executor, tuple (de)serialization) on top of whatever
+    NVM traffic the engine generates.
+    """
+
+    __slots__ = ("_engine", "txn", "_op_cpu_ns")
+
+    def __init__(self, engine: StorageEngine, txn: Transaction) -> None:
+        self._engine = engine
+        self.txn = txn
+        self._op_cpu_ns = engine.config.op_cpu_ns
+
+    def _charge_op(self) -> None:
+        self._engine.clock.advance(self._op_cpu_ns)
+
+    def insert(self, table: str, values: Dict[str, Any]) -> None:
+        """Insert a tuple; raises DuplicateKeyError if the key exists."""
+        self._charge_op()
+        self._engine.insert(self.txn, table, values)
+
+    def update(self, table: str, key: Any,
+               changes: Dict[str, Any]) -> None:
+        """Update the changed columns of an existing tuple."""
+        self._charge_op()
+        self._engine.update(self.txn, table, key, changes)
+
+    def delete(self, table: str, key: Any) -> None:
+        """Delete the tuple with the given primary key."""
+        self._charge_op()
+        self._engine.delete(self.txn, table, key)
+
+    def get(self, table: str, key: Any) -> Optional[Dict[str, Any]]:
+        """Point look-up by primary key (None if absent)."""
+        self._charge_op()
+        return self._engine.select(self.txn, table, key)
+
+    def get_secondary(self, table: str, index_name: str,
+                      key: Any) -> List[Any]:
+        """Primary keys matching a secondary key."""
+        self._charge_op()
+        return self._engine.select_secondary(self.txn, table,
+                                             index_name, key)
+
+    def scan(self, table: str, lo: Any = None, hi: Any = None
+             ) -> Iterator[Tuple[Any, Dict[str, Any]]]:
+        """Ordered range scan over ``lo <= key < hi``."""
+        return self._engine.scan(self.txn, table, lo=lo, hi=hi)
+
+    def abort(self, reason: str = "aborted by procedure") -> None:
+        """Abort the transaction (raises :class:`TransactionAborted`)."""
+        raise TransactionAborted(reason)

@@ -1,0 +1,64 @@
+"""One database partition: its platform, engine, and serial executor.
+
+The testbed partitions the database so that every transaction touches a
+single partition, and "transactions are executed serially at each
+partition based on timestamp ordering" (Section 3). Each partition is
+modeled as its own emulated platform (its own simulated clock, cache,
+and NVM accounting), mirroring the paper's one-worker-per-core,
+one-partition-per-worker configuration: total wall-clock time for a run
+is the *maximum* across partitions, and NVM load/store counts sum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Any, Callable
+
+from ..config import EngineConfig, PlatformConfig
+from ..engines.base import create_engine
+from ..errors import TransactionAborted
+from ..nvm.platform import Platform
+from .executor import TransactionContext
+
+StoredProcedure = Callable[..., Any]
+
+
+class Partition:
+    """A single-threaded partition running one storage engine."""
+
+    def __init__(self, partition_id: int, engine_name: str,
+                 platform_config: PlatformConfig,
+                 engine_config: EngineConfig) -> None:
+        self.partition_id = partition_id
+        # Each partition gets an independent RNG stream for its crash
+        # lottery while staying fully deterministic.
+        self.platform = Platform(replace(
+            platform_config,
+            seed=platform_config.seed * 1000003 + partition_id))
+        self.engine = create_engine(engine_name, self.platform,
+                                    engine_config)
+
+    def execute(self, procedure: StoredProcedure, *args: Any) -> Any:
+        """Run a stored procedure in its own transaction.
+
+        Commits on normal return; aborts (and re-raises) on
+        :class:`TransactionAborted` or any other exception.
+        """
+        txn = self.engine.begin()
+        # Transaction begin/commit bookkeeping is compute, not NVM.
+        self.platform.clock.advance(self.engine.config.txn_cpu_ns)
+        context = TransactionContext(self.engine, txn)
+        try:
+            result = procedure(context, *args)
+        except TransactionAborted:
+            self.engine.abort(txn)
+            raise
+        except Exception:
+            self.engine.abort(txn)
+            raise
+        self.engine.commit(txn)
+        return result
+
+    @property
+    def now_ns(self) -> float:
+        return self.platform.clock.now_ns

@@ -1,0 +1,241 @@
+"""Tuple serialization for the two storage layouts in the paper.
+
+* **Slotted layout** (memory-optimized, Section 3.1): a fixed-size slot
+  with one 8-byte field position per column. Integers, floats, and
+  short strings are inline; longer strings live in a variable-length
+  slot, with the 8-byte non-volatile pointer stored at the field's
+  position.
+* **Inlined layout** (HDD/SSD-optimized, Section 3.2): every field is
+  stored at its full declared capacity so no random accesses are needed
+  — this is the format the CoW engine keeps in its directories and the
+  Log engine writes into SSTables.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, Callable, Dict, List, Tuple
+
+from ..errors import SchemaError
+from .schema import FIELD_SLOT_SIZE, SLOT_HEADER_SIZE, ColumnType, Schema
+
+_I64 = struct.Struct("<q")
+_F64 = struct.Struct("<d")
+_U64 = struct.Struct("<Q")
+_U32 = struct.Struct("<I")
+
+#: Slot durability states (Section 4.1): after a restart, slots that
+#: are allocated but not persisted transition back to unallocated.
+STATE_UNALLOCATED = 0
+STATE_ALLOCATED = 1
+STATE_PERSISTED = 2
+
+#: Bytes prepended to a variable-length slot (length prefix).
+VARLEN_HEADER_SIZE = 4
+
+VarlenWriter = Callable[[bytes], int]
+VarlenReader = Callable[[int], bytes]
+
+
+def _encode_inline_string(value: str) -> bytes:
+    raw = value.encode("utf-8")
+    # Length-prefixed in one byte: capacity <= 8 guarantees len <= 8,
+    # but the prefix must fit too, so inline strings use 7 data bytes
+    # at most; capacity-8 strings with 8 bytes spill to varlen storage.
+    return bytes([len(raw)]) + raw.ljust(FIELD_SLOT_SIZE - 1, b"\x00")
+
+
+def _decode_inline_string(field: bytes) -> str:
+    length = field[0]
+    return field[1:1 + length].decode("utf-8")
+
+
+def _string_fits_inline(value: str) -> bool:
+    return len(value.encode("utf-8")) <= FIELD_SLOT_SIZE - 1
+
+
+def encode_slotted(schema: Schema, values: Dict[str, Any],
+                   varlen_writer: VarlenWriter,
+                   state: int = STATE_ALLOCATED) -> Tuple[bytes, List[int]]:
+    """Encode a tuple into its fixed-size slot bytes.
+
+    Non-inline fields are written through ``varlen_writer`` (which
+    allocates a variable-length slot and returns its pointer). Returns
+    ``(slot_bytes, varlen_pointers)`` so the caller can track (and
+    later free) the out-of-line allocations.
+    """
+    schema.validate(values)
+    parts = [bytes([state]) + b"\x00" * (SLOT_HEADER_SIZE - 1)]
+    pointers: List[int] = []
+    for column in schema.columns:
+        value = values[column.name]
+        if column.type is ColumnType.INT:
+            parts.append(_I64.pack(value))
+        elif column.type is ColumnType.FLOAT:
+            parts.append(_F64.pack(float(value)))
+        elif _string_fits_inline(value) and column.inline:
+            parts.append(_encode_inline_string(value))
+        else:
+            raw = value.encode("utf-8")
+            pointer = varlen_writer(_U32.pack(len(raw)) + raw)
+            pointers.append(pointer)
+            parts.append(_U64.pack(pointer))
+    return b"".join(parts), pointers
+
+
+def decode_slotted(schema: Schema, slot: bytes,
+                   varlen_reader: VarlenReader) -> Dict[str, Any]:
+    """Decode a fixed-size slot back into a value dict."""
+    if len(slot) != schema.fixed_slot_size:
+        raise SchemaError(
+            f"table {schema.table}: slot is {len(slot)} bytes, "
+            f"expected {schema.fixed_slot_size}")
+    values: Dict[str, Any] = {}
+    offset = SLOT_HEADER_SIZE
+    for column in schema.columns:
+        field = slot[offset:offset + FIELD_SLOT_SIZE]
+        if column.type is ColumnType.INT:
+            values[column.name] = _I64.unpack(field)[0]
+        elif column.type is ColumnType.FLOAT:
+            values[column.name] = _F64.unpack(field)[0]
+        elif column.inline:
+            values[column.name] = _decode_inline_string(field)
+        else:
+            pointer = _U64.unpack(field)[0]
+            raw = varlen_reader(pointer)
+            length = _U32.unpack(raw[:VARLEN_HEADER_SIZE])[0]
+            values[column.name] = \
+                raw[VARLEN_HEADER_SIZE:VARLEN_HEADER_SIZE + length] \
+                .decode("utf-8")
+        offset += FIELD_SLOT_SIZE
+    return values
+
+
+def slot_state(slot: bytes) -> int:
+    """Read the durability state byte of a fixed-size slot."""
+    return slot[0]
+
+
+def encode_inlined(schema: Schema, values: Dict[str, Any]) -> bytes:
+    """Encode a tuple with every field inlined at full capacity."""
+    schema.validate(values)
+    parts = [b"\x00" * SLOT_HEADER_SIZE]
+    for column in schema.columns:
+        value = values[column.name]
+        if column.type is ColumnType.INT:
+            parts.append(_I64.pack(value))
+        elif column.type is ColumnType.FLOAT:
+            parts.append(_F64.pack(float(value)))
+        else:
+            raw = value.encode("utf-8")
+            parts.append(_U32.pack(len(raw))
+                         + raw.ljust(column.capacity, b"\x00"))
+    return b"".join(parts)
+
+
+def decode_inlined(schema: Schema, data: bytes) -> Dict[str, Any]:
+    """Decode a fully-inlined tuple."""
+    values: Dict[str, Any] = {}
+    offset = SLOT_HEADER_SIZE
+    for column in schema.columns:
+        if column.type is ColumnType.INT:
+            values[column.name] = _I64.unpack_from(data, offset)[0]
+            offset += FIELD_SLOT_SIZE
+        elif column.type is ColumnType.FLOAT:
+            values[column.name] = _F64.unpack_from(data, offset)[0]
+            offset += FIELD_SLOT_SIZE
+        else:
+            length = _U32.unpack_from(data, offset)[0]
+            start = offset + _U32.size
+            values[column.name] = data[start:start + length].decode("utf-8")
+            offset = start + column.capacity
+    return values
+
+
+def encode_fields(schema: Schema, changes: Dict[str, Any]) -> bytes:
+    """Encode a subset of columns (WAL before/after images for updates
+    record only the changed fields — Table 3's ``F + V`` terms)."""
+    parts = [bytes([len(changes)])]
+    names = schema.column_names
+    for name, value in changes.items():
+        column = schema.column(name)
+        parts.append(bytes([names.index(name)]))
+        if column.type is ColumnType.INT:
+            parts.append(_I64.pack(value))
+        elif column.type is ColumnType.FLOAT:
+            parts.append(_F64.pack(float(value)))
+        else:
+            raw = value.encode("utf-8")
+            parts.append(_U32.pack(len(raw)) + raw)
+    return b"".join(parts)
+
+
+def decode_fields(schema: Schema, data: bytes) -> Dict[str, Any]:
+    """Decode a changed-fields image back into a column dict."""
+    count = data[0]
+    offset = 1
+    values: Dict[str, Any] = {}
+    for __ in range(count):
+        column = schema.columns[data[offset]]
+        offset += 1
+        if column.type is ColumnType.INT:
+            values[column.name] = _I64.unpack_from(data, offset)[0]
+            offset += _I64.size
+        elif column.type is ColumnType.FLOAT:
+            values[column.name] = _F64.unpack_from(data, offset)[0]
+            offset += _F64.size
+        else:
+            length = _U32.unpack_from(data, offset)[0]
+            offset += _U32.size
+            values[column.name] = data[offset:offset + length] \
+                .decode("utf-8")
+            offset += length
+    return values
+
+
+def encode_key(key: Any) -> bytes:
+    """Encode a primary/secondary key (int, str, or tuple of those)."""
+    if isinstance(key, bool):
+        raise SchemaError("boolean keys are not supported")
+    if isinstance(key, int):
+        return b"i" + _I64.pack(key)
+    if isinstance(key, str):
+        raw = key.encode("utf-8")
+        return b"s" + _U32.pack(len(raw)) + raw
+    if isinstance(key, tuple):
+        parts = [b"t", bytes([len(key)])]
+        parts.extend(encode_key(part) for part in key)
+        return b"".join(parts)
+    raise SchemaError(f"unsupported key type {type(key)}")
+
+
+def decode_key(data: bytes, offset: int = 0) -> Tuple[Any, int]:
+    """Decode a key; returns (key, bytes consumed from offset)."""
+    kind = data[offset:offset + 1]
+    if kind == b"i":
+        return _I64.unpack_from(data, offset + 1)[0], 9
+    if kind == b"s":
+        length = _U32.unpack_from(data, offset + 1)[0]
+        start = offset + 5
+        return data[start:start + length].decode("utf-8"), 5 + length
+    if kind == b"t":
+        count = data[offset + 1]
+        consumed = 2
+        parts = []
+        for __ in range(count):
+            part, used = decode_key(data, offset + consumed)
+            parts.append(part)
+            consumed += used
+        return tuple(parts), consumed
+    raise SchemaError(f"bad key encoding at offset {offset}")
+
+
+def inlined_record_size(schema: Schema) -> int:
+    """Size in bytes of one fully-inlined record."""
+    size = SLOT_HEADER_SIZE
+    for column in schema.columns:
+        if column.type is ColumnType.STRING:
+            size += _U32.size + column.capacity
+        else:
+            size += FIELD_SLOT_SIZE
+    return size

@@ -1,0 +1,47 @@
+"""The six storage engines from the paper.
+
+Traditional engines (Section 3) — designed for a two-tier
+DRAM + HDD/SSD hierarchy, using allocator memory as if volatile:
+
+* :class:`~repro.engines.inp.InPEngine` — in-place updates with an
+  ARIES-style filesystem WAL and gzip checkpoints.
+* :class:`~repro.engines.cow.CoWEngine` — copy-on-write updates
+  (shadow paging) over a filesystem-resident CoW B+tree.
+* :class:`~repro.engines.log_engine.LogEngine` — log-structured
+  updates: MemTable + SSTables with leveled compaction and a WAL.
+
+NVM-aware engines (Section 4) — leverage NVM's byte-addressable
+persistence through the allocator interface:
+
+* :class:`~repro.engines.nvm_inp.NVMInPEngine` — WAL holds non-volatile
+  *pointers* instead of tuple copies; non-volatile B+tree indexes;
+  undo-only instant recovery.
+* :class:`~repro.engines.nvm_cow.NVMCoWEngine` — non-volatile CoW
+  B+tree accessed directly via the allocator; no recovery needed.
+* :class:`~repro.engines.nvm_log.NVMLogEngine` — all-NVM MemTables
+  (immutable after fill), pointer-based WAL for undo only.
+"""
+
+from .base import ENGINE_NAMES, StorageEngine, create_engine
+from .cow import CoWEngine
+from .hybrid_inp import HybridInPEngine
+from .inp import InPEngine
+from .log_engine import LogEngine
+from .nvm_cow import NVMCoWEngine
+from .nvm_inp import NVMInPEngine
+from .nvm_log import NVMLogEngine
+from .nvm_mvcc import NVMMVCCEngine
+
+__all__ = [
+    "ENGINE_NAMES",
+    "CoWEngine",
+    "HybridInPEngine",
+    "InPEngine",
+    "LogEngine",
+    "NVMCoWEngine",
+    "NVMInPEngine",
+    "NVMLogEngine",
+    "NVMMVCCEngine",
+    "StorageEngine",
+    "create_engine",
+]

@@ -1,0 +1,245 @@
+"""The storage engine interface and registry.
+
+Every engine implements the primitive database operations of Table 2
+(insert / update / delete / select) plus the transaction lifecycle and
+a recovery entry point. The testbed coordinator drives engines only
+through this interface, which is what lets the paper compare six
+architectures "on a single platform".
+"""
+
+from __future__ import annotations
+
+import abc
+import itertools
+import logging
+from typing import Any, Dict, Iterator, List, Optional, Tuple, Type
+
+from ..config import EngineConfig
+from ..core.schema import Schema
+from ..core.transaction import Transaction, TransactionStatus
+from ..errors import ConfigError, StorageEngineError
+from ..nvm.platform import Platform
+from ..sim.stats import Category
+
+logger = logging.getLogger("repro.engines")
+
+#: registry: engine name -> class
+_REGISTRY: Dict[str, Type["StorageEngine"]] = {}
+
+
+def register_engine(cls: Type["StorageEngine"]) -> Type["StorageEngine"]:
+    """Class decorator adding an engine to the registry."""
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def create_engine(name: str, platform: Platform,
+                  config: Optional[EngineConfig] = None) -> "StorageEngine":
+    """Instantiate a registered engine by name."""
+    try:
+        cls = _REGISTRY[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown engine {name!r}; expected one of "
+            f"{sorted(_REGISTRY)}") from None
+    return cls(platform, config or EngineConfig())
+
+
+def engine_names() -> List[str]:
+    """All registered engine names, traditional engines first."""
+    order = ["inp", "cow", "log", "nvm-inp", "nvm-cow", "nvm-log"]
+    return [name for name in order if name in _REGISTRY] + sorted(
+        name for name in _REGISTRY if name not in order)
+
+
+class ENGINE_NAMES:
+    """Canonical engine name constants."""
+
+    INP = "inp"
+    COW = "cow"
+    LOG = "log"
+    NVM_INP = "nvm-inp"
+    NVM_COW = "nvm-cow"
+    NVM_LOG = "nvm-log"
+
+    ALL = (INP, COW, LOG, NVM_INP, NVM_COW, NVM_LOG)
+    TRADITIONAL = (INP, COW, LOG)
+    NVM_AWARE = (NVM_INP, NVM_COW, NVM_LOG)
+
+    #: traditional engine -> its NVM-aware counterpart
+    COUNTERPART = {INP: NVM_INP, COW: NVM_COW, LOG: NVM_LOG}
+
+
+class StorageEngine(abc.ABC):
+    """Abstract storage engine over an emulated platform."""
+
+    name: str = "abstract"
+    is_nvm_aware: bool = False
+    #: True if the engine needs no recovery procedure at all (CoW pair).
+    instant_recovery: bool = False
+
+    def __init__(self, platform: Platform, config: EngineConfig) -> None:
+        self.platform = platform
+        self.config = config
+        self.memory = platform.memory
+        self.allocator = platform.allocator
+        self.filesystem = platform.filesystem
+        self.stats = platform.stats
+        self.clock = platform.clock
+        self.schemas: Dict[str, Schema] = {}
+        self._txn_ids = itertools.count(1)
+        self._timestamps = itertools.count(1)
+        self._commits_since_flush = 0
+        #: Modifying commits between checkpoints; initialized from the
+        #: config but adjustable at runtime (e.g. after bulk loading).
+        self.checkpoint_interval_txns = config.checkpoint_interval_txns
+        self._pending_durable: List[Transaction] = []
+        self._active_txns: Dict[int, Transaction] = {}
+        self.committed_txns = 0
+        self.aborted_txns = 0
+
+    # ------------------------------------------------------------------
+    # Schema management
+    # ------------------------------------------------------------------
+
+    def create_table(self, schema: Schema) -> None:
+        """Register ``schema`` and build its storage and indexes."""
+        if schema.table in self.schemas:
+            raise StorageEngineError(f"table {schema.table} exists")
+        self.schemas[schema.table] = schema
+        self._create_table_storage(schema)
+
+    @abc.abstractmethod
+    def _create_table_storage(self, schema: Schema) -> None:
+        """Engine-specific storage + index creation."""
+
+    def _schema(self, table: str) -> Schema:
+        try:
+            return self.schemas[table]
+        except KeyError:
+            raise StorageEngineError(f"no such table {table!r}") from None
+
+    # ------------------------------------------------------------------
+    # Transaction lifecycle
+    # ------------------------------------------------------------------
+
+    def begin(self) -> Transaction:
+        """Start a transaction (timestamp-ordered serial execution)."""
+        txn = Transaction(next(self._txn_ids), next(self._timestamps))
+        txn.begin_ns = self.clock.now_ns
+        self._active_txns[txn.txn_id] = txn
+        self._on_begin(txn)
+        return txn
+
+    def _on_begin(self, txn: Transaction) -> None:
+        """Hook for engine-specific begin work."""
+
+    def commit(self, txn: Transaction) -> None:
+        """Logically commit; durability may await :meth:`flush_commits`
+        (group commit). Engines that persist immediately mark the
+        transaction durable here."""
+        txn.require_active()
+        with self.stats.category(Category.RECOVERY):
+            self._do_commit(txn)
+        txn.mark_committed()
+        txn.commit_ns = self.clock.now_ns
+        self._active_txns.pop(txn.txn_id, None)
+        self.committed_txns += 1
+        self._pending_durable.append(txn)
+        self._commits_since_flush += 1
+        if self._commits_since_flush >= self.config.group_commit_size:
+            self.flush_commits()
+
+    def abort(self, txn: Transaction) -> None:
+        """Abort and roll back the transaction's effects."""
+        txn.require_active()
+        with self.stats.category(Category.RECOVERY):
+            self._do_abort(txn)
+        txn.mark_aborted()
+        self._active_txns.pop(txn.txn_id, None)
+        self.aborted_txns += 1
+
+    def flush_commits(self) -> List[int]:
+        """Reach a durable point: every logically committed transaction
+        becomes durable (group commit boundary). Returns their ids."""
+        with self.stats.category(Category.RECOVERY):
+            self._do_flush_commits()
+        durable_ids = []
+        for txn in self._pending_durable:
+            if txn.status is TransactionStatus.COMMITTED:
+                txn.mark_durable()
+            durable_ids.append(txn.txn_id)
+        self._pending_durable.clear()
+        self._commits_since_flush = 0
+        return durable_ids
+
+    @abc.abstractmethod
+    def _do_commit(self, txn: Transaction) -> None: ...
+
+    @abc.abstractmethod
+    def _do_abort(self, txn: Transaction) -> None: ...
+
+    def _do_flush_commits(self) -> None:
+        """Engine-specific durable point (fsync / master-record flip).
+        Engines with immediate persistence leave this a no-op."""
+
+    # ------------------------------------------------------------------
+    # Primitive database operations (Table 2)
+    # ------------------------------------------------------------------
+
+    @abc.abstractmethod
+    def insert(self, txn: Transaction, table: str,
+               values: Dict[str, Any]) -> None: ...
+
+    @abc.abstractmethod
+    def update(self, txn: Transaction, table: str, key: Any,
+               changes: Dict[str, Any]) -> None: ...
+
+    @abc.abstractmethod
+    def delete(self, txn: Transaction, table: str, key: Any) -> None: ...
+
+    @abc.abstractmethod
+    def select(self, txn: Transaction, table: str,
+               key: Any) -> Optional[Dict[str, Any]]: ...
+
+    @abc.abstractmethod
+    def select_secondary(self, txn: Transaction, table: str,
+                         index_name: str, key: Any) -> List[Any]:
+        """Primary keys of tuples whose secondary key equals ``key``."""
+
+    @abc.abstractmethod
+    def scan(self, txn: Transaction, table: str, lo: Any = None,
+             hi: Any = None) -> Iterator[Tuple[Any, Dict[str, Any]]]:
+        """(key, values) pairs with ``lo <= key < hi`` in key order."""
+
+    # ------------------------------------------------------------------
+    # Restart events
+    # ------------------------------------------------------------------
+
+    def on_crash(self) -> None:
+        """Reset engine state that lived in volatile structures. Called
+        by the testbed right after the platform crash, before
+        :meth:`recover`."""
+
+    @abc.abstractmethod
+    def recover(self) -> float:
+        """Restore the database to a consistent state after a restart;
+        returns the simulated seconds the recovery took."""
+
+    def checkpoint(self) -> None:
+        """Take a checkpoint (engines without checkpoints: no-op)."""
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @abc.abstractmethod
+    def storage_breakdown(self) -> Dict[str, int]:
+        """Live NVM bytes by component: table / index / log /
+        checkpoint / other (Fig. 14)."""
+
+    def storage_footprint(self) -> int:
+        return sum(self.storage_breakdown().values())
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(tables={sorted(self.schemas)})"

@@ -1,0 +1,516 @@
+"""In-place updates engine (InP, Section 3.1).
+
+The most common storage engine strategy: a single version of each
+tuple, updated in place. Modeled after VoltDB — no buffer pool; tuples
+live in fixed-size slots (non-inlined fields in variable-length slots);
+STX B+trees for primary and secondary indexes.
+
+Durability comes from an ARIES-style write-ahead log on the filesystem
+with group commit, plus periodic gzip-compressed checkpoints that bound
+recovery latency. The engine treats allocator memory as *volatile*:
+after a crash everything in the pools and indexes is gone, and recovery
+loads the last checkpoint, replays the WAL for committed transactions,
+and rebuilds all indexes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from ..config import EngineConfig
+from ..core.schema import FIELD_SLOT_SIZE, SLOT_HEADER_SIZE, ColumnType, Schema
+from ..core.tuple_codec import (decode_fields, decode_inlined,
+                                encode_fields, encode_inlined,
+                                encode_slotted)
+from ..core.transaction import Transaction
+from ..errors import DuplicateKeyError, TupleNotFoundError
+from ..index.cost import NVMIndexCostModel
+from ..index.stx_btree import STXBTree
+from ..nvm.platform import Platform
+from ..sim.stats import Category
+from . import wal as walmod
+from .base import StorageEngine, register_engine
+from .checkpoint import Checkpointer
+from .slotted import FixedSlotPool, VarlenPool
+from .wal import WALEntry, WriteAheadLog
+
+import struct
+
+_U64 = struct.Struct("<Q")
+
+
+class _Table:
+    """Per-table storage state for the InP engine."""
+
+    def __init__(self, schema: Schema, engine: "InPEngine") -> None:
+        self.schema = schema
+        self.pool = FixedSlotPool(schema, engine.allocator, engine.memory,
+                                  persistent=engine.pools_persistent)
+        self.varlen = VarlenPool(engine.allocator, engine.memory,
+                                 persistent=engine.pools_persistent)
+        self.primary = engine._make_index()
+        #: index name -> (btree mapping secondary key -> {primary keys})
+        self.secondary: Dict[str, STXBTree] = {
+            name: engine._make_index()
+            for name in schema.secondary_indexes
+        }
+        #: primary key -> slot address (engine metadata mirror).
+        self.slots: Dict[Any, int] = {}
+        #: slot address -> varlen pointers owned by that tuple.
+        self.varlen_of: Dict[int, List[int]] = {}
+
+
+@register_engine
+class InPEngine(StorageEngine):
+    """In-place updates with filesystem WAL and checkpoints."""
+
+    name = "inp"
+    is_nvm_aware = False
+    pools_persistent = False
+
+    def __init__(self, platform: Platform, config: EngineConfig) -> None:
+        super().__init__(platform, config)
+        self._tables: Dict[str, _Table] = {}
+        self._wal = WriteAheadLog(platform.filesystem)
+        self._checkpointer = Checkpointer(platform.filesystem,
+                                          platform.clock)
+        self._commits_since_checkpoint = 0
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    def _make_index(self) -> STXBTree:
+        cost = NVMIndexCostModel(self.allocator, self.memory, tag="index",
+                                 persistent=False)
+        return STXBTree(node_size=self.config.btree_node_size,
+                        cost_model=cost)
+
+    def _create_table_storage(self, schema: Schema) -> None:
+        self._tables[schema.table] = _Table(schema, self)
+
+    def _table(self, name: str) -> _Table:
+        self._schema(name)
+        return self._tables[name]
+
+    def _table_id(self, name: str) -> int:
+        return sorted(self.schemas).index(name)
+
+    def _table_name(self, table_id: int) -> str:
+        return sorted(self.schemas)[table_id]
+
+    # ------------------------------------------------------------------
+    # Primitive operations (Table 2)
+    # ------------------------------------------------------------------
+
+    def insert(self, txn: Transaction, table: str,
+               values: Dict[str, Any]) -> None:
+        txn.require_active()
+        store = self._table(table)
+        key = store.schema.key_of(values)
+        with self.stats.category(Category.INDEX):
+            if key in store.slots:
+                raise DuplicateKeyError(f"{table}: key {key!r} exists")
+        # WAL first: full tuple after-image (Table 3: log = T).
+        with self.stats.category(Category.RECOVERY):
+            self._wal.append(WALEntry(
+                walmod.OP_INSERT, txn.txn_id, self._table_id(table),
+                key=key, after=encode_inlined(store.schema, values)))
+        with self.stats.category(Category.STORAGE):
+            addr = store.pool.allocate_slot()
+            slot, pointers = encode_slotted(store.schema, values,
+                                            store.varlen.write)
+            store.pool.write_slot(addr, slot)
+            store.varlen_of[addr] = pointers
+        with self.stats.category(Category.INDEX):
+            store.primary.put(key, addr)
+            self._index_add(store, key, values)
+        store.slots[key] = addr
+        txn.engine_state.setdefault("undo", []).append(
+            ("insert", table, key, addr))
+
+    def update(self, txn: Transaction, table: str, key: Any,
+               changes: Dict[str, Any]) -> None:
+        txn.require_active()
+        store = self._table(table)
+        store.schema.validate_partial(changes)
+        with self.stats.category(Category.INDEX):
+            addr = store.primary.get(key)
+        if addr is None:
+            raise TupleNotFoundError(f"{table}: no tuple with key {key!r}")
+        with self.stats.category(Category.STORAGE):
+            old_values = self._read_tuple(store, addr)
+        before = {name: old_values[name] for name in changes}
+        # WAL: before and after images of the changed fields only
+        # (Table 3: log = 2 x (F + V)).
+        with self.stats.category(Category.RECOVERY):
+            self._wal.append(WALEntry(
+                walmod.OP_UPDATE, txn.txn_id, self._table_id(table),
+                key=key,
+                before=encode_fields(store.schema, before),
+                after=encode_fields(store.schema, changes)))
+        with self.stats.category(Category.STORAGE):
+            replaced = self._write_fields(store, addr, changes)
+        with self.stats.category(Category.INDEX):
+            self._index_update(store, key, before, changes, old_values)
+        txn.engine_state.setdefault("undo", []).append(
+            ("update", table, key, addr, before, replaced))
+
+    def delete(self, txn: Transaction, table: str, key: Any) -> None:
+        txn.require_active()
+        store = self._table(table)
+        with self.stats.category(Category.INDEX):
+            addr = store.primary.get(key)
+        if addr is None:
+            raise TupleNotFoundError(f"{table}: no tuple with key {key!r}")
+        with self.stats.category(Category.STORAGE):
+            old_values = self._read_tuple(store, addr)
+        # WAL: full before-image (Table 3: log = T).
+        with self.stats.category(Category.RECOVERY):
+            self._wal.append(WALEntry(
+                walmod.OP_DELETE, txn.txn_id, self._table_id(table),
+                key=key, before=encode_inlined(store.schema, old_values)))
+        with self.stats.category(Category.INDEX):
+            store.primary.delete(key)
+            self._index_remove(store, key, old_values)
+        del store.slots[key]
+        # The slot is reclaimed at commit; abort restores the entries.
+        txn.engine_state.setdefault("undo", []).append(
+            ("delete", table, key, addr, old_values))
+
+    def select(self, txn: Transaction, table: str,
+               key: Any) -> Optional[Dict[str, Any]]:
+        store = self._table(table)
+        with self.stats.category(Category.INDEX):
+            addr = store.primary.get(key)
+        if addr is None:
+            return None
+        with self.stats.category(Category.STORAGE):
+            return self._read_tuple(store, addr)
+
+    def select_secondary(self, txn: Transaction, table: str,
+                         index_name: str, key: Any) -> List[Any]:
+        store = self._table(table)
+        with self.stats.category(Category.INDEX):
+            matches = store.secondary[index_name].get(key)
+        return sorted(matches) if matches else []
+
+    def scan(self, txn: Transaction, table: str, lo: Any = None,
+             hi: Any = None) -> Iterator[Tuple[Any, Dict[str, Any]]]:
+        store = self._table(table)
+        for key, addr in list(store.primary.items(lo=lo, hi=hi)):
+            with self.stats.category(Category.STORAGE):
+                values = self._read_tuple(store, addr)
+            yield key, values
+
+    # ------------------------------------------------------------------
+    # Tuple I/O helpers
+    # ------------------------------------------------------------------
+
+    def _read_tuple(self, store: _Table, addr: int) -> Dict[str, Any]:
+        from .slotted import read_slotted_tuple
+        return read_slotted_tuple(store.schema, store.pool,
+                                  store.varlen, addr)
+
+    def _write_fields(self, store: _Table, addr: int,
+                      changes: Dict[str, Any],
+                      created: Optional[Dict[str, int]] = None,
+                      ) -> Dict[str, int]:
+        """In-place update of the changed fields; returns the old
+        varlen pointers that were replaced (for undo). When ``created``
+        is supplied it is filled with the fresh varlen pointers."""
+        schema = store.schema
+        replaced: Dict[str, int] = {}
+        owned = store.varlen_of.setdefault(addr, [])
+        for position, column in enumerate(schema.columns):
+            if column.name not in changes:
+                continue
+            value = changes[column.name]
+            offset = addr + SLOT_HEADER_SIZE + position * FIELD_SLOT_SIZE
+            if column.type is ColumnType.STRING and not column.inline:
+                old_ptr = _U64.unpack(
+                    self.memory.load(offset, FIELD_SLOT_SIZE))[0]
+                raw = value.encode("utf-8")
+                new_ptr = store.varlen.write(
+                    struct.pack("<I", len(raw)) + raw)
+                self.memory.store(offset, _U64.pack(new_ptr))
+                replaced[column.name] = old_ptr
+                if created is not None:
+                    created[column.name] = new_ptr
+                if old_ptr in owned:
+                    owned.remove(old_ptr)
+                owned.append(new_ptr)
+            else:
+                fragment, __ = encode_slotted(
+                    _single_column_schema(schema, column),
+                    {column.name: value}, store.varlen.write)
+                self.memory.store(
+                    offset, fragment[SLOT_HEADER_SIZE:
+                                     SLOT_HEADER_SIZE + FIELD_SLOT_SIZE])
+        return replaced
+
+    def _restore_fields(self, store: _Table, addr: int,
+                        before: Dict[str, Any],
+                        replaced: Dict[str, int]) -> None:
+        """Undo an in-place update: inline fields get their old values
+        written back; varlen fields get their *original pointers*
+        restored and the aborted update's fresh slots freed."""
+        schema = store.schema
+        owned = store.varlen_of.setdefault(addr, [])
+        for position, column in enumerate(schema.columns):
+            if column.name not in before:
+                continue
+            offset = addr + SLOT_HEADER_SIZE + position * FIELD_SLOT_SIZE
+            if column.name in replaced:
+                new_ptr = _U64.unpack(
+                    self.memory.load(offset, FIELD_SLOT_SIZE))[0]
+                old_ptr = replaced[column.name]
+                self.memory.store(offset, _U64.pack(old_ptr))
+                if new_ptr in owned:
+                    owned.remove(new_ptr)
+                if store.varlen.contains(new_ptr):
+                    store.varlen.free(new_ptr)
+                owned.append(old_ptr)
+            else:
+                fragment, __ = encode_slotted(
+                    _single_column_schema(schema, column),
+                    {column.name: before[column.name]}, store.varlen.write)
+                self.memory.store(
+                    offset, fragment[SLOT_HEADER_SIZE:
+                                     SLOT_HEADER_SIZE + FIELD_SLOT_SIZE])
+
+    # ------------------------------------------------------------------
+    # Secondary index maintenance
+    # ------------------------------------------------------------------
+
+    def _index_add(self, store: _Table, key: Any,
+                   values: Dict[str, Any]) -> None:
+        for name in store.secondary:
+            seckey = store.schema.index_key_of(name, values)
+            index = store.secondary[name]
+            members = index.get(seckey)
+            if members is None:
+                index.put(seckey, {key})
+            else:
+                members.add(key)
+                index.put(seckey, members)  # charge the node write
+
+    def _index_remove(self, store: _Table, key: Any,
+                      values: Dict[str, Any]) -> None:
+        for name in store.secondary:
+            seckey = store.schema.index_key_of(name, values)
+            index = store.secondary[name]
+            members = index.get(seckey)
+            if members is not None:
+                members.discard(key)
+                if not members:
+                    index.delete(seckey)
+                else:
+                    index.put(seckey, members)  # charge the node write
+
+    def _index_update(self, store: _Table, key: Any,
+                      before: Dict[str, Any], changes: Dict[str, Any],
+                      old_values: Dict[str, Any]) -> None:
+        new_values = dict(old_values)
+        new_values.update(changes)
+        for name, columns in store.schema.secondary_indexes.items():
+            if not any(column in changes for column in columns):
+                continue
+            old_key = store.schema.index_key_of(name, old_values)
+            new_key = store.schema.index_key_of(name, new_values)
+            if old_key == new_key:
+                continue
+            index = store.secondary[name]
+            members = index.get(old_key)
+            if members is not None:
+                members.discard(key)
+                if not members:
+                    index.delete(old_key)
+                else:
+                    index.put(old_key, members)
+            members = index.get(new_key)
+            if members is None:
+                index.put(new_key, {key})
+            else:
+                members.add(key)
+                index.put(new_key, members)
+
+    # ------------------------------------------------------------------
+    # Transaction lifecycle
+    # ------------------------------------------------------------------
+
+    def _do_commit(self, txn: Transaction) -> None:
+        undo = txn.engine_state.get("undo")
+        if not undo:
+            return  # read-only transaction: nothing to log or reclaim
+        self._wal.append(WALEntry(walmod.OP_COMMIT, txn.txn_id))
+        # Reclaim space of deleted tuples and replaced varlen fields.
+        for record in txn.engine_state.get("undo", []):
+            if record[0] == "delete":
+                __, table, __k, addr, __v = record
+                store = self._table(table)
+                self._release_tuple(store, addr)
+            elif record[0] == "update":
+                __, table, __k, __a, __b, replaced = record
+                store = self._table(table)
+                for old_ptr in replaced.values():
+                    if store.varlen.contains(old_ptr):
+                        store.varlen.free(old_ptr)
+        self._commits_since_checkpoint += 1
+        if self._commits_since_checkpoint >= self.checkpoint_interval_txns:
+            self.checkpoint()
+
+    def _do_flush_commits(self) -> None:
+        self._wal.flush()
+
+    def _do_abort(self, txn: Transaction) -> None:
+        self._wal.append(WALEntry(walmod.OP_ABORT, txn.txn_id))
+        for record in reversed(txn.engine_state.get("undo", [])):
+            kind = record[0]
+            store = self._table(record[1])
+            if kind == "insert":
+                __, __t, key, addr = record
+                with self.stats.category(Category.INDEX):
+                    store.primary.delete(key)
+                    self._index_remove(store, key,
+                                       self._read_tuple(store, addr))
+                del store.slots[key]
+                self._release_tuple(store, addr)
+            elif kind == "update":
+                __, __t, key, addr, before, replaced = record
+                current = self._read_tuple(store, addr)
+                with self.stats.category(Category.STORAGE):
+                    self._restore_fields(store, addr, before, replaced)
+                with self.stats.category(Category.INDEX):
+                    self._index_update(store, key, {}, before, current)
+            else:  # delete
+                __, __t, key, addr, old_values = record
+                with self.stats.category(Category.INDEX):
+                    store.primary.put(key, addr)
+                    self._index_add(store, key, old_values)
+                store.slots[key] = addr
+
+    def _release_tuple(self, store: _Table, addr: int) -> None:
+        with self.stats.category(Category.STORAGE):
+            for pointer in store.varlen_of.pop(addr, []):
+                if store.varlen.contains(pointer):
+                    store.varlen.free(pointer)
+            store.pool.free_slot(addr)
+
+    # ------------------------------------------------------------------
+    # Checkpointing & recovery
+    # ------------------------------------------------------------------
+
+    def checkpoint(self) -> None:
+        """Snapshot all tables, then truncate the WAL (Section 3.1)."""
+        self.flush_commits()
+
+        def rows_of(store: _Table):
+            return (self._read_tuple(store, addr)
+                    for addr in list(store.slots.values()))
+
+        with self.stats.category(Category.RECOVERY):
+            tables = {name: (store.schema, rows_of(store))
+                      for name, store in self._tables.items()}
+            size = self._checkpointer.write(tables)
+            self._wal.truncate()
+        from .base import logger
+        logger.info("%s: checkpoint #%d written (%d bytes compressed)",
+                    self.name, self._checkpointer.checkpoints_taken, size)
+        self._commits_since_checkpoint = 0
+
+    def on_crash(self) -> None:
+        """Everything in allocator memory is gone (volatile use)."""
+        for store in self._tables.values():
+            store.pool.destroy()
+            store.varlen.destroy()
+            store.slots.clear()
+            store.varlen_of.clear()
+        self._pending_durable.clear()
+        self._commits_since_flush = 0
+
+    def recover(self) -> float:
+        """Load the last checkpoint, replay the WAL (redo committed
+        transactions only), rebuild every index."""
+        start_ns = self.clock.now_ns
+        with self.stats.category(Category.RECOVERY):
+            for store in self._tables.values():
+                store.pool = FixedSlotPool(store.schema, self.allocator,
+                                           self.memory,
+                                           persistent=self.pools_persistent)
+                store.varlen = VarlenPool(self.allocator, self.memory,
+                                          persistent=self.pools_persistent)
+                store.primary = self._make_index()
+                store.secondary = {name: self._make_index()
+                                   for name in
+                                   store.schema.secondary_indexes}
+            for name, values in self._checkpointer.read(self.schemas):
+                self._recover_insert(self._tables[name], values)
+            committed = self._wal.committed_txn_ids()
+            for entry in self._wal.replay():
+                if entry.op in (walmod.OP_COMMIT, walmod.OP_ABORT):
+                    continue
+                if entry.txn_id not in committed:
+                    continue
+                self._replay_entry(entry)
+        from .base import logger
+        logger.info("%s: recovery replayed WAL for %d committed txns",
+                    self.name, len(committed))
+        return self.clock.elapsed_since(start_ns) / 1e9
+
+    def _recover_insert(self, store: _Table,
+                        values: Dict[str, Any]) -> None:
+        key = store.schema.key_of(values)
+        addr = store.pool.allocate_slot()
+        slot, pointers = encode_slotted(store.schema, values,
+                                        store.varlen.write)
+        store.pool.write_slot(addr, slot)
+        store.varlen_of[addr] = pointers
+        store.primary.put(key, addr)
+        self._index_add(store, key, values)
+        store.slots[key] = addr
+
+    def _replay_entry(self, entry: WALEntry) -> None:
+        name = self._table_name(entry.table_id)
+        store = self._tables[name]
+        if entry.op == walmod.OP_INSERT:
+            values = decode_inlined(store.schema, entry.after)
+            if entry.key not in store.slots:
+                self._recover_insert(store, values)
+        elif entry.op == walmod.OP_UPDATE:
+            addr = store.slots.get(entry.key)
+            if addr is None:
+                return
+            changes = decode_fields(store.schema, entry.after)
+            old_values = self._read_tuple(store, addr)
+            before = {k: old_values[k] for k in changes}
+            self._write_fields(store, addr, changes)
+            self._index_update(store, entry.key, before, changes,
+                               old_values)
+        elif entry.op == walmod.OP_DELETE:
+            addr = store.slots.pop(entry.key, None)
+            if addr is None:
+                return
+            old_values = self._read_tuple(store, addr)
+            store.primary.delete(entry.key)
+            self._index_remove(store, entry.key, old_values)
+            self._release_tuple(store, addr)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def storage_breakdown(self) -> Dict[str, int]:
+        by_tag = self.allocator.bytes_by_tag()
+        return {
+            "table": by_tag.get("table", 0),
+            "index": by_tag.get("index", 0),
+            "log": self._wal.size_bytes,
+            "checkpoint": self._checkpointer.size_bytes,
+            "other": by_tag.get("other", 0),
+        }
+
+
+def _single_column_schema(schema: Schema, column) -> Schema:
+    """A one-column throwaway schema for encoding a single field."""
+    return Schema(schema.table, (column,), (column.name,))

@@ -1,0 +1,72 @@
+"""Entry-chain merging for LSM compaction and tuple coalescing.
+
+An entry chain for a key is a list of ``(kind, data)`` records, oldest
+first, where kind is one of ``put`` / ``delta`` / ``tombstone``. Two
+operations are defined:
+
+* :func:`merge_entry_chains` — concatenate chains from runs (oldest run
+  first) and *normalize*: everything before the most recent ``put`` or
+  ``tombstone`` base is dead and dropped. This is what compaction does
+  to bound read amplification ("the entries associated with a tuple in
+  different SSTables are merged into one entry in a new SSTable").
+* :func:`coalesce_entries` — resolve a chain to the tuple's current
+  state, given codecs for the full image and the deltas. This is the
+  read-path tuple reconstruction that makes the Log engines slow on
+  reads (Section 5.2).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+EntryPair = Tuple[str, bytes]
+
+_BASE_KINDS = ("put", "tombstone")
+
+
+def merge_entry_chains(chains: Sequence[Sequence[EntryPair]]
+                       ) -> List[EntryPair]:
+    """Merge per-run chains (oldest run first) into one normalized
+    chain: drop everything superseded by the latest base record."""
+    flattened: List[EntryPair] = [pair for chain in chains
+                                  for pair in chain]
+    base_index = None
+    for position in range(len(flattened) - 1, -1, -1):
+        if flattened[position][0] in _BASE_KINDS:
+            base_index = position
+            break
+    if base_index is None:
+        return flattened
+    if flattened[base_index][0] == "tombstone":
+        # A tombstone kills the whole history; keep only the marker so
+        # older runs' entries stay masked until they are compacted too.
+        return [flattened[base_index]]
+    return flattened[base_index:]
+
+
+def coalesce_entries(chain: Sequence[EntryPair],
+                     decode_full: Callable[[bytes], Dict[str, Any]],
+                     decode_delta: Callable[[bytes], Dict[str, Any]],
+                     ) -> Optional[Dict[str, Any]]:
+    """Reconstruct a tuple from its (already complete) entry chain.
+
+    Returns None if the tuple does not exist (tombstone, or no base
+    image found — i.e. the caller must consult older runs before
+    calling this).
+    """
+    values: Optional[Dict[str, Any]] = None
+    for kind, data in chain:
+        if kind == "tombstone":
+            values = None
+        elif kind == "put":
+            values = decode_full(data)
+        else:  # delta
+            if values is not None:
+                values.update(decode_delta(data))
+    return values
+
+
+def chain_has_base(chain: Sequence[EntryPair]) -> bool:
+    """Whether the chain contains a ``put`` or ``tombstone`` base (if
+    not, the read must continue into older runs)."""
+    return any(kind in _BASE_KINDS for kind, __ in chain)

@@ -1,0 +1,342 @@
+"""NVM-aware in-place updates engine (NVM-InP, Section 4.1).
+
+Differences from the traditional InP engine:
+
+* **No tuple copies in the WAL.** When a transaction inserts a tuple,
+  the engine syncs the tuple itself to NVM and records only a
+  *non-volatile pointer* in the WAL (both the pointer and the tuple are
+  on NVM, so the pointer stays valid across restarts). Updates log the
+  before-images of just the changed inline fields plus old/new varlen
+  pointers.
+* **Non-volatile linked-list WAL** via the allocator interface, with
+  per-transaction truncation at commit.
+* **Non-volatile B+tree indexes** that are consistent immediately after
+  restart — no rebuild during recovery.
+* **Slot durability states** (unallocated / allocated / persisted) in
+  each slot's header so that storage of transactions that never reached
+  the persisted state is reclaimed after a restart, preventing
+  non-volatile memory leaks.
+* **Undo-only recovery** whose latency depends only on the number of
+  transactions in flight at the crash, not on history (Fig. 12).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, Dict, List
+
+from ..config import EngineConfig
+from ..core.schema import FIELD_SLOT_SIZE, SLOT_HEADER_SIZE
+from ..core.tuple_codec import STATE_PERSISTED, decode_fields, encode_fields
+from ..core.transaction import Transaction
+from ..errors import DuplicateKeyError, TupleNotFoundError
+from ..index.cost import NVMIndexCostModel
+from ..index.nv_btree import NVBTree
+from ..nvm.platform import Platform
+from ..sim.stats import Category
+from .base import register_engine
+from .inp import InPEngine, _Table
+from .nvm_wal import NVMWal, NVMWalRecord
+
+_U64 = struct.Struct("<Q")
+
+
+@register_engine
+class NVMInPEngine(InPEngine):
+    """In-place updates exploiting NVM's byte-addressable persistence."""
+
+    name = "nvm-inp"
+    is_nvm_aware = True
+    pools_persistent = True
+
+    def __init__(self, platform: Platform, config: EngineConfig) -> None:
+        super().__init__(platform, config)
+        self._nvm_wal = NVMWal(self.allocator, self.memory, tag="log")
+
+    def _make_index(self) -> NVBTree:
+        cost = NVMIndexCostModel(self.allocator, self.memory, tag="index",
+                                 persistent=True)
+        return NVBTree(node_size=self.config.btree_node_size,
+                       cost_model=cost)
+
+    # ------------------------------------------------------------------
+    # Primitive operations (Table 2, NVM-InP column)
+    # ------------------------------------------------------------------
+
+    def insert(self, txn: Transaction, table: str,
+               values: Dict[str, Any]) -> None:
+        txn.require_active()
+        store = self._table(table)
+        key = store.schema.key_of(values)
+        with self.stats.category(Category.INDEX):
+            if key in store.slots:
+                raise DuplicateKeyError(f"{table}: key {key!r} exists")
+        with self.stats.category(Category.STORAGE):
+            addr = store.pool.allocate_slot()
+            slot, pointers = self._encode_slot(store, values)
+            store.pool.write_slot(addr, slot)
+            store.varlen_of[addr] = pointers
+        # Record the tuple *pointer* in the WAL and sync the entry
+        # before marking the slot persisted; the entry (not the tuple
+        # bytes) is what undo needs, so the tuple itself can be synced
+        # once, with its state byte already set, right after.
+        with self.stats.category(Category.RECOVERY):
+            self._nvm_wal.append(txn.txn_id, NVMWalRecord(
+                "insert", table, key, tuple_ptr=addr,
+                after_varlen=tuple(zip(self._varlen_columns(store),
+                                       pointers))))
+        with self.stats.category(Category.STORAGE):
+            store.pool.set_state(addr, STATE_PERSISTED, durable=False)
+            # One sync covers the state byte and every tuple line.
+            store.pool.sync_slot(addr)
+            store.pool.mark_persisted(addr)
+            for pointer in pointers:
+                store.varlen.sync(pointer)
+        with self.stats.category(Category.INDEX):
+            store.primary.put(key, addr)
+            self._index_add(store, key, values)
+        store.slots[key] = addr
+        txn.engine_state.setdefault("undo", []).append(
+            ("insert", table, key, addr))
+
+    def update(self, txn: Transaction, table: str, key: Any,
+               changes: Dict[str, Any]) -> None:
+        txn.require_active()
+        store = self._table(table)
+        store.schema.validate_partial(changes)
+        with self.stats.category(Category.INDEX):
+            addr = store.primary.get(key)
+        if addr is None:
+            raise TupleNotFoundError(f"{table}: no tuple with key {key!r}")
+        with self.stats.category(Category.STORAGE):
+            old_values = self._read_tuple(store, addr)
+        before = {name: old_values[name] for name in changes}
+        inline_before = {name: value for name, value in before.items()
+                         if store.schema.column(name).inline}
+        # WAL: changed inline before-images + old varlen pointers
+        # (Table 3: log = F + p), synced before the in-place write.
+        with self.stats.category(Category.RECOVERY):
+            old_ptrs = self._varlen_ptrs_of(store, addr, changes)
+            self._nvm_wal.append(txn.txn_id, NVMWalRecord(
+                "update", table, key, tuple_ptr=addr,
+                before_fields=encode_fields(store.schema, inline_before),
+                before_varlen=tuple(old_ptrs.items())))
+        with self.stats.category(Category.STORAGE):
+            created: Dict[str, int] = {}
+            replaced = self._write_fields(store, addr, changes,
+                                          created=created)
+            self._sync_fields(store, addr, changes, created)
+        with self.stats.category(Category.INDEX):
+            self._index_update(store, key, before, changes, old_values)
+        txn.engine_state.setdefault("undo", []).append(
+            ("update", table, key, addr, before, replaced))
+
+    def delete(self, txn: Transaction, table: str, key: Any) -> None:
+        txn.require_active()
+        store = self._table(table)
+        with self.stats.category(Category.INDEX):
+            addr = store.primary.get(key)
+        if addr is None:
+            raise TupleNotFoundError(f"{table}: no tuple with key {key!r}")
+        old_values = self._read_tuple(store, addr)
+        # WAL: just the tuple pointer (Table 3: log = p).
+        with self.stats.category(Category.RECOVERY):
+            self._nvm_wal.append(txn.txn_id, NVMWalRecord(
+                "delete", table, key, tuple_ptr=addr))
+        with self.stats.category(Category.INDEX):
+            store.primary.delete(key)
+            self._index_remove(store, key, old_values)
+        del store.slots[key]
+        # Space is reclaimed at the end of the transaction (Table 2).
+        txn.engine_state.setdefault("undo", []).append(
+            ("delete", table, key, addr, old_values))
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+
+    def _encode_slot(self, store: _Table, values: Dict[str, Any]):
+        from ..core.tuple_codec import encode_slotted
+        return encode_slotted(store.schema, values, store.varlen.write)
+
+    def _varlen_columns(self, store: _Table) -> List[str]:
+        return [column.name for column in store.schema.columns
+                if not column.inline]
+
+    def _varlen_ptrs_of(self, store: _Table, addr: int,
+                        changes: Dict[str, Any]) -> Dict[str, int]:
+        """Current varlen pointers of the changed non-inline columns."""
+        pointers: Dict[str, int] = {}
+        for position, column in enumerate(store.schema.columns):
+            if column.name in changes and not column.inline:
+                offset = addr + SLOT_HEADER_SIZE \
+                    + position * FIELD_SLOT_SIZE
+                pointers[column.name] = _U64.unpack(
+                    self.memory.load(offset, FIELD_SLOT_SIZE))[0]
+        return pointers
+
+    def _sync_fields(self, store: _Table, addr: int,
+                     changes: Dict[str, Any],
+                     created: Dict[str, int]) -> None:
+        """Sync exactly the changed field positions (and new varlen
+        slots) — the 'sync tuple changes with NVM' step of Table 2."""
+        for position, column in enumerate(store.schema.columns):
+            if column.name not in changes:
+                continue
+            offset = addr + SLOT_HEADER_SIZE + position * FIELD_SLOT_SIZE
+            self.memory.sync(offset, FIELD_SLOT_SIZE)
+        for new_ptr in created.values():
+            if store.varlen.contains(new_ptr):
+                store.varlen.sync(new_ptr)
+
+    # ------------------------------------------------------------------
+    # Transaction lifecycle
+    # ------------------------------------------------------------------
+
+    def _do_commit(self, txn: Transaction) -> None:
+        # All changes were persisted as they happened; reclaim deleted
+        # tuples and superseded varlen slots, then truncate the log.
+        for record in txn.engine_state.get("undo", []):
+            if record[0] == "delete":
+                __, table, __k, addr, __v = record
+                self._release_tuple(self._table(table), addr)
+            elif record[0] == "update":
+                __, table, __k, __a, __b, replaced = record
+                store = self._table(table)
+                for old_ptr in replaced.values():
+                    if store.varlen.contains(old_ptr):
+                        store.varlen.free(old_ptr)
+        self._nvm_wal.truncate_txn(txn.txn_id)
+        txn.engine_state["durable"] = True
+
+    def _do_flush_commits(self) -> None:
+        """No group commit needed — commits are durable immediately."""
+
+    def _do_abort(self, txn: Transaction) -> None:
+        # Roll back in reverse order using the in-memory undo records
+        # (equivalent to walking the txn's non-volatile WAL entries).
+        for record in reversed(txn.engine_state.get("undo", [])):
+            self._undo_one(record)
+        self._nvm_wal.truncate_txn(txn.txn_id)
+
+    def _undo_one(self, record: tuple) -> None:
+        kind = record[0]
+        store = self._table(record[1])
+        if kind == "insert":
+            __, __t, key, addr = record
+            values = self._read_tuple(store, addr)
+            with self.stats.category(Category.INDEX):
+                store.primary.delete(key)
+                self._index_remove(store, key, values)
+            store.slots.pop(key, None)
+            self._release_tuple(store, addr)
+        elif kind == "update":
+            __, __t, key, addr, before, replaced = record
+            current = self._read_tuple(store, addr)
+            with self.stats.category(Category.STORAGE):
+                self._restore_fields(store, addr, before, replaced)
+                for position, column in enumerate(store.schema.columns):
+                    if column.name in before:
+                        offset = addr + SLOT_HEADER_SIZE \
+                            + position * FIELD_SLOT_SIZE
+                        self.memory.sync(offset, FIELD_SLOT_SIZE)
+            with self.stats.category(Category.INDEX):
+                self._index_update(store, key, {}, before, current)
+        else:  # delete
+            __, __t, key, addr, old_values = record
+            with self.stats.category(Category.INDEX):
+                store.primary.put(key, addr)
+                self._index_add(store, key, old_values)
+            store.slots[key] = addr
+
+    # ------------------------------------------------------------------
+    # Restart events
+    # ------------------------------------------------------------------
+
+    def checkpoint(self) -> None:
+        """NVM-InP takes no checkpoints — the database *is* durable."""
+
+    def on_crash(self) -> None:
+        """Pools, indexes, and the NVM WAL all survive; only clear the
+        group-commit bookkeeping."""
+        self._pending_durable.clear()
+        self._commits_since_flush = 0
+
+    def recover(self) -> float:
+        """Undo-only recovery (Section 4.1): committed effects are
+        already durable; roll back the transactions whose WAL entries
+        were never truncated."""
+        start_ns = self.clock.now_ns
+        with self.stats.category(Category.RECOVERY):
+            self._nvm_wal.head_ptr()  # locate the log on NVM
+            for txn_id in self._nvm_wal.active_txn_ids():
+                records = self._nvm_wal.entries_for(txn_id)
+                for record in reversed(records):
+                    self._undo_wal_record(record)
+                self._nvm_wal.truncate_txn(txn_id)
+            for store in self._tables.values():
+                store.pool.recover_unpersisted()
+                store.varlen.prune_dead()
+        from .base import logger
+        logger.info("nvm-inp: undo-only recovery complete")
+        return self.clock.elapsed_since(start_ns) / 1e9
+
+    def _undo_wal_record(self, record: NVMWalRecord) -> None:
+        store = self._table(record.table)
+        if record.op == "insert":
+            addr = record.tuple_ptr
+            if store.slots.get(record.key) != addr:
+                return
+            values = self._read_tuple(store, addr)
+            store.primary.delete(record.key)
+            self._index_remove(store, record.key, values)
+            del store.slots[record.key]
+            self._release_tuple(store, addr)
+        elif record.op == "update":
+            addr = record.tuple_ptr
+            before = decode_fields(store.schema, record.before_fields) \
+                if record.before_fields else {}
+            replaced = {}
+            current = self._read_tuple(store, addr)
+            # Restore old varlen pointers recorded in the WAL entry.
+            for name, old_ptr in record.before_varlen:
+                position = store.schema.column_names.index(name)
+                offset = addr + SLOT_HEADER_SIZE \
+                    + position * FIELD_SLOT_SIZE
+                new_ptr = _U64.unpack(
+                    self.memory.load(offset, FIELD_SLOT_SIZE))[0]
+                self.memory.store(offset, _U64.pack(old_ptr))
+                self.memory.sync(offset, FIELD_SLOT_SIZE)
+                owned = store.varlen_of.setdefault(addr, [])
+                if new_ptr in owned:
+                    owned.remove(new_ptr)
+                if store.varlen.contains(new_ptr):
+                    store.varlen.free(new_ptr)
+                owned.append(old_ptr)
+            if before:
+                self._restore_fields(store, addr, before, replaced)
+                old_all = dict(current)
+                old_all.update(before)
+                self._index_update(store, record.key, {}, before, current)
+        else:  # delete — point the indexes back at the original tuple
+            addr = record.tuple_ptr
+            if record.key in store.slots:
+                return
+            values = self._read_tuple(store, addr)
+            store.primary.put(record.key, addr)
+            self._index_add(store, record.key, values)
+            store.slots[record.key] = addr
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def storage_breakdown(self) -> Dict[str, int]:
+        by_tag = self.allocator.bytes_by_tag()
+        return {
+            "table": by_tag.get("table", 0),
+            "index": by_tag.get("index", 0),
+            "log": by_tag.get("log", 0),
+            "checkpoint": 0,
+            "other": by_tag.get("other", 0),
+        }

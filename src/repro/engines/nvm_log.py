@@ -1,0 +1,319 @@
+"""NVM-aware log-structured updates engine (NVM-Log, Section 4.3).
+
+The Log engine's batching exists to turn random durable-storage writes
+into sequential ones — a benefit that mostly evaporates on NVM. The
+NVM-Log engine therefore:
+
+* keeps **all MemTables on NVM** via the allocator interface. Instead
+  of flushing to a filesystem SSTable, a full MemTable is simply
+  *marked immutable* (same physical layout, writes stop) and a new
+  mutable MemTable starts;
+* records only **non-volatile pointers** to tuple modifications in a
+  non-volatile WAL whose sole purpose is *undo* of uncommitted
+  transactions — MemTable entries are synced as they are written, so
+  no redo pass exists and the WAL is truncated per transaction at
+  commit;
+* compacts by **merging immutable MemTables** into a new larger
+  MemTable (with a Bloom filter each to skip runs on reads);
+* uses non-volatile B+trees for MemTable and secondary indexes — no
+  rebuild after restart, so recovery latency depends only on the
+  transactions in flight at the crash (Fig. 12).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Tuple
+
+from ..config import EngineConfig
+from ..core.schema import Schema
+from ..core.tuple_codec import encode_fields, encode_inlined
+from ..core.transaction import Transaction
+from ..errors import DuplicateKeyError, TupleNotFoundError
+from ..index.cost import NVMIndexCostModel
+from ..index.nv_btree import NVBTree
+from ..nvm.platform import Platform
+from ..sim.stats import Category
+from .base import register_engine
+from .log_engine import LogEngine, _LogTable
+from .lsm.compaction import chain_has_base, merge_entry_chains
+from .lsm.memtable import (ENTRY_DELTA, ENTRY_PUT, ENTRY_TOMBSTONE,
+                           MemTable)
+from .nvm_wal import NVMWal, NVMWalRecord
+from .secondary import secondary_add, secondary_remove, secondary_update
+
+
+@register_engine
+class NVMLogEngine(LogEngine):
+    """Log-structured updates with all-NVM MemTables and undo-only WAL."""
+
+    name = "nvm-log"
+    is_nvm_aware = True
+    memtable_persistent = True
+
+    def __init__(self, platform: Platform, config: EngineConfig) -> None:
+        super().__init__(platform, config)
+        self._nvm_wal = NVMWal(self.allocator, self.memory, tag="log")
+
+    def _make_secondary_index(self) -> NVBTree:
+        cost = NVMIndexCostModel(self.allocator, self.memory, tag="index",
+                                 persistent=True)
+        return NVBTree(node_size=self.config.btree_node_size,
+                       cost_model=cost)
+
+    def _create_table_storage(self, schema: Schema) -> None:
+        super()._create_table_storage(schema)
+        store = self._tables[schema.table]
+        #: Leveled immutable MemTables, mirroring the Log engine's
+        #: SSTable levels: mem_levels[i] is a list of runs (oldest
+        #: first); compaction merges a full level one level down.
+        store.mem_levels: List[List[MemTable]] = []  # type: ignore
+
+    # ------------------------------------------------------------------
+    # Read path across MemTable + immutable MemTables
+    # ------------------------------------------------------------------
+
+    def _collect_chain(self, store: _LogTable,
+                       key: Any) -> List[Tuple[str, bytes]]:
+        segments: List[List[Tuple[str, bytes]]] = []
+        with self.stats.category(Category.INDEX):
+            chain = [(entry.kind, entry.data)
+                     for entry in store.memtable.get_chain(key)]
+        segments.append(chain)
+        if not chain_has_base(chain):
+            done = False
+            for level in store.mem_levels:
+                for run in reversed(level):  # newest first
+                    with self.stats.category(Category.INDEX):
+                        chain = [(entry.kind, entry.data)
+                                 for entry in run.get_chain(key)]
+                    if chain:
+                        segments.append(chain)
+                        if chain_has_base(chain):
+                            done = True
+                            break
+                if done:
+                    break
+        segments.reverse()
+        return merge_entry_chains(segments)
+
+    def scan(self, txn: Transaction, table: str, lo: Any = None,
+             hi: Any = None) -> Iterator[Tuple[Any, Dict[str, Any]]]:
+        store = self._table(table)
+        keys = set(store.memtable.keys_in_range(lo, hi))
+        for level in store.mem_levels:
+            for run in level:
+                keys.update(run.keys_in_range(lo, hi))
+        for key in sorted(keys):
+            values = self._get(store, key)
+            if values is not None:
+                yield key, values
+
+    # ------------------------------------------------------------------
+    # Primitive operations (Table 2, NVM-Log column)
+    # ------------------------------------------------------------------
+
+    def insert(self, txn: Transaction, table: str,
+               values: Dict[str, Any]) -> None:
+        txn.require_active()
+        store = self._table(table)
+        schema = store.schema
+        key = schema.key_of(values)
+        if self._get(store, key) is not None:
+            raise DuplicateKeyError(f"{table}: key {key!r} exists")
+        image = encode_inlined(schema, values)
+        # Sync tuple with NVM (entry alloc + sync inside add), record
+        # the pointer in the WAL, sync the log entry, index it.
+        with self.stats.category(Category.STORAGE):
+            entry = store.memtable.add(key, ENTRY_PUT, image)
+        with self.stats.category(Category.RECOVERY):
+            self._nvm_wal.append(txn.txn_id, NVMWalRecord(
+                "insert", table, key,
+                tuple_ptr=entry.allocation.addr, extra=(entry, values)))
+        with self.stats.category(Category.INDEX):
+            secondary_add(schema, store.secondary, key, values)
+        txn.engine_state.setdefault("undo", []).append(
+            ("insert", table, key, entry, values))
+
+    def update(self, txn: Transaction, table: str, key: Any,
+               changes: Dict[str, Any]) -> None:
+        txn.require_active()
+        store = self._table(table)
+        schema = store.schema
+        schema.validate_partial(changes)
+        old_values = self._get(store, key)
+        if old_values is None:
+            raise TupleNotFoundError(f"{table}: no tuple with key {key!r}")
+        before = {name: old_values[name] for name in changes}
+        delta = encode_fields(schema, changes)
+        with self.stats.category(Category.STORAGE):
+            entry = store.memtable.add(key, ENTRY_DELTA, delta)
+        new_values = dict(old_values)
+        new_values.update(changes)
+        # WAL: changed-field before-image + pointer (Table 3: F + p).
+        with self.stats.category(Category.RECOVERY):
+            self._nvm_wal.append(txn.txn_id, NVMWalRecord(
+                "update", table, key,
+                tuple_ptr=entry.allocation.addr,
+                before_fields=encode_fields(schema, before),
+                extra=(entry, old_values, new_values)))
+        with self.stats.category(Category.INDEX):
+            secondary_update(schema, store.secondary, key, old_values,
+                             new_values)
+        txn.engine_state.setdefault("undo", []).append(
+            ("update", table, key, entry, old_values, new_values))
+
+    def delete(self, txn: Transaction, table: str, key: Any) -> None:
+        txn.require_active()
+        store = self._table(table)
+        schema = store.schema
+        old_values = self._get(store, key)
+        if old_values is None:
+            raise TupleNotFoundError(f"{table}: no tuple with key {key!r}")
+        with self.stats.category(Category.STORAGE):
+            entry = store.memtable.add(key, ENTRY_TOMBSTONE, b"")
+        with self.stats.category(Category.RECOVERY):
+            self._nvm_wal.append(txn.txn_id, NVMWalRecord(
+                "delete", table, key,
+                tuple_ptr=entry.allocation.addr,
+                extra=(entry, old_values)))
+        with self.stats.category(Category.INDEX):
+            secondary_remove(schema, store.secondary, key, old_values)
+        txn.engine_state.setdefault("undo", []).append(
+            ("delete", table, key, entry, old_values))
+
+    # ------------------------------------------------------------------
+    # Transaction lifecycle
+    # ------------------------------------------------------------------
+
+    def _do_commit(self, txn: Transaction) -> None:
+        # Entries are already durable; just truncate the txn's log,
+        # then roll the MemTable if it crossed its threshold.
+        self._nvm_wal.truncate_txn(txn.txn_id)
+        for name, store in self._tables.items():
+            if store.memtable.size_bytes >= \
+                    self.config.memtable_threshold_bytes:
+                self._roll_memtable(name, store)
+
+    def _do_flush_commits(self) -> None:
+        """Commits are durable immediately — nothing to flush."""
+
+    def _do_abort(self, txn: Transaction) -> None:
+        self._undo_txn(txn)
+        self._nvm_wal.truncate_txn(txn.txn_id)
+
+    def checkpoint(self) -> None:
+        """NVM-Log takes no checkpoints — MemTables are already durable
+        and recovery is undo-only."""
+
+    # ------------------------------------------------------------------
+    # MemTable rolling & compaction (no filesystem involved)
+    # ------------------------------------------------------------------
+
+    def _roll_memtable(self, name: str, store: _LogTable) -> None:
+        """Mark the MemTable immutable and start a new one — the
+        NVM-Log replacement for flushing an SSTable (Section 4.3)."""
+        if not len(store.memtable):
+            return
+        with self.stats.category(Category.STORAGE):
+            store.memtable.mark_immutable()
+            if not store.mem_levels:
+                store.mem_levels.append([])
+            store.mem_levels[0].append(store.memtable)
+            store.memtable = self._make_memtable()
+            self.stats.bump("lsm.memtable_rolls")
+        self._maybe_compact_immutables(name, store)
+
+    def _maybe_compact_immutables(self, name: str,
+                                  store: _LogTable) -> None:
+        """Leveled compaction over immutable MemTables: when a level
+        holds too many runs, merge "a set of these MemTables to
+        generate a new larger MemTable" one level down (Section 4.3)."""
+        level = 0
+        while level < len(store.mem_levels):
+            runs = store.mem_levels[level]
+            if len(runs) <= self.config.lsm_max_runs_per_level:
+                level += 1
+                continue
+            with self.stats.category(Category.STORAGE):
+                is_bottom = not any(store.mem_levels[level + 1:])
+                merged = self._merge_memtables(runs, is_bottom)
+                if level + 1 >= len(store.mem_levels):
+                    store.mem_levels.append([])
+                store.mem_levels[level + 1].append(merged)
+                for run in runs:
+                    run.destroy()
+                store.mem_levels[level] = []
+                self.stats.bump("lsm.compactions")
+            level += 1
+
+    def _merge_memtables(self, runs: List[MemTable],
+                         is_bottom: bool) -> MemTable:
+        chains: Dict[Any, List] = {}
+        for run in runs:  # oldest first
+            for key, chain in run.chains():
+                pairs = [(entry.kind, entry.data) for entry in chain]
+                chains.setdefault(key, []).append(pairs)
+        merged = self._make_memtable()
+        for key in sorted(chains):
+            chain = merge_entry_chains(chains[key])
+            if is_bottom and chain and chain[-1][0] == ENTRY_TOMBSTONE:
+                continue  # bottom of the tree: purge tombstones
+            for kind, data in chain:
+                merged.add(key, kind, data)
+        merged.mark_immutable()
+        return merged
+
+    # ------------------------------------------------------------------
+    # Restart events
+    # ------------------------------------------------------------------
+
+    def on_crash(self) -> None:
+        """MemTables (mutable and immutable) and all indexes are
+        non-volatile — nothing is lost."""
+        self._pending_durable.clear()
+        self._commits_since_flush = 0
+
+    def recover(self) -> float:
+        """Undo-only recovery: remove the MemTable entries of
+        transactions in flight at the crash (Section 4.3)."""
+        start_ns = self.clock.now_ns
+        with self.stats.category(Category.RECOVERY):
+            self._nvm_wal.head_ptr()  # locate the log on NVM
+            for txn_id in self._nvm_wal.active_txn_ids():
+                records = self._nvm_wal.entries_for(txn_id)
+                for record in reversed(records):
+                    self._undo_wal_record(record)
+                self._nvm_wal.truncate_txn(txn_id)
+        return self.clock.elapsed_since(start_ns) / 1e9
+
+    def _undo_wal_record(self, record: NVMWalRecord) -> None:
+        store = self._table(record.table)
+        if record.op == "insert":
+            entry, values = record.extra
+            store.memtable.remove_entry(record.key, entry)
+            secondary_remove(store.schema, store.secondary, record.key,
+                             values)
+        elif record.op == "update":
+            entry, old_values, new_values = record.extra
+            store.memtable.remove_entry(record.key, entry)
+            secondary_update(store.schema, store.secondary, record.key,
+                             new_values, old_values)
+        else:
+            entry, old_values = record.extra
+            store.memtable.remove_entry(record.key, entry)
+            secondary_add(store.schema, store.secondary, record.key,
+                          old_values)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def storage_breakdown(self) -> Dict[str, int]:
+        by_tag = self.allocator.bytes_by_tag()
+        return {
+            "table": by_tag.get("table", 0),
+            "index": by_tag.get("index", 0),
+            "log": by_tag.get("log", 0),
+            "checkpoint": 0,
+            "other": by_tag.get("other", 0),
+        }

@@ -1,0 +1,69 @@
+"""Shared secondary index maintenance over B+tree indexes.
+
+Secondary indexes map a secondary key to the set of primary keys with
+that value (Section 3.2). These helpers keep them consistent across
+insert / update / delete for any engine whose secondary indexes are
+(volatile or non-volatile) B+trees.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from ..core.schema import Schema
+from ..index.stx_btree import STXBTree
+
+
+def secondary_add(schema: Schema, indexes: Dict[str, STXBTree],
+                  key: Any, values: Dict[str, Any]) -> None:
+    """Register ``key`` under each secondary index for ``values``."""
+    for index_name in schema.secondary_indexes:
+        seckey = schema.index_key_of(index_name, values)
+        index = indexes[index_name]
+        members = index.get(seckey)
+        if members is None:
+            index.put(seckey, {key})
+        else:
+            members.add(key)
+            index.put(seckey, members)  # charge the node write
+
+
+def secondary_remove(schema: Schema, indexes: Dict[str, STXBTree],
+                     key: Any, values: Dict[str, Any]) -> None:
+    """Remove ``key`` from each secondary index for ``values``."""
+    for index_name in schema.secondary_indexes:
+        seckey = schema.index_key_of(index_name, values)
+        index = indexes[index_name]
+        members = index.get(seckey)
+        if members is None:
+            continue
+        members.discard(key)
+        if members:
+            index.put(seckey, members)
+        else:
+            index.delete(seckey)
+
+
+def secondary_update(schema: Schema, indexes: Dict[str, STXBTree],
+                     key: Any, old_values: Dict[str, Any],
+                     new_values: Dict[str, Any]) -> None:
+    """Move ``key`` between secondary entries whose key changed."""
+    for index_name, columns in schema.secondary_indexes.items():
+        old_key = schema.index_key_of(index_name, old_values)
+        new_key = schema.index_key_of(index_name, new_values)
+        if old_key == new_key:
+            continue
+        index = indexes[index_name]
+        members = index.get(old_key)
+        if members is not None:
+            members.discard(key)
+            if members:
+                index.put(old_key, members)
+            else:
+                index.delete(old_key)
+        members = index.get(new_key)
+        if members is None:
+            index.put(new_key, {key})
+        else:
+            members.add(key)
+            index.put(new_key, members)

@@ -1,0 +1,76 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish subsystems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigError(ReproError):
+    """An invalid configuration value was supplied."""
+
+
+class NVMError(ReproError):
+    """Base class for errors from the emulated NVM subsystem."""
+
+
+class OutOfMemoryError(NVMError):
+    """The NVM allocator could not satisfy an allocation request."""
+
+
+class InvalidAddressError(NVMError):
+    """An access referenced memory outside any live allocation."""
+
+
+class FilesystemError(NVMError):
+    """Base class for errors from the NVM-backed filesystem."""
+
+
+class FileNotFoundInNVMError(FilesystemError):
+    """The named file does not exist in the NVM filesystem."""
+
+
+class FileExistsInNVMError(FilesystemError):
+    """The named file already exists and exclusive creation was requested."""
+
+
+class StorageEngineError(ReproError):
+    """Base class for storage engine failures."""
+
+
+class TupleNotFoundError(StorageEngineError):
+    """A read, update, or delete referenced a key that does not exist."""
+
+
+class DuplicateKeyError(StorageEngineError):
+    """An insert supplied a primary key that already exists."""
+
+
+class TransactionError(ReproError):
+    """Base class for transaction lifecycle errors."""
+
+
+class TransactionAborted(TransactionError):
+    """The transaction was aborted and its effects rolled back."""
+
+
+class TransactionStateError(TransactionError):
+    """An operation was attempted in an invalid transaction state."""
+
+
+class SchemaError(ReproError):
+    """A schema definition or a tuple value does not match the schema."""
+
+
+class WorkloadError(ReproError):
+    """A workload generator was configured inconsistently."""
+
+
+class CrashedError(ReproError):
+    """An operation was attempted on a crashed (not yet recovered) system."""

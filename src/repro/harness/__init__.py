@@ -1,0 +1,7 @@
+"""Experiment harness: runners and per-figure experiment drivers."""
+
+from .experiments import FULL_SCALE, QUICK_SCALE, Scale
+from .runner import ExperimentResult, run_tpcc, run_ycsb
+
+__all__ = ["ExperimentResult", "FULL_SCALE", "QUICK_SCALE", "Scale",
+           "run_tpcc", "run_ycsb"]

@@ -1,0 +1,31 @@
+"""Index structures used by the storage engines.
+
+* :class:`~repro.index.stx_btree.STXBTree` — the volatile B+tree the
+  traditional engines use (STX B+tree library [10]), with a
+  configurable node size (512 B default, swept in Fig. 15).
+* :class:`~repro.index.nv_btree.NVBTree` — the non-volatile B+tree the
+  NVM-aware engines use [49, 62]: every structural modification is made
+  durable with the allocator's sync primitive, so the index is
+  consistent immediately after restart and never needs rebuilding.
+* :class:`~repro.index.cow_btree.CoWBTree` — the LMDB-style append-only
+  copy-on-write B+tree [16, 36, 56] behind the CoW engines' current and
+  dirty directories.
+* :class:`~repro.index.bloom.BloomFilter` — per-SSTable Bloom filters
+  for the Log engines [12].
+"""
+
+from .bloom import BloomFilter
+from .cost import IndexCostModel, NullCostModel, NVMIndexCostModel
+from .cow_btree import CoWBTree
+from .nv_btree import NVBTree
+from .stx_btree import STXBTree
+
+__all__ = [
+    "BloomFilter",
+    "CoWBTree",
+    "IndexCostModel",
+    "NVBTree",
+    "NVMIndexCostModel",
+    "NullCostModel",
+    "STXBTree",
+]

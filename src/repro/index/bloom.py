@@ -1,0 +1,76 @@
+"""Bloom filter [12] for the log-structured engines.
+
+The Log engine constructs a Bloom filter for each SSTable (and the
+NVM-Log engine for each immutable MemTable) "to quickly determine at
+runtime whether it contains entries associated with a tuple to avoid
+unnecessary index look-ups" (Section 3.3).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, Iterable
+
+
+class BloomFilter:
+    """Fixed-size Bloom filter over hashable keys.
+
+    ``bits_per_key`` and ``num_hashes`` default to the common 10/3
+    configuration (~1% false-positive rate at design capacity).
+    """
+
+    def __init__(self, expected_keys: int, bits_per_key: int = 10,
+                 num_hashes: int = 3) -> None:
+        if expected_keys < 0:
+            raise ValueError("expected_keys must be non-negative")
+        if bits_per_key < 1 or num_hashes < 1:
+            raise ValueError("bits_per_key and num_hashes must be >= 1")
+        self.num_bits = max(8, expected_keys * bits_per_key)
+        self.num_hashes = num_hashes
+        self._bits = bytearray((self.num_bits + 7) // 8)
+        self._count = 0
+
+    @classmethod
+    def build(cls, keys: Iterable[Any], bits_per_key: int = 10,
+              num_hashes: int = 3) -> "BloomFilter":
+        """Construct a filter sized for (and containing) ``keys``."""
+        materialized = list(keys)
+        bloom = cls(len(materialized), bits_per_key, num_hashes)
+        for key in materialized:
+            bloom.add(key)
+        return bloom
+
+    def _positions(self, key: Any) -> Iterable[int]:
+        digest = hashlib.sha256(repr(key).encode("utf-8")).digest()
+        # Kirsch-Mitzenmacher double hashing from one digest.
+        h1 = int.from_bytes(digest[:8], "big")
+        h2 = int.from_bytes(digest[8:16], "big") | 1
+        for i in range(self.num_hashes):
+            yield (h1 + i * h2) % self.num_bits
+
+    def add(self, key: Any) -> None:
+        """Insert ``key``."""
+        for position in self._positions(key):
+            self._bits[position >> 3] |= 1 << (position & 7)
+        self._count += 1
+
+    def might_contain(self, key: Any) -> bool:
+        """False means definitely absent; True means possibly present."""
+        return all(self._bits[position >> 3] & (1 << (position & 7))
+                   for position in self._positions(key))
+
+    def __contains__(self, key: Any) -> bool:
+        return self.might_contain(key)
+
+    @property
+    def size_bytes(self) -> int:
+        return len(self._bits)
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    def fill_ratio(self) -> float:
+        """Fraction of set bits (diagnostic for saturation)."""
+        set_bits = sum(bin(byte).count("1") for byte in self._bits)
+        return set_bits / self.num_bits

@@ -1,0 +1,40 @@
+"""Emulated NVM platform: device, CPU cache, allocator, and filesystem.
+
+This package is the software substitute for the Intel Labs NVM hardware
+emulator used in the paper (Section 2.2). It provides the same two
+interfaces the emulator exposes:
+
+* the **allocator interface** (:class:`~repro.nvm.allocator.NVMAllocator`)
+  — POSIX-malloc-style allocation directly on NVM, with a ``sync``
+  durability primitive and non-volatile pointers; and
+* the **filesystem interface**
+  (:class:`~repro.nvm.filesystem.NVMFilesystem`) — PMFS-like files with
+  ``read``/``write``/``fsync``, paying a kernel crossing and one buffer
+  copy per call.
+
+All accesses are charged simulated nanoseconds against a
+:class:`~repro.sim.clock.SimClock` and counted as NVM loads/stores,
+reproducing what the hardware emulator measures with latency throttling
+and ``perf`` counters.
+"""
+
+from .allocator import Allocation, NVMAllocator
+from .cache import CPUCache
+from .device import NVMDevice
+from .filesystem import NVMFile, NVMFilesystem
+from .memory import NVMMemory
+from .platform import Platform
+from .pointers import NULL_PTR, NVPtr
+
+__all__ = [
+    "Allocation",
+    "CPUCache",
+    "NVMAllocator",
+    "NVMDevice",
+    "NVMFile",
+    "NVMFilesystem",
+    "NVMMemory",
+    "NULL_PTR",
+    "NVPtr",
+    "Platform",
+]

@@ -1,0 +1,259 @@
+"""NVM-aware memory allocator (Section 2.3).
+
+The allocator satisfies the paper's two requirements:
+
+1. **Durability** — a ``sync`` primitive (CLFLUSH + SFENCE through the
+   cache model) that makes a region's pending writes durable.
+2. **Naming** — allocation addresses are stable across restarts
+   (non-volatile pointers), and :meth:`resolve` maps a pointer back to
+   its allocation after recovery.
+
+It follows a *rotating best-fit* policy (the paper extends libpmem the
+same way): the free-list search starts from a rotating cursor so that
+repeated alloc/free cycles spread allocations across the device, which
+levels wear. After a crash, the allocator "reclaims memory that has not
+been persisted and restores its internal metadata to a consistent
+state" — allocations never passed to :meth:`persist` are freed.
+
+Two kinds of allocation are supported:
+
+* ``bytes`` — a byte-backed region in the device address space,
+  accessed via :class:`~repro.nvm.memory.NVMMemory` load/store.
+* ``object`` — an *accounting* region that carries a live Python object
+  (index nodes, MemTable entries...). Accesses are charged through the
+  cache model with ``touch_read``/``touch_write``; crash consistency of
+  the object's content is the owning data structure's responsibility
+  (registered via platform crash hooks).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import InvalidAddressError, OutOfMemoryError
+from ..sim.stats import StatsCollector
+from .memory import NVMMemory
+from .pointers import NVPtr
+
+#: Accounting overhead per allocation (allocator header), bytes.
+HEADER_SIZE = 16
+
+_ALIGNMENT = 8
+
+
+def _align_up(value: int, alignment: int = _ALIGNMENT) -> int:
+    return (value + alignment - 1) // alignment * alignment
+
+
+class Allocation:
+    """A live allocation returned by :meth:`NVMAllocator.malloc`."""
+
+    __slots__ = ("addr", "size", "tag", "kind", "persisted", "obj",
+                 "obj_size")
+
+    def __init__(self, addr: NVPtr, size: int, tag: str, kind: str) -> None:
+        self.addr = addr
+        self.size = size
+        self.tag = tag
+        self.kind = kind
+        #: Whether :meth:`NVMAllocator.persist` has marked this region
+        #: as surviving allocator recovery.
+        self.persisted = False
+        self.obj: object = None
+        self.obj_size = size
+
+    def __repr__(self) -> str:
+        flag = "P" if self.persisted else "-"
+        return (f"Allocation(addr={self.addr:#x}, size={self.size}, "
+                f"tag={self.tag!r}, kind={self.kind}, {flag})")
+
+
+class NVMAllocator:
+    """Rotating best-fit allocator over the emulated NVM device."""
+
+    def __init__(self, memory: NVMMemory, capacity_bytes: int,
+                 stats: StatsCollector) -> None:
+        self._memory = memory
+        self._stats = stats
+        self.capacity_bytes = capacity_bytes
+        # Reserve [0, _ALIGNMENT) so that 0 is never a valid pointer.
+        self._free: List[Tuple[int, int]] = [
+            (_ALIGNMENT, capacity_bytes - _ALIGNMENT)]
+        self._cursor = 0
+        self._allocations: Dict[NVPtr, Allocation] = {}
+        self._bytes_by_tag: Dict[str, int] = {}
+        self._peak_by_tag: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # Allocation
+    # ------------------------------------------------------------------
+
+    def malloc(self, size: int, tag: str = "other",
+               kind: str = "bytes") -> Allocation:
+        """Allocate ``size`` bytes tagged ``tag``.
+
+        ``kind`` is ``"bytes"`` for byte-backed regions or ``"object"``
+        for accounting regions carrying a Python object.
+        """
+        if size <= 0:
+            raise ValueError("allocation size must be positive")
+        if kind not in ("bytes", "object"):
+            raise ValueError(f"unknown allocation kind {kind!r}")
+        needed = _align_up(size + HEADER_SIZE)
+        index = self._find_best_fit(needed)
+        if index is None:
+            raise OutOfMemoryError(
+                f"cannot allocate {size} bytes "
+                f"({self.free_bytes} free, fragmented)")
+        base, block_size = self._free[index]
+        if block_size == needed:
+            del self._free[index]
+        else:
+            self._free[index] = (base + needed, block_size - needed)
+        addr = base + HEADER_SIZE
+        allocation = Allocation(addr, size, tag, kind)
+        self._allocations[addr] = allocation
+        self._account(tag, needed)
+        self._stats.bump("alloc.malloc")
+        # Writing the allocation header touches NVM.
+        self._memory.touch_write(base, HEADER_SIZE)
+        return allocation
+
+    def malloc_object(self, obj: object, size: int,
+                      tag: str = "other") -> Allocation:
+        """Allocate an accounting region holding ``obj`` (``size`` is
+        the object's accounted NVM footprint in bytes)."""
+        allocation = self.malloc(size, tag=tag, kind="object")
+        allocation.obj = obj
+        return allocation
+
+    def _find_best_fit(self, needed: int) -> Optional[int]:
+        """Best-fit search starting at the rotating cursor."""
+        count = len(self._free)
+        if count == 0:
+            return None
+        best_index: Optional[int] = None
+        best_size = None
+        for offset in range(count):
+            index = (self._cursor + offset) % count
+            __, block_size = self._free[index]
+            if block_size >= needed and (best_size is None
+                                         or block_size < best_size):
+                best_index, best_size = index, block_size
+                if block_size == needed:
+                    break
+        if best_index is not None:
+            self._cursor = (best_index + 1) % max(count, 1)
+        return best_index
+
+    def free(self, allocation: Allocation) -> None:
+        """Return ``allocation``'s region to the free list."""
+        live = self._allocations.pop(allocation.addr, None)
+        if live is not allocation:
+            raise InvalidAddressError(
+                f"double free or foreign allocation at {allocation.addr:#x}")
+        base = allocation.addr - HEADER_SIZE
+        needed = _align_up(allocation.size + HEADER_SIZE)
+        self._insert_free(base, needed)
+        self._account(allocation.tag, -needed)
+        self._stats.bump("alloc.free")
+        allocation.obj = None
+
+    def _insert_free(self, base: int, size: int) -> None:
+        """Insert a free block, coalescing with adjacent blocks."""
+        free = self._free
+        lo, hi = 0, len(free)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if free[mid][0] < base:
+                lo = mid + 1
+            else:
+                hi = mid
+        free.insert(lo, (base, size))
+        # Coalesce with successor, then predecessor.
+        if lo + 1 < len(free) and base + size == free[lo + 1][0]:
+            free[lo] = (base, size + free[lo + 1][1])
+            del free[lo + 1]
+        if lo > 0 and free[lo - 1][0] + free[lo - 1][1] == free[lo][0]:
+            free[lo - 1] = (free[lo - 1][0],
+                            free[lo - 1][1] + free[lo][1])
+            del free[lo]
+
+    # ------------------------------------------------------------------
+    # Durability & naming
+    # ------------------------------------------------------------------
+
+    def persist(self, allocation: Allocation) -> None:
+        """Mark the allocation as durable allocator metadata: it will
+        survive allocator recovery after a crash."""
+        allocation.persisted = True
+        self._stats.bump("alloc.persist")
+
+    def sync(self, allocation: Allocation, offset: int = 0,
+             size: Optional[int] = None) -> None:
+        """Durably flush (part of) the allocation's region and mark the
+        allocation persisted (Section 2.3 sync primitive)."""
+        if size is None:
+            size = allocation.size - offset
+        if offset < 0 or offset + size > allocation.size:
+            raise InvalidAddressError(
+                f"sync range [{offset}, {offset + size}) outside "
+                f"allocation of {allocation.size} bytes")
+        self._memory.sync(allocation.addr + offset, size)
+        allocation.persisted = True
+        self._stats.bump("alloc.sync")
+
+    def resolve(self, addr: NVPtr) -> Allocation:
+        """Map a non-volatile pointer back to its live allocation."""
+        try:
+            return self._allocations[addr]
+        except KeyError:
+            raise InvalidAddressError(
+                f"no live allocation at {addr:#x}") from None
+
+    def resolve_optional(self, addr: NVPtr) -> Optional[Allocation]:
+        return self._allocations.get(addr)
+
+    # ------------------------------------------------------------------
+    # Failure model
+    # ------------------------------------------------------------------
+
+    def crash_recover(self) -> int:
+        """Post-crash allocator recovery: reclaim every allocation that
+        was never persisted; return how many were reclaimed."""
+        doomed = [allocation for allocation in self._allocations.values()
+                  if not allocation.persisted]
+        for allocation in doomed:
+            self.free(allocation)
+        self._stats.bump("alloc.crash_reclaimed", len(doomed))
+        return len(doomed)
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+
+    def _account(self, tag: str, delta: int) -> None:
+        current = self._bytes_by_tag.get(tag, 0) + delta
+        self._bytes_by_tag[tag] = current
+        if current > self._peak_by_tag.get(tag, 0):
+            self._peak_by_tag[tag] = current
+
+    @property
+    def allocated_bytes(self) -> int:
+        return sum(self._bytes_by_tag.values())
+
+    @property
+    def free_bytes(self) -> int:
+        return sum(size for __, size in self._free)
+
+    def bytes_by_tag(self) -> Dict[str, int]:
+        """Live allocated bytes per tag (footprint accounting)."""
+        return dict(self._bytes_by_tag)
+
+    def peak_bytes_by_tag(self) -> Dict[str, int]:
+        """Peak allocated bytes per tag."""
+        return dict(self._peak_by_tag)
+
+    @property
+    def live_allocations(self) -> int:
+        return len(self._allocations)

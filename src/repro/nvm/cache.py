@@ -1,0 +1,304 @@
+"""Write-back CPU cache model fronting the emulated NVM device.
+
+The paper's central correctness hazard is that "the changes made by a
+transaction to a location on NVM may still reside in volatile CPU
+caches when the transaction commits" (Section 2.3) — and, conversely,
+that "the memory controller can evict cache lines containing those
+changes to NVM at any time" (Section 4.1). This model reproduces both:
+
+* Stores are buffered in cache lines; the backing device is updated
+  only on **eviction** (LRU, capacity pressure) or an explicit
+  **CLFLUSH/CLWB**.
+* On :meth:`crash`, each dirty unflushed line independently survives
+  with a configurable probability (seeded), modelling arbitrary
+  controller evictions before power failure. Everything else is lost.
+
+The durable **sync primitive** from Section 2.3 (CLFLUSH of the
+affected lines followed by SFENCE) is provided by :meth:`sync`; its
+extra latency knob backs the Fig. 16 PCOMMIT/CLWB what-if experiment.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Optional, Tuple
+
+from ..config import CacheConfig
+from ..sim.clock import SimClock
+from ..sim.stats import StatsCollector
+from .device import NVMDevice
+
+
+class _Line:
+    """One cached line. ``buffer`` holds pending bytes for byte-backed
+    lines; accounting-only lines (index nodes and other object regions)
+    have ``buffer is None``."""
+
+    __slots__ = ("dirty", "buffer")
+
+    def __init__(self, dirty: bool, buffer: Optional[bytearray]) -> None:
+        self.dirty = dirty
+        self.buffer = buffer
+
+
+class CPUCache:
+    """LRU write-back cache over an :class:`NVMDevice`."""
+
+    def __init__(self, config: CacheConfig, device: NVMDevice,
+                 clock: SimClock, stats: StatsCollector,
+                 rng: random.Random) -> None:
+        self.config = config
+        self.device = device
+        self._clock = clock
+        self._stats = stats
+        self._rng = rng
+        self.line_size = config.line_size
+        self.capacity_lines = config.capacity_lines
+        #: line base address -> _Line, in LRU order (front = coldest)
+        self._lines: Dict[int, _Line] = {}
+        self.hits = 0
+        self.misses = 0
+        #: Next-line stream prefetcher state: the line base one past the
+        #: last touched run. A new access starting there is treated as a
+        #: continuation of the stream (its first miss is discounted).
+        self._stream_next = -1
+
+    # ------------------------------------------------------------------
+    # Internal line management
+    # ------------------------------------------------------------------
+
+    def _touch_line(self, base: int, write: bool, byte_backed: bool,
+                    miss_equivalent: float = 1.0) -> Tuple[_Line, bool]:
+        """Bring the line at ``base`` into the cache and refresh LRU.
+
+        ``miss_equivalent`` discounts the latency of prefetched
+        sequential misses (the miss is still counted in full). Returns
+        (line, missed).
+        """
+        missed = False
+        line = self._lines.pop(base, None)
+        if line is not None:
+            self.hits += 1
+            self._clock.advance(self.config.hit_latency_ns)
+        else:
+            missed = True
+            self.misses += 1
+            # A miss fetches the line from NVM (read-for-ownership on a
+            # store miss, plain fill on a load miss).
+            self.device.charge_load(1, equivalent_lines=miss_equivalent)
+            line = _Line(dirty=False, buffer=None)
+            if len(self._lines) >= self.capacity_lines:
+                self._evict_one()
+        if write:
+            line.dirty = True
+            if byte_backed and line.buffer is None:
+                line.buffer = bytearray(
+                    self.device.read_raw(base, self.line_size))
+        self._lines[base] = line  # reinsert at MRU position
+        return line, missed
+
+    def _touch_run(self, addr: int, size: int, write: bool,
+                   byte_backed: bool) -> None:
+        """Touch a contiguous range: the first miss pays full latency,
+        consecutive follower misses are prefetch-discounted. A run that
+        starts exactly where the previous one ended continues the
+        hardware prefetcher's stream, so even its first miss is
+        discounted (adjacent pool allocations read back-to-back)."""
+        discount = self.config.prefetch_discount
+        lines = self._line_range(addr, size)
+        missed_before = lines.start == self._stream_next
+        for base in lines:
+            equivalent = discount if missed_before else 1.0
+            __, missed = self._touch_line(base, write, byte_backed,
+                                          miss_equivalent=equivalent)
+            missed_before = missed_before or missed
+        self._stream_next = lines[-1] + self.line_size
+
+    def _evict_one(self) -> None:
+        base = next(iter(self._lines))
+        line = self._lines.pop(base)
+        if line.dirty:
+            self._writeback(base, line)
+
+    def _writeback(self, base: int, line: _Line) -> None:
+        if line.buffer is not None:
+            self.device.write_raw(base, bytes(line.buffer))
+        self.device.charge_store(1, addr=base)
+        line.dirty = False
+
+    def _line_range(self, addr: int, size: int) -> range:
+        first = (addr // self.line_size) * self.line_size
+        last = ((addr + max(size, 1) - 1) // self.line_size) * self.line_size
+        return range(first, last + 1, self.line_size)
+
+    # ------------------------------------------------------------------
+    # Byte-backed access
+    # ------------------------------------------------------------------
+
+    def load(self, addr: int, size: int) -> bytes:
+        """Read ``size`` bytes at ``addr`` through the cache."""
+        self._touch_run(addr, size, write=False, byte_backed=True)
+        data = bytearray(self.device.read_raw(addr, size))
+        # Overlay dirty buffered content that has not reached the device.
+        for base in self._line_range(addr, size):
+            line = self._lines.get(base)
+            if line is None or line.buffer is None:
+                continue
+            lo = max(addr, base)
+            hi = min(addr + size, base + self.line_size)
+            data[lo - addr:hi - addr] = line.buffer[lo - base:hi - base]
+        return bytes(data)
+
+    def store(self, addr: int, data: bytes) -> None:
+        """Write ``data`` at ``addr``; bytes stay in cache until
+        evicted or flushed."""
+        size = len(data)
+        if size == 0:
+            return
+        discount = self.config.prefetch_discount
+        lines = self._line_range(addr, size)
+        missed_before = lines.start == self._stream_next
+        for base in lines:
+            equivalent = discount if missed_before else 1.0
+            line, missed = self._touch_line(base, write=True,
+                                            byte_backed=True,
+                                            miss_equivalent=equivalent)
+            missed_before = missed_before or missed
+            lo = max(addr, base)
+            hi = min(addr + size, base + self.line_size)
+            assert line.buffer is not None
+            line.buffer[lo - base:hi - base] = data[lo - addr:hi - addr]
+        self._stream_next = lines[-1] + self.line_size
+
+    def load_batch(self, ranges) -> list:
+        """Read several independent ranges whose addresses are all
+        known up front (e.g. a tuple's variable-length fields after its
+        slot was read). Out-of-order hardware overlaps such loads
+        (memory-level parallelism), so only the first miss of the whole
+        batch pays full latency."""
+        discount = self.config.prefetch_discount
+        missed_before = False
+        results = []
+        for addr, size in ranges:
+            for base in self._line_range(addr, size):
+                equivalent = discount if missed_before else 1.0
+                __, missed = self._touch_line(
+                    base, write=False, byte_backed=True,
+                    miss_equivalent=equivalent)
+                missed_before = missed_before or missed
+            data = bytearray(self.device.read_raw(addr, size))
+            for base in self._line_range(addr, size):
+                line = self._lines.get(base)
+                if line is None or line.buffer is None:
+                    continue
+                lo = max(addr, base)
+                hi = min(addr + size, base + self.line_size)
+                data[lo - addr:hi - addr] = \
+                    line.buffer[lo - base:hi - base]
+            results.append(bytes(data))
+        return results
+
+    # ------------------------------------------------------------------
+    # Accounting-only access (object regions: index nodes, MemTables...)
+    # ------------------------------------------------------------------
+
+    def touch_read(self, addr: int, size: int) -> None:
+        """Charge the cost of reading an object region (no byte move)."""
+        self._touch_run(addr, size, write=False, byte_backed=False)
+
+    def touch_write(self, addr: int, size: int) -> None:
+        """Charge the cost of writing an object region (no byte move)."""
+        self._touch_run(addr, size, write=True, byte_backed=False)
+
+    def touch_read_scattered(self, addr: int, size: int,
+                             probes: int) -> None:
+        """Charge ``probes`` non-sequential single-line reads spread
+        over a region (Bloom filter probes): no prefetch discount."""
+        if size <= 0:
+            return
+        span = max(1, size // max(probes, 1))
+        for index in range(probes):
+            position = addr + (index * span) % size
+            self._touch_line((position // self.line_size)
+                             * self.line_size,
+                             write=False, byte_backed=False)
+
+    # ------------------------------------------------------------------
+    # Persistence primitives
+    # ------------------------------------------------------------------
+
+    def clflush(self, addr: int, size: int) -> None:
+        """Flush-and-invalidate every line overlapping the range."""
+        for base in self._line_range(addr, size):
+            line = self._lines.pop(base, None)
+            self._clock.advance(self.config.flush_latency_ns)
+            self._stats.bump("cache.clflush")
+            if line is not None and line.dirty:
+                self._writeback(base, line)
+
+    def clwb(self, addr: int, size: int) -> None:
+        """Write back dirty lines but keep them cached (clean)."""
+        for base in self._line_range(addr, size):
+            line = self._lines.get(base)
+            self._clock.advance(self.config.flush_latency_ns)
+            self._stats.bump("cache.clwb")
+            if line is not None and line.dirty:
+                self._writeback(base, line)
+
+    def sfence(self) -> None:
+        """Store fence: order preceding flushes before later stores."""
+        self._stats.bump("cache.sfence")
+        self._clock.advance(self.config.fence_latency_ns)
+
+    def sync(self, addr: int, size: int) -> None:
+        """The allocator's durable sync primitive (Section 2.3):
+        CLFLUSH (or, with ``use_clwb``, the Appendix C CLWB variant
+        that keeps lines cached) over the range, then SFENCE, plus the
+        configurable extra latency swept in the Fig. 16 experiment."""
+        if self.config.use_clwb:
+            self.clwb(addr, size)
+        else:
+            self.clflush(addr, size)
+        self.sfence()
+        self._stats.bump("cache.sync")
+        if self.config.sync_extra_latency_ns:
+            self._clock.advance(self.config.sync_extra_latency_ns)
+
+    def drain(self) -> None:
+        """Write back every dirty line (used by orderly shutdown)."""
+        for base, line in list(self._lines.items()):
+            if line.dirty:
+                self._writeback(base, line)
+        self._lines.clear()
+
+    # ------------------------------------------------------------------
+    # Failure model
+    # ------------------------------------------------------------------
+
+    def crash(self) -> Tuple[int, int]:
+        """Simulate a power failure.
+
+        Each dirty unflushed line is independently written to NVM with
+        ``crash_eviction_probability`` (the controller may have evicted
+        it at any earlier point); otherwise its content is lost and the
+        device retains the pre-store bytes. Returns
+        ``(lines_survived, lines_lost)``.
+        """
+        survived = lost = 0
+        probability = self.config.crash_eviction_probability
+        for base, line in self._lines.items():
+            if not line.dirty:
+                continue
+            if self._rng.random() < probability:
+                if line.buffer is not None:
+                    self.device.write_raw(base, bytes(line.buffer))
+                survived += 1
+            else:
+                lost += 1
+        self._lines.clear()
+        return survived, lost
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

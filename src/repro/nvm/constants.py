@@ -1,0 +1,62 @@
+"""NVM technology characteristics (Table 1 of the paper).
+
+These values compare emerging NVM technologies with DRAM, SSD, and HDD.
+They are exposed so that the Table 1 benchmark can print the comparison
+and so that latency profiles for specific technologies can be derived.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..config import LatencyProfile
+
+
+@dataclass(frozen=True)
+class TechnologyProfile:
+    """One column of Table 1."""
+
+    name: str
+    read_latency_ns: float
+    write_latency_ns: float
+    addressability: str  # "byte" or "block"
+    volatile: bool
+    energy_per_bit_pj: float
+    endurance_writes: float
+
+    def latency_profile(self) -> LatencyProfile:
+        """A :class:`LatencyProfile` using this technology's latencies."""
+        return LatencyProfile(
+            name=self.name.lower(),
+            read_latency_ns=self.read_latency_ns,
+            write_latency_ns=self.write_latency_ns,
+        )
+
+
+#: Table 1 — Comparison of emerging NVM technologies with other storage
+#: technologies [15, 27, 54, 49]. Latencies in ns, energy in pJ/bit,
+#: endurance in writes per address.
+TECHNOLOGIES: Dict[str, TechnologyProfile] = {
+    "DRAM": TechnologyProfile("DRAM", 60, 60, "byte", True, 2.0, 1e16),
+    "PCM": TechnologyProfile("PCM", 50, 150, "byte", False, 2.0, 1e10),
+    "RRAM": TechnologyProfile("RRAM", 100, 100, "byte", False, 100.0, 1e8),
+    "MRAM": TechnologyProfile("MRAM", 20, 20, "byte", False, 0.02, 1e15),
+    "SSD": TechnologyProfile("SSD", 25_000, 300_000, "block", False,
+                             10_000.0, 1e5),
+    "HDD": TechnologyProfile("HDD", 10_000_000, 10_000_000, "block", False,
+                             1e11, 1e16),
+}
+
+
+def wear_fraction(stores: int, endurance_writes: float) -> float:
+    """Fraction of a single cell's write endurance consumed by ``stores``.
+
+    A coarse device-wear proxy: the paper motivates the NVM-aware
+    engines partly by their ~2x reduction in writes, which directly
+    extends device lifetime for endurance-limited technologies (PCM,
+    RRAM).
+    """
+    if endurance_writes <= 0:
+        raise ValueError("endurance must be positive")
+    return stores / endurance_writes

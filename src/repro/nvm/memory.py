@@ -1,0 +1,89 @@
+"""The memory interface engines use to reach NVM (load/store/sync).
+
+This is the "Memory Interface (load, store)" box from Fig. 2 of the
+paper: a thin facade that routes byte accesses and object-region
+accounting through the CPU cache model, and exposes the persistence
+primitives.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from .cache import CPUCache
+
+_U64 = struct.Struct("<Q")
+
+
+class NVMMemory:
+    """Load/store interface over the cache + device pair."""
+
+    def __init__(self, cache: CPUCache) -> None:
+        self._cache = cache
+        self.line_size = cache.line_size
+
+    # -- byte-backed data ------------------------------------------------
+
+    def load(self, addr: int, size: int) -> bytes:
+        """Read ``size`` bytes at ``addr``."""
+        return self._cache.load(addr, size)
+
+    def store(self, addr: int, data: bytes) -> None:
+        """Write ``data`` at ``addr`` (buffered in the CPU cache)."""
+        self._cache.store(addr, data)
+
+    def load_batch(self, ranges) -> list:
+        """Read independent (addr, size) ranges with memory-level
+        parallelism (one full-latency miss for the whole batch)."""
+        return self._cache.load_batch(ranges)
+
+    def load_u64(self, addr: int) -> int:
+        """Read one little-endian 8-byte unsigned integer."""
+        return _U64.unpack(self._cache.load(addr, 8))[0]
+
+    def store_u64(self, addr: int, value: int) -> None:
+        """Write one little-endian 8-byte unsigned integer.
+
+        An aligned 8-byte store is the paper's atomic durable write
+        building block (used e.g. for the CoW master record).
+        """
+        self._cache.store(addr, _U64.pack(value))
+
+    # -- object regions (accounting only) --------------------------------
+
+    def touch_read(self, addr: int, size: int) -> None:
+        """Charge the cost of reading an object region."""
+        self._cache.touch_read(addr, size)
+
+    def touch_write(self, addr: int, size: int) -> None:
+        """Charge the cost of writing an object region."""
+        self._cache.touch_write(addr, size)
+
+    def touch_read_scattered(self, addr: int, size: int,
+                             probes: int) -> None:
+        """Charge scattered single-line reads (Bloom filter probes)."""
+        self._cache.touch_read_scattered(addr, size, probes)
+
+    # -- persistence primitives ------------------------------------------
+
+    def sync(self, addr: int, size: int) -> None:
+        """Durable sync: CLFLUSH range + SFENCE (Section 2.3)."""
+        self._cache.sync(addr, size)
+
+    def clflush(self, addr: int, size: int) -> None:
+        self._cache.clflush(addr, size)
+
+    def clwb(self, addr: int, size: int) -> None:
+        self._cache.clwb(addr, size)
+
+    def sfence(self) -> None:
+        self._cache.sfence()
+
+    def atomic_durable_store_u64(self, addr: int, value: int) -> None:
+        """8-byte store that is immediately durable and atomic.
+
+        Used for master-record updates and WAL list-head pointers; the
+        8-byte aligned write either fully reaches NVM or not at all.
+        """
+        self.store_u64(addr, value)
+        self.sync(addr, 8)

@@ -1,0 +1,18 @@
+"""Non-volatile pointers (Section 2.3).
+
+The NVM-aware allocator guarantees that the virtual addresses of a
+memory-mapped region never change, so a pointer to an NVM location maps
+to the same location after the OS or DBMS restarts. In the simulator a
+non-volatile pointer is simply the allocation's address within the
+emulated device; :meth:`NVMAllocator.resolve` turns a pointer back into
+its live allocation after a restart.
+"""
+
+from __future__ import annotations
+
+#: Address type alias: non-volatile pointers are plain device offsets.
+NVPtr = int
+
+#: The null non-volatile pointer. Address 0 is reserved by the
+#: allocator so that 0 is never a valid allocation address.
+NULL_PTR: NVPtr = 0

@@ -1,0 +1,6 @@
+"""Simulation primitives: the simulated clock, statistics, and RNG."""
+
+from .clock import SimClock
+from .stats import Category, StatsCollector
+
+__all__ = ["SimClock", "StatsCollector", "Category"]

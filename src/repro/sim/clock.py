@@ -1,0 +1,65 @@
+"""A simulated nanosecond clock.
+
+All costs in the emulated platform are expressed as simulated
+nanoseconds charged to a :class:`SimClock`. Throughput numbers reported
+by the benchmark harness are transactions per *simulated* second, which
+is what makes the reproduction independent of the speed of the host
+Python interpreter (see DESIGN.md, substitution list).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+
+class SimClock:
+    """Accumulates simulated time in nanoseconds.
+
+    Listeners (e.g. the per-category statistics collector) are invoked
+    with every charge so that time can be attributed to the engine
+    component that incurred it.
+    """
+
+    __slots__ = ("_now_ns", "_listeners")
+
+    def __init__(self) -> None:
+        self._now_ns: float = 0.0
+        self._listeners: List[Callable[[float], None]] = []
+
+    @property
+    def now_ns(self) -> float:
+        """Current simulated time in nanoseconds."""
+        return self._now_ns
+
+    @property
+    def now_seconds(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now_ns / 1e9
+
+    def advance(self, ns: float) -> None:
+        """Charge ``ns`` nanoseconds of simulated time."""
+        if ns < 0:
+            raise ValueError(f"cannot advance clock by negative time: {ns}")
+        if ns == 0:
+            return
+        self._now_ns += ns
+        for listener in self._listeners:
+            listener(ns)
+
+    def subscribe(self, listener: Callable[[float], None]) -> None:
+        """Register ``listener`` to be called with every charge."""
+        self._listeners.append(listener)
+
+    def unsubscribe(self, listener: Callable[[float], None]) -> None:
+        self._listeners.remove(listener)
+
+    def elapsed_since(self, start_ns: float) -> float:
+        """Nanoseconds elapsed since a previously sampled ``now_ns``."""
+        return self._now_ns - start_ns
+
+    def reset(self) -> None:
+        """Reset the clock to zero (listeners are kept)."""
+        self._now_ns = 0.0
+
+    def __repr__(self) -> str:
+        return f"SimClock(now={self._now_ns:.0f} ns)"

@@ -1,0 +1,24 @@
+"""Deterministic random number helpers.
+
+Every stochastic component of the simulator (workload key choice, crash
+eviction lottery, ...) draws from a seeded ``random.Random`` derived
+here, so that experiments and tests are exactly reproducible — including
+across processes (Python's built-in ``hash`` is salted per-process, so a
+stable digest is used instead).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+
+
+def derive_rng(seed: int, *labels: str) -> random.Random:
+    """Return a ``random.Random`` seeded from ``seed`` and ``labels``.
+
+    Different labels yield independent, reproducible streams, so that
+    e.g. the workload generator and the crash model never share state.
+    """
+    material = repr((seed, labels)).encode("utf-8")
+    digest = hashlib.sha256(material).digest()
+    return random.Random(int.from_bytes(digest[:8], "big"))

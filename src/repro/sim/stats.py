@@ -1,0 +1,132 @@
+"""Statistics collection for the emulated platform and storage engines.
+
+Two kinds of data are collected:
+
+* **Counters** — named event counts (NVM loads/stores, fsyncs, flushes,
+  allocations, ...). These back the Figs. 9-11 read/write experiments.
+* **Category time** — simulated time attributed to the engine component
+  that incurred it (storage / recovery / index / other). This backs the
+  Fig. 13 execution-time breakdown. Attribution uses an explicit
+  category stack: engines push a category around a code region and every
+  clock charge inside it is attributed to the innermost category.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import Counter
+from contextlib import contextmanager
+from typing import Dict, Iterator, List
+
+from .clock import SimClock
+
+
+class Category(enum.Enum):
+    """Execution-time categories from the paper's Section 5.5."""
+
+    STORAGE = "storage"
+    RECOVERY = "recovery"
+    INDEX = "index"
+    OTHER = "other"
+
+
+class StatsCollector:
+    """Collects counters and per-category simulated time.
+
+    A collector subscribes to a :class:`SimClock`; every ``advance`` is
+    attributed to the category on top of the stack (``Category.OTHER``
+    when the stack is empty).
+    """
+
+    def __init__(self, clock: SimClock) -> None:
+        self._clock = clock
+        self._counters: Counter[str] = Counter()
+        self._category_ns: Dict[Category, float] = {c: 0.0 for c in Category}
+        self._stack: List[Category] = []
+        clock.subscribe(self._on_advance)
+
+    def _on_advance(self, ns: float) -> None:
+        category = self._stack[-1] if self._stack else Category.OTHER
+        self._category_ns[category] += ns
+
+    @contextmanager
+    def category(self, category: Category) -> Iterator[None]:
+        """Attribute all simulated time inside the block to ``category``."""
+        self._stack.append(category)
+        try:
+            yield
+        finally:
+            self._stack.pop()
+
+    def bump(self, name: str, amount: int = 1) -> None:
+        """Increment counter ``name`` by ``amount``."""
+        self._counters[name] += amount
+
+    def counter(self, name: str) -> int:
+        """Current value of counter ``name`` (0 if never bumped)."""
+        return self._counters[name]
+
+    @property
+    def counters(self) -> Dict[str, int]:
+        """A copy of all counters."""
+        return dict(self._counters)
+
+    def category_ns(self, category: Category) -> float:
+        """Simulated time attributed to ``category`` so far."""
+        return self._category_ns[category]
+
+    def category_breakdown(self) -> Dict[str, float]:
+        """Fraction of total simulated time per category (sums to 1.0)."""
+        total = sum(self._category_ns.values())
+        if total == 0:
+            return {c.value: 0.0 for c in Category}
+        return {c.value: self._category_ns[c] / total for c in Category}
+
+    def snapshot(self) -> "StatsSnapshot":
+        """Immutable snapshot of counters and category times."""
+        return StatsSnapshot(
+            counters=dict(self._counters),
+            category_ns=dict(self._category_ns),
+            now_ns=self._clock.now_ns,
+        )
+
+    def reset(self) -> None:
+        """Clear all counters and category times (the clock is kept)."""
+        self._counters.clear()
+        for category in Category:
+            self._category_ns[category] = 0.0
+
+
+class StatsSnapshot:
+    """Point-in-time copy of a :class:`StatsCollector`'s state.
+
+    Supports subtraction so an experiment can measure only the interval
+    of interest: ``delta = after - before``.
+    """
+
+    __slots__ = ("counters", "category_ns", "now_ns")
+
+    def __init__(self, counters: Dict[str, int],
+                 category_ns: Dict[Category, float], now_ns: float) -> None:
+        self.counters = counters
+        self.category_ns = category_ns
+        self.now_ns = now_ns
+
+    def __sub__(self, earlier: "StatsSnapshot") -> "StatsSnapshot":
+        counters = {
+            name: value - earlier.counters.get(name, 0)
+            for name, value in self.counters.items()
+        }
+        category_ns = {
+            category: value - earlier.category_ns.get(category, 0.0)
+            for category, value in self.category_ns.items()
+        }
+        return StatsSnapshot(counters, category_ns,
+                             self.now_ns - earlier.now_ns)
+
+    def counter(self, name: str) -> int:
+        return self.counters.get(name, 0)
+
+    @property
+    def elapsed_ns(self) -> float:
+        return self.now_ns

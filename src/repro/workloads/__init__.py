@@ -1,0 +1,23 @@
+"""Workloads: YCSB and TPC-C (Section 5.1), the TPC-C consistency
+audit, and the HTAP extension (Appendix D)."""
+
+from .distributions import HotspotDistribution
+from .htap import HTAPConfig, HTAPWorkload
+from .tpcc import TPCCConfig, TPCCWorkload
+from .tpcc_audit import audit_tpcc
+from .ycsb import (MIXTURES, SKEWS, YCSBConfig, YCSBWorkload,
+                   YCSB_MIXTURE_NAMES)
+
+__all__ = [
+    "HTAPConfig",
+    "HTAPWorkload",
+    "HotspotDistribution",
+    "MIXTURES",
+    "SKEWS",
+    "TPCCConfig",
+    "TPCCWorkload",
+    "YCSBConfig",
+    "YCSBWorkload",
+    "YCSB_MIXTURE_NAMES",
+    "audit_tpcc",
+]

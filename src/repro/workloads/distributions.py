@@ -1,0 +1,49 @@
+"""Key-access distributions for workload generators.
+
+The paper's modified YCSB generator "supports two different levels of
+skew in the tuple access patterns that allows us to create a localized
+hotspot within each partition" (Section 5.1):
+
+* **low skew** — 50% of transactions access 20% of the tuples;
+* **high skew** — 90% of transactions access 10% of the tuples.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from ..errors import WorkloadError
+
+
+class HotspotDistribution:
+    """Hot-set access distribution over keys ``0 .. population-1``.
+
+    With probability ``hot_probability`` a key is drawn uniformly from
+    the first ``hot_fraction`` of the population (the hotspot), else
+    uniformly from the remainder.
+    """
+
+    def __init__(self, population: int, hot_fraction: float,
+                 hot_probability: float, rng: random.Random) -> None:
+        if population < 1:
+            raise WorkloadError("population must be >= 1")
+        if not 0.0 < hot_fraction <= 1.0:
+            raise WorkloadError("hot_fraction must be in (0, 1]")
+        if not 0.0 <= hot_probability <= 1.0:
+            raise WorkloadError("hot_probability must be in [0, 1]")
+        self.population = population
+        self.hot_size = max(1, int(population * hot_fraction))
+        self.hot_probability = hot_probability
+        self._rng = rng
+
+    def sample(self) -> int:
+        """Draw one key."""
+        if self.hot_size >= self.population:
+            return self._rng.randrange(self.population)
+        if self._rng.random() < self.hot_probability:
+            return self._rng.randrange(self.hot_size)
+        return self._rng.randrange(self.hot_size, self.population)
+
+    def sample_many(self, count: int) -> List[int]:
+        return [self.sample() for __ in range(count)]

@@ -1,0 +1,181 @@
+"""YCSB workload (Section 5.1, reference [20]).
+
+A single table of tuples with an integer primary key and 10 columns of
+100-byte random string data (~1 KB per tuple). Two transaction types:
+
+* **read** — retrieve one tuple by primary key;
+* **update** — modify one column of one tuple by primary key.
+
+Four mixtures (read-only 100/0, read-heavy 90/10, balanced 50/50,
+write-heavy 10/90) crossed with two skews (low: 50% of accesses to 20%
+of tuples; high: 90% to 10%) reproduce the paper's eight YCSB
+configurations. The paper runs 2M tuples / 8M transactions on the
+hardware emulator; the simulator defaults are scaled down and recorded
+per experiment in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import string
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, Tuple
+
+from ..core.database import Database
+from ..core.schema import Column, ColumnType, Schema
+from ..errors import WorkloadError
+from ..sim.rng import derive_rng
+from .distributions import HotspotDistribution
+
+#: mixture name -> fraction of update transactions
+MIXTURES: Dict[str, float] = {
+    "read-only": 0.0,
+    "read-heavy": 0.1,
+    "balanced": 0.5,
+    "write-heavy": 0.9,
+}
+
+YCSB_MIXTURE_NAMES = tuple(MIXTURES)
+
+#: skew name -> (hot fraction of tuples, probability of hitting it)
+SKEWS: Dict[str, Tuple[float, float]] = {
+    "low": (0.2, 0.5),
+    "high": (0.1, 0.9),
+}
+
+NUM_VALUE_COLUMNS = 10
+VALUE_COLUMN_BYTES = 100
+
+_ALPHABET = string.ascii_letters + string.digits
+
+
+@dataclass(frozen=True)
+class YCSBConfig:
+    """Scaled YCSB parameters."""
+
+    num_tuples: int = 4000
+    mixture: str = "balanced"
+    skew: str = "low"
+    seed: int = 31
+
+    def __post_init__(self) -> None:
+        if self.mixture not in MIXTURES:
+            raise WorkloadError(
+                f"unknown mixture {self.mixture!r}; "
+                f"expected one of {sorted(MIXTURES)}")
+        if self.skew not in SKEWS:
+            raise WorkloadError(
+                f"unknown skew {self.skew!r}; "
+                f"expected one of {sorted(SKEWS)}")
+        if self.num_tuples < 1:
+            raise WorkloadError("num_tuples must be >= 1")
+
+
+class YCSBWorkload:
+    """Generator + loader + stored procedures for YCSB."""
+
+    TABLE = "usertable"
+
+    def __init__(self, config: YCSBConfig,
+                 partitions: int = 1) -> None:
+        self.config = config
+        self.partitions = partitions
+        self._data_rng = derive_rng(config.seed, "ycsb", "data")
+        self._op_rng = derive_rng(config.seed, "ycsb", "ops")
+        hot_fraction, hot_probability = SKEWS[config.skew]
+        # Independent hotspot per partition ("a localized hotspot
+        # within each partition").
+        tuples_per_partition = config.num_tuples // partitions
+        self._dists = [
+            HotspotDistribution(tuples_per_partition, hot_fraction,
+                                hot_probability,
+                                derive_rng(config.seed, "ycsb", "skew",
+                                           str(pid)))
+            for pid in range(partitions)
+        ]
+        self.tuples_per_partition = tuples_per_partition
+
+    # ------------------------------------------------------------------
+    # Schema & loading
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def schema() -> Schema:
+        columns = [Column("ycsb_key", ColumnType.INT)]
+        columns.extend(
+            Column(f"field{i}", ColumnType.STRING,
+                   capacity=VALUE_COLUMN_BYTES)
+            for i in range(NUM_VALUE_COLUMNS))
+        return Schema.build(YCSBWorkload.TABLE, columns,
+                            primary_key=["ycsb_key"])
+
+    def _random_string(self, length: int = VALUE_COLUMN_BYTES) -> str:
+        return "".join(self._data_rng.choices(_ALPHABET, k=length))
+
+    def make_tuple(self, key: int) -> Dict[str, Any]:
+        values: Dict[str, Any] = {"ycsb_key": key}
+        for i in range(NUM_VALUE_COLUMNS):
+            values[f"field{i}"] = self._random_string()
+        return values
+
+    def load(self, db: Database) -> int:
+        """Populate the table; returns the number of tuples loaded.
+
+        Keys are partition-local: partition p holds keys
+        ``p * tuples_per_partition .. (p+1) * tpp - 1``.
+        """
+        db.create_table(self.schema())
+        count = 0
+        for pid in range(self.partitions):
+            base = pid * self.tuples_per_partition
+            for offset in range(self.tuples_per_partition):
+                db.insert(self.TABLE, self.make_tuple(base + offset),
+                          partition=pid)
+                count += 1
+        db.flush()
+        return count
+
+    # ------------------------------------------------------------------
+    # Transactions
+    # ------------------------------------------------------------------
+
+    def operations(self, count: int) -> Iterator[Tuple[str, int, int]]:
+        """Yield ``(kind, partition, key)`` tuples; kind is "read" or
+        "update". The workload is pre-generated and identical across
+        engines so storage footprints and read/write amplification are
+        comparable (Section 5.1)."""
+        update_fraction = MIXTURES[self.config.mixture]
+        for index in range(count):
+            pid = index % self.partitions
+            local_key = self._dists[pid].sample()
+            key = pid * self.tuples_per_partition + local_key
+            kind = "update" \
+                if self._op_rng.random() < update_fraction else "read"
+            yield kind, pid, key
+
+    def run(self, db: Database, num_txns: int) -> int:
+        """Execute ``num_txns`` pre-generated transactions; returns the
+        number committed."""
+        committed = 0
+        table = self.TABLE
+        for kind, pid, key in self.operations(num_txns):
+            if kind == "read":
+                db.execute(_read_txn, table, key, partition=pid)
+            else:
+                field = f"field{self._op_rng.randrange(NUM_VALUE_COLUMNS)}"
+                value = self._random_string()
+                db.execute(_update_txn, table, key, field, value,
+                           partition=pid)
+            committed += 1
+        db.flush()
+        return committed
+
+
+def _read_txn(ctx, table: str, key: int) -> Dict[str, Any]:
+    row = ctx.get(table, key)
+    assert row is not None, f"YCSB key {key} missing"
+    return row
+
+
+def _update_txn(ctx, table: str, key: int, field: str,
+                value: str) -> None:
+    ctx.update(table, key, {field: value})

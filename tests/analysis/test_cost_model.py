@@ -1,0 +1,82 @@
+"""Unit tests for the Table 3 analytical cost model."""
+
+import pytest
+
+from repro.analysis.cost_model import (CostModelParams, cost_table,
+                                       engine_cost)
+
+PARAMS = CostModelParams(tuple_size=1000, fixed_field_size=8,
+                         varlen_field_size=100, cow_node_size=4096,
+                         write_amplification=2.0)
+
+
+def test_inp_insert_triplicates_tuple():
+    cost = engine_cost("inp", "insert", PARAMS)
+    assert cost.memory == cost.log == cost.table == 1000
+    assert cost.total == 3000
+
+
+def test_nvm_inp_insert_logs_pointer():
+    cost = engine_cost("nvm-inp", "insert", PARAMS)
+    assert cost.memory == 1000
+    assert cost.log == 8
+    assert cost.table == 8
+
+
+def test_inp_update_logs_before_and_after():
+    cost = engine_cost("inp", "update", PARAMS)
+    assert cost.log == 2 * (8 + 100)
+
+
+def test_nvm_inp_update_logs_fixed_plus_pointer():
+    cost = engine_cost("nvm-inp", "update", PARAMS)
+    assert cost.log == 8 + 8
+    assert cost.table == 0
+
+
+def test_cow_engines_never_log():
+    for engine in ("cow", "nvm-cow"):
+        for operation in ("insert", "update", "delete"):
+            assert engine_cost(engine, operation, PARAMS).log == 0
+
+
+def test_cow_update_copies_node():
+    cost = engine_cost("cow", "update", PARAMS)
+    assert cost.memory == 4096 + 8 + 100
+    assert cost.table == 4096
+
+
+def test_log_engines_amplify_table_writes():
+    log_cost = engine_cost("log", "insert", PARAMS)
+    assert log_cost.table == 2.0 * 1000
+    nvm_cost = engine_cost("nvm-log", "update", PARAMS)
+    assert nvm_cost.table == 2.0 * (8 + 8)
+
+
+def test_nvm_engines_never_exceed_traditional():
+    pairs = (("inp", "nvm-inp"), ("cow", "nvm-cow"), ("log", "nvm-log"))
+    for traditional, nvm in pairs:
+        for operation in ("insert", "update", "delete"):
+            assert engine_cost(nvm, operation, PARAMS).total \
+                <= engine_cost(traditional, operation, PARAMS).total, \
+                (traditional, nvm, operation)
+
+
+def test_deletes_are_cheap():
+    for engine in ("inp", "log", "nvm-inp", "nvm-log"):
+        assert engine_cost(engine, "delete", PARAMS).total \
+            < engine_cost(engine, "insert", PARAMS).total
+
+
+def test_cost_table_covers_all_cells():
+    table = cost_table(PARAMS)
+    assert len(table) == 6
+    for engine, operations in table.items():
+        assert set(operations) == {"insert", "update", "delete"}
+
+
+def test_unknown_engine_rejected():
+    with pytest.raises(ValueError):
+        engine_cost("fancy", "insert", PARAMS)
+    with pytest.raises(ValueError):
+        engine_cost("inp", "upsert", PARAMS)

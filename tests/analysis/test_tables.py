@@ -1,0 +1,30 @@
+"""Unit tests for the table formatter."""
+
+from repro.analysis.tables import format_table
+
+
+def test_basic_table():
+    text = format_table(["name", "value"], [["a", 1], ["bb", 22]])
+    lines = text.splitlines()
+    assert lines[0].split() == ["name", "value"]
+    assert "a" in lines[2]
+    assert "22" in lines[3]
+
+
+def test_title_prepended():
+    text = format_table(["x"], [[1]], title="My Table")
+    assert text.splitlines()[0] == "My Table"
+
+
+def test_number_formatting():
+    text = format_table(["v"], [[1234567.0], [0.125], [12.34], [0]])
+    assert "1,234,567" in text
+    assert "0.125" in text
+    assert "12.3" in text
+
+
+def test_columns_aligned():
+    text = format_table(["aa", "b"], [["x", 1], ["longer", 100]])
+    lines = text.splitlines()
+    # All rows have equal width.
+    assert len(set(len(line) for line in lines[0:1] + lines[2:])) == 1

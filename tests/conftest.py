@@ -1,0 +1,31 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import (CacheConfig, EngineConfig, LatencyProfile,
+                          PlatformConfig)
+from repro.nvm.platform import Platform
+
+
+@pytest.fixture
+def platform() -> Platform:
+    """A small deterministic platform with DRAM-latency NVM."""
+    config = PlatformConfig(
+        latency=LatencyProfile.dram(),
+        cache=CacheConfig(capacity_bytes=256 * 1024),
+        nvm_capacity_bytes=32 * 1024 * 1024,
+        seed=1234,
+    )
+    return Platform(config)
+
+
+@pytest.fixture
+def engine_config() -> EngineConfig:
+    """Engine tunables scaled down for fast tests."""
+    return EngineConfig(
+        group_commit_size=4,
+        checkpoint_interval_txns=200,
+        memtable_threshold_bytes=8 * 1024,
+    )

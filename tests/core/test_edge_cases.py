@@ -1,0 +1,92 @@
+"""Edge cases across the core: empty tables, unicode, boundary sizes."""
+
+import pytest
+
+from repro import (Column, ColumnType, Database, EngineConfig, Schema)
+from repro.core.tuple_codec import decode_key, encode_key
+from repro.engines.base import ENGINE_NAMES
+from repro.errors import SchemaError
+
+
+@pytest.fixture(params=list(ENGINE_NAMES.ALL))
+def db(request):
+    database = Database(engine=request.param, seed=3,
+                        engine_config=EngineConfig(
+                            group_commit_size=2,
+                            nvm_cow_node_size=512))
+    database.create_table(Schema.build(
+        "t", [Column("k", ColumnType.INT),
+              Column("s", ColumnType.STRING, capacity=64),
+              Column("f", ColumnType.FLOAT)],
+        primary_key=["k"]))
+    return database
+
+
+def test_empty_table_scan(db):
+    assert db.scan("t") == []
+
+
+def test_empty_table_crash_recovery(db):
+    db.flush()
+    db.crash()
+    db.recover()
+    assert db.scan("t") == []
+    db.insert("t", {"k": 1, "s": "post", "f": 1.0})
+    assert db.get("t", 1)["s"] == "post"
+
+
+def test_unicode_round_trip(db):
+    values = {"k": 1, "s": "héllo wörld — ünïcode ✓", "f": 0.5}
+    db.insert("t", values)
+    db.flush()
+    db.crash()
+    db.recover()
+    assert db.get("t", 1) == values
+
+
+def test_empty_string_field(db):
+    db.insert("t", {"k": 1, "s": "", "f": 0.0})
+    assert db.get("t", 1)["s"] == ""
+
+
+def test_string_at_exact_capacity(db):
+    value = "x" * 64
+    db.insert("t", {"k": 1, "s": value, "f": 0.0})
+    assert db.get("t", 1)["s"] == value
+
+
+def test_extreme_numeric_values(db):
+    db.insert("t", {"k": 2 ** 63 - 1, "s": "max", "f": 1e308})
+    db.insert("t", {"k": -(2 ** 63), "s": "min", "f": -1e-308})
+    assert db.get("t", 2 ** 63 - 1)["f"] == 1e308
+    assert db.get("t", -(2 ** 63))["s"] == "min"
+
+
+def test_negative_keys_sort_correctly(db):
+    for key in (5, -3, 0, -10, 7):
+        db.insert("t", {"k": key, "s": "v", "f": 0.0})
+    assert [key for key, __ in db.scan("t")] == [-10, -3, 0, 5, 7]
+
+
+def test_update_to_same_value(db):
+    db.insert("t", {"k": 1, "s": "same", "f": 1.0})
+    db.update("t", 1, {"s": "same"})
+    assert db.get("t", 1)["s"] == "same"
+
+
+def test_bad_key_encoding_rejected():
+    with pytest.raises(SchemaError):
+        encode_key(1.5)
+    with pytest.raises(SchemaError):
+        encode_key(True)
+    with pytest.raises(SchemaError):
+        decode_key(b"z" + b"\x00" * 8)
+
+
+def test_many_small_transactions_then_recover(db):
+    for i in range(150):
+        db.insert("t", {"k": i, "s": f"s{i}", "f": float(i)})
+    db.flush()
+    db.crash()
+    db.recover()
+    assert len(db.scan("t")) == 150

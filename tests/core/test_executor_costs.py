@@ -1,0 +1,57 @@
+"""Tests for the compute-cost charges of the execution layer."""
+
+from repro import Column, ColumnType, Database, EngineConfig, Schema
+
+
+def make_db(**config):
+    db = Database(engine="nvm-inp", engine_config=EngineConfig(**config),
+                  seed=9)
+    db.create_table(Schema.build(
+        "t", [Column("k", ColumnType.INT),
+              Column("v", ColumnType.INT)], primary_key=["k"]))
+    return db
+
+
+def test_ops_charge_cpu_time():
+    cheap = make_db(op_cpu_ns=0.0, txn_cpu_ns=0.0)
+    costly = make_db(op_cpu_ns=5000.0, txn_cpu_ns=0.0)
+    for db in (cheap, costly):
+        db.insert("t", {"k": 1, "v": 1})
+    start_cheap, start_costly = cheap.now_ns, costly.now_ns
+    cheap.get("t", 1)
+    costly.get("t", 1)
+    cheap_cost = cheap.now_ns - start_cheap
+    costly_cost = costly.now_ns - start_costly
+    assert costly_cost - cheap_cost >= 5000.0
+
+
+def test_txn_overhead_charged_per_transaction():
+    db = make_db(op_cpu_ns=0.0, txn_cpu_ns=1000.0)
+    start = db.now_ns
+
+    def procedure(ctx):
+        pass  # empty transaction
+
+    db.execute(procedure)
+    assert db.now_ns - start >= 1000.0
+
+
+def test_cpu_costs_make_latency_scaling_sublinear():
+    """The compute-bound share does not scale with NVM latency, which
+    is what bounds the Fig. 7 throughput drop."""
+    from repro.config import LatencyProfile
+    from repro.harness.runner import run_ycsb
+
+    drops = {}
+    for op_cpu in (0.0, 400.0):
+        config = EngineConfig(op_cpu_ns=op_cpu, txn_cpu_ns=op_cpu)
+        fast = run_ycsb("inp", "read-only", "low",
+                        latency=LatencyProfile.dram(),
+                        num_tuples=300, num_txns=300,
+                        engine_config=config, cache_bytes=32 * 1024)
+        slow = run_ycsb("inp", "read-only", "low",
+                        latency=LatencyProfile.high_nvm(),
+                        num_tuples=300, num_txns=300,
+                        engine_config=config, cache_bytes=32 * 1024)
+        drops[op_cpu] = fast.throughput / slow.throughput
+    assert drops[400.0] < drops[0.0]

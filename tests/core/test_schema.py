@@ -1,0 +1,123 @@
+"""Unit tests for schemas and columns."""
+
+import pytest
+
+from repro.core.schema import Column, ColumnType, Schema
+from repro.errors import SchemaError
+
+
+def make_schema(**kwargs):
+    defaults = dict(
+        table="t",
+        columns=[Column("id", ColumnType.INT),
+                 Column("name", ColumnType.STRING, capacity=40),
+                 Column("score", ColumnType.FLOAT)],
+        primary_key=["id"],
+    )
+    defaults.update(kwargs)
+    return Schema.build(**defaults)
+
+
+def test_basic_schema():
+    schema = make_schema()
+    assert schema.column_names == ["id", "name", "score"]
+    assert schema.column("name").capacity == 40
+
+
+def test_fixed_slot_size():
+    schema = make_schema()
+    # 8-byte header + 8 bytes per field
+    assert schema.fixed_slot_size == 8 + 3 * 8
+
+
+def test_inlined_size_accounts_string_capacity():
+    schema = make_schema()
+    assert schema.inlined_size == 8 + 8 + (4 + 40) + 8
+
+
+def test_duplicate_columns_rejected():
+    with pytest.raises(SchemaError):
+        make_schema(columns=[Column("x", ColumnType.INT),
+                             Column("x", ColumnType.INT)],
+                    primary_key=["x"])
+
+
+def test_unknown_primary_key_rejected():
+    with pytest.raises(SchemaError):
+        make_schema(primary_key=["nope"])
+
+
+def test_empty_primary_key_rejected():
+    with pytest.raises(SchemaError):
+        make_schema(primary_key=[])
+
+
+def test_secondary_index_unknown_column_rejected():
+    with pytest.raises(SchemaError):
+        make_schema(secondary_indexes={"bad": ["ghost"]})
+
+
+def test_key_of_single_and_composite():
+    single = make_schema()
+    assert single.key_of({"id": 5, "name": "a", "score": 1.0}) == 5
+    composite = make_schema(primary_key=["id", "name"])
+    assert composite.key_of({"id": 5, "name": "a", "score": 1.0}) \
+        == (5, "a")
+
+
+def test_validate_accepts_good_tuple():
+    make_schema().validate({"id": 1, "name": "bob", "score": 2.5})
+
+
+def test_validate_rejects_missing_column():
+    with pytest.raises(SchemaError):
+        make_schema().validate({"id": 1, "name": "bob"})
+
+
+def test_validate_rejects_extra_column():
+    with pytest.raises(SchemaError):
+        make_schema().validate(
+            {"id": 1, "name": "b", "score": 1.0, "zzz": 0})
+
+
+def test_validate_rejects_wrong_types():
+    schema = make_schema()
+    with pytest.raises(SchemaError):
+        schema.validate({"id": "one", "name": "b", "score": 1.0})
+    with pytest.raises(SchemaError):
+        schema.validate({"id": 1, "name": 7, "score": 1.0})
+    with pytest.raises(SchemaError):
+        schema.validate({"id": True, "name": "b", "score": 1.0})
+
+
+def test_validate_rejects_oversized_string():
+    with pytest.raises(SchemaError):
+        make_schema().validate(
+            {"id": 1, "name": "x" * 41, "score": 1.0})
+
+
+def test_validate_rejects_int_overflow():
+    with pytest.raises(SchemaError):
+        make_schema().validate(
+            {"id": 2 ** 63, "name": "b", "score": 1.0})
+
+
+def test_validate_partial_rejects_pk_change():
+    with pytest.raises(SchemaError):
+        make_schema().validate_partial({"id": 9})
+
+
+def test_validate_partial_rejects_empty():
+    with pytest.raises(SchemaError):
+        make_schema().validate_partial({})
+
+
+def test_column_capacity_on_non_string_rejected():
+    with pytest.raises(SchemaError):
+        Column("n", ColumnType.INT, capacity=16)
+
+
+def test_inline_detection():
+    assert Column("a", ColumnType.INT).inline
+    assert Column("b", ColumnType.STRING, capacity=8).inline
+    assert not Column("c", ColumnType.STRING, capacity=9).inline

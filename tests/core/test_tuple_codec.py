@@ -1,0 +1,132 @@
+"""Unit and property tests for tuple serialization."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.schema import Column, ColumnType, Schema
+from repro.core.tuple_codec import (STATE_ALLOCATED, decode_fields,
+                                    decode_inlined, decode_key,
+                                    decode_slotted, encode_fields,
+                                    encode_inlined, encode_key,
+                                    encode_slotted, inlined_record_size,
+                                    slot_state)
+
+
+@pytest.fixture
+def schema():
+    return Schema.build("t", [
+        Column("id", ColumnType.INT),
+        Column("short", ColumnType.STRING, capacity=6),
+        Column("long", ColumnType.STRING, capacity=64),
+        Column("ratio", ColumnType.FLOAT),
+    ], primary_key=["id"])
+
+
+class FakeVarlenPool:
+    def __init__(self):
+        self.slots = {}
+        self.next = 1000
+
+    def write(self, data):
+        addr = self.next
+        self.next += 8
+        self.slots[addr] = data
+        return addr
+
+    def read(self, addr):
+        return self.slots[addr]
+
+
+def test_slotted_roundtrip(schema):
+    pool = FakeVarlenPool()
+    values = {"id": 42, "short": "abc", "long": "z" * 50, "ratio": 2.5}
+    slot, pointers = encode_slotted(schema, values, pool.write)
+    assert len(slot) == schema.fixed_slot_size
+    assert len(pointers) == 1  # only the long string spilled
+    assert decode_slotted(schema, slot, pool.read) == values
+
+
+def test_slotted_short_value_in_long_column_still_varlen(schema):
+    # Layout is decided by the column, not the value, so decode works.
+    pool = FakeVarlenPool()
+    values = {"id": 1, "short": "a", "long": "b", "ratio": 0.0}
+    slot, pointers = encode_slotted(schema, values, pool.write)
+    assert len(pointers) == 1
+    assert decode_slotted(schema, slot, pool.read)["long"] == "b"
+
+
+def test_slot_state_byte(schema):
+    pool = FakeVarlenPool()
+    slot, __ = encode_slotted(
+        schema, {"id": 1, "short": "", "long": "", "ratio": 1.0},
+        pool.write, state=STATE_ALLOCATED)
+    assert slot_state(slot) == STATE_ALLOCATED
+
+
+def test_slotted_wrong_size_rejected(schema):
+    from repro.errors import SchemaError
+    with pytest.raises(SchemaError):
+        decode_slotted(schema, b"\x00" * 10, lambda addr: b"")
+
+
+def test_inlined_roundtrip(schema):
+    values = {"id": -7, "short": "xy", "long": "hello " * 8,
+              "ratio": -0.125}
+    data = encode_inlined(schema, values)
+    assert len(data) == inlined_record_size(schema)
+    assert len(data) == schema.inlined_size
+    assert decode_inlined(schema, data) == values
+
+
+def test_inlined_unicode(schema):
+    values = {"id": 1, "short": "é", "long": "ü" * 20, "ratio": 1.0}
+    assert decode_inlined(schema, encode_inlined(schema, values)) == values
+
+
+def test_fields_roundtrip(schema):
+    changes = {"ratio": 3.5, "long": "patched"}
+    data = encode_fields(schema, changes)
+    assert decode_fields(schema, data) == changes
+
+
+def test_fields_int(schema):
+    assert decode_fields(schema, encode_fields(schema, {"id": 9})) \
+        == {"id": 9}
+
+
+def test_fields_empty(schema):
+    assert decode_fields(schema, encode_fields(schema, {})) == {}
+
+
+@pytest.mark.parametrize("key", [
+    0, -1, 2 ** 62, "hello", "", (1, 2), ("a", 3), ((1, "x"), 2),
+])
+def test_key_roundtrip(key):
+    data = encode_key(key)
+    decoded, consumed = decode_key(data)
+    assert decoded == key
+    assert consumed == len(data)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(min_value=-(2 ** 63), max_value=2 ** 63 - 1),
+       st.text(max_size=6), st.text(max_size=20),
+       st.floats(allow_nan=False, allow_infinity=False))
+def test_property_slotted_roundtrip(id_value, short, long, ratio):
+    from hypothesis import assume
+    assume(len(short.encode("utf-8")) <= 6)
+    assume(len(long.encode("utf-8")) <= 64)
+    schema = Schema.build("t", [
+        Column("id", ColumnType.INT),
+        Column("short", ColumnType.STRING, capacity=6),
+        Column("long", ColumnType.STRING, capacity=64),
+        Column("ratio", ColumnType.FLOAT),
+    ], primary_key=["id"])
+    pool = FakeVarlenPool()
+    values = {"id": id_value, "short": short, "long": long,
+              "ratio": ratio}
+    slot, __ = encode_slotted(schema, values, pool.write)
+    assert decode_slotted(schema, slot, pool.read) == values
+    assert decode_inlined(schema, encode_inlined(schema, values)) \
+        == values

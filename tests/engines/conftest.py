@@ -1,0 +1,51 @@
+"""Fixtures shared by the engine conformance tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Column, ColumnType, Database, EngineConfig, Schema
+from repro.engines.base import ENGINE_NAMES
+
+# The six paper engines plus the SOFORT-style MVCC extension — all of
+# them must satisfy the same observable semantics.
+ALL_ENGINES = list(ENGINE_NAMES.ALL) + ["nvm-mvcc"]
+
+
+def standard_schema() -> Schema:
+    return Schema.build(
+        "items",
+        [Column("id", ColumnType.INT),
+         Column("category", ColumnType.INT),
+         Column("label", ColumnType.STRING, capacity=8),
+         Column("payload", ColumnType.STRING, capacity=120),
+         Column("price", ColumnType.FLOAT)],
+        primary_key=["id"],
+        secondary_indexes={"by_category": ["category"]})
+
+
+def make_database(engine_name: str, **config_overrides) -> Database:
+    defaults = dict(group_commit_size=4, checkpoint_interval_txns=500,
+                    memtable_threshold_bytes=16 * 1024)
+    defaults.update(config_overrides)
+    db = Database(engine=engine_name, seed=23,
+                  engine_config=EngineConfig(**defaults))
+    db.create_table(standard_schema())
+    return db
+
+
+def sample_row(i: int) -> dict:
+    return {"id": i, "category": i % 7, "label": f"l{i % 10}",
+            "payload": f"payload-{i}-" + "x" * 60,
+            "price": float(i) * 1.5}
+
+
+@pytest.fixture(params=ALL_ENGINES)
+def db(request) -> Database:
+    """One Database per engine — conformance tests run 6x."""
+    return make_database(request.param)
+
+
+@pytest.fixture(params=ALL_ENGINES)
+def engine_name(request) -> str:
+    return request.param

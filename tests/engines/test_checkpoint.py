@@ -1,0 +1,74 @@
+"""Unit tests for the gzip checkpointer."""
+
+import pytest
+
+from repro.core.schema import Column, ColumnType, Schema
+from repro.engines.checkpoint import Checkpointer
+
+
+@pytest.fixture
+def schema():
+    return Schema.build("t", [
+        Column("k", ColumnType.INT),
+        Column("text", ColumnType.STRING, capacity=64),
+    ], primary_key=["k"])
+
+
+def rows(schema, count):
+    return [{"k": i, "text": f"row-{i}"} for i in range(count)]
+
+
+def test_write_read_roundtrip(platform, schema):
+    checkpointer = Checkpointer(platform.filesystem, platform.clock)
+    data = rows(schema, 50)
+    checkpointer.write({"t": (schema, iter(data))})
+    recovered = [values for __, values in
+                 checkpointer.read({"t": schema})]
+    assert recovered == data
+
+
+def test_multiple_tables(platform, schema):
+    other = Schema.build("u", [Column("k", ColumnType.INT),
+                               Column("n", ColumnType.INT)],
+                         primary_key=["k"])
+    checkpointer = Checkpointer(platform.filesystem, platform.clock)
+    checkpointer.write({
+        "t": (schema, iter(rows(schema, 5))),
+        "u": (other, iter([{"k": 1, "n": 2}])),
+    })
+    by_table = {}
+    for name, values in checkpointer.read({"t": schema, "u": other}):
+        by_table.setdefault(name, []).append(values)
+    assert len(by_table["t"]) == 5
+    assert by_table["u"] == [{"k": 1, "n": 2}]
+
+
+def test_compression_shrinks_redundant_data(platform, schema):
+    checkpointer = Checkpointer(platform.filesystem, platform.clock)
+    redundant = [{"k": i, "text": "a" * 60} for i in range(200)]
+    size = checkpointer.write({"t": (schema, iter(redundant))})
+    raw_size = 200 * schema.inlined_size
+    assert size < raw_size / 4  # gzip crushes repeated strings
+
+
+def test_second_checkpoint_replaces_first(platform, schema):
+    checkpointer = Checkpointer(platform.filesystem, platform.clock)
+    checkpointer.write({"t": (schema, iter(rows(schema, 100)))})
+    checkpointer.write({"t": (schema, iter(rows(schema, 1)))})
+    recovered = list(checkpointer.read({"t": schema}))
+    assert len(recovered) == 1
+    assert checkpointer.checkpoints_taken == 2
+
+
+def test_read_missing_checkpoint_is_empty(platform, schema):
+    checkpointer = Checkpointer(platform.filesystem, platform.clock)
+    assert list(checkpointer.read({"t": schema})) == []
+    assert checkpointer.size_bytes == 0
+
+
+def test_checkpoint_survives_crash(platform, schema):
+    checkpointer = Checkpointer(platform.filesystem, platform.clock)
+    checkpointer.write({"t": (schema, iter(rows(schema, 10)))})
+    platform.crash()
+    recovered = list(checkpointer.read({"t": schema}))
+    assert len(recovered) == 10

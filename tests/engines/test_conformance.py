@@ -1,0 +1,224 @@
+"""Cross-engine conformance: every engine must implement Table 2's
+primitive operations with identical observable semantics."""
+
+import pytest
+
+from repro import TransactionAborted
+from repro.errors import DuplicateKeyError, TupleNotFoundError
+
+from .conftest import sample_row
+
+
+def test_insert_select(db):
+    db.insert("items", sample_row(1))
+    assert db.get("items", 1) == sample_row(1)
+
+
+def test_select_missing(db):
+    assert db.get("items", 12345) is None
+
+
+def test_insert_duplicate_rejected(db):
+    db.insert("items", sample_row(1))
+    with pytest.raises(DuplicateKeyError):
+        db.insert("items", sample_row(1))
+
+
+def test_update_single_field(db):
+    db.insert("items", sample_row(1))
+    db.update("items", 1, {"price": 777.0})
+    row = db.get("items", 1)
+    assert row["price"] == 777.0
+    assert row["payload"] == sample_row(1)["payload"]
+
+
+def test_update_inline_and_varlen_fields(db):
+    db.insert("items", sample_row(1))
+    db.update("items", 1, {"label": "new", "payload": "fresh" * 10})
+    row = db.get("items", 1)
+    assert row["label"] == "new"
+    assert row["payload"] == "fresh" * 10
+
+
+def test_update_missing_raises(db):
+    with pytest.raises(TupleNotFoundError):
+        db.update("items", 999, {"price": 1.0})
+
+
+def test_repeated_updates(db):
+    db.insert("items", sample_row(1))
+    for value in range(10):
+        db.update("items", 1, {"price": float(value)})
+    assert db.get("items", 1)["price"] == 9.0
+
+
+def test_delete_then_select(db):
+    db.insert("items", sample_row(1))
+    db.delete("items", 1)
+    assert db.get("items", 1) is None
+
+
+def test_delete_missing_raises(db):
+    with pytest.raises(TupleNotFoundError):
+        db.delete("items", 999)
+
+
+def test_delete_then_reinsert(db):
+    db.insert("items", sample_row(1))
+    db.delete("items", 1)
+    fresh = sample_row(1)
+    fresh["price"] = -1.0
+    db.insert("items", fresh)
+    assert db.get("items", 1)["price"] == -1.0
+
+
+def test_update_after_delete_raises(db):
+    db.insert("items", sample_row(1))
+    db.delete("items", 1)
+    with pytest.raises(TupleNotFoundError):
+        db.update("items", 1, {"price": 1.0})
+
+
+def test_scan_range(db):
+    for i in range(20):
+        db.insert("items", sample_row(i))
+    rows = db.scan("items", lo=5, hi=10)
+    assert [key for key, __ in rows] == [5, 6, 7, 8, 9]
+    assert rows[0][1] == sample_row(5)
+
+
+def test_scan_reflects_deletes(db):
+    for i in range(10):
+        db.insert("items", sample_row(i))
+    db.delete("items", 4)
+    keys = [key for key, __ in db.scan("items")]
+    assert keys == [0, 1, 2, 3, 5, 6, 7, 8, 9]
+
+
+def test_secondary_index_tracks_inserts_and_deletes(db):
+    for i in range(14):
+        db.insert("items", sample_row(i))
+    matches = db.execute(
+        lambda ctx: ctx.get_secondary("items", "by_category", 3))
+    assert matches == [3, 10]
+    db.delete("items", 3)
+    matches = db.execute(
+        lambda ctx: ctx.get_secondary("items", "by_category", 3))
+    assert matches == [10]
+
+
+def test_secondary_index_tracks_updates(db):
+    db.insert("items", sample_row(1))  # category 1
+    db.update("items", 1, {"category": 5})
+    assert db.execute(
+        lambda ctx: ctx.get_secondary("items", "by_category", 1)) == []
+    assert db.execute(
+        lambda ctx: ctx.get_secondary("items", "by_category", 5)) == [1]
+
+
+def test_transaction_sees_own_writes(db):
+    def procedure(ctx):
+        ctx.insert("items", sample_row(50))
+        assert ctx.get("items", 50) == sample_row(50)
+        ctx.update("items", 50, {"price": 3.0})
+        assert ctx.get("items", 50)["price"] == 3.0
+        ctx.delete("items", 50)
+        assert ctx.get("items", 50) is None
+
+    db.execute(procedure)
+
+
+def test_abort_insert(db):
+    def doomed(ctx):
+        ctx.insert("items", sample_row(9))
+        ctx.abort()
+
+    with pytest.raises(TransactionAborted):
+        db.execute(doomed)
+    assert db.get("items", 9) is None
+
+
+def test_abort_update_restores_old_value(db):
+    db.insert("items", sample_row(1))
+
+    def doomed(ctx):
+        ctx.update("items", 1, {"price": 0.0, "payload": "garbage"})
+        ctx.abort()
+
+    with pytest.raises(TransactionAborted):
+        db.execute(doomed)
+    assert db.get("items", 1) == sample_row(1)
+
+
+def test_abort_delete_restores_tuple(db):
+    db.insert("items", sample_row(1))
+
+    def doomed(ctx):
+        ctx.delete("items", 1)
+        ctx.abort()
+
+    with pytest.raises(TransactionAborted):
+        db.execute(doomed)
+    assert db.get("items", 1) == sample_row(1)
+
+
+def test_abort_restores_secondary_indexes(db):
+    db.insert("items", sample_row(1))
+
+    def doomed(ctx):
+        ctx.update("items", 1, {"category": 6})
+        ctx.delete("items", 1)
+        ctx.insert("items", sample_row(24))  # category 24 % 7 == 3
+        ctx.abort()
+
+    with pytest.raises(TransactionAborted):
+        db.execute(doomed)
+    assert db.execute(
+        lambda ctx: ctx.get_secondary("items", "by_category", 1)) == [1]
+    assert db.execute(
+        lambda ctx: ctx.get_secondary("items", "by_category", 6)) == []
+    assert db.execute(
+        lambda ctx: ctx.get_secondary("items", "by_category", 3)) == []
+
+
+def test_abort_mixed_operations(db):
+    for i in range(5):
+        db.insert("items", sample_row(i))
+
+    def doomed(ctx):
+        ctx.update("items", 0, {"price": -5.0})
+        ctx.delete("items", 1)
+        ctx.insert("items", sample_row(100))
+        ctx.update("items", 100, {"label": "zzz"})
+        ctx.delete("items", 100)
+        ctx.abort()
+
+    with pytest.raises(TransactionAborted):
+        db.execute(doomed)
+    for i in range(5):
+        assert db.get("items", i) == sample_row(i)
+    assert db.get("items", 100) is None
+
+
+def test_many_tuples_consistency(db):
+    for i in range(300):
+        db.insert("items", sample_row(i))
+    for i in range(0, 300, 3):
+        db.update("items", i, {"price": -float(i)})
+    for i in range(0, 300, 5):
+        db.delete("items", i)
+    db.flush()
+    for i in range(300):
+        row = db.get("items", i)
+        if i % 5 == 0:
+            assert row is None
+        elif i % 3 == 0:
+            assert row["price"] == -float(i)
+        else:
+            assert row["price"] == sample_row(i)["price"]
+
+
+def test_committed_txn_counter(db):
+    for i in range(7):
+        db.insert("items", sample_row(i))
+    assert db.committed_txns == 7

@@ -1,0 +1,126 @@
+"""Failure injection: adversarial crash-model settings.
+
+The platform's crash lottery decides which dirty cache lines reached
+NVM before the power failed. These tests pin the lottery to its
+extremes (nothing survives / everything survives) and crash at nasty
+moments, checking that every engine's recovery still converges to a
+consistent committed state.
+"""
+
+import pytest
+
+from repro import Column, ColumnType, Database, EngineConfig, Schema
+from repro.config import CacheConfig, PlatformConfig
+from repro.engines.base import ENGINE_NAMES
+
+#: The six paper engines plus the MVCC extension.
+ENGINES = list(ENGINE_NAMES.ALL) + ["nvm-mvcc"]
+
+
+def make_db(engine, crash_probability, seed=77):
+    platform_config = PlatformConfig(
+        cache=CacheConfig(capacity_bytes=128 * 1024,
+                          crash_eviction_probability=crash_probability),
+        seed=seed)
+    db = Database(engine=engine, platform_config=platform_config,
+                  engine_config=EngineConfig(
+                      group_commit_size=5,
+                      memtable_threshold_bytes=8 * 1024,
+                      nvm_cow_node_size=512), seed=seed)
+    db.create_table(Schema.build(
+        "t", [Column("k", ColumnType.INT),
+              Column("v", ColumnType.INT),
+              Column("blob", ColumnType.STRING, capacity=90)],
+        primary_key=["k"]))
+    return db
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+@pytest.mark.parametrize("crash_probability", [0.0, 0.3, 1.0])
+def test_acked_commits_survive_any_lottery(engine, crash_probability):
+    db = make_db(engine, crash_probability)
+    for i in range(80):
+        db.insert("t", {"k": i, "v": i, "blob": f"b{i}" * 10})
+    for i in range(0, 80, 2):
+        db.update("t", i, {"v": -i})
+    db.flush()
+    db.crash()
+    db.recover()
+    for i in range(80):
+        row = db.get("t", i)
+        assert row is not None, (engine, crash_probability, i)
+        assert row["v"] == (-i if i % 2 == 0 else i)
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_uncommitted_txn_invisible_under_full_eviction(engine):
+    """Even if *every* dirty line reached NVM before the crash, an
+    uncommitted transaction must be rolled back."""
+    db = make_db(engine, crash_probability=1.0)
+    for i in range(20):
+        db.insert("t", {"k": i, "v": i, "blob": "x" * 20})
+    db.flush()
+    partition = db.partitions[0]
+    txn = partition.engine.begin()
+    partition.engine.insert(txn, "t",
+                            {"k": 500, "v": 1, "blob": "dirty"})
+    partition.engine.update(txn, "t", 3, {"v": 999})
+    db.crash()
+    db.recover()
+    assert db.get("t", 500) is None
+    assert db.get("t", 3)["v"] == 3
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_repeated_crashes_between_every_batch(engine):
+    db = make_db(engine, crash_probability=0.5)
+    expected = {}
+    for batch in range(5):
+        for i in range(batch * 10, batch * 10 + 10):
+            db.insert("t", {"k": i, "v": i, "blob": "y" * 30})
+            expected[i] = i
+        db.flush()
+        db.crash()
+        db.recover()
+        for key, value in expected.items():
+            row = db.get("t", key)
+            assert row is not None and row["v"] == value, \
+                (engine, batch, key)
+
+
+@pytest.mark.parametrize("engine", list(ENGINE_NAMES.NVM_AWARE) + ["nvm-mvcc"])
+def test_double_recovery_is_idempotent(engine):
+    """Recovering twice (e.g. a crash immediately after recovery) must
+    not corrupt anything."""
+    db = make_db(engine, crash_probability=0.5)
+    for i in range(30):
+        db.insert("t", {"k": i, "v": i, "blob": "z" * 10})
+    db.flush()
+    db.crash()
+    db.recover()
+    db.crash()
+    db.recover()
+    for i in range(30):
+        assert db.get("t", i)["v"] == i
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_crash_with_interleaved_deletes(engine):
+    db = make_db(engine, crash_probability=0.0)
+    for i in range(40):
+        db.insert("t", {"k": i, "v": i, "blob": "d" * 15})
+    for i in range(0, 40, 3):
+        db.delete("t", i)
+    for i in range(0, 40, 6):  # re-insert a subset of deleted keys
+        db.insert("t", {"k": i, "v": 1000 + i, "blob": "re" * 5})
+    db.flush()
+    db.crash()
+    db.recover()
+    for i in range(40):
+        row = db.get("t", i)
+        if i % 6 == 0:
+            assert row["v"] == 1000 + i
+        elif i % 3 == 0:
+            assert row is None
+        else:
+            assert row["v"] == i

@@ -1,0 +1,76 @@
+"""Tests for the hybrid DRAM+NVM engine (Appendix D extension)."""
+
+import pytest
+
+from repro import (Column, ColumnType, Database, EngineConfig,
+                   LatencyProfile, PlatformConfig, Schema)
+from repro.config import CacheConfig
+from repro.errors import ConfigError
+
+
+def make_hybrid_db(latency=None, dram=4 * 1024 * 1024):
+    platform_config = PlatformConfig(
+        latency=latency or LatencyProfile.dram(),
+        cache=CacheConfig(capacity_bytes=128 * 1024),
+        dram_capacity_bytes=dram, seed=7)
+    db = Database(engine="hybrid-inp", platform_config=platform_config,
+                  engine_config=EngineConfig(group_commit_size=4),
+                  seed=7)
+    db.create_table(Schema.build(
+        "t", [Column("k", ColumnType.INT),
+              Column("v", ColumnType.STRING, capacity=100)],
+        primary_key=["k"]))
+    return db
+
+
+def test_requires_dram_tier():
+    with pytest.raises(ConfigError):
+        Database(engine="hybrid-inp")
+
+
+def test_basic_crud_and_recovery():
+    db = make_hybrid_db()
+    for i in range(100):
+        db.insert("t", {"k": i, "v": f"value-{i}"})
+    db.update("t", 5, {"v": "patched"})
+    db.delete("t", 7)
+    db.flush()
+    db.crash()
+    db.recover()  # indexes rebuilt into DRAM from checkpoint + WAL
+    assert db.get("t", 5)["v"] == "patched"
+    assert db.get("t", 7) is None
+    assert db.get("t", 50)["v"] == "value-50"
+
+
+def test_indexes_do_not_consume_nvm():
+    db = make_hybrid_db()
+    for i in range(200):
+        db.insert("t", {"k": i, "v": "x" * 50})
+    breakdown = db.storage_breakdown()
+    assert breakdown["index"] == 0
+    assert db.partitions[0].platform.dram.used_bytes > 0
+
+
+def test_hybrid_beats_inp_at_high_nvm_latency():
+    """The Appendix D motivation: DRAM-resident indexes pay off most
+    under high NVM latency, read-heavy access."""
+    def read_time(engine):
+        platform_config = PlatformConfig(
+            latency=LatencyProfile.high_nvm(),
+            cache=CacheConfig(capacity_bytes=32 * 1024),
+            dram_capacity_bytes=8 * 1024 * 1024, seed=7)
+        db = Database(engine=engine, platform_config=platform_config,
+                      seed=7)
+        db.create_table(Schema.build(
+            "t", [Column("k", ColumnType.INT),
+                  Column("v", ColumnType.STRING, capacity=100)],
+            primary_key=["k"]))
+        for i in range(500):
+            db.insert("t", {"k": i, "v": "y" * 80})
+        db.settle()
+        start = db.now_ns
+        for i in range(0, 500, 3):
+            db.get("t", i)
+        return db.now_ns - start
+
+    assert read_time("hybrid-inp") < read_time("inp")

@@ -1,0 +1,162 @@
+"""Tests for the SOFORT-style MVCC engine extension."""
+
+import pytest
+
+from repro import Database, EngineConfig, TransactionAborted
+from repro.errors import DuplicateKeyError, TupleNotFoundError
+
+from .conftest import make_database, sample_row
+
+
+def mvcc_db(**overrides):
+    return make_database("nvm-mvcc", **overrides)
+
+
+def test_basic_crud():
+    db = mvcc_db()
+    db.insert("items", sample_row(1))
+    assert db.get("items", 1) == sample_row(1)
+    db.update("items", 1, {"price": 42.0})
+    assert db.get("items", 1)["price"] == 42.0
+    db.delete("items", 1)
+    assert db.get("items", 1) is None
+    with pytest.raises(TupleNotFoundError):
+        db.update("items", 1, {"price": 0.0})
+
+
+def test_duplicate_insert_rejected():
+    db = mvcc_db()
+    db.insert("items", sample_row(1))
+    with pytest.raises(DuplicateKeyError):
+        db.insert("items", sample_row(1))
+
+
+def test_update_creates_new_version_and_gc_reclaims_old():
+    db = mvcc_db()
+    engine = db.partitions[0].engine
+    db.insert("items", sample_row(1))
+    pool = engine._tables["items"].pool
+    assert pool.live_count == 1
+    db.update("items", 1, {"price": 2.0})
+    # The superseded version was reclaimed at commit.
+    assert pool.live_count == 1
+    for __ in range(20):
+        db.update("items", 1, {"price": 3.0})
+    assert pool.live_count == 1
+
+
+def test_commit_is_one_watermark_write():
+    db = mvcc_db()
+    engine = db.partitions[0].engine
+    db.insert("items", sample_row(1))
+    first = engine.watermark()
+    assert first > 0
+    db.update("items", 1, {"price": 9.0})
+    assert engine.watermark() > first
+    # Read-only transactions do not advance the watermark.
+    db.get("items", 1)
+    assert engine.watermark() == engine.watermark()
+
+
+def test_no_log_images_ever():
+    """The in-flight registry holds pointers, never tuple images."""
+    db = mvcc_db()
+    engine = db.partitions[0].engine
+    txn = engine.begin()
+    engine.insert(txn, "items", sample_row(5))
+    engine.update(txn, "items", 5, {"payload": "replaced" * 10})
+    records = engine._inflight.entries_for(txn.txn_id)
+    assert all(record.before_fields == b"" for record in records)
+    assert all(record.content_size <= 8 for record in records)
+    engine.commit(txn)
+    assert engine._inflight.entry_count == 0
+
+
+def test_abort_restores_previous_version():
+    db = mvcc_db()
+    db.insert("items", sample_row(1))
+
+    def doomed(ctx):
+        ctx.update("items", 1, {"price": -1.0, "payload": "dirty"})
+        ctx.delete("items", 1)
+        ctx.insert("items", sample_row(77))
+        ctx.abort()
+
+    with pytest.raises(TransactionAborted):
+        db.execute(doomed)
+    assert db.get("items", 1) == sample_row(1)
+    assert db.get("items", 77) is None
+
+
+def test_committed_work_survives_crash():
+    db = mvcc_db()
+    for i in range(40):
+        db.insert("items", sample_row(i))
+    for i in range(0, 40, 2):
+        db.update("items", i, {"price": float(i) + 0.5})
+    for i in range(0, 40, 5):
+        db.delete("items", i)
+    db.flush()
+    db.crash()
+    seconds = db.recover()
+    assert seconds < 1e-3  # undo-only, instant
+    for i in range(40):
+        row = db.get("items", i)
+        if i % 5 == 0:
+            assert row is None
+        elif i % 2 == 0:
+            assert row["price"] == float(i) + 0.5
+        else:
+            assert row == sample_row(i)
+
+
+def test_inflight_txn_rolled_back_by_recovery():
+    db = mvcc_db()
+    for i in range(10):
+        db.insert("items", sample_row(i))
+    db.flush()
+    engine = db.partitions[0].engine
+    txn = engine.begin()
+    engine.update(txn, "items", 1, {"price": -5.0})
+    engine.delete(txn, "items", 2)
+    engine.insert(txn, "items", sample_row(99))
+    db.crash()
+    db.recover()
+    assert db.get("items", 1) == sample_row(1)
+    assert db.get("items", 2) == sample_row(2)
+    assert db.get("items", 99) is None
+
+
+def test_secondary_indexes_track_versions():
+    db = mvcc_db()
+    for i in range(14):
+        db.insert("items", sample_row(i))
+    db.update("items", 3, {"category": 99})
+    matches = db.execute(
+        lambda ctx: ctx.get_secondary("items", "by_category", 99))
+    assert matches == [3]
+    db.flush()
+    db.crash()
+    db.recover()
+    matches = db.execute(
+        lambda ctx: ctx.get_secondary("items", "by_category", 99))
+    assert matches == [3]
+
+
+def test_matches_nvm_inp_final_state():
+    """Same scripted workload as the six-engine equivalence check."""
+    from .test_equivalence import run_scripted_workload
+    __, reference = run_scripted_workload("nvm-inp")
+    __, state = run_scripted_workload("nvm-mvcc")
+    assert state == reference
+
+
+def test_footprint_has_no_persistent_log():
+    db = mvcc_db()
+    for i in range(50):
+        db.insert("items", sample_row(i))
+    db.flush()
+    breakdown = db.storage_breakdown()
+    # Truncated registry: at most the 8-byte anchor remains.
+    assert breakdown["log"] < 100
+    assert breakdown["checkpoint"] == 0

@@ -1,0 +1,86 @@
+"""Property-based cross-engine tests.
+
+Hypothesis drives random operation sequences (including aborts and
+crash/recover cycles) against each engine and checks the observable
+state against a plain dict model. Durability semantics per engine are
+respected: a flush is forced before any crash, so every committed
+transaction must survive.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import Column, ColumnType, Database, EngineConfig, Schema
+from repro.engines.base import ENGINE_NAMES
+from repro.errors import DuplicateKeyError, TupleNotFoundError
+
+KEYS = st.integers(min_value=0, max_value=40)
+
+OPERATIONS = st.lists(
+    st.one_of(
+        st.tuples(st.just("insert"), KEYS,
+                  st.integers(min_value=0, max_value=1000)),
+        st.tuples(st.just("update"), KEYS,
+                  st.integers(min_value=0, max_value=1000)),
+        st.tuples(st.just("delete"), KEYS, st.just(0)),
+        st.tuples(st.just("crash"), st.just(0), st.just(0)),
+    ),
+    max_size=40)
+
+
+def make_db(engine):
+    db = Database(engine=engine, seed=13,
+                  engine_config=EngineConfig(
+                      group_commit_size=3,
+                      checkpoint_interval_txns=25,
+                      memtable_threshold_bytes=4 * 1024,
+                      nvm_cow_node_size=512))
+    db.create_table(Schema.build(
+        "t", [Column("k", ColumnType.INT),
+              Column("v", ColumnType.INT),
+              Column("pad", ColumnType.STRING, capacity=60)],
+        primary_key=["k"]))
+    return db
+
+
+@pytest.mark.parametrize("engine", ENGINE_NAMES.ALL)
+@settings(max_examples=12, deadline=None,
+          suppress_health_check=[HealthCheck.function_scoped_fixture,
+                                 HealthCheck.too_slow])
+@given(operations=OPERATIONS)
+def test_property_engine_matches_model(engine, operations):
+    db = make_db(engine)
+    model = {}
+    for kind, key, value in operations:
+        if kind == "insert":
+            if key in model:
+                with pytest.raises(DuplicateKeyError):
+                    db.insert("t", {"k": key, "v": value,
+                                    "pad": "p" * 30})
+            else:
+                db.insert("t", {"k": key, "v": value, "pad": "p" * 30})
+                model[key] = value
+        elif kind == "update":
+            if key in model:
+                db.update("t", key, {"v": value})
+                model[key] = value
+            else:
+                with pytest.raises(TupleNotFoundError):
+                    db.update("t", key, {"v": value})
+        elif kind == "delete":
+            if key in model:
+                db.delete("t", key)
+                del model[key]
+            else:
+                with pytest.raises(TupleNotFoundError):
+                    db.delete("t", key)
+        else:  # crash (after a durable point, so nothing may be lost)
+            db.flush()
+            db.crash()
+            db.recover()
+    db.flush()
+    db.crash()
+    db.recover()
+    observed = {key: values["v"] for key, values in db.scan("t")}
+    assert observed == model

@@ -1,0 +1,203 @@
+"""Crash-recovery conformance: committed (acked) transactions survive a
+power failure; uncommitted transactions never become visible."""
+
+import pytest
+
+from repro import Database, EngineConfig
+from repro.engines.base import ENGINE_NAMES
+
+from .conftest import make_database, sample_row
+
+
+def crash_and_recover(db: Database) -> float:
+    db.crash()
+    return db.recover()
+
+
+def test_committed_survive_crash(db):
+    for i in range(60):
+        db.insert("items", sample_row(i))
+    db.flush()
+    crash_and_recover(db)
+    for i in range(60):
+        assert db.get("items", i) == sample_row(i)
+
+
+def test_updates_survive_crash(db):
+    for i in range(30):
+        db.insert("items", sample_row(i))
+    for i in range(30):
+        db.update("items", i, {"price": float(i) + 0.25,
+                               "payload": f"updated-{i}"})
+    db.flush()
+    crash_and_recover(db)
+    for i in range(30):
+        row = db.get("items", i)
+        assert row["price"] == float(i) + 0.25
+        assert row["payload"] == f"updated-{i}"
+
+
+def test_deletes_survive_crash(db):
+    for i in range(30):
+        db.insert("items", sample_row(i))
+    for i in range(0, 30, 2):
+        db.delete("items", i)
+    db.flush()
+    crash_and_recover(db)
+    for i in range(30):
+        row = db.get("items", i)
+        if i % 2 == 0:
+            assert row is None
+        else:
+            assert row == sample_row(i)
+
+
+def test_secondary_indexes_correct_after_recovery(db):
+    for i in range(28):
+        db.insert("items", sample_row(i))
+    db.update("items", 0, {"category": 99})
+    db.delete("items", 7)
+    db.flush()
+    crash_and_recover(db)
+    assert db.execute(
+        lambda ctx: ctx.get_secondary("items", "by_category", 99)) == [0]
+    matches = db.execute(
+        lambda ctx: ctx.get_secondary("items", "by_category", 0))
+    assert matches == [14, 21]  # 0 moved to 99, 7 deleted
+
+
+def test_unacked_commits_may_vanish_but_acked_never(engine_name):
+    """Group commit: transactions acknowledged at a flush boundary are
+    durable; the tail after the last flush may legitimately be lost."""
+    db = make_database(engine_name, group_commit_size=100)
+    for i in range(10):
+        db.insert("items", sample_row(i))
+    db.flush()  # acked: 0..9
+    for i in range(10, 15):
+        db.insert("items", sample_row(i))  # not yet flushed
+    db.crash()
+    db.recover()
+    for i in range(10):
+        assert db.get("items", i) == sample_row(i), \
+            f"acked tuple {i} lost by {engine_name}"
+    # The unflushed tail must be all-or-nothing per transaction (no
+    # torn tuples) — and for immediate-durability engines it survives.
+    for i in range(10, 15):
+        row = db.get("items", i)
+        assert row is None or row == sample_row(i)
+
+
+def test_multiple_crash_cycles(db):
+    for cycle in range(3):
+        base = cycle * 20
+        for i in range(base, base + 20):
+            db.insert("items", sample_row(i))
+        db.flush()
+        crash_and_recover(db)
+    for i in range(60):
+        assert db.get("items", i) == sample_row(i)
+
+
+def test_crash_during_active_txn_rolls_back(engine_name):
+    """A transaction in flight at the crash must leave no trace."""
+    db = make_database(engine_name)
+    for i in range(10):
+        db.insert("items", sample_row(i))
+    db.flush()
+    partition = db.partitions[0]
+    engine = partition.engine
+    txn = engine.begin()
+    engine.insert(txn, "items", sample_row(55))
+    engine.update(txn, "items", 1, {"price": -1.0, "payload": "dirty"})
+    engine.delete(txn, "items", 2)
+    # Crash with the transaction still active (never committed).
+    db.crash()
+    db.recover()
+    assert db.get("items", 55) is None, f"{engine_name}: insert leaked"
+    assert db.get("items", 1) == sample_row(1), \
+        f"{engine_name}: update leaked"
+    assert db.get("items", 2) == sample_row(2), \
+        f"{engine_name}: delete leaked"
+
+
+def test_work_continues_after_recovery(db):
+    for i in range(10):
+        db.insert("items", sample_row(i))
+    db.flush()
+    crash_and_recover(db)
+    db.insert("items", sample_row(100))
+    db.update("items", 0, {"price": 42.0})
+    db.delete("items", 1)
+    assert db.get("items", 100) == sample_row(100)
+    assert db.get("items", 0)["price"] == 42.0
+    assert db.get("items", 1) is None
+
+
+@pytest.mark.parametrize("engine_name", [ENGINE_NAMES.INP])
+def test_inp_recovery_uses_checkpoint(engine_name):
+    db = make_database(engine_name, checkpoint_interval_txns=25)
+    for i in range(60):  # crosses two checkpoint boundaries
+        db.insert("items", sample_row(i))
+    db.flush()
+    engine = db.partitions[0].engine
+    assert engine._checkpointer.checkpoints_taken >= 2
+    db.crash()
+    db.recover()
+    for i in range(60):
+        assert db.get("items", i) == sample_row(i)
+
+
+def test_nvm_engines_recover_faster_than_traditional():
+    """Fig. 12's headline: NVM-aware recovery latency is independent of
+    the number of committed transactions."""
+    latencies = {}
+    for name in (ENGINE_NAMES.INP, ENGINE_NAMES.NVM_INP,
+                 ENGINE_NAMES.LOG, ENGINE_NAMES.NVM_LOG):
+        db = make_database(name, checkpoint_interval_txns=10 ** 9,
+                           memtable_threshold_bytes=2 ** 30)
+        for i in range(300):
+            db.insert("items", sample_row(i))
+        db.flush()
+        db.crash()
+        latencies[name] = db.recover()
+    assert latencies["inp"] > 20 * latencies["nvm-inp"]
+    assert latencies["log"] > 20 * latencies["nvm-log"]
+
+
+def test_cow_engines_have_no_recovery_process():
+    for name in (ENGINE_NAMES.COW, ENGINE_NAMES.NVM_COW):
+        db = make_database(name)
+        for i in range(100):
+            db.insert("items", sample_row(i))
+        db.flush()
+        db.crash()
+        latency = db.recover()
+        assert latency < 1e-4, f"{name} recovery should be instant"
+        assert db.get("items", 50) == sample_row(50)
+
+
+def test_recovery_latency_scales_with_history_for_inp():
+    """InP replays the whole WAL since the last checkpoint: latency
+    grows with committed transactions (Fig. 12, linear series)."""
+    results = []
+    for txns in (50, 200):
+        db = make_database(ENGINE_NAMES.INP,
+                           checkpoint_interval_txns=10 ** 9)
+        for i in range(txns):
+            db.insert("items", sample_row(i))
+        db.flush()
+        db.crash()
+        results.append(db.recover())
+    assert results[1] > 2 * results[0]
+
+
+def test_nvm_inp_recovery_flat_in_history():
+    results = []
+    for txns in (50, 200):
+        db = make_database(ENGINE_NAMES.NVM_INP)
+        for i in range(txns):
+            db.insert("items", sample_row(i))
+        db.flush()
+        db.crash()
+        results.append(db.recover())
+    assert results[1] < results[0] * 5 + 1e-6  # near-constant

@@ -1,0 +1,76 @@
+"""Tests for the engine registry and base-class machinery."""
+
+import pytest
+
+from repro import EngineConfig
+from repro.engines.base import (ENGINE_NAMES, create_engine,
+                                engine_names)
+from repro.errors import ConfigError, TransactionStateError
+from repro.nvm.platform import Platform
+
+
+def test_all_six_paper_engines_registered():
+    names = engine_names()
+    for name in ENGINE_NAMES.ALL:
+        assert name in names
+    # Paper order first.
+    assert names[:6] == list(ENGINE_NAMES.ALL)
+
+
+def test_counterpart_mapping():
+    assert ENGINE_NAMES.COUNTERPART == {
+        "inp": "nvm-inp", "cow": "nvm-cow", "log": "nvm-log"}
+
+
+def test_create_engine_unknown():
+    with pytest.raises(ConfigError):
+        create_engine("not-an-engine", Platform())
+
+
+def test_nvm_awareness_flags(platform):
+    for name in ENGINE_NAMES.TRADITIONAL:
+        assert not create_engine(name, Platform()).is_nvm_aware
+    for name in ENGINE_NAMES.NVM_AWARE:
+        assert create_engine(name, Platform()).is_nvm_aware
+
+
+def test_duplicate_table_rejected(platform):
+    from repro.core.schema import Column, ColumnType, Schema
+    engine = create_engine("inp", platform)
+    schema = Schema.build("t", [Column("k", ColumnType.INT)],
+                          primary_key=["k"])
+    engine.create_table(schema)
+    from repro.errors import StorageEngineError
+    with pytest.raises(StorageEngineError):
+        engine.create_table(schema)
+
+
+def test_unknown_table_rejected(platform):
+    from repro.errors import StorageEngineError
+    engine = create_engine("inp", platform)
+    txn = engine.begin()
+    with pytest.raises(StorageEngineError):
+        engine.select(txn, "ghost", 1)
+
+
+def test_double_commit_rejected(platform):
+    engine = create_engine("nvm-inp", platform)
+    txn = engine.begin()
+    engine.commit(txn)
+    with pytest.raises(TransactionStateError):
+        engine.commit(txn)
+
+
+def test_abort_after_commit_rejected(platform):
+    engine = create_engine("nvm-inp", platform)
+    txn = engine.begin()
+    engine.commit(txn)
+    with pytest.raises(TransactionStateError):
+        engine.abort(txn)
+
+
+def test_timestamps_monotonic(platform):
+    engine = create_engine("nvm-inp", platform)
+    timestamps = [engine.begin().timestamp for __ in range(5)]
+    assert timestamps == sorted(timestamps)
+    assert len(set(timestamps)) == 5

@@ -1,0 +1,75 @@
+"""Unit tests for the shared secondary index maintenance helpers."""
+
+import pytest
+
+from repro.core.schema import Column, ColumnType, Schema
+from repro.engines.secondary import (secondary_add, secondary_remove,
+                                     secondary_update)
+from repro.index.stx_btree import STXBTree
+
+
+@pytest.fixture
+def setup():
+    schema = Schema.build(
+        "t", [Column("k", ColumnType.INT),
+              Column("grp", ColumnType.INT),
+              Column("region", ColumnType.INT)],
+        primary_key=["k"],
+        secondary_indexes={"by_grp": ["grp"],
+                           "by_region_grp": ["region", "grp"]})
+    indexes = {"by_grp": STXBTree(node_size=128),
+               "by_region_grp": STXBTree(node_size=128)}
+    return schema, indexes
+
+
+def test_add_and_lookup(setup):
+    schema, indexes = setup
+    secondary_add(schema, indexes, 1, {"k": 1, "grp": 5, "region": 2})
+    secondary_add(schema, indexes, 2, {"k": 2, "grp": 5, "region": 3})
+    assert indexes["by_grp"].get(5) == {1, 2}
+    assert indexes["by_region_grp"].get((2, 5)) == {1}
+
+
+def test_remove(setup):
+    schema, indexes = setup
+    values = {"k": 1, "grp": 5, "region": 2}
+    secondary_add(schema, indexes, 1, values)
+    secondary_remove(schema, indexes, 1, values)
+    assert indexes["by_grp"].get(5) is None
+    assert indexes["by_region_grp"].get((2, 5)) is None
+
+
+def test_remove_keeps_other_members(setup):
+    schema, indexes = setup
+    secondary_add(schema, indexes, 1, {"k": 1, "grp": 5, "region": 2})
+    secondary_add(schema, indexes, 2, {"k": 2, "grp": 5, "region": 2})
+    secondary_remove(schema, indexes, 1,
+                     {"k": 1, "grp": 5, "region": 2})
+    assert indexes["by_grp"].get(5) == {2}
+
+
+def test_remove_missing_is_noop(setup):
+    schema, indexes = setup
+    secondary_remove(schema, indexes, 9, {"k": 9, "grp": 1, "region": 1})
+    assert indexes["by_grp"].get(1) is None
+
+
+def test_update_moves_between_keys(setup):
+    schema, indexes = setup
+    old = {"k": 1, "grp": 5, "region": 2}
+    new = {"k": 1, "grp": 6, "region": 2}
+    secondary_add(schema, indexes, 1, old)
+    secondary_update(schema, indexes, 1, old, new)
+    assert indexes["by_grp"].get(5) is None
+    assert indexes["by_grp"].get(6) == {1}
+    # by_region_grp changed too (grp is part of its key).
+    assert indexes["by_region_grp"].get((2, 5)) is None
+    assert indexes["by_region_grp"].get((2, 6)) == {1}
+
+
+def test_update_with_unchanged_keys_is_noop(setup):
+    schema, indexes = setup
+    values = {"k": 1, "grp": 5, "region": 2}
+    secondary_add(schema, indexes, 1, values)
+    secondary_update(schema, indexes, 1, values, dict(values))
+    assert indexes["by_grp"].get(5) == {1}

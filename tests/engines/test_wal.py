@@ -1,0 +1,95 @@
+"""Unit tests for the filesystem write-ahead log."""
+
+import pytest
+
+from repro.engines import wal as walmod
+from repro.engines.wal import WALEntry, WriteAheadLog, group_entries_by_txn
+
+
+@pytest.fixture
+def wal(platform):
+    return WriteAheadLog(platform.filesystem), platform
+
+
+def test_entry_encode_decode_roundtrip():
+    entry = WALEntry(walmod.OP_UPDATE, txn_id=9, table_id=3,
+                     key=(1, "a"), before=b"old", after=b"new")
+    data = entry.encode()
+    decoded, consumed = WALEntry.decode(data, 0)
+    assert decoded == entry
+    assert consumed == len(data)
+
+
+def test_commit_marker_roundtrip():
+    entry = WALEntry(walmod.OP_COMMIT, txn_id=4)
+    decoded, __ = WALEntry.decode(entry.encode(), 0)
+    assert decoded.op == walmod.OP_COMMIT
+    assert decoded.key is None
+
+
+def test_append_replay(wal):
+    log, __ = wal
+    entries = [
+        WALEntry(walmod.OP_INSERT, 1, 0, key=5, after=b"tuple"),
+        WALEntry(walmod.OP_COMMIT, 1),
+        WALEntry(walmod.OP_DELETE, 2, 0, key=5, before=b"tuple"),
+    ]
+    for entry in entries:
+        log.append(entry)
+    log.flush()
+    assert list(log.replay()) == entries
+
+
+def test_committed_txn_ids(wal):
+    log, __ = wal
+    log.append(WALEntry(walmod.OP_INSERT, 1, key=1))
+    log.append(WALEntry(walmod.OP_COMMIT, 1))
+    log.append(WALEntry(walmod.OP_INSERT, 2, key=2))
+    log.flush()
+    assert log.committed_txn_ids() == {1}
+
+
+def test_unflushed_entries_lost_on_crash(wal):
+    log, platform = wal
+    log.append(WALEntry(walmod.OP_INSERT, 1, key=1))
+    log.flush()
+    log.append(WALEntry(walmod.OP_INSERT, 2, key=2))
+    platform.filesystem.crash()
+    assert [entry.txn_id for entry in log.replay()] == [1]
+
+
+def test_truncate(wal):
+    log, __ = wal
+    log.append(WALEntry(walmod.OP_INSERT, 1, key=1))
+    log.flush()
+    log.truncate()
+    assert list(log.replay()) == []
+    assert log.size_bytes == 0
+
+
+def test_flush_charges_fsync(wal):
+    log, platform = wal
+    before = platform.stats.counter("fs.fsyncs")
+    log.append(WALEntry(walmod.OP_INSERT, 1, key=1, after=b"x" * 100))
+    log.flush()
+    assert platform.stats.counter("fs.fsyncs") == before + 1
+
+
+def test_group_entries_by_txn():
+    entries = [
+        WALEntry(walmod.OP_INSERT, 1, key=1),
+        WALEntry(walmod.OP_UPDATE, 2, key=2),
+        WALEntry(walmod.OP_COMMIT, 1),
+        WALEntry(walmod.OP_INSERT, 1, key=3),
+    ]
+    grouped = group_entries_by_txn(iter(entries))
+    assert sorted(grouped) == [1, 2]
+    assert len(grouped[1]) == 2
+
+
+def test_insert_entry_size_tracks_tuple_size(wal):
+    """Table 3: InP insert logs the full tuple image (T)."""
+    log, __ = wal
+    small = WALEntry(walmod.OP_INSERT, 1, key=1, after=b"x" * 10)
+    large = WALEntry(walmod.OP_INSERT, 1, key=1, after=b"x" * 1000)
+    assert len(large.encode()) - len(small.encode()) == 990

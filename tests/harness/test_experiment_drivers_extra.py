@@ -1,0 +1,59 @@
+"""Tiny-scale smoke tests for the remaining figure drivers."""
+
+import pytest
+
+from repro.harness.experiments import (Scale, node_size_sensitivity,
+                                       storage_footprint,
+                                       sync_latency_sensitivity,
+                                       time_breakdown, tpcc_throughput)
+from repro.workloads.tpcc import TPCCConfig
+
+TINY = Scale(ycsb_tuples=150, ycsb_txns=150, tpcc_txns=25,
+             tpcc=TPCCConfig(warehouses=1, districts_per_warehouse=1,
+                             customers_per_district=5, items=15,
+                             initial_orders_per_district=3),
+             recovery_txn_counts=(30, 60), recovery_tuples=60,
+             cache_bytes=32 * 1024, tpcc_cache_bytes=16 * 1024)
+
+
+@pytest.mark.slow
+def test_time_breakdown_driver():
+    figures = time_breakdown(TINY, mixtures=("balanced",),
+                             engines=("inp", "nvm-inp"))
+    headers, rows = figures["balanced"]
+    assert headers[0] == "engine"
+    for row in rows:
+        assert abs(sum(row[1:]) - 100.0) < 1.0
+
+
+@pytest.mark.slow
+def test_storage_footprint_driver():
+    headers, rows = storage_footprint("ycsb", TINY,
+                                      engines=("inp", "nvm-inp"))
+    totals = {row[0]: row[-1] for row in rows}
+    assert totals["inp"] > 0 and totals["nvm-inp"] > 0
+
+
+@pytest.mark.slow
+def test_tpcc_driver_single_latency():
+    headers, rows, results = tpcc_throughput(
+        TINY, latencies=("dram",), engines=("nvm-inp",))
+    assert rows[0][1] > 0
+    assert ("nvm-inp", "dram") in results
+
+
+@pytest.mark.slow
+def test_node_size_driver_runs():
+    figures = node_size_sensitivity(TINY, mixtures=("read-heavy",))
+    for engine, (headers, rows) in figures.items():
+        assert len(rows) >= 3
+        assert all(row[1] > 0 for row in rows)
+
+
+@pytest.mark.slow
+def test_sync_latency_driver_runs():
+    figures = sync_latency_sensitivity(
+        TINY, latencies_ns=(0, 10000), mixtures=("write-heavy",))
+    for engine, (headers, rows) in figures.items():
+        baseline, degraded = rows[0][1], rows[1][1]
+        assert degraded < baseline

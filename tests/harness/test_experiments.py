@@ -1,0 +1,55 @@
+"""Tests for the per-figure experiment drivers (tiny scale)."""
+
+from repro.harness.experiments import (Scale, fig1_interfaces,
+                                       recovery_latency,
+                                       table1_technologies,
+                                       ycsb_throughput)
+from repro.workloads.tpcc import TPCCConfig
+
+TINY = Scale(ycsb_tuples=200, ycsb_txns=200, tpcc_txns=30,
+             tpcc=TPCCConfig(warehouses=1, districts_per_warehouse=1,
+                             customers_per_district=5, items=20,
+                             initial_orders_per_district=3),
+             recovery_txn_counts=(50, 100),
+             cache_bytes=32 * 1024, tpcc_cache_bytes=16 * 1024)
+
+
+def test_fig1_driver_shape():
+    headers, rows = fig1_interfaces(chunk_sizes=(8, 64),
+                                    total_bytes=4096)
+    assert headers[0] == "chunk (B)"
+    assert len(rows) == 2
+    for row in rows:
+        assert row[1] > row[2]  # allocator beats filesystem
+
+
+def test_ycsb_throughput_driver():
+    headers, rows, results = ycsb_throughput(
+        "dram", TINY, mixtures=("balanced",), skews=("low",),
+        engines=("inp", "nvm-inp"))
+    assert headers == ["engine", "balanced/low"]
+    assert [row[0] for row in rows] == ["inp", "nvm-inp"]
+    assert all(row[1] > 0 for row in rows)
+    assert ("inp", "balanced", "low") in results
+
+
+def test_recovery_latency_driver():
+    headers, rows = recovery_latency(
+        "ycsb", TINY, engines=("inp", "nvm-inp"))
+    assert len(headers) == 1 + len(TINY.recovery_txn_counts)
+    by_engine = {row[0]: row[1:] for row in rows}
+    # More history, more (or equal) recovery work for InP.
+    assert by_engine["inp"][-1] >= by_engine["inp"][0]
+    assert by_engine["inp"][-1] > by_engine["nvm-inp"][-1]
+
+
+def test_table1_driver():
+    headers, rows = table1_technologies()
+    assert "PCM" in headers
+    assert any(row[0] == "endurance (writes)" for row in rows)
+
+
+def test_scale_engine_config_overrides():
+    config = TINY.engine_config(group_commit_size=2)
+    assert config.group_commit_size == 2
+    assert config.nvm_cow_node_size == 512

@@ -1,0 +1,101 @@
+"""Integration tests for the experiment runners."""
+
+import pytest
+
+from repro.config import LatencyProfile
+from repro.harness.experiments import Scale
+from repro.harness.runner import run_tpcc, run_ycsb
+from repro.workloads.tpcc import TPCCConfig
+
+SMALL = Scale(ycsb_tuples=300, ycsb_txns=300, tpcc_txns=60,
+              tpcc=TPCCConfig(warehouses=1, districts_per_warehouse=2,
+                              customers_per_district=10, items=30,
+                              initial_orders_per_district=5),
+              cache_bytes=64 * 1024, tpcc_cache_bytes=32 * 1024)
+
+
+def test_run_ycsb_returns_complete_result():
+    result = run_ycsb("nvm-inp", "balanced", "low",
+                      num_tuples=SMALL.ycsb_tuples,
+                      num_txns=SMALL.ycsb_txns,
+                      engine_config=SMALL.engine_config(),
+                      cache_bytes=SMALL.cache_bytes)
+    assert result.engine == "nvm-inp"
+    assert result.workload == "ycsb/balanced/low"
+    assert result.txns == SMALL.ycsb_txns
+    assert result.sim_seconds > 0
+    assert result.throughput > 0
+    assert result.nvm_loads > 0
+    assert result.nvm_stores > 0
+    assert abs(sum(result.time_breakdown.values()) - 1.0) < 1e-6
+    assert set(result.storage_breakdown) >= {"table", "index", "log"}
+
+
+def test_run_ycsb_read_only_no_stores():
+    result = run_ycsb("inp", "read-only", "low",
+                      num_tuples=SMALL.ycsb_tuples,
+                      num_txns=SMALL.ycsb_txns,
+                      engine_config=SMALL.engine_config(),
+                      cache_bytes=SMALL.cache_bytes)
+    assert result.nvm_stores < result.nvm_loads * 0.05 + 50
+
+
+def test_run_ycsb_deterministic():
+    def run():
+        result = run_ycsb("log", "balanced", "high",
+                          num_tuples=SMALL.ycsb_tuples,
+                          num_txns=SMALL.ycsb_txns,
+                          engine_config=SMALL.engine_config(),
+                          cache_bytes=SMALL.cache_bytes, seed=5)
+        return (result.sim_seconds, result.nvm_loads,
+                result.nvm_stores)
+
+    assert run() == run()
+
+
+def test_latency_profile_slows_reads():
+    fast = run_ycsb("nvm-inp", "read-heavy", "low",
+                    latency=LatencyProfile.dram(),
+                    num_tuples=SMALL.ycsb_tuples,
+                    num_txns=SMALL.ycsb_txns,
+                    engine_config=SMALL.engine_config(),
+                    cache_bytes=SMALL.cache_bytes)
+    slow = run_ycsb("nvm-inp", "read-heavy", "low",
+                    latency=LatencyProfile.high_nvm(),
+                    num_tuples=SMALL.ycsb_tuples,
+                    num_txns=SMALL.ycsb_txns,
+                    engine_config=SMALL.engine_config(),
+                    cache_bytes=SMALL.cache_bytes)
+    assert slow.throughput < fast.throughput
+    # Sub-linear: 8x latency must cost far less than 8x throughput.
+    assert fast.throughput / slow.throughput < 8
+
+
+def test_run_tpcc_returns_complete_result():
+    result = run_tpcc("nvm-cow", tpcc_config=SMALL.tpcc,
+                      num_txns=SMALL.tpcc_txns,
+                      engine_config=SMALL.engine_config(),
+                      cache_bytes=SMALL.tpcc_cache_bytes)
+    assert result.workload == "tpcc"
+    assert result.throughput > 0
+    assert result.nvm_stores > 0
+
+
+def test_run_checkpoint_interval_applies():
+    result = run_ycsb("inp", "write-heavy", "low",
+                      num_tuples=SMALL.ycsb_tuples,
+                      num_txns=SMALL.ycsb_txns,
+                      engine_config=SMALL.engine_config(),
+                      cache_bytes=SMALL.cache_bytes,
+                      run_checkpoint_interval=100)
+    # A checkpoint happened during the measured window.
+    assert result.storage_breakdown.get("checkpoint", 0) > 0
+
+
+@pytest.mark.parametrize("engine", ["inp", "nvm-inp"])
+def test_partitioned_run(engine):
+    result = run_ycsb(engine, "balanced", "low",
+                      num_tuples=400, num_txns=200, partitions=2,
+                      engine_config=SMALL.engine_config(),
+                      cache_bytes=SMALL.cache_bytes)
+    assert result.throughput > 0

@@ -1,0 +1,65 @@
+"""Unit and property tests for the Bloom filter."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.index.bloom import BloomFilter
+
+
+def test_no_false_negatives_small():
+    bloom = BloomFilter(expected_keys=100)
+    for key in range(100):
+        bloom.add(key)
+    assert all(bloom.might_contain(key) for key in range(100))
+
+
+def test_mostly_rejects_absent_keys():
+    bloom = BloomFilter(expected_keys=1000)
+    for key in range(1000):
+        bloom.add(key)
+    false_positives = sum(
+        1 for key in range(10_000, 20_000) if bloom.might_contain(key))
+    assert false_positives < 500  # ~1% expected at 10 bits/key
+
+
+def test_build_classmethod():
+    bloom = BloomFilter.build(["a", "b", "c"])
+    assert "a" in bloom
+    assert bloom.count == 3
+
+
+def test_empty_filter_contains_nothing():
+    bloom = BloomFilter(expected_keys=10)
+    assert not bloom.might_contain("anything")
+    assert bloom.fill_ratio() == 0.0
+
+
+def test_size_scales_with_keys():
+    small = BloomFilter(expected_keys=10)
+    large = BloomFilter(expected_keys=1000)
+    assert large.size_bytes > small.size_bytes
+
+
+def test_invalid_parameters():
+    with pytest.raises(ValueError):
+        BloomFilter(expected_keys=-1)
+    with pytest.raises(ValueError):
+        BloomFilter(expected_keys=10, bits_per_key=0)
+    with pytest.raises(ValueError):
+        BloomFilter(expected_keys=10, num_hashes=0)
+
+
+def test_mixed_key_types():
+    bloom = BloomFilter.build([1, "1", (1, 2), None])
+    assert bloom.might_contain(1)
+    assert bloom.might_contain("1")
+    assert bloom.might_contain((1, 2))
+    assert bloom.might_contain(None)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.sets(st.text(max_size=20), max_size=200))
+def test_property_no_false_negatives(keys):
+    bloom = BloomFilter.build(keys)
+    assert all(bloom.might_contain(key) for key in keys)

@@ -1,0 +1,196 @@
+"""Unit and property tests for the copy-on-write B+tree."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.index.cow_btree import CoWBTree
+
+
+@pytest.fixture
+def tree():
+    return CoWBTree(node_size=128)  # fanout 8
+
+
+def test_mutation_requires_batch(tree):
+    with pytest.raises(RuntimeError):
+        tree.put(1, "x")
+    with pytest.raises(RuntimeError):
+        tree.delete(1)
+
+
+def test_put_commit_get(tree):
+    tree.begin_batch()
+    tree.put(1, "one")
+    tree.commit()
+    assert tree.get(1) == "one"
+    assert tree.get(1, dirty=False) == "one"
+
+
+def test_dirty_reads_see_uncommitted(tree):
+    tree.begin_batch()
+    tree.put(1, "one")
+    assert tree.get(1, dirty=True) == "one"
+    assert tree.get(1, dirty=False) is None
+
+
+def test_abort_discards_changes(tree):
+    tree.begin_batch()
+    tree.put(1, "committed")
+    tree.commit()
+    tree.begin_batch()
+    tree.put(1, "uncommitted")
+    tree.put(2, "new")
+    tree.abort()
+    assert tree.get(1) == "committed"
+    assert tree.get(2) is None
+    assert len(tree) == 1
+
+
+def test_versions_share_unmodified_subtrees(tree):
+    tree.begin_batch()
+    for key in range(200):
+        tree.put(key, key)
+    tree.commit()
+    tree.begin_batch()
+    tree.put(0, -1)  # touches one root-to-leaf path
+    # Current and dirty share everything except the copied path.
+    total = tree.node_count(dirty=True)
+    shared = tree.shared_node_count()
+    assert shared > 0
+    assert total - shared <= tree_depth_upper_bound(tree)
+    tree.commit()
+
+
+def tree_depth_upper_bound(tree):
+    # A single-path update copies at most depth nodes (plus splits).
+    node, depth = tree.dirty_root, 1
+    while not node.is_leaf:
+        node = node.children[0]
+        depth += 1
+    return depth + 2
+
+
+def test_commit_callback_receives_created_nodes(tree):
+    captured = {}
+
+    def persist(created, new_root):
+        captured["created"] = list(created)
+        captured["root"] = new_root
+
+    tree.begin_batch()
+    tree.put(1, "x")
+    tree.commit(persist=persist)
+    assert captured["created"], "path copy must create nodes"
+    assert captured["root"] is tree.current_root
+
+
+def test_delete_committed_key(tree):
+    tree.begin_batch()
+    for key in range(50):
+        tree.put(key, key)
+    tree.commit()
+    tree.begin_batch()
+    assert tree.delete(25) is True
+    tree.commit()
+    assert tree.get(25) is None
+    assert len(tree) == 49
+    tree.check_invariants()
+
+
+def test_delete_missing_key(tree):
+    tree.begin_batch()
+    tree.put(1, 1)
+    assert tree.delete(9) is False
+    tree.commit()
+
+
+def test_delete_everything(tree):
+    tree.begin_batch()
+    for key in range(100):
+        tree.put(key, key)
+    tree.commit()
+    tree.begin_batch()
+    for key in range(100):
+        assert tree.delete(key) is True
+    tree.commit()
+    assert len(tree) == 0
+    assert list(tree.items()) == []
+    tree.check_invariants()
+
+
+def test_items_range(tree):
+    tree.begin_batch()
+    for key in range(0, 60, 3):
+        tree.put(key, key)
+    tree.commit()
+    assert [k for k, __ in tree.items(lo=10, hi=25)] == [12, 15, 18, 21, 24]
+
+
+def test_multiple_epochs(tree):
+    for epoch in range(10):
+        tree.begin_batch()
+        for key in range(epoch * 10, epoch * 10 + 10):
+            tree.put(key, key)
+        tree.commit()
+    assert len(tree) == 100
+    assert list(tree.keys_snapshot()) if hasattr(tree, "keys_snapshot") \
+        else [k for k, __ in tree.items()] == list(range(100))
+    tree.check_invariants()
+
+
+def test_begin_batch_idempotent(tree):
+    tree.begin_batch()
+    tree.put(1, 1)
+    tree.begin_batch()  # no-op: same epoch continues
+    tree.put(2, 2)
+    tree.commit()
+    assert len(tree) == 2
+
+
+def test_commit_without_batch_is_noop(tree):
+    tree.commit()
+    tree.abort()
+    assert len(tree) == 0
+
+
+def test_install_recovered_root(tree):
+    tree.begin_batch()
+    for key in range(20):
+        tree.put(key, key)
+    tree.commit()
+    root = tree.current_root
+    fresh = CoWBTree(node_size=128)
+    fresh.install_recovered_root(root, 20)
+    assert fresh.get(7) == 7
+    assert len(fresh) == 20
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(
+    st.tuples(st.sampled_from(["put", "delete", "commit", "abort"]),
+              st.integers(min_value=0, max_value=500)),
+    max_size=120))
+def test_property_matches_two_version_model(operations):
+    tree = CoWBTree(node_size=128)
+    committed = {}
+    dirty = {}
+    for action, key in operations:
+        if action == "put":
+            tree.begin_batch()
+            tree.put(key, key)
+            dirty[key] = key
+        elif action == "delete":
+            tree.begin_batch()
+            assert tree.delete(key) == (key in dirty)
+            dirty.pop(key, None)
+        elif action == "commit":
+            tree.commit()
+            committed = dict(dirty)
+        else:
+            tree.abort()
+            dirty = dict(committed)
+    assert dict(tree.items(dirty=True)) == dirty
+    assert dict(tree.items(dirty=False)) == committed
+    tree.check_invariants(dirty=True)
+    tree.check_invariants(dirty=False)

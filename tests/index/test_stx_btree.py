@@ -1,0 +1,179 @@
+"""Unit and property tests for the STX-style B+tree."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.index.stx_btree import STXBTree
+
+
+@pytest.fixture
+def tree():
+    return STXBTree(node_size=128)  # fanout 8 -> exercises splits fast
+
+
+def test_empty_tree(tree):
+    assert len(tree) == 0
+    assert tree.get(1) is None
+    assert 1 not in tree
+    assert list(tree.items()) == []
+
+
+def test_put_get_single(tree):
+    assert tree.put(5, "five") is True
+    assert tree.get(5) == "five"
+    assert 5 in tree
+    assert len(tree) == 1
+
+
+def test_put_replaces(tree):
+    tree.put(5, "a")
+    assert tree.put(5, "b") is False
+    assert tree.get(5) == "b"
+    assert len(tree) == 1
+
+
+def test_insert_duplicate_raises(tree):
+    tree.insert(1, "x")
+    with pytest.raises(KeyError):
+        tree.insert(1, "y")
+
+
+def test_many_inserts_sorted_iteration(tree):
+    keys = list(range(200))
+    import random
+    random.Random(3).shuffle(keys)
+    for key in keys:
+        tree.put(key, key * 10)
+    assert list(tree.keys()) == sorted(keys)
+    assert tree.get(137) == 1370
+    tree.check_invariants()
+
+
+def test_range_scan(tree):
+    for key in range(0, 100, 2):
+        tree.put(key, key)
+    result = [k for k, __ in tree.items(lo=10, hi=20)]
+    assert result == [10, 12, 14, 16, 18]
+
+
+def test_range_scan_open_ended(tree):
+    for key in range(5):
+        tree.put(key, key)
+    assert [k for k, __ in tree.items(lo=3)] == [3, 4]
+    assert [k for k, __ in tree.items(hi=2)] == [0, 1]
+
+
+def test_delete_existing(tree):
+    for key in range(50):
+        tree.put(key, key)
+    assert tree.delete(25) is True
+    assert 25 not in tree
+    assert len(tree) == 49
+    tree.check_invariants()
+
+
+def test_delete_missing(tree):
+    tree.put(1, 1)
+    assert tree.delete(99) is False
+    assert len(tree) == 1
+
+
+def test_delete_all_keys(tree):
+    keys = list(range(100))
+    for key in keys:
+        tree.put(key, key)
+    for key in keys:
+        assert tree.delete(key) is True
+        tree.check_invariants()
+    assert len(tree) == 0
+    assert list(tree.items()) == []
+
+
+def test_delete_reverse_order(tree):
+    for key in range(64):
+        tree.put(key, key)
+    for key in reversed(range(64)):
+        assert tree.delete(key)
+    assert len(tree) == 0
+
+
+def test_depth_grows_with_size():
+    tree = STXBTree(node_size=64)  # fanout 4
+    assert tree.depth() == 1
+    for key in range(100):
+        tree.put(key, key)
+    assert tree.depth() >= 3
+
+
+def test_larger_nodes_make_shallower_trees():
+    small = STXBTree(node_size=64)
+    large = STXBTree(node_size=1024)
+    for key in range(500):
+        small.put(key, key)
+        large.put(key, key)
+    assert large.depth() < small.depth()
+
+
+def test_node_size_too_small_rejected():
+    with pytest.raises(ValueError):
+        STXBTree(node_size=32)
+
+
+def test_string_keys(tree):
+    for word in ["pear", "apple", "fig", "mango"]:
+        tree.put(word, word.upper())
+    assert list(tree.keys()) == ["apple", "fig", "mango", "pear"]
+    assert tree.get("fig") == "FIG"
+
+
+def test_tuple_keys(tree):
+    tree.put((1, "a"), 1)
+    tree.put((1, "b"), 2)
+    tree.put((0, "z"), 3)
+    assert list(tree.keys()) == [(0, "z"), (1, "a"), (1, "b")]
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.integers(min_value=-10_000, max_value=10_000)))
+def test_property_matches_dict(operations):
+    tree = STXBTree(node_size=64)
+    model = {}
+    for op in operations:
+        if op >= 0:
+            tree.put(op, op * 2)
+            model[op] = op * 2
+        else:
+            key = -op
+            assert tree.delete(key) == (key in model)
+            model.pop(key, None)
+    assert len(tree) == len(model)
+    assert dict(tree.items()) == model
+    tree.check_invariants()
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.sets(st.integers(min_value=0, max_value=5000), max_size=300),
+       st.integers(min_value=0, max_value=5000),
+       st.integers(min_value=0, max_value=5000))
+def test_property_range_scan_matches_sorted_filter(keys, a, b):
+    lo, hi = min(a, b), max(a, b)
+    tree = STXBTree(node_size=128)
+    for key in keys:
+        tree.put(key, key)
+    expected = sorted(k for k in keys if lo <= k < hi)
+    assert [k for k, __ in tree.items(lo=lo, hi=hi)] == expected
+
+
+def test_cost_model_charged(platform):
+    from repro.index.cost import NVMIndexCostModel
+    cost = NVMIndexCostModel(platform.allocator, platform.memory,
+                             tag="index")
+    tree = STXBTree(node_size=512, cost_model=cost)
+    loads_before = platform.device.loads
+    for key in range(500):
+        tree.put(key, key)
+    assert platform.allocator.bytes_by_tag().get("index", 0) > 0
+    tree.get(250)
+    assert platform.device.loads >= loads_before
+    assert cost.total_bytes() == tree.node_count() * 512

@@ -1,0 +1,146 @@
+"""Unit tests for the write-back CPU cache model."""
+
+import random
+
+import pytest
+
+from repro.config import CacheConfig, LatencyProfile
+from repro.nvm.cache import CPUCache
+from repro.nvm.device import NVMDevice
+from repro.sim.clock import SimClock
+from repro.sim.stats import StatsCollector
+
+
+def make_cache(capacity_bytes=4096, crash_prob=0.0):
+    clock = SimClock()
+    stats = StatsCollector(clock)
+    device = NVMDevice(1024 * 1024, LatencyProfile.dram(), clock, stats)
+    config = CacheConfig(capacity_bytes=capacity_bytes,
+                         crash_eviction_probability=crash_prob)
+    cache = CPUCache(config, device, clock, stats, random.Random(7))
+    return cache, device, clock, stats
+
+
+def test_store_then_load_roundtrip():
+    cache, __, __c, __s = make_cache()
+    cache.store(100, b"abcdef")
+    assert cache.load(100, 6) == b"abcdef"
+
+
+def test_store_is_buffered_not_written_through():
+    cache, device, __, __s = make_cache()
+    cache.store(0, b"xyz")
+    # The device still holds zeros; the bytes live in the cache line.
+    assert device.read_raw(0, 3) == b"\x00\x00\x00"
+
+
+def test_clflush_writes_back_and_invalidates():
+    cache, device, __, __s = make_cache()
+    cache.store(0, b"xyz")
+    cache.clflush(0, 3)
+    assert device.read_raw(0, 3) == b"xyz"
+    assert device.stores == 1
+
+
+def test_clwb_writes_back_keeps_cached():
+    cache, device, __, __s = make_cache()
+    cache.store(0, b"xyz")
+    cache.clwb(0, 3)
+    assert device.read_raw(0, 3) == b"xyz"
+    misses_before = cache.misses
+    assert cache.load(0, 3) == b"xyz"
+    assert cache.misses == misses_before  # still cached
+
+
+def test_load_spanning_lines_overlays_dirty_data():
+    cache, __, __c, __s = make_cache()
+    cache.store(60, b"ABCDEFGH")  # spans the line boundary at 64
+    assert cache.load(60, 8) == b"ABCDEFGH"
+    assert cache.load(62, 4) == b"CDEF"
+
+
+def test_eviction_writes_back_dirty_lines():
+    cache, device, __, __s = make_cache(capacity_bytes=128)  # 2 lines
+    cache.store(0, b"a")
+    cache.store(64, b"b")
+    cache.store(128, b"c")  # evicts line 0
+    assert device.read_raw(0, 1) == b"a"
+
+
+def test_lru_order_eviction():
+    cache, device, __, __s = make_cache(capacity_bytes=128)
+    cache.store(0, b"a")
+    cache.store(64, b"b")
+    cache.load(0, 1)        # refresh line 0
+    cache.store(128, b"c")  # should evict line 64, not line 0
+    assert device.read_raw(64, 1) == b"b"
+    assert device.read_raw(0, 1) == b"\x00"  # still only in cache
+
+
+def test_miss_and_hit_counting():
+    cache, __, __c, __s = make_cache()
+    cache.load(0, 1)
+    cache.load(0, 1)
+    assert cache.misses == 1
+    assert cache.hits == 1
+    assert cache.hit_rate == pytest.approx(0.5)
+
+
+def test_crash_loses_unflushed_dirty_lines():
+    cache, device, __, __s = make_cache(crash_prob=0.0)
+    cache.store(0, b"gone")
+    survived, lost = cache.crash()
+    assert (survived, lost) == (0, 1)
+    assert device.read_raw(0, 4) == b"\x00\x00\x00\x00"
+
+
+def test_crash_with_certain_eviction_keeps_data():
+    cache, device, __, __s = make_cache(crash_prob=1.0)
+    cache.store(0, b"kept")
+    survived, lost = cache.crash()
+    assert (survived, lost) == (1, 0)
+    assert device.read_raw(0, 4) == b"kept"
+
+
+def test_flushed_data_survives_crash():
+    cache, device, __, __s = make_cache(crash_prob=0.0)
+    cache.store(0, b"safe")
+    cache.sync(0, 4)
+    cache.crash()
+    assert device.read_raw(0, 4) == b"safe"
+
+
+def test_sync_charges_extra_latency():
+    clock = SimClock()
+    stats = StatsCollector(clock)
+    device = NVMDevice(1024, LatencyProfile.dram(), clock, stats)
+    config = CacheConfig(capacity_bytes=4096, sync_extra_latency_ns=1000.0)
+    cache = CPUCache(config, device, clock, stats, random.Random(1))
+    cache.store(0, b"x")
+    before = clock.now_ns
+    cache.sync(0, 1)
+    # flush latency + device store + fence + the extra 1000 ns
+    assert clock.now_ns - before >= 1000.0
+
+
+def test_drain_flushes_everything():
+    cache, device, __, __s = make_cache()
+    cache.store(0, b"a")
+    cache.store(200, b"b")
+    cache.drain()
+    assert device.read_raw(0, 1) == b"a"
+    assert device.read_raw(200, 1) == b"b"
+
+
+def test_touch_write_charges_store_on_eviction():
+    cache, device, __, __s = make_cache(capacity_bytes=128)
+    cache.touch_write(0, 64)
+    cache.touch_write(64, 64)
+    cache.touch_write(128, 64)  # evicts accounting line 0 (dirty)
+    assert device.stores == 1
+
+
+def test_sfence_counted():
+    cache, __, __c, stats = make_cache()
+    cache.sfence()
+    assert stats.counter("cache.sfence") == 1

@@ -1,0 +1,68 @@
+"""Tests for the CLWB sync variant (Appendix C extension)."""
+
+import random
+
+import pytest
+
+from repro.config import CacheConfig, LatencyProfile
+from repro.nvm.cache import CPUCache
+from repro.nvm.device import NVMDevice
+from repro.sim.clock import SimClock
+from repro.sim.stats import StatsCollector
+
+
+def make_cache(use_clwb):
+    clock = SimClock()
+    stats = StatsCollector(clock)
+    device = NVMDevice(1024 * 1024, LatencyProfile.dram(), clock, stats)
+    config = CacheConfig(capacity_bytes=4096, use_clwb=use_clwb)
+    cache = CPUCache(config, device, clock, stats, random.Random(5))
+    return cache, device, stats
+
+
+def test_clwb_sync_is_durable():
+    cache, device, __ = make_cache(use_clwb=True)
+    cache.store(0, b"durable")
+    cache.sync(0, 7)
+    assert device.read_raw(0, 7) == b"durable"
+
+
+def test_clwb_sync_keeps_line_cached():
+    cache, __, __s = make_cache(use_clwb=True)
+    cache.store(0, b"x")
+    cache.sync(0, 1)
+    misses_before = cache.misses
+    cache.load(0, 1)
+    assert cache.misses == misses_before  # still cached
+
+
+def test_clflush_sync_invalidates():
+    cache, __, __s = make_cache(use_clwb=False)
+    cache.store(0, b"x")
+    cache.sync(0, 1)
+    misses_before = cache.misses
+    cache.load(0, 1)
+    assert cache.misses == misses_before + 1  # re-fetched from NVM
+
+
+def test_clwb_reduces_loads_on_rewrite_cycle():
+    """Repeated write-sync-read cycles on the same line: CLWB avoids
+    the re-fetch every iteration."""
+    results = {}
+    for use_clwb in (False, True):
+        cache, device, __ = make_cache(use_clwb)
+        for i in range(50):
+            cache.store(0, bytes([i]))
+            cache.sync(0, 1)
+            cache.load(0, 1)
+        results[use_clwb] = device.loads
+    assert results[True] < results[False]
+
+
+def test_clwb_crash_consistency():
+    cache, device, __ = make_cache(use_clwb=True)
+    cache.store(0, b"synced")
+    cache.sync(0, 6)
+    cache.store(64, b"unsynced")
+    cache.crash()
+    assert device.read_raw(0, 6) == b"synced"

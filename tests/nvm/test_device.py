@@ -1,0 +1,90 @@
+"""Unit tests for the emulated NVM device."""
+
+import pytest
+
+from repro.config import LatencyProfile
+from repro.errors import InvalidAddressError
+from repro.nvm.device import NVMDevice
+from repro.sim.clock import SimClock
+from repro.sim.stats import StatsCollector
+
+
+@pytest.fixture
+def device():
+    clock = SimClock()
+    stats = StatsCollector(clock)
+    dev = NVMDevice(1024 * 1024, LatencyProfile.dram(), clock, stats)
+    return dev, clock, stats
+
+
+def test_charge_load_counts_and_time(device):
+    dev, clock, stats = device
+    dev.charge_load(3)
+    assert dev.loads == 3
+    assert dev.bytes_loaded == 3 * 64
+    assert stats.counter("nvm.loads") == 3
+    assert clock.now_ns == pytest.approx(3 * 160)
+
+
+def test_charge_store_is_bandwidth_bound(device):
+    """Stores are posted: the write-back cache hides the latency; the
+    emulator throttles only the sustainable write bandwidth."""
+    dev, clock, __ = device
+    dev.charge_store(1)
+    assert clock.now_ns == pytest.approx(64 / 9.5)
+    assert dev.stores == 1
+
+
+def test_high_latency_profile_is_slower():
+    clock = SimClock()
+    stats = StatsCollector(clock)
+    dev = NVMDevice(1024, LatencyProfile.high_nvm(), clock, stats)
+    dev.charge_load(1)
+    assert clock.now_ns == pytest.approx(1280)
+
+
+def test_bulk_store_is_bandwidth_bound(device):
+    dev, clock, __ = device
+    dev.charge_bulk_store(6400)
+    assert clock.now_ns == pytest.approx(6400 / 9.5)
+    assert dev.stores == 100
+
+
+def test_bulk_load_counts_lines_and_discounts_prefetch(device):
+    dev, clock, __ = device
+    dev.charge_bulk_load(128)   # 2 lines
+    assert dev.loads == 2
+    # First line full latency, second prefetch-discounted.
+    assert clock.now_ns == pytest.approx(160 * 1.25 + 128 / 9.5)
+
+
+def test_discounted_load_counts_full_lines(device):
+    dev, clock, __ = device
+    dev.charge_load(1, equivalent_lines=0.25)
+    assert dev.loads == 1
+    assert clock.now_ns == pytest.approx(40)
+
+
+def test_raw_read_write_roundtrip(device):
+    dev, clock, __ = device
+    before = clock.now_ns
+    dev.write_raw(128, b"hello")
+    assert dev.read_raw(128, 5) == b"hello"
+    assert clock.now_ns == before  # raw access charges no time
+
+
+def test_raw_access_bounds_checked(device):
+    dev, __, __unused = device
+    with pytest.raises(InvalidAddressError):
+        dev.read_raw(dev.capacity_bytes - 1, 2)
+    with pytest.raises(InvalidAddressError):
+        dev.write_raw(-1, b"x")
+
+
+def test_reset_counters(device):
+    dev, __, __unused = device
+    dev.charge_load(5)
+    dev.charge_store(5)
+    dev.reset_counters()
+    assert dev.loads == 0
+    assert dev.stores == 0

@@ -1,0 +1,113 @@
+"""Unit tests for the optional DRAM tier (Appendix D extension)."""
+
+import pytest
+
+from repro.config import PlatformConfig
+from repro.errors import InvalidAddressError, OutOfMemoryError
+from repro.nvm.dram import DRAMBackedIndexCostModel, DRAMTier
+from repro.nvm.platform import Platform
+from repro.sim.clock import SimClock
+from repro.sim.stats import StatsCollector
+
+
+def make_tier(capacity=1024 * 1024):
+    clock = SimClock()
+    stats = StatsCollector(clock)
+    return DRAMTier(capacity, clock, stats), clock
+
+
+def test_malloc_free_accounting():
+    tier, __ = make_tier()
+    addr = tier.malloc(1000)
+    assert tier.used_bytes == 1000
+    tier.free(addr)
+    assert tier.used_bytes == 0
+
+
+def test_capacity_enforced():
+    tier, __ = make_tier(capacity=1024)
+    tier.malloc(800)
+    with pytest.raises(OutOfMemoryError):
+        tier.malloc(800)
+
+
+def test_double_free_rejected():
+    tier, __ = make_tier()
+    addr = tier.malloc(8)
+    tier.free(addr)
+    with pytest.raises(InvalidAddressError):
+        tier.free(addr)
+
+
+def test_touch_charges_time():
+    tier, clock = make_tier()
+    addr = tier.malloc(4096)
+    before = clock.now_ns
+    for __ in range(20):
+        tier.touch(addr, 4096)
+    assert clock.now_ns > before
+
+
+def test_dram_cheaper_than_nvm_reads():
+    """The whole point of the hybrid tier: accesses cost less than NVM
+    misses at high latency."""
+    from repro.config import CacheConfig, LatencyProfile
+    platform = Platform(PlatformConfig(
+        latency=LatencyProfile.high_nvm(),
+        cache=CacheConfig(capacity_bytes=64 * 1024),
+        dram_capacity_bytes=1024 * 1024))
+    tier = platform.dram
+    dram_addr = tier.malloc(512)
+    nvm_alloc = platform.allocator.malloc(512)
+
+    start = platform.clock.now_ns
+    for __ in range(50):
+        tier.touch(dram_addr, 512)
+    dram_cost = platform.clock.now_ns - start
+
+    start = platform.clock.now_ns
+    for i in range(50):
+        platform.memory.touch_read(nvm_alloc.addr, 512)
+        platform.memory.clflush(nvm_alloc.addr, 512)  # defeat caching
+    nvm_cost = platform.clock.now_ns - start
+    assert dram_cost < nvm_cost
+
+
+def test_crash_loses_everything():
+    tier, __ = make_tier()
+    tier.malloc(100)
+    tier.malloc(200)
+    assert tier.crash() == 2
+    assert tier.used_bytes == 0
+    assert tier.live_allocations == 0
+
+
+def test_platform_without_dram_by_default():
+    assert Platform(PlatformConfig()).dram is None
+
+
+def test_platform_crash_clears_dram():
+    platform = Platform(PlatformConfig(dram_capacity_bytes=4096))
+    platform.dram.malloc(100)
+    platform.crash()
+    assert platform.dram.live_allocations == 0
+
+
+def test_cost_model_lifecycle():
+    tier, __ = make_tier()
+    cost = DRAMBackedIndexCostModel(tier)
+    cost.node_allocated(1, 512)
+    cost.node_probed(1, 512)
+    cost.node_read(1, 512)
+    cost.node_written(1, 512)
+    assert cost.total_bytes() == 512
+    cost.node_freed(1)
+    assert tier.used_bytes == 0
+
+
+def test_cost_model_sync_forbidden():
+    tier, __ = make_tier()
+    cost = DRAMBackedIndexCostModel(tier)
+    cost.node_allocated(1, 512)
+    with pytest.raises(InvalidAddressError):
+        cost.sync_node(1, 0, 64)

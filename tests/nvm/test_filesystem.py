@@ -1,0 +1,155 @@
+"""Unit tests for the PMFS-like NVM filesystem."""
+
+import pytest
+
+from repro.errors import FileExistsInNVMError, FileNotFoundInNVMError
+
+
+@pytest.fixture
+def fs(platform):
+    return platform.filesystem
+
+
+def test_create_and_exists(fs):
+    fs.create("wal/log0")
+    assert fs.exists("wal/log0")
+    assert not fs.exists("wal/log1")
+
+
+def test_create_duplicate_rejected(fs):
+    fs.create("f")
+    with pytest.raises(FileExistsInNVMError):
+        fs.create("f")
+    assert fs.create("f", exist_ok=True) is not None
+
+
+def test_open_missing_raises(fs):
+    with pytest.raises(FileNotFoundInNVMError):
+        fs.open("missing")
+
+
+def test_open_create(fs):
+    file = fs.open("new", create=True)
+    assert file.size == 0
+
+
+def test_write_read_roundtrip(fs):
+    file = fs.create("data")
+    fs.write(file, 0, b"hello world")
+    assert fs.read(file, 0, 11) == b"hello world"
+    assert fs.read(file, 6, 5) == b"world"
+
+
+def test_append_returns_offset(fs):
+    file = fs.create("log")
+    assert fs.append(file, b"aaa") == 0
+    assert fs.append(file, b"bbb") == 3
+    assert fs.read_all(file) == b"aaabbb"
+
+
+def test_write_past_end_zero_fills(fs):
+    file = fs.create("sparse")
+    fs.write(file, 10, b"x")
+    assert file.size == 11
+    assert fs.read(file, 0, 11) == b"\x00" * 10 + b"x"
+
+
+def test_crash_rolls_back_unsynced_writes(fs):
+    file = fs.create("wal")
+    fs.append(file, b"durable")
+    fs.fsync(file)
+    fs.append(file, b"lost")
+    fs.crash()
+    assert fs.read_all(file) == b"durable"
+
+
+def test_crash_rolls_back_unsynced_overwrites(fs):
+    file = fs.create("master")
+    fs.write(file, 0, b"AAAA")
+    fs.fsync(file)
+    fs.write(file, 0, b"BBBB")
+    fs.crash()
+    assert fs.read_all(file) == b"AAAA"
+
+
+def test_fsync_makes_writes_durable(fs):
+    file = fs.create("wal")
+    fs.append(file, b"committed")
+    fs.fsync(file)
+    fs.crash()
+    assert fs.read_all(file) == b"committed"
+
+
+def test_fsync_flushes_pending_bytes(fs, platform):
+    file = fs.create("wal")
+    fs.append(file, b"z" * 1000)
+    stores_before = platform.device.stores
+    fs.fsync(file)
+    assert platform.device.stores > stores_before
+    # Second fsync with nothing pending stores nothing new.
+    stores_mid = platform.device.stores
+    fs.fsync(file)
+    assert platform.device.stores == stores_mid
+
+
+def test_truncate(fs):
+    file = fs.create("log")
+    fs.append(file, b"0123456789")
+    fs.fsync(file)
+    fs.truncate(file, 4)
+    assert fs.read_all(file) == b"0123"
+    fs.crash()
+    assert fs.read_all(file) == b"0123"  # truncation is durable
+
+
+def test_delete(fs):
+    fs.create("tmp")
+    fs.delete("tmp")
+    assert not fs.exists("tmp")
+    with pytest.raises(FileNotFoundInNVMError):
+        fs.delete("tmp")
+
+
+def test_list_files_with_prefix(fs):
+    fs.create("wal/0")
+    fs.create("wal/1")
+    fs.create("data/0")
+    assert fs.list_files("wal/") == ["wal/0", "wal/1"]
+
+
+def test_write_costs_more_than_allocator_store(platform):
+    """The filesystem interface pays a syscall + copy per call; this is
+    the root of the Fig. 1 bandwidth gap."""
+    fs = platform.filesystem
+    memory = platform.memory
+    allocation = platform.allocator.malloc(64)
+    file = fs.create("bench")
+
+    start = platform.clock.now_ns
+    memory.store(allocation.addr, b"x" * 64)
+    memory.sync(allocation.addr, 64)
+    allocator_cost = platform.clock.now_ns - start
+
+    start = platform.clock.now_ns
+    fs.append(file, b"x" * 64)
+    fs.fsync(file)
+    fs_cost = platform.clock.now_ns - start
+
+    assert fs_cost > allocator_cost
+
+
+def test_bytes_by_prefix_categorization(fs):
+    a = fs.create("wal/log")
+    fs.append(a, b"x" * 100)
+    b = fs.create("checkpoint/1")
+    fs.append(b, b"y" * 50)
+    c = fs.create("misc")
+    fs.append(c, b"z" * 10)
+    totals = fs.bytes_by_prefix({"log": "wal/", "checkpoint": "checkpoint/"})
+    assert totals == {"log": 100, "checkpoint": 50, "other": 10}
+
+
+def test_total_bytes(fs):
+    file = fs.create("d")
+    fs.append(file, b"abc")
+    assert fs.total_bytes() == 3

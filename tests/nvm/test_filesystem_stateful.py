@@ -1,0 +1,62 @@
+"""Stateful property test for the NVM filesystem's crash semantics.
+
+A hypothesis state machine performs random writes, fsyncs, and crashes
+against one file, mirroring every action on a pair of model byte
+strings (durable, pending). After a crash the file must equal the
+durable model exactly.
+"""
+
+import hypothesis.strategies as st
+from hypothesis.stateful import (RuleBasedStateMachine, initialize,
+                                 invariant, rule)
+
+from repro.config import PlatformConfig
+from repro.nvm.platform import Platform
+
+
+class FilesystemMachine(RuleBasedStateMachine):
+    @initialize()
+    def setup(self):
+        self.platform = Platform(PlatformConfig(seed=5))
+        self.fs = self.platform.filesystem
+        self.file = self.fs.create("machine")
+        self.durable = b""
+        self.current = b""
+
+    @rule(offset=st.integers(min_value=0, max_value=300),
+          data=st.binary(min_size=1, max_size=64))
+    def write(self, offset, data):
+        offset = min(offset, len(self.current))
+        self.fs.write(self.file, offset, data)
+        current = bytearray(self.current)
+        if offset + len(data) > len(current):
+            current.extend(b"\x00" * (offset + len(data) - len(current)))
+        current[offset:offset + len(data)] = data
+        self.current = bytes(current)
+
+    @rule()
+    def fsync(self):
+        self.fs.fsync(self.file)
+        self.durable = self.current
+
+    @rule()
+    def crash(self):
+        self.platform.crash()
+        self.current = self.durable
+
+    @rule(length=st.integers(min_value=0, max_value=200))
+    def truncate(self, length):
+        length = min(length, len(self.current))
+        self.fs.truncate(self.file, length)
+        self.current = self.current[:length]
+        self.durable = self.current
+
+    @invariant()
+    def file_matches_model(self):
+        if hasattr(self, "fs"):
+            assert bytes(self.file.data) == self.current
+
+
+TestFilesystemMachine = FilesystemMachine.TestCase
+TestFilesystemMachine.settings = __import__("hypothesis").settings(
+    max_examples=25, stateful_step_count=30, deadline=None)

@@ -1,0 +1,99 @@
+"""Unit tests for the NVMMemory facade."""
+
+import pytest
+
+from repro.nvm.constants import TECHNOLOGIES, wear_fraction
+
+
+def test_u64_roundtrip(platform):
+    memory = platform.memory
+    allocation = platform.allocator.malloc(16)
+    memory.store_u64(allocation.addr, 0xDEADBEEF12345678)
+    assert memory.load_u64(allocation.addr) == 0xDEADBEEF12345678
+
+
+def test_atomic_durable_store_survives_crash(platform):
+    memory = platform.memory
+    allocation = platform.allocator.malloc(8)
+    platform.allocator.persist(allocation)
+    memory.atomic_durable_store_u64(allocation.addr, 42)
+    platform.crash()
+    assert memory.load_u64(allocation.addr) == 42
+
+
+def test_non_durable_store_may_be_lost(platform):
+    """Without a sync, a crash with eviction probability 0 loses the
+    cached store."""
+    from repro.config import CacheConfig, PlatformConfig
+    from repro.nvm.platform import Platform
+    p = Platform(PlatformConfig(
+        cache=CacheConfig(crash_eviction_probability=0.0), seed=1))
+    allocation = p.allocator.malloc(8)
+    p.allocator.persist(allocation)
+    p.memory.store_u64(allocation.addr, 77)
+    p.crash()
+    assert p.memory.load_u64(allocation.addr) == 0
+
+
+def test_load_batch_matches_individual_loads(platform):
+    memory = platform.memory
+    blobs = []
+    ranges = []
+    for i in range(5):
+        allocation = platform.allocator.malloc(32)
+        payload = bytes([i]) * 32
+        memory.store(allocation.addr, payload)
+        blobs.append(payload)
+        ranges.append((allocation.addr, 32))
+    assert memory.load_batch(ranges) == blobs
+
+
+def test_load_batch_cheaper_than_sequential_calls(platform):
+    """MLP: a batch of independent loads costs less than issuing them
+    one by one (after flushing so every access misses)."""
+    memory = platform.memory
+    ranges = []
+    for __ in range(10):
+        allocation = platform.allocator.malloc(64)
+        memory.store(allocation.addr, b"z" * 64)
+        ranges.append((allocation.addr, 64))
+
+    def flush_all():
+        for addr, size in ranges:
+            memory.clflush(addr, size)
+        # Reset the stream detector with an unrelated access.
+        other = platform.allocator.malloc(64)
+        memory.touch_read(other.addr, 64)
+
+    flush_all()
+    start = platform.clock.now_ns
+    for addr, size in ranges:
+        memory.clflush(addr, size)  # guarantee misses, break streams
+    flush_all()
+    start = platform.clock.now_ns
+    memory.load_batch(ranges)
+    batch_cost = platform.clock.now_ns - start
+
+    flush_all()
+    start = platform.clock.now_ns
+    previous = None
+    for addr, size in reversed(ranges):  # reversed order breaks streams
+        memory.load(addr, size)
+    individual_cost = platform.clock.now_ns - start
+    assert batch_cost < individual_cost
+
+
+def test_table1_constants_sane():
+    assert TECHNOLOGIES["PCM"].write_latency_ns \
+        > TECHNOLOGIES["PCM"].read_latency_ns
+    assert TECHNOLOGIES["MRAM"].read_latency_ns \
+        < TECHNOLOGIES["DRAM"].read_latency_ns
+    assert TECHNOLOGIES["SSD"].addressability == "block"
+    profile = TECHNOLOGIES["PCM"].latency_profile()
+    assert profile.read_latency_ns == 50
+
+
+def test_wear_fraction():
+    assert wear_fraction(1e8, 1e10) == pytest.approx(0.01)
+    with pytest.raises(ValueError):
+        wear_fraction(10, 0)

@@ -1,0 +1,81 @@
+"""Tests for device wear tracking and the allocator's wear spreading."""
+
+import pytest
+
+from repro import Column, ColumnType, Database, Schema
+from repro.config import CacheConfig, PlatformConfig
+from repro.nvm.platform import Platform
+
+
+def make_platform():
+    return Platform(PlatformConfig(
+        cache=CacheConfig(capacity_bytes=32 * 1024),
+        nvm_capacity_bytes=8 * 1024 * 1024,
+        track_wear=True, seed=11))
+
+
+def test_wear_disabled_by_default():
+    platform = Platform(PlatformConfig())
+    with pytest.raises(ValueError):
+        platform.device.wear_histogram()
+
+
+def test_wear_histogram_records_writebacks():
+    platform = make_platform()
+    allocation = platform.allocator.malloc(4096)
+    platform.memory.store(allocation.addr, b"w" * 4096)
+    platform.memory.sync(allocation.addr, 4096)
+    histogram = platform.device.wear_histogram()
+    assert sum(histogram) >= 64  # 4 KB flushed = 64 lines
+
+
+def test_wear_concentrates_on_hot_line():
+    platform = make_platform()
+    # A spread of cold segments, each written once...
+    cold = platform.allocator.malloc(20 * 4096)
+    for offset in range(0, 20 * 4096, 4096):
+        platform.memory.store(cold.addr + offset, b"c")
+        platform.memory.sync(cold.addr + offset, 1)
+    # ...and one hot line hammered 100 times.
+    hot = platform.allocator.malloc(64)
+    for i in range(100):
+        platform.memory.store(hot.addr, bytes([i]))
+        platform.memory.sync(hot.addr, 1)
+    assert platform.device.wear_skew() > 5.0
+
+
+def test_wear_skew_even_for_streaming_writes():
+    platform = make_platform()
+    allocation = platform.allocator.malloc(256 * 1024)
+    for offset in range(0, 256 * 1024, 4096):
+        platform.memory.store(allocation.addr + offset, b"x" * 4096)
+        platform.memory.sync(allocation.addr + offset, 4096)
+    assert platform.device.wear_skew() < 2.0
+
+
+def test_reset_counters_clears_wear():
+    platform = make_platform()
+    allocation = platform.allocator.malloc(64)
+    platform.memory.store(allocation.addr, b"y")
+    platform.memory.sync(allocation.addr, 1)
+    platform.device.reset_counters()
+    assert sum(platform.device.wear_histogram()) == 0
+
+
+def test_engine_run_produces_wear_profile():
+    platform_config = PlatformConfig(
+        cache=CacheConfig(capacity_bytes=64 * 1024),
+        track_wear=True, seed=11)
+    db = Database(engine="nvm-inp", platform_config=platform_config,
+                  seed=11)
+    db.create_table(Schema.build(
+        "t", [Column("k", ColumnType.INT),
+              Column("v", ColumnType.STRING, capacity=100)],
+        primary_key=["k"]))
+    for i in range(200):
+        db.insert("t", {"k": i, "v": "v" * 60})
+    for __ in range(100):
+        db.update("t", 7, {"v": "hot" * 20})  # hammer one tuple
+    device = db.partitions[0].platform.device
+    assert sum(device.wear_histogram()) > 0
+    assert device.wear_skew() > 1.5  # the hot tuple's segment stands out

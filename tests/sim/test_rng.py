@@ -1,0 +1,28 @@
+"""Unit tests for deterministic RNG derivation."""
+
+from repro.sim.rng import derive_rng
+
+
+def test_same_seed_same_stream():
+    a = derive_rng(42, "workload")
+    b = derive_rng(42, "workload")
+    assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+
+def test_different_labels_differ():
+    a = derive_rng(42, "workload")
+    b = derive_rng(42, "crash")
+    assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+
+def test_different_seeds_differ():
+    a = derive_rng(1, "x")
+    b = derive_rng(2, "x")
+    assert a.random() != b.random()
+
+
+def test_multiple_labels_supported():
+    rng = derive_rng(7, "a", "b", "c")
+    value = rng.random()
+    assert 0.0 <= value < 1.0
+    assert derive_rng(7, "a", "b", "c").random() == value

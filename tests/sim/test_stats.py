@@ -1,0 +1,79 @@
+"""Unit tests for the statistics collector."""
+
+import pytest
+
+from repro.sim.clock import SimClock
+from repro.sim.stats import Category, StatsCollector
+
+
+@pytest.fixture
+def stats_and_clock():
+    clock = SimClock()
+    return StatsCollector(clock), clock
+
+
+def test_counters_start_at_zero(stats_and_clock):
+    stats, __ = stats_and_clock
+    assert stats.counter("nvm.loads") == 0
+
+
+def test_bump_accumulates(stats_and_clock):
+    stats, __ = stats_and_clock
+    stats.bump("x")
+    stats.bump("x", 4)
+    assert stats.counter("x") == 5
+
+
+def test_time_defaults_to_other(stats_and_clock):
+    stats, clock = stats_and_clock
+    clock.advance(100)
+    assert stats.category_ns(Category.OTHER) == pytest.approx(100)
+
+
+def test_category_stack_attributes_innermost(stats_and_clock):
+    stats, clock = stats_and_clock
+    with stats.category(Category.STORAGE):
+        clock.advance(10)
+        with stats.category(Category.INDEX):
+            clock.advance(5)
+        clock.advance(1)
+    assert stats.category_ns(Category.STORAGE) == pytest.approx(11)
+    assert stats.category_ns(Category.INDEX) == pytest.approx(5)
+
+
+def test_breakdown_sums_to_one(stats_and_clock):
+    stats, clock = stats_and_clock
+    with stats.category(Category.RECOVERY):
+        clock.advance(30)
+    clock.advance(70)
+    breakdown = stats.category_breakdown()
+    assert sum(breakdown.values()) == pytest.approx(1.0)
+    assert breakdown["recovery"] == pytest.approx(0.3)
+
+
+def test_breakdown_empty_is_all_zero(stats_and_clock):
+    stats, __ = stats_and_clock
+    assert all(v == 0.0 for v in stats.category_breakdown().values())
+
+
+def test_snapshot_subtraction(stats_and_clock):
+    stats, clock = stats_and_clock
+    stats.bump("a", 3)
+    clock.advance(10)
+    before = stats.snapshot()
+    stats.bump("a", 2)
+    stats.bump("b")
+    clock.advance(5)
+    delta = stats.snapshot() - before
+    assert delta.counter("a") == 2
+    assert delta.counter("b") == 1
+    assert delta.elapsed_ns == pytest.approx(5)
+
+
+def test_reset_clears_counters_and_time(stats_and_clock):
+    stats, clock = stats_and_clock
+    stats.bump("a")
+    clock.advance(10)
+    stats.reset()
+    assert stats.counter("a") == 0
+    assert stats.category_ns(Category.OTHER) == 0.0

@@ -1,0 +1,49 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+def test_engines_command(capsys):
+    assert main(["engines"]) == 0
+    out = capsys.readouterr().out
+    for engine in ("inp", "cow", "log", "nvm-inp", "nvm-cow",
+                   "nvm-log", "hybrid-inp"):
+        assert engine in out
+
+
+def test_ycsb_command(capsys):
+    assert main(["ycsb", "--engine", "nvm-inp", "--mixture",
+                 "balanced", "--tuples", "150", "--txns", "150"]) == 0
+    out = capsys.readouterr().out
+    assert "nvm-inp" in out
+    assert "txn/s" in out
+
+
+def test_ycsb_all_engines(capsys):
+    assert main(["ycsb", "--all-engines", "--mixture", "read-only",
+                 "--tuples", "120", "--txns", "120"]) == 0
+    out = capsys.readouterr().out
+    assert "cow" in out and "nvm-log" in out
+
+
+def test_tpcc_command(capsys):
+    assert main(["tpcc", "--engine", "inp", "--txns", "20"]) == 0
+    out = capsys.readouterr().out
+    assert "TPC-C" in out
+
+
+def test_figure_one(capsys):
+    assert main(["figure", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "durable write bandwidth" in out
+
+
+def test_unknown_figure(capsys):
+    assert main(["figure", "99"]) == 2
+
+
+def test_bad_engine_rejected():
+    with pytest.raises(SystemExit):
+        main(["ycsb", "--engine", "no-such-engine"])

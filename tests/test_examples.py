@@ -1,0 +1,47 @@
+"""Smoke tests: the shipped examples must run end to end."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, *args: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True, text=True, timeout=600)
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "recovered in" in out
+    assert "aborted as expected" in out
+
+
+def test_recovery_comparison():
+    out = run_example("recovery_comparison.py")
+    assert "faster than InP" in out
+    assert "NO" not in out  # every engine's state intact
+
+
+@pytest.mark.slow
+def test_engine_comparison():
+    out = run_example("engine_comparison.py", "balanced", "low")
+    assert "nvm-inp vs inp" in out
+
+
+@pytest.mark.slow
+def test_tpcc_order_entry():
+    out = run_example("tpcc_order_entry.py")
+    assert "invariants verified" in out
+
+
+@pytest.mark.slow
+def test_wear_analysis():
+    out = run_example("wear_analysis.py")
+    assert "lifetime extension" in out

@@ -1,0 +1,61 @@
+"""Unit tests for the hotspot access distribution."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.sim.rng import derive_rng
+from repro.workloads.distributions import HotspotDistribution
+
+
+def make_dist(population=1000, hot_fraction=0.2, hot_probability=0.5,
+              seed=1):
+    return HotspotDistribution(population, hot_fraction,
+                               hot_probability, derive_rng(seed, "d"))
+
+
+def test_samples_within_population():
+    dist = make_dist()
+    assert all(0 <= dist.sample() < 1000 for __ in range(1000))
+
+
+def test_low_skew_hits_hot_set_half_the_time():
+    dist = make_dist(hot_fraction=0.2, hot_probability=0.5)
+    hits = sum(1 for key in dist.sample_many(20_000)
+               if key < dist.hot_size)
+    assert 0.45 < hits / 20_000 < 0.55
+
+
+def test_high_skew_hits_hot_set_ninety_percent():
+    dist = make_dist(hot_fraction=0.1, hot_probability=0.9)
+    hits = sum(1 for key in dist.sample_many(20_000)
+               if key < dist.hot_size)
+    assert 0.87 < hits / 20_000 < 0.93
+
+
+def test_cold_keys_still_sampled():
+    dist = make_dist(hot_fraction=0.1, hot_probability=0.9)
+    assert any(key >= dist.hot_size for key in dist.sample_many(1000))
+
+
+def test_full_hot_fraction_is_uniform():
+    dist = make_dist(hot_fraction=1.0, hot_probability=0.5,
+                     population=10)
+    seen = set(dist.sample_many(500))
+    assert seen == set(range(10))
+
+
+def test_deterministic_given_seed():
+    a = make_dist(seed=5)
+    b = make_dist(seed=5)
+    assert a.sample_many(100) == b.sample_many(100)
+
+
+def test_invalid_parameters_rejected():
+    with pytest.raises(WorkloadError):
+        make_dist(population=0)
+    with pytest.raises(WorkloadError):
+        make_dist(hot_fraction=0.0)
+    with pytest.raises(WorkloadError):
+        make_dist(hot_fraction=1.5)
+    with pytest.raises(WorkloadError):
+        make_dist(hot_probability=-0.1)

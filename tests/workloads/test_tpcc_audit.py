@@ -1,0 +1,81 @@
+"""TPC-C consistency-audit tests across engines and crashes."""
+
+import pytest
+
+from repro import Database, EngineConfig
+from repro.engines.base import ENGINE_NAMES
+from repro.workloads.tpcc import TPCCConfig, TPCCWorkload
+from repro.workloads.tpcc_audit import audit_tpcc
+
+CONFIG = TPCCConfig(warehouses=1, districts_per_warehouse=2,
+                    customers_per_district=10, items=30,
+                    initial_orders_per_district=6, seed=19)
+
+
+def run_mix(engine, num_txns=80, crash=False):
+    workload = TPCCWorkload(CONFIG)
+    db = Database(engine=engine, seed=19,
+                  engine_config=EngineConfig(
+                      group_commit_size=4,
+                      memtable_threshold_bytes=16 * 1024,
+                      nvm_cow_node_size=512))
+    workload.load(db)
+    workload.run(db, num_txns)
+    if crash:
+        db.crash()
+        db.recover()
+    return db
+
+
+def test_audit_clean_after_load():
+    workload = TPCCWorkload(CONFIG)
+    db = Database(engine="nvm-inp", seed=19)
+    workload.load(db)
+    assert audit_tpcc(db, CONFIG) == []
+
+
+@pytest.mark.parametrize("engine", ENGINE_NAMES.ALL)
+def test_audit_clean_after_mix(engine):
+    db = run_mix(engine)
+    assert audit_tpcc(db, CONFIG) == []
+
+
+@pytest.mark.parametrize("engine", [ENGINE_NAMES.INP,
+                                    ENGINE_NAMES.NVM_INP,
+                                    ENGINE_NAMES.NVM_COW,
+                                    ENGINE_NAMES.LOG])
+def test_audit_clean_after_crash_recovery(engine):
+    db = run_mix(engine, crash=True)
+    assert audit_tpcc(db, CONFIG) == []
+
+
+def test_audit_detects_injected_inconsistency():
+    db = run_mix("nvm-inp", num_txns=20)
+    # Corrupt the warehouse YTD outside any payment.
+    row = db.get("warehouse", 1, partition=0)
+    db.update("warehouse", 1, {"w_ytd": row["w_ytd"] + 123.0},
+              partition=0)
+    violations = audit_tpcc(db, CONFIG)
+    assert any("C1" in violation for violation in violations)
+
+
+def test_audit_detects_orphan_new_order():
+    db = run_mix("nvm-inp", num_txns=20)
+    db.insert("new_order",
+              {"no_w_id": 1, "no_d_id": 1, "no_o_id": 888888},
+              partition=0)
+    violations = audit_tpcc(db, CONFIG)
+    assert any("C3" in violation for violation in violations)
+
+
+def test_audit_detects_missing_order_lines():
+    db = run_mix("nvm-inp", num_txns=20)
+    # Claim one more order line than exists.
+    orders = db.execute(lambda ctx: list(
+        ctx.scan("orders", lo=(1, 1, 0), hi=(1, 1, 10 ** 9))),
+        partition=0)
+    key, values = orders[0]
+    db.update("orders", key, {"o_ol_cnt": values["o_ol_cnt"] + 1},
+              partition=0)
+    violations = audit_tpcc(db, CONFIG)
+    assert any("C4" in violation for violation in violations)

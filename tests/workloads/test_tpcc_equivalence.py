@@ -1,0 +1,53 @@
+"""TPC-C equivalence: the same transaction stream must leave the same
+database state on every engine — the strongest cross-engine check on a
+realistic multi-table workload."""
+
+import pytest
+
+from repro import Database, EngineConfig
+from repro.engines.base import ENGINE_NAMES
+from repro.workloads.tpcc import TPCCConfig, TPCCWorkload
+from repro.workloads.tpcc_audit import audit_tpcc
+
+CONFIG = TPCCConfig(warehouses=1, districts_per_warehouse=2,
+                    customers_per_district=8, items=25,
+                    initial_orders_per_district=4, seed=61)
+
+
+def final_state(engine, crash=False):
+    workload = TPCCWorkload(CONFIG)
+    db = Database(engine=engine, seed=61,
+                  engine_config=EngineConfig(
+                      group_commit_size=4,
+                      memtable_threshold_bytes=16 * 1024,
+                      nvm_cow_node_size=512))
+    workload.load(db)
+    workload.run(db, 60)
+    if crash:
+        db.crash()
+        db.recover()
+    state = {}
+    for table in ("warehouse", "district", "customer", "orders",
+                  "new_order", "order_line", "stock", "history"):
+        state[table] = db.scan(table)
+    assert audit_tpcc(db, CONFIG) == [], engine
+    return state
+
+
+@pytest.mark.slow
+def test_tpcc_identical_across_engines():
+    reference = final_state(ENGINE_NAMES.INP)
+    for engine in ENGINE_NAMES.ALL[1:]:
+        state = final_state(engine)
+        for table, rows in reference.items():
+            assert state[table] == rows, (engine, table)
+
+
+@pytest.mark.slow
+def test_tpcc_identical_after_crash():
+    reference = final_state(ENGINE_NAMES.INP, crash=True)
+    for engine in (ENGINE_NAMES.NVM_INP, ENGINE_NAMES.NVM_COW,
+                   ENGINE_NAMES.NVM_LOG):
+        state = final_state(engine, crash=True)
+        for table, rows in reference.items():
+            assert state[table] == rows, (engine, table)

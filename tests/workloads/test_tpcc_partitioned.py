@@ -1,0 +1,45 @@
+"""TPC-C across multiple partitions (one warehouse per partition, as
+in the paper's eight-warehouse / eight-partition configuration)."""
+
+import pytest
+
+from repro import Database, EngineConfig
+from repro.workloads.tpcc import TPCCConfig, TPCCWorkload
+from repro.workloads.tpcc_audit import audit_tpcc
+
+CONFIG = TPCCConfig(warehouses=2, districts_per_warehouse=2,
+                    customers_per_district=8, items=25,
+                    initial_orders_per_district=4, seed=67)
+
+
+@pytest.mark.parametrize("engine", ["inp", "nvm-inp"])
+def test_partitioned_tpcc_consistent(engine):
+    workload = TPCCWorkload(CONFIG, partitions=2)
+    db = Database(engine=engine, partitions=2, seed=67,
+                  engine_config=EngineConfig(group_commit_size=4))
+    workload.load(db)
+    executed = workload.run(db, 80)
+    assert sum(executed.values()) == 80
+    assert audit_tpcc(db, CONFIG, partitions=2) == []
+
+
+def test_partitioned_tpcc_survives_crash():
+    workload = TPCCWorkload(CONFIG, partitions=2)
+    db = Database(engine="nvm-inp", partitions=2, seed=67,
+                  engine_config=EngineConfig(group_commit_size=4))
+    workload.load(db)
+    workload.run(db, 60)
+    db.crash()
+    db.recover()
+    assert audit_tpcc(db, CONFIG, partitions=2) == []
+
+
+def test_warehouses_isolated_to_their_partitions():
+    workload = TPCCWorkload(CONFIG, partitions=2)
+    db = Database(engine="nvm-inp", partitions=2, seed=67)
+    workload.load(db)
+    # Warehouse 1 lives on partition 0, warehouse 2 on partition 1.
+    assert db.get("warehouse", 1, partition=0) is not None
+    assert db.get("warehouse", 1, partition=1) is None
+    assert db.get("warehouse", 2, partition=1) is not None
+    assert db.get("warehouse", 2, partition=0) is None

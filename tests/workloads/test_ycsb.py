@@ -1,0 +1,85 @@
+"""Unit tests for the YCSB workload generator."""
+
+import pytest
+
+from repro import Database, EngineConfig
+from repro.errors import WorkloadError
+from repro.workloads.ycsb import (MIXTURES, YCSBConfig, YCSBWorkload,
+                                  NUM_VALUE_COLUMNS, VALUE_COLUMN_BYTES)
+
+
+def test_schema_shape():
+    schema = YCSBWorkload.schema()
+    assert len(schema.columns) == 1 + NUM_VALUE_COLUMNS
+    assert schema.primary_key == ("ycsb_key",)
+    # ~1 KB tuples: 10 x 100-byte string fields.
+    assert schema.inlined_size >= NUM_VALUE_COLUMNS * VALUE_COLUMN_BYTES
+
+
+def test_invalid_config_rejected():
+    with pytest.raises(WorkloadError):
+        YCSBConfig(mixture="nope")
+    with pytest.raises(WorkloadError):
+        YCSBConfig(skew="sideways")
+    with pytest.raises(WorkloadError):
+        YCSBConfig(num_tuples=0)
+
+
+def test_mixture_fractions():
+    config = YCSBConfig(num_tuples=100, mixture="write-heavy",
+                        skew="low", seed=3)
+    workload = YCSBWorkload(config)
+    operations = list(workload.operations(5000))
+    updates = sum(1 for kind, __, __k in operations if kind == "update")
+    assert 0.85 < updates / 5000 < 0.95
+
+
+def test_read_only_has_no_updates():
+    workload = YCSBWorkload(YCSBConfig(num_tuples=100,
+                                       mixture="read-only"))
+    assert all(kind == "read"
+               for kind, __, __k in workload.operations(500))
+
+
+def test_operations_deterministic():
+    def ops():
+        workload = YCSBWorkload(YCSBConfig(num_tuples=50, seed=9))
+        return list(workload.operations(200))
+
+    assert ops() == ops()
+
+
+def test_keys_respect_partition_ranges():
+    workload = YCSBWorkload(YCSBConfig(num_tuples=100), partitions=4)
+    for __, pid, key in workload.operations(400):
+        base = pid * workload.tuples_per_partition
+        assert base <= key < base + workload.tuples_per_partition
+
+
+def test_load_and_run_roundtrip():
+    config = YCSBConfig(num_tuples=60, mixture="balanced", skew="high",
+                        seed=2)
+    workload = YCSBWorkload(config)
+    db = Database(engine="nvm-inp",
+                  engine_config=EngineConfig(group_commit_size=4))
+    assert workload.load(db) == 60
+    committed = workload.run(db, 120)
+    assert committed == 120
+    assert db.committed_txns == 60 + 120
+    # Every key still resolves to a full tuple.
+    row = db.get("usertable", 0, partition=0)
+    assert set(row) == set(YCSBWorkload.schema().column_names)
+
+
+def test_high_skew_concentrates_accesses():
+    workload = YCSBWorkload(YCSBConfig(num_tuples=1000, skew="high"))
+    keys = [key for __, __p, key in workload.operations(5000)]
+    hot = sum(1 for key in keys if key < 100)
+    assert hot / len(keys) > 0.85
+
+
+def test_all_mixtures_defined():
+    assert set(MIXTURES) == {"read-only", "read-heavy", "balanced",
+                             "write-heavy"}
+    assert MIXTURES["read-only"] == 0.0
+    assert MIXTURES["write-heavy"] == 0.9
