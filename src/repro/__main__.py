@@ -5,9 +5,11 @@ Examples::
     python -m repro engines
     python -m repro ycsb --engine nvm-inp --mixture write-heavy
     python -m repro ycsb --all-engines --mixture balanced --skew high
+    python -m repro ycsb --all-engines --trace out.jsonl --metrics out.prom
     python -m repro tpcc --engine nvm-cow --txns 500
     python -m repro figure 1
     python -m repro figure 12 --workload tpcc
+    python -m repro obs out.jsonl
 """
 
 from __future__ import annotations
@@ -35,6 +37,42 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                         help="use the larger FULL scale")
 
 
+def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace", metavar="FILE", default=None,
+        help="record engine spans + counter samples to a JSONL trace; "
+             "the run ends with a crash/recover cycle (outside the "
+             "measurement window) so recovery phases are traced")
+    parser.add_argument(
+        "--metrics", metavar="FILE", default=None,
+        help="write Prometheus-style metrics (incl. per-txn latency "
+             "histogram) to FILE")
+
+
+def _make_session(args):
+    if not (args.trace or args.metrics):
+        return None
+    from .obs.session import ObservabilitySession
+    return ObservabilitySession()
+
+
+def _export_obs(args, session) -> int:
+    if session is None:
+        return 0
+    try:
+        if args.trace:
+            lines = session.export_trace(args.trace)
+            print(f"trace: {lines} records -> {args.trace}")
+        if args.metrics:
+            lines = session.export_metrics(args.metrics)
+            print(f"metrics: {lines} series -> {args.metrics}")
+    except OSError as error:
+        print(f"cannot write observability output: {error}",
+              file=sys.stderr)
+        return 2
+    return 0
+
+
 def _scale(args) -> object:
     return FULL_SCALE if args.full else QUICK_SCALE
 
@@ -51,10 +89,27 @@ def _cmd_engines(args) -> int:
     return 0
 
 
+def _result_row(engine: str, result) -> List:
+    row = [engine, result.throughput, result.nvm_loads,
+           result.nvm_stores]
+    if result.latency_percentiles is not None:
+        row.extend([result.latency_percentiles["p50"] / 1e3,
+                    result.latency_percentiles["p99"] / 1e3])
+    return row
+
+
+def _result_headers(with_obs: bool) -> List[str]:
+    headers = ["engine", "txn/s", "NVM loads", "NVM stores"]
+    if with_obs:
+        headers.extend(["p50 (us)", "p99 (us)"])
+    return headers
+
+
 def _cmd_ycsb(args) -> int:
     scale = _scale(args)
     engines = list(ENGINE_NAMES.ALL) if args.all_engines \
         else [args.engine]
+    session = _make_session(args)
     rows = []
     for engine in engines:
         result = run_ycsb(
@@ -63,19 +118,21 @@ def _cmd_ycsb(args) -> int:
             num_tuples=args.tuples or scale.ycsb_tuples,
             num_txns=args.txns or scale.ycsb_txns,
             engine_config=scale.engine_config(),
-            cache_bytes=scale.cache_bytes)
-        rows.append([engine, result.throughput, result.nvm_loads,
-                     result.nvm_stores])
+            cache_bytes=scale.cache_bytes,
+            obs=session,
+            crash_recover=bool(args.trace))
+        rows.append(_result_row(engine, result))
     print(format_table(
-        ["engine", "txn/s", "NVM loads", "NVM stores"], rows,
+        _result_headers(session is not None), rows,
         title=f"YCSB {args.mixture}/{args.skew} @ {args.latency}"))
-    return 0
+    return _export_obs(args, session)
 
 
 def _cmd_tpcc(args) -> int:
     scale = _scale(args)
     engines = list(ENGINE_NAMES.ALL) if args.all_engines \
         else [args.engine]
+    session = _make_session(args)
     rows = []
     for engine in engines:
         result = run_tpcc(
@@ -83,12 +140,23 @@ def _cmd_tpcc(args) -> int:
             tpcc_config=scale.tpcc,
             num_txns=args.txns or scale.tpcc_txns,
             engine_config=scale.engine_config(),
-            cache_bytes=scale.tpcc_cache_bytes)
-        rows.append([engine, result.throughput, result.nvm_loads,
-                     result.nvm_stores])
+            cache_bytes=scale.tpcc_cache_bytes,
+            obs=session,
+            crash_recover=bool(args.trace))
+        rows.append(_result_row(engine, result))
     print(format_table(
-        ["engine", "txn/s", "NVM loads", "NVM stores"], rows,
+        _result_headers(session is not None), rows,
         title=f"TPC-C @ {args.latency}"))
+    return _export_obs(args, session)
+
+
+def _cmd_obs(args) -> int:
+    from .obs.export import summarize_file
+    try:
+        print(summarize_file(args.file))
+    except (OSError, ValueError) as error:
+        print(f"cannot summarize {args.file}: {error}", file=sys.stderr)
+        return 2
     return 0
 
 
@@ -150,6 +218,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     ycsb_parser.add_argument("--tuples", type=int, default=None)
     ycsb_parser.add_argument("--txns", type=int, default=None)
     _add_common(ycsb_parser)
+    _add_obs_flags(ycsb_parser)
     ycsb_parser.set_defaults(func=_cmd_ycsb)
 
     tpcc_parser = commands.add_parser("tpcc", help="run a TPC-C point")
@@ -158,6 +227,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     tpcc_parser.add_argument("--all-engines", action="store_true")
     tpcc_parser.add_argument("--txns", type=int, default=None)
     _add_common(tpcc_parser)
+    _add_obs_flags(tpcc_parser)
     tpcc_parser.set_defaults(func=_cmd_tpcc)
 
     figure_parser = commands.add_parser(
@@ -167,6 +237,12 @@ def main(argv: Optional[List[str]] = None) -> int:
                                choices=("ycsb", "tpcc"))
     _add_common(figure_parser)
     figure_parser.set_defaults(func=_cmd_figure)
+
+    obs_parser = commands.add_parser(
+        "obs", help="pretty-print a trace (.jsonl) or metrics (.prom) "
+                    "file produced by --trace/--metrics")
+    obs_parser.add_argument("file")
+    obs_parser.set_defaults(func=_cmd_obs)
 
     args = parser.parse_args(argv)
     return args.func(args)

@@ -22,47 +22,54 @@ class TransactionContext:
     NVM traffic the engine generates.
     """
 
-    __slots__ = ("_engine", "txn", "_op_cpu_ns")
+    __slots__ = ("_engine", "txn", "_op_cpu_ns", "_op_counters")
 
     def __init__(self, engine: StorageEngine, txn: Transaction) -> None:
         self._engine = engine
         self.txn = txn
         self._op_cpu_ns = engine.config.op_cpu_ns
+        # Per-operation metric counters (None unless an observability
+        # session is attached — the common case stays one check per op).
+        self._op_counters = engine.platform.op_counters
 
-    def _charge_op(self) -> None:
+    def _charge_op(self, op: str) -> None:
         self._engine.clock.advance(self._op_cpu_ns)
+        if self._op_counters is not None:
+            self._op_counters[op].inc()
 
     def insert(self, table: str, values: Dict[str, Any]) -> None:
         """Insert a tuple; raises DuplicateKeyError if the key exists."""
-        self._charge_op()
+        self._charge_op("insert")
         self._engine.insert(self.txn, table, values)
 
     def update(self, table: str, key: Any,
                changes: Dict[str, Any]) -> None:
         """Update the changed columns of an existing tuple."""
-        self._charge_op()
+        self._charge_op("update")
         self._engine.update(self.txn, table, key, changes)
 
     def delete(self, table: str, key: Any) -> None:
         """Delete the tuple with the given primary key."""
-        self._charge_op()
+        self._charge_op("delete")
         self._engine.delete(self.txn, table, key)
 
     def get(self, table: str, key: Any) -> Optional[Dict[str, Any]]:
         """Point look-up by primary key (None if absent)."""
-        self._charge_op()
+        self._charge_op("get")
         return self._engine.select(self.txn, table, key)
 
     def get_secondary(self, table: str, index_name: str,
                       key: Any) -> List[Any]:
         """Primary keys matching a secondary key."""
-        self._charge_op()
+        self._charge_op("get_secondary")
         return self._engine.select_secondary(self.txn, table,
                                              index_name, key)
 
     def scan(self, table: str, lo: Any = None, hi: Any = None
              ) -> Iterator[Tuple[Any, Dict[str, Any]]]:
         """Ordered range scan over ``lo <= key < hi``."""
+        if self._op_counters is not None:
+            self._op_counters["scan"].inc()
         return self._engine.scan(self.txn, table, lo=lo, hi=hi)
 
     def abort(self, reason: str = "aborted by procedure") -> None:

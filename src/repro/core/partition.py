@@ -57,6 +57,9 @@ class Partition:
             self.engine.abort(txn)
             raise
         self.engine.commit(txn)
+        histogram = self.platform.txn_latency
+        if histogram is not None:
+            histogram.observe(txn.commit_ns - txn.begin_ns)
         return result
 
     @property

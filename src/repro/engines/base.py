@@ -86,6 +86,9 @@ class StorageEngine(abc.ABC):
         self.filesystem = platform.filesystem
         self.stats = platform.stats
         self.clock = platform.clock
+        # The platform's tracer is activated/deactivated in place, so
+        # caching the reference is safe and keeps hot paths cheap.
+        self.tracer = platform.tracer
         self.schemas: Dict[str, Schema] = {}
         self._txn_ids = itertools.count(1)
         self._timestamps = itertools.count(1)

@@ -396,11 +396,14 @@ class CoWEngine(StorageEngine):
         if not dirty:
             return
         reclaimable: List[int] = []
-        for directory in dirty:
-            directory.tree.commit(
-                persist=lambda created, root, d=directory:
-                self._persist_nodes(d, created, root, reclaimable))
-        self._write_master(dirty)
+        with self.tracer.span("cow.page_persist",
+                              directories=len(dirty)):
+            for directory in dirty:
+                directory.tree.commit(
+                    persist=lambda created, root, d=directory:
+                    self._persist_nodes(d, created, root, reclaimable))
+        with self.tracer.span("cow.master_flip"):
+            self._write_master(dirty)
         # Only after the master record is durable are the previous
         # version's pages truly dead and safe to recycle.
         self._free_pages.extend(reclaimable)
@@ -506,8 +509,10 @@ class CoWEngine(StorageEngine):
         demand-loaded on first access (the DBMS is online immediately,
         Section 3.2)."""
         start_ns = self.clock.now_ns
-        with self.stats.category(Category.RECOVERY):
-            self.filesystem.read(self._file, 0, MASTER_SIZE)
+        with self.stats.category(Category.RECOVERY), \
+                self.tracer.span("recovery.total", engine=self.name):
+            with self.tracer.span("recovery.master_read"):
+                self.filesystem.read(self._file, 0, MASTER_SIZE)
         return self.clock.elapsed_since(start_ns) / 1e9
 
     def _ensure_loaded(self, table: str) -> None:

@@ -361,7 +361,9 @@ class InPEngine(StorageEngine):
             self.checkpoint()
 
     def _do_flush_commits(self) -> None:
-        self._wal.flush()
+        with self.tracer.span("wal.fsync",
+                              pending=self._wal.pending_bytes()):
+            self._wal.flush()
 
     def _do_abort(self, txn: Transaction) -> None:
         self._wal.append(WALEntry(walmod.OP_ABORT, txn.txn_id))
@@ -409,11 +411,15 @@ class InPEngine(StorageEngine):
             return (self._read_tuple(store, addr)
                     for addr in list(store.slots.values()))
 
-        with self.stats.category(Category.RECOVERY):
+        with self.stats.category(Category.RECOVERY), \
+                self.tracer.span("checkpoint.write") as span:
             tables = {name: (store.schema, rows_of(store))
                       for name, store in self._tables.items()}
             size = self._checkpointer.write(tables)
             self._wal.truncate()
+            if span:
+                span.tag(compressed_bytes=size,
+                         number=self._checkpointer.checkpoints_taken)
         from .base import logger
         logger.info("%s: checkpoint #%d written (%d bytes compressed)",
                     self.name, self._checkpointer.checkpoints_taken, size)
@@ -433,26 +439,39 @@ class InPEngine(StorageEngine):
         """Load the last checkpoint, replay the WAL (redo committed
         transactions only), rebuild every index."""
         start_ns = self.clock.now_ns
-        with self.stats.category(Category.RECOVERY):
-            for store in self._tables.values():
-                store.pool = FixedSlotPool(store.schema, self.allocator,
-                                           self.memory,
-                                           persistent=self.pools_persistent)
-                store.varlen = VarlenPool(self.allocator, self.memory,
-                                          persistent=self.pools_persistent)
-                store.primary = self._make_index()
-                store.secondary = {name: self._make_index()
-                                   for name in
-                                   store.schema.secondary_indexes}
-            for name, values in self._checkpointer.read(self.schemas):
-                self._recover_insert(self._tables[name], values)
-            committed = self._wal.committed_txn_ids()
-            for entry in self._wal.replay():
-                if entry.op in (walmod.OP_COMMIT, walmod.OP_ABORT):
-                    continue
-                if entry.txn_id not in committed:
-                    continue
-                self._replay_entry(entry)
+        with self.stats.category(Category.RECOVERY), \
+                self.tracer.span("recovery.total", engine=self.name):
+            with self.tracer.span("recovery.rebuild_storage"):
+                for store in self._tables.values():
+                    store.pool = FixedSlotPool(
+                        store.schema, self.allocator, self.memory,
+                        persistent=self.pools_persistent)
+                    store.varlen = VarlenPool(
+                        self.allocator, self.memory,
+                        persistent=self.pools_persistent)
+                    store.primary = self._make_index()
+                    store.secondary = {name: self._make_index()
+                                       for name in
+                                       store.schema.secondary_indexes}
+            with self.tracer.span("recovery.checkpoint_load") as span:
+                restored = 0
+                for name, values in self._checkpointer.read(self.schemas):
+                    self._recover_insert(self._tables[name], values)
+                    restored += 1
+                if span:
+                    span.tag(tuples=restored)
+            with self.tracer.span("recovery.wal_replay") as span:
+                committed = self._wal.committed_txn_ids()
+                replayed = 0
+                for entry in self._wal.replay():
+                    if entry.op in (walmod.OP_COMMIT, walmod.OP_ABORT):
+                        continue
+                    if entry.txn_id not in committed:
+                        continue
+                    self._replay_entry(entry)
+                    replayed += 1
+                if span:
+                    span.tag(entries=replayed, committed=len(committed))
         from .base import logger
         logger.info("%s: recovery replayed WAL for %d committed txns",
                     self.name, len(committed))

@@ -253,7 +253,9 @@ class LogEngine(StorageEngine):
             self._wal.append(WALEntry(walmod.OP_COMMIT, txn.txn_id))
 
     def _do_flush_commits(self) -> None:
-        self._wal.flush()
+        with self.tracer.span("wal.fsync",
+                              pending=self._wal.pending_bytes()):
+            self._wal.flush()
         # MemTable flushes happen at durable points, between
         # transactions, so an SSTable never contains dirty data.
         for name, store in self._tables.items():
@@ -292,8 +294,10 @@ class LogEngine(StorageEngine):
         Recovery latency afterwards depends only on transactions since
         this flush (Section 5.4)."""
         self.flush_commits()
-        for name, store in self._tables.items():
-            self._flush_memtable(name, store)
+        with self.tracer.span("checkpoint.memtable_flush",
+                              tables=len(self._tables)):
+            for name, store in self._tables.items():
+                self._flush_memtable(name, store)
 
     # ------------------------------------------------------------------
     # Flush & compaction
@@ -304,7 +308,10 @@ class LogEngine(StorageEngine):
         (its contents are now durably in the run)."""
         if not len(store.memtable):
             return
-        with self.stats.category(Category.STORAGE):
+        with self.stats.category(Category.STORAGE), \
+                self.tracer.span("memtable.flush", table=name,
+                                 entries=len(store.memtable),
+                                 bytes=store.memtable.size_bytes):
             rows = [(key, [(entry.kind, entry.data) for entry in chain])
                     for key, chain in store.memtable.chains()]
             run = SSTable.write(
@@ -333,7 +340,9 @@ class LogEngine(StorageEngine):
             if len(runs) <= self.config.lsm_max_runs_per_level:
                 level += 1
                 continue
-            with self.stats.category(Category.STORAGE):
+            with self.stats.category(Category.STORAGE), \
+                    self.tracer.span("compaction.merge", table=name,
+                                     level=level, runs=len(runs)):
                 merged = self._merge_runs(name, store, level, runs)
                 if level + 1 >= len(store.levels):
                     store.levels.append([])
@@ -390,19 +399,28 @@ class LogEngine(StorageEngine):
         """Rebuild the MemTable from the WAL (committed transactions
         only), reopen SSTables, reconstruct secondary indexes."""
         start_ns = self.clock.now_ns
-        with self.stats.category(Category.RECOVERY):
-            for store in self._tables.values():
-                for level in store.levels:
-                    for run in level:
-                        run.open()
-            committed = self._wal.committed_txn_ids()
-            for entry in self._wal.replay():
-                if entry.op in (walmod.OP_COMMIT, walmod.OP_ABORT):
-                    continue
-                if entry.txn_id not in committed:
-                    continue
-                self._replay_entry(entry)
-            self._rebuild_secondaries()
+        with self.stats.category(Category.RECOVERY), \
+                self.tracer.span("recovery.total", engine=self.name):
+            with self.tracer.span("recovery.sstable_open"):
+                for store in self._tables.values():
+                    for level in store.levels:
+                        for run in level:
+                            run.open()
+            with self.tracer.span("recovery.wal_replay") as span:
+                committed = self._wal.committed_txn_ids()
+                replayed = 0
+                for entry in self._wal.replay():
+                    if entry.op in (walmod.OP_COMMIT, walmod.OP_ABORT):
+                        continue
+                    if entry.txn_id not in committed:
+                        continue
+                    self._replay_entry(entry)
+                    replayed += 1
+                if span:
+                    span.tag(entries=replayed,
+                             committed=len(committed))
+            with self.tracer.span("recovery.index_rebuild"):
+                self._rebuild_secondaries()
         return self.clock.elapsed_since(start_ns) / 1e9
 
     def _replay_entry(self, entry: WALEntry) -> None:

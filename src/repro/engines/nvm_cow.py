@@ -173,8 +173,10 @@ class NVMCoWEngine(CoWEngine):
         """No recovery: a single master-record read and the engine can
         start handling transactions (Section 4.2)."""
         start_ns = self.clock.now_ns
-        with self.stats.category(Category.RECOVERY):
-            self.memory.load(self._master.addr, 8 * MASTER_SLOTS)
+        with self.stats.category(Category.RECOVERY), \
+                self.tracer.span("recovery.total", engine=self.name):
+            with self.tracer.span("recovery.master_read"):
+                self.memory.load(self._master.addr, 8 * MASTER_SLOTS)
         return self.clock.elapsed_since(start_ns) / 1e9
 
     def _ensure_loaded(self, table: str) -> None:

@@ -206,7 +206,8 @@ class NVMInPEngine(InPEngine):
                 for old_ptr in replaced.values():
                     if store.varlen.contains(old_ptr):
                         store.varlen.free(old_ptr)
-        self._nvm_wal.truncate_txn(txn.txn_id)
+        with self.tracer.span("wal.truncate", txn=txn.txn_id):
+            self._nvm_wal.truncate_txn(txn.txn_id)
         txn.engine_state["durable"] = True
 
     def _do_flush_commits(self) -> None:
@@ -267,16 +268,23 @@ class NVMInPEngine(InPEngine):
         already durable; roll back the transactions whose WAL entries
         were never truncated."""
         start_ns = self.clock.now_ns
-        with self.stats.category(Category.RECOVERY):
-            self._nvm_wal.head_ptr()  # locate the log on NVM
-            for txn_id in self._nvm_wal.active_txn_ids():
-                records = self._nvm_wal.entries_for(txn_id)
-                for record in reversed(records):
-                    self._undo_wal_record(record)
-                self._nvm_wal.truncate_txn(txn_id)
-            for store in self._tables.values():
-                store.pool.recover_unpersisted()
-                store.varlen.prune_dead()
+        with self.stats.category(Category.RECOVERY), \
+                self.tracer.span("recovery.total", engine=self.name):
+            with self.tracer.span("recovery.wal_undo") as span:
+                self._nvm_wal.head_ptr()  # locate the log on NVM
+                undone = 0
+                for txn_id in self._nvm_wal.active_txn_ids():
+                    records = self._nvm_wal.entries_for(txn_id)
+                    for record in reversed(records):
+                        self._undo_wal_record(record)
+                    self._nvm_wal.truncate_txn(txn_id)
+                    undone += 1
+                if span:
+                    span.tag(txns=undone)
+            with self.tracer.span("recovery.pool_reclaim"):
+                for store in self._tables.values():
+                    store.pool.recover_unpersisted()
+                    store.varlen.prune_dead()
         from .base import logger
         logger.info("nvm-inp: undo-only recovery complete")
         return self.clock.elapsed_since(start_ns) / 1e9

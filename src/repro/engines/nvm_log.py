@@ -188,7 +188,8 @@ class NVMLogEngine(LogEngine):
     def _do_commit(self, txn: Transaction) -> None:
         # Entries are already durable; just truncate the txn's log,
         # then roll the MemTable if it crossed its threshold.
-        self._nvm_wal.truncate_txn(txn.txn_id)
+        with self.tracer.span("wal.truncate", txn=txn.txn_id):
+            self._nvm_wal.truncate_txn(txn.txn_id)
         for name, store in self._tables.items():
             if store.memtable.size_bytes >= \
                     self.config.memtable_threshold_bytes:
@@ -214,7 +215,10 @@ class NVMLogEngine(LogEngine):
         NVM-Log replacement for flushing an SSTable (Section 4.3)."""
         if not len(store.memtable):
             return
-        with self.stats.category(Category.STORAGE):
+        with self.stats.category(Category.STORAGE), \
+                self.tracer.span("memtable.roll", table=name,
+                                 entries=len(store.memtable),
+                                 bytes=store.memtable.size_bytes):
             store.memtable.mark_immutable()
             if not store.mem_levels:
                 store.mem_levels.append([])
@@ -234,7 +238,9 @@ class NVMLogEngine(LogEngine):
             if len(runs) <= self.config.lsm_max_runs_per_level:
                 level += 1
                 continue
-            with self.stats.category(Category.STORAGE):
+            with self.stats.category(Category.STORAGE), \
+                    self.tracer.span("compaction.merge", table=name,
+                                     level=level, runs=len(runs)):
                 is_bottom = not any(store.mem_levels[level + 1:])
                 merged = self._merge_memtables(runs, is_bottom)
                 if level + 1 >= len(store.mem_levels):
@@ -277,13 +283,19 @@ class NVMLogEngine(LogEngine):
         """Undo-only recovery: remove the MemTable entries of
         transactions in flight at the crash (Section 4.3)."""
         start_ns = self.clock.now_ns
-        with self.stats.category(Category.RECOVERY):
-            self._nvm_wal.head_ptr()  # locate the log on NVM
-            for txn_id in self._nvm_wal.active_txn_ids():
-                records = self._nvm_wal.entries_for(txn_id)
-                for record in reversed(records):
-                    self._undo_wal_record(record)
-                self._nvm_wal.truncate_txn(txn_id)
+        with self.stats.category(Category.RECOVERY), \
+                self.tracer.span("recovery.total", engine=self.name):
+            with self.tracer.span("recovery.wal_undo") as span:
+                self._nvm_wal.head_ptr()  # locate the log on NVM
+                undone = 0
+                for txn_id in self._nvm_wal.active_txn_ids():
+                    records = self._nvm_wal.entries_for(txn_id)
+                    for record in reversed(records):
+                        self._undo_wal_record(record)
+                    self._nvm_wal.truncate_txn(txn_id)
+                    undone += 1
+                if span:
+                    span.tag(txns=undone)
         return self.clock.elapsed_since(start_ns) / 1e9
 
     def _undo_wal_record(self, record: NVMWalRecord) -> None:

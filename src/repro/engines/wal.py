@@ -117,6 +117,10 @@ class WriteAheadLog:
         """Discard the log (after a checkpoint made it redundant)."""
         self._fs.truncate(self._file, 0)
 
+    def pending_bytes(self) -> int:
+        """Appended bytes not yet made durable by an fsync."""
+        return self._file.pending_bytes
+
     @property
     def size_bytes(self) -> int:
         return self._file.size

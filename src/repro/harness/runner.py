@@ -10,10 +10,13 @@ breakdown from the category stats, and the peak storage footprint.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 from ..config import CacheConfig, EngineConfig, LatencyProfile, PlatformConfig
 from ..core.database import Database
+from ..obs.session import ObservabilitySession
+from ..workloads.tpcc import TPCCConfig, TPCCWorkload
+from ..workloads.ycsb import YCSBConfig, YCSBWorkload
 
 #: Default CPU-cache size for experiments. The emulator's 20 MB L3
 #: covers ~1% of the paper's 2 GB YCSB database; a small cache keeps a
@@ -32,8 +35,6 @@ def _make_database(engine: str, partitions: int,
     return Database(engine=engine, partitions=partitions,
                     platform_config=platform_config,
                     engine_config=engine_config, seed=seed)
-from ..workloads.tpcc import TPCCConfig, TPCCWorkload
-from ..workloads.ycsb import YCSBConfig, YCSBWorkload
 
 
 @dataclass
@@ -50,6 +51,12 @@ class ExperimentResult:
     time_breakdown: Dict[str, float] = field(default_factory=dict)
     storage_breakdown: Dict[str, int] = field(default_factory=dict)
     extra: Dict[str, float] = field(default_factory=dict)
+    #: Per-transaction simulated-latency percentiles (p50/p95/p99/max,
+    #: ns); populated only when an observability session is attached.
+    latency_percentiles: Optional[Dict[str, float]] = None
+    #: Periodic counter samples over the run (see repro.obs.sampler);
+    #: populated only when an observability session is attached.
+    timeseries: Optional[List[Dict[str, float]]] = None
 
     @property
     def throughput(self) -> float:
@@ -70,18 +77,23 @@ def _category_ns(db: Database) -> Dict[str, float]:
 
 
 def _measure(db: Database, run, txns: int, engine: str, workload: str,
-             latency_name: str) -> ExperimentResult:
+             latency_name: str,
+             obs: Optional[ObservabilitySession] = None
+             ) -> ExperimentResult:
     """Snapshot counters, execute ``run()``, report the deltas
     (profiling starts after the initial load, as in Section 5)."""
     start_ns = db.now_ns
     loads_before = db.nvm_counters()["loads"]
     stores_before = db.nvm_counters()["stores"]
     categories_before = _category_ns(db)
+    if obs is not None:
+        obs.begin_run(db)
     run()
     # Steady-state accounting: dirty cache lines the run produced are
     # NVM writes it owes — drain them into the measurement window (at
     # the paper's 8M-txn scale eviction does this naturally).
     db.settle()
+    obs_stats = obs.end_run(db) if obs is not None else None
     counters = db.nvm_counters()
     categories_after = _category_ns(db)
     deltas = {name: categories_after[name] - categories_before[name]
@@ -98,7 +110,22 @@ def _measure(db: Database, run, txns: int, engine: str, workload: str,
         time_breakdown={name: value / total_delta
                         for name, value in deltas.items()},
         storage_breakdown=db.storage_breakdown(),
+        latency_percentiles=(obs_stats["latency_percentiles"]
+                             if obs_stats else None),
+        timeseries=obs_stats["timeseries"] if obs_stats else None,
     )
+
+
+def _finish_run(db: Database, result: ExperimentResult,
+                obs: Optional[ObservabilitySession],
+                crash_recover: bool) -> None:
+    """Post-measurement epilogue: optional crash + recovery cycle (so
+    recovery-phase spans land in the trace) and session detach."""
+    if crash_recover:
+        db.crash()
+        result.extra["recovery_seconds"] = db.recover()
+    if obs is not None:
+        obs.detach(db)
 
 
 def run_ycsb(engine: str, mixture: str, skew: str,
@@ -110,24 +137,34 @@ def run_ycsb(engine: str, mixture: str, skew: str,
              database: Optional[Database] = None,
              cache_bytes: int = DEFAULT_CACHE_BYTES,
              run_checkpoint_interval: Optional[int] = None,
+             obs: Optional[ObservabilitySession] = None,
+             crash_recover: bool = False,
              ) -> ExperimentResult:
     """Run one YCSB point; returns its measurements.
 
     Pass ``database`` to reuse a pre-loaded database (e.g. to run
     several mixtures against one load in the read/write experiments).
+    Pass ``obs`` to trace/meter the run; ``crash_recover`` appends a
+    crash + recovery cycle *after* the measurement window so recovery
+    phases show up in the trace (throughput is unaffected).
     """
     latency = latency or LatencyProfile.dram()
     config = YCSBConfig(num_tuples=num_tuples, mixture=mixture,
                         skew=skew, seed=seed)
+    workload_name = f"ycsb/{mixture}/{skew}"
     workload = YCSBWorkload(config, partitions=partitions)
     db = database
     if db is None:
         db = _make_database(engine, partitions, latency, engine_config,
                             seed, cache_bytes)
+        if obs is not None:
+            obs.attach(db, engine, workload_name)
         workload.load(db)
         # Post-load checkpoint (engines without checkpoints: no-op) so
         # the in-run checkpoint cadence is measured from a clean base.
         db.checkpoint()
+    elif obs is not None:
+        obs.attach(db, engine, workload_name)
     if run_checkpoint_interval is not None:
         for partition in db.partitions:
             partition.engine.checkpoint_interval_txns = \
@@ -135,8 +172,9 @@ def run_ycsb(engine: str, mixture: str, skew: str,
     db.settle()
     result = _measure(
         db, lambda: workload.run(db, num_txns), num_txns, engine,
-        f"ycsb/{mixture}/{skew}", latency.name)
+        workload_name, latency.name, obs=obs)
     result.extra["num_tuples"] = num_tuples
+    _finish_run(db, result, obs, crash_recover)
     return result
 
 
@@ -148,6 +186,8 @@ def run_tpcc(engine: str,
              seed: int = 47,
              cache_bytes: int = DEFAULT_CACHE_BYTES,
              run_checkpoint_interval: Optional[int] = None,
+             obs: Optional[ObservabilitySession] = None,
+             crash_recover: bool = False,
              ) -> ExperimentResult:
     """Run one TPC-C point; returns its measurements."""
     latency = latency or LatencyProfile.dram()
@@ -155,6 +195,8 @@ def run_tpcc(engine: str,
     workload = TPCCWorkload(config, partitions=partitions)
     db = _make_database(engine, partitions, latency, engine_config,
                         seed, cache_bytes)
+    if obs is not None:
+        obs.attach(db, engine, "tpcc")
     workload.load(db)
     db.checkpoint()
     if run_checkpoint_interval is not None:
@@ -162,6 +204,8 @@ def run_tpcc(engine: str,
             partition.engine.checkpoint_interval_txns = \
                 run_checkpoint_interval
     db.settle()
-    return _measure(
+    result = _measure(
         db, lambda: workload.run(db, num_txns), num_txns, engine,
-        "tpcc", latency.name)
+        "tpcc", latency.name, obs=obs)
+    _finish_run(db, result, obs, crash_recover)
+    return result

@@ -276,7 +276,8 @@ class STXBTree:
     # Iteration
     # ------------------------------------------------------------------
 
-    def items(self, lo: Any = None, hi: Any = None) -> Iterator[Tuple[Any, Any]]:
+    def items(self, lo: Any = None, hi: Any = None
+              ) -> Iterator[Tuple[Any, Any]]:
         """Yield (key, value) in key order for ``lo <= key < hi``."""
         if lo is None:
             node: Optional[_Node] = self._leftmost_leaf()

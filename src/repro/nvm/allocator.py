@@ -72,9 +72,10 @@ class NVMAllocator:
     """Rotating best-fit allocator over the emulated NVM device."""
 
     def __init__(self, memory: NVMMemory, capacity_bytes: int,
-                 stats: StatsCollector) -> None:
+                 stats: StatsCollector, tracer=None) -> None:
         self._memory = memory
         self._stats = stats
+        self._tracer = tracer
         self.capacity_bytes = capacity_bytes
         # Reserve [0, _ALIGNMENT) so that 0 is never a valid pointer.
         self._free: List[Tuple[int, int]] = [
@@ -188,6 +189,9 @@ class NVMAllocator:
         survive allocator recovery after a crash."""
         allocation.persisted = True
         self._stats.bump("alloc.persist")
+        if self._tracer is not None and self._tracer.enabled:
+            self._tracer.event("alloc.persist", size=allocation.size,
+                               tag=allocation.tag)
 
     def sync(self, allocation: Allocation, offset: int = 0,
              size: Optional[int] = None) -> None:

@@ -22,6 +22,7 @@ from typing import Callable, List, Optional
 import logging
 
 from ..config import PlatformConfig
+from ..obs.tracer import Tracer
 from ..sim.clock import SimClock
 from ..sim.rng import derive_rng
 from ..sim.stats import StatsCollector
@@ -43,6 +44,16 @@ class Platform:
         self.config = config or PlatformConfig()
         self.clock = SimClock()
         self.stats = StatsCollector(self.clock)
+        #: Span tracer (inactive unless an observability session
+        #: activates it); engines cache a reference at construction.
+        self.tracer = Tracer(self.clock)
+        #: Observability hooks set by an attached session: a latency
+        #: histogram fed by the partition executor, per-operation
+        #: counters fed by the query executor, and the time-series
+        #: sampler. None means "off" and costs one check per use.
+        self.txn_latency = None
+        self.op_counters = None
+        self.sampler = None
         self.device = NVMDevice(
             self.config.nvm_capacity_bytes, self.config.latency,
             self.clock, self.stats, line_size=self.config.cache.line_size,
@@ -52,7 +63,8 @@ class Platform:
                               self.clock, self.stats, self._crash_rng)
         self.memory = NVMMemory(self.cache)
         self.allocator = NVMAllocator(
-            self.memory, self.config.nvm_capacity_bytes, self.stats)
+            self.memory, self.config.nvm_capacity_bytes, self.stats,
+            tracer=self.tracer)
         self.filesystem = NVMFilesystem(
             self.config.filesystem, self.device, self.clock, self.stats)
         #: Optional volatile DRAM tier (hybrid hierarchy, Appendix D).

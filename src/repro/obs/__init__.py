@@ -1,0 +1,39 @@
+"""Observability: span tracing, metrics, time-series sampling, exporters.
+
+The subsystem mirrors the instrumentation the paper relies on for its
+evaluation (hardware counters, execution-time breakdowns, recovery
+latencies) but exposes it continuously instead of as end-of-run deltas:
+
+* :mod:`repro.obs.tracer` — nestable spans over the engines' durability
+  hot paths (WAL, checkpointing, LSM flush/compaction, CoW persistence,
+  recovery phases), timestamped with the *simulated* clock.
+* :mod:`repro.obs.metrics` — counters, gauges, and log-bucketed latency
+  histograms (p50/p95/p99/max).
+* :mod:`repro.obs.sampler` — periodic counter snapshots that turn a run
+  into a trajectory, not just totals.
+* :mod:`repro.obs.export` — JSONL trace dump, Prometheus-style text
+  metrics, and human-readable summaries.
+* :mod:`repro.obs.session` — harness glue attaching all of the above to
+  a :class:`~repro.core.database.Database`.
+
+Everything is opt-in: the default tracer is inactive and records
+nothing, so instrumented code paths cost one attribute check when
+observability is off.
+"""
+
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .sampler import TimeSeriesSampler
+from .session import ObservabilityOptions, ObservabilitySession
+from .tracer import Span, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "ObservabilityOptions",
+    "ObservabilitySession",
+    "Span",
+    "TimeSeriesSampler",
+    "Tracer",
+]

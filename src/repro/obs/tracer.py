@@ -1,0 +1,201 @@
+"""Span-based tracer over the simulated clock.
+
+A span covers one engine activity — a WAL fsync, a checkpoint write, an
+LSM compaction, a recovery phase — with start/end timestamps taken from
+the :class:`~repro.sim.clock.SimClock`, a nesting depth, and free-form
+tags. Finished spans land in a bounded ring buffer so a long run keeps
+the most recent history instead of growing without bound.
+
+The tracer is **inactive by default**: ``span()`` then returns a shared
+no-op context manager and records nothing, which keeps the instrumented
+hot paths effectively free when observability is off. The same tracer
+object is activated in place (``activate()``), so engines may cache a
+reference to it at construction time.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Dict, Iterator, List, Optional
+
+from ..sim.clock import SimClock
+
+#: Default ring-buffer capacity (finished spans kept).
+DEFAULT_CAPACITY = 65536
+
+
+class Span:
+    """One finished span: a named, tagged, timed activity."""
+
+    __slots__ = ("name", "start_ns", "end_ns", "depth", "tags")
+
+    def __init__(self, name: str, start_ns: float, end_ns: float,
+                 depth: int, tags: Dict[str, Any]) -> None:
+        self.name = name
+        self.start_ns = start_ns
+        self.end_ns = end_ns
+        self.depth = depth
+        self.tags = tags
+
+    @property
+    def duration_ns(self) -> float:
+        return self.end_ns - self.start_ns
+
+    @property
+    def component(self) -> str:
+        """Engine component: the dotted prefix (``wal.fsync`` → ``wal``)."""
+        return self.name.split(".", 1)[0]
+
+    def to_dict(self) -> Dict[str, Any]:
+        record: Dict[str, Any] = {
+            "type": "span",
+            "name": self.name,
+            "component": self.component,
+            "start_ns": self.start_ns,
+            "end_ns": self.end_ns,
+            "dur_ns": self.duration_ns,
+            "depth": self.depth,
+        }
+        if self.tags:
+            record["tags"] = self.tags
+        return record
+
+    def __repr__(self) -> str:
+        return (f"Span({self.name!r}, start={self.start_ns:.0f}, "
+                f"dur={self.duration_ns:.0f}, depth={self.depth})")
+
+
+class _NullSpan:
+    """Shared no-op context manager returned by an inactive tracer."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _ActiveSpan:
+    """Context manager recording one span into its tracer's ring."""
+
+    __slots__ = ("_tracer", "_name", "_tags", "_start_ns", "_depth")
+
+    def __init__(self, tracer: "Tracer", name: str,
+                 tags: Dict[str, Any]) -> None:
+        self._tracer = tracer
+        self._name = name
+        self._tags = tags
+
+    def __enter__(self) -> "_ActiveSpan":
+        self._depth = self._tracer._enter()
+        self._start_ns = self._tracer._clock.now_ns
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        self._tracer._exit(Span(self._name, self._start_ns,
+                                self._tracer._clock.now_ns,
+                                self._depth, self._tags))
+        return False
+
+    def tag(self, **tags: Any) -> None:
+        """Attach tags discovered while the span is open."""
+        self._tags.update(tags)
+
+
+class Tracer:
+    """Ring-buffer span recorder bound to one partition's sim clock."""
+
+    __slots__ = ("_clock", "_spans", "_depth", "capacity", "dropped",
+                 "enabled")
+
+    def __init__(self, clock: SimClock) -> None:
+        self._clock = clock
+        self._spans: Optional[Deque[Span]] = None
+        self._depth = 0
+        self.capacity = 0
+        self.dropped = 0
+        self.enabled = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def activate(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        """Start recording (clears any previously recorded spans)."""
+        if capacity <= 0:
+            raise ValueError("tracer capacity must be positive")
+        self.capacity = capacity
+        self._spans = deque(maxlen=capacity)
+        self._depth = 0
+        self.dropped = 0
+        self.enabled = True
+
+    def deactivate(self) -> None:
+        """Stop recording; recorded spans remain readable."""
+        self.enabled = False
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+
+    def span(self, name: str, **tags: Any):
+        """Open a span; use as ``with tracer.span("wal.fsync"): ...``."""
+        if not self.enabled:
+            return _NULL_SPAN
+        return _ActiveSpan(self, name, tags)
+
+    def event(self, name: str, **tags: Any) -> None:
+        """Record an instantaneous (zero-duration) span."""
+        if not self.enabled:
+            return
+        now = self._clock.now_ns
+        self._record(Span(name, now, now, self._depth, tags))
+
+    def _enter(self) -> int:
+        depth = self._depth
+        self._depth += 1
+        return depth
+
+    def _exit(self, span: Span) -> None:
+        self._depth -= 1
+        self._record(span)
+
+    def _record(self, span: Span) -> None:
+        spans = self._spans
+        if spans is None:
+            return
+        if len(spans) == self.capacity:
+            self.dropped += 1
+        spans.append(span)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def spans(self) -> List[Span]:
+        """Recorded spans, oldest first (ring order: completion time)."""
+        return list(self._spans) if self._spans is not None else []
+
+    def components(self) -> Dict[str, int]:
+        """Span count per engine component."""
+        counts: Dict[str, int] = {}
+        for span in self.spans:
+            counts[span.component] = counts.get(span.component, 0) + 1
+        return counts
+
+    def __iter__(self) -> Iterator[Span]:
+        return iter(self.spans)
+
+    def __len__(self) -> int:
+        return len(self._spans) if self._spans is not None else 0
+
+    def __repr__(self) -> str:
+        state = "on" if self.enabled else "off"
+        return (f"Tracer({state}, spans={len(self)}, "
+                f"dropped={self.dropped})")

@@ -113,13 +113,19 @@ class StatsSnapshot:
         self.now_ns = now_ns
 
     def __sub__(self, earlier: "StatsSnapshot") -> "StatsSnapshot":
+        # Union of keys: a counter present only in the earlier snapshot
+        # (e.g. cleared by a reset in between) must still appear in the
+        # delta instead of being silently dropped.
         counters = {
-            name: value - earlier.counters.get(name, 0)
-            for name, value in self.counters.items()
+            name: self.counters.get(name, 0)
+            - earlier.counters.get(name, 0)
+            for name in self.counters.keys() | earlier.counters.keys()
         }
         category_ns = {
-            category: value - earlier.category_ns.get(category, 0.0)
-            for category, value in self.category_ns.items()
+            category: self.category_ns.get(category, 0.0)
+            - earlier.category_ns.get(category, 0.0)
+            for category in
+            self.category_ns.keys() | earlier.category_ns.keys()
         }
         return StatsSnapshot(counters, category_ns,
                              self.now_ns - earlier.now_ns)

@@ -5,7 +5,7 @@ implementations against each other."""
 
 import pytest
 
-from repro import Database, EngineConfig, TransactionAborted
+from repro import TransactionAborted
 from repro.engines.base import ENGINE_NAMES
 from repro.sim.rng import derive_rng
 

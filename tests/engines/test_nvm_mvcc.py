@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import Database, EngineConfig, TransactionAborted
+from repro import TransactionAborted
 from repro.errors import DuplicateKeyError, TupleNotFoundError
 
 from .conftest import make_database, sample_row

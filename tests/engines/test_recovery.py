@@ -3,7 +3,7 @@ power failure; uncommitted transactions never become visible."""
 
 import pytest
 
-from repro import Database, EngineConfig
+from repro import Database
 from repro.engines.base import ENGINE_NAMES
 
 from .conftest import make_database, sample_row

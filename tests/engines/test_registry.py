@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro import EngineConfig
 from repro.engines.base import (ENGINE_NAMES, create_engine,
                                 engine_names)
 from repro.errors import ConfigError, TransactionStateError

@@ -6,8 +6,6 @@ commit, per-transaction log truncation, dirty-directory batching — not
 just the observable CRUD behavior (covered by test_conformance).
 """
 
-import pytest
-
 from repro.engines.base import ENGINE_NAMES
 
 from .conftest import make_database, sample_row

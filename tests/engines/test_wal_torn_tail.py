@@ -1,7 +1,5 @@
 """WAL torn-tail handling and checkpoint edge cases."""
 
-import pytest
-
 from repro.core.schema import Column, ColumnType, Schema
 from repro.engines import wal as walmod
 from repro.engines.checkpoint import Checkpointer

@@ -1,7 +1,6 @@
 """Property test: the non-volatile B+tree matches a dict model across
 random operations interleaved with platform crashes."""
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

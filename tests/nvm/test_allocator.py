@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import InvalidAddressError, OutOfMemoryError
-from repro.nvm.allocator import HEADER_SIZE, NVMAllocator
+from repro.nvm.allocator import HEADER_SIZE
 
 
 @pytest.fixture

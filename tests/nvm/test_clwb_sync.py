@@ -2,8 +2,6 @@
 
 import random
 
-import pytest
-
 from repro.config import CacheConfig, LatencyProfile
 from repro.nvm.cache import CPUCache
 from repro.nvm.device import NVMDevice

@@ -1,0 +1,183 @@
+"""Unit tests for metric instruments and the Prometheus exporter."""
+
+import io
+import math
+
+import pytest
+
+from repro.obs.export import write_prometheus
+from repro.obs.metrics import (GROWTH, Counter, Gauge, Histogram,
+                               MetricsRegistry)
+
+
+# ----------------------------------------------------------------------
+# Counters and gauges
+# ----------------------------------------------------------------------
+
+def test_counter_accumulates_and_rejects_negative():
+    counter = Counter("txns.committed", {})
+    counter.inc()
+    counter.inc(4)
+    assert counter.value == 5
+    with pytest.raises(ValueError):
+        counter.inc(-1)
+
+
+def test_gauge_moves_both_ways():
+    gauge = Gauge("run.sim_seconds", {})
+    gauge.set(10)
+    gauge.inc(2)
+    gauge.dec(5)
+    assert gauge.value == 7
+
+
+# ----------------------------------------------------------------------
+# Histogram bucket math
+# ----------------------------------------------------------------------
+
+def test_bucket_index_boundaries():
+    # Values <= 1 collapse into bucket 0; exact powers of GROWTH land
+    # in their own bucket, values just above roll into the next.
+    assert Histogram.bucket_index(0.0) == 0
+    assert Histogram.bucket_index(1.0) == 0
+    assert Histogram.bucket_index(GROWTH) == 1
+    assert Histogram.bucket_index(2.0) == 2
+    assert Histogram.bucket_index(2.0001) == 3
+    assert Histogram.bucket_index(1024.0) == 20
+
+
+def test_bucket_bound_inverts_index():
+    for value in (1.0, 3.7, 500.0, 1e9):
+        index = Histogram.bucket_index(value)
+        assert Histogram.bucket_bound(index) >= value
+        if index > 0:
+            assert Histogram.bucket_bound(index - 1) < value
+
+
+def test_histogram_summary_stats():
+    histogram = Histogram("txn.latency_ns", {})
+    for value in (100.0, 200.0, 400.0):
+        histogram.observe(value)
+    assert histogram.count == 3
+    assert histogram.sum == pytest.approx(700.0)
+    assert histogram.mean == pytest.approx(700.0 / 3)
+    assert histogram.min == pytest.approx(100.0)
+    assert histogram.max == pytest.approx(400.0)
+
+
+def test_histogram_rejects_negative_observation():
+    histogram = Histogram("txn.latency_ns", {})
+    with pytest.raises(ValueError):
+        histogram.observe(-1.0)
+
+
+def test_percentile_upper_bound_within_growth_factor():
+    histogram = Histogram("txn.latency_ns", {})
+    values = [float(v) for v in range(1, 1001)]
+    for value in values:
+        histogram.observe(value)
+    for pct in (50, 95, 99):
+        exact = values[math.ceil(len(values) * pct / 100) - 1]
+        estimate = histogram.percentile(pct)
+        assert exact <= estimate <= exact * GROWTH
+
+
+def test_percentile_capped_by_observed_max():
+    histogram = Histogram("txn.latency_ns", {})
+    histogram.observe(3.0)  # bucket upper bound is 4.0
+    assert histogram.percentile(99) == pytest.approx(3.0)
+    assert histogram.percentiles()["max"] == pytest.approx(3.0)
+
+
+def test_percentile_empty_histogram_is_zero():
+    histogram = Histogram("txn.latency_ns", {})
+    assert histogram.percentile(50) == 0.0
+    assert histogram.percentiles() == {"p50": 0.0, "p95": 0.0,
+                                       "p99": 0.0, "max": 0.0}
+
+
+def test_percentile_single_observation():
+    histogram = Histogram("txn.latency_ns", {})
+    histogram.observe(1000.0)
+    for pct in (1, 50, 100):
+        assert histogram.percentile(pct) == pytest.approx(1000.0)
+
+
+def test_percentile_rejects_out_of_range():
+    histogram = Histogram("txn.latency_ns", {})
+    for pct in (0, -1, 101):
+        with pytest.raises(ValueError):
+            histogram.percentile(pct)
+
+
+def test_cumulative_buckets_monotone():
+    histogram = Histogram("txn.latency_ns", {})
+    for value in (1.0, 10.0, 10.0, 1000.0):
+        histogram.observe(value)
+    pairs = histogram.cumulative_buckets()
+    bounds = [bound for bound, __ in pairs]
+    counts = [count for __, count in pairs]
+    assert bounds == sorted(bounds)
+    assert counts == sorted(counts)
+    assert counts[-1] == histogram.count
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+
+def test_registry_get_or_create_by_name_and_labels():
+    registry = MetricsRegistry()
+    a = registry.counter("db.ops", op="insert")
+    b = registry.counter("db.ops", op="insert")
+    c = registry.counter("db.ops", op="update")
+    assert a is b
+    assert a is not c
+    assert len(registry) == 2
+
+
+def test_registry_find_without_creating():
+    registry = MetricsRegistry()
+    registry.histogram("txn.latency_ns", engine="inp")
+    assert registry.find("txn.latency_ns", engine="inp") is not None
+    assert registry.find("txn.latency_ns", engine="cow") is None
+    assert len(registry) == 1
+
+
+# ----------------------------------------------------------------------
+# Prometheus export
+# ----------------------------------------------------------------------
+
+def test_prometheus_export_shapes():
+    registry = MetricsRegistry()
+    registry.counter("txns.committed", help="Committed txns",
+                     engine="inp").inc(42)
+    histogram = registry.histogram("txn.latency_ns", engine="inp")
+    for value in (100.0, 200.0, 400.0, 800.0):
+        histogram.observe(value)
+    stream = io.StringIO()
+    write_prometheus(registry, stream)
+    text = stream.getvalue()
+    assert "# HELP repro_txns_committed Committed txns" in text
+    assert "# TYPE repro_txns_committed counter" in text
+    assert 'repro_txns_committed{engine="inp"} 42' in text
+    assert "# TYPE repro_txn_latency_ns histogram" in text
+    assert 'le="+Inf"' in text
+    assert 'repro_txn_latency_ns_count{engine="inp"} 4' in text
+    assert 'repro_txn_latency_ns_sum{engine="inp"} 1500' in text
+    for quantile in ('quantile="0.5"', 'quantile="0.95"',
+                     'quantile="0.99"', 'quantile="max"'):
+        assert quantile in text
+
+
+def test_prometheus_inf_bucket_matches_count():
+    registry = MetricsRegistry()
+    histogram = registry.histogram("txn.latency_ns")
+    for value in (1.0, 5.0, 25.0):
+        histogram.observe(value)
+    stream = io.StringIO()
+    write_prometheus(registry, stream)
+    inf_lines = [line for line in stream.getvalue().splitlines()
+                 if 'le="+Inf"' in line]
+    assert len(inf_lines) == 1
+    assert inf_lines[0].endswith(" 3")

@@ -1,0 +1,98 @@
+"""Unit tests for the time-series sampler (cadence, decimation)."""
+
+import pytest
+
+from repro.obs.sampler import TimeSeriesSampler
+from repro.sim.clock import SimClock
+
+
+def make_sampler(clock, counter, **kwargs):
+    return TimeSeriesSampler(clock, {"events": lambda: counter["n"]},
+                             **kwargs)
+
+
+def test_attach_takes_baseline_sample():
+    clock = SimClock()
+    counter = {"n": 0}
+    sampler = make_sampler(clock, counter, interval_ms=1.0)
+    sampler.attach()
+    assert len(sampler) == 1
+    assert sampler.samples[0] == {"t_ms": 0.0, "events": 0}
+
+
+def test_one_sample_per_interval_crossing():
+    clock = SimClock()
+    counter = {"n": 0}
+    sampler = make_sampler(clock, counter, interval_ms=1.0)
+    sampler.attach()
+    for step in range(10):  # 10 x 0.5 ms = 5 ms
+        counter["n"] += 1
+        clock.advance(0.5e6)
+    # Baseline + one sample at each of t=1..5 ms.
+    assert len(sampler) == 6
+    times = [round(s["t_ms"], 3) for s in sampler.samples]
+    assert times == [0.0, 1.0, 2.0, 3.0, 4.0, 5.0]
+    assert sampler.samples[-1]["events"] == 10
+
+
+def test_large_advance_skips_intervals_without_burst():
+    clock = SimClock()
+    counter = {"n": 0}
+    sampler = make_sampler(clock, counter, interval_ms=1.0)
+    sampler.attach()
+    counter["n"] = 7
+    clock.advance(10e6)  # jumps across ten intervals at once
+    assert len(sampler) == 2  # baseline + one crossing sample
+    clock.advance(0.5e6)
+    assert len(sampler) == 2  # next boundary is ~11 ms, not 1 ms
+    clock.advance(0.6e6)
+    assert len(sampler) == 3
+
+
+def test_detach_takes_final_sample_and_unsubscribes():
+    clock = SimClock()
+    counter = {"n": 0}
+    sampler = make_sampler(clock, counter, interval_ms=1.0)
+    sampler.attach()
+    clock.advance(0.4e6)
+    sampler.detach()
+    assert len(sampler) == 2  # baseline + final partial-interval sample
+    clock.advance(5e6)
+    assert len(sampler) == 2  # no longer listening
+
+
+def test_decimation_halves_samples_and_doubles_interval():
+    clock = SimClock()
+    counter = {"n": 0}
+    sampler = make_sampler(clock, counter, interval_ms=1.0,
+                           max_samples=8)
+    sampler.attach()
+    original_interval = sampler.interval_ns
+    for __ in range(20):
+        clock.advance(1e6)
+    assert len(sampler) <= 8
+    assert sampler.interval_ns > original_interval
+    # Shape preserved: samples still in time order, endpoints intact.
+    times = [s["t_ms"] for s in sampler.samples]
+    assert times == sorted(times)
+    assert times[0] == 0.0
+
+
+def test_rejects_bad_configuration():
+    clock = SimClock()
+    with pytest.raises(ValueError):
+        TimeSeriesSampler(clock, {}, interval_ms=0)
+    with pytest.raises(ValueError):
+        TimeSeriesSampler(clock, {}, max_samples=1)
+
+
+def test_attach_is_idempotent():
+    clock = SimClock()
+    counter = {"n": 0}
+    sampler = make_sampler(clock, counter)
+    sampler.attach()
+    sampler.attach()
+    assert len(sampler) == 1
+    sampler.detach()
+    sampler.detach()
+    assert len(sampler) == 2

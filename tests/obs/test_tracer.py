@@ -1,0 +1,138 @@
+"""Unit tests for the span tracer (ring buffer, nesting, no-op mode)."""
+
+import pytest
+
+from repro.obs.tracer import _NULL_SPAN, Span, Tracer
+from repro.sim.clock import SimClock
+
+
+@pytest.fixture
+def tracer_and_clock():
+    clock = SimClock()
+    return Tracer(clock), clock
+
+
+def test_disabled_tracer_returns_shared_null_span(tracer_and_clock):
+    tracer, clock = tracer_and_clock
+    first = tracer.span("wal.fsync")
+    second = tracer.span("checkpoint.write", number=3)
+    assert first is _NULL_SPAN
+    assert second is _NULL_SPAN
+    with first as handle:
+        clock.advance(10)
+        assert handle is None  # `if span:` guards tag() calls
+    assert len(tracer) == 0
+    assert tracer.spans == []
+
+
+def test_disabled_event_records_nothing(tracer_and_clock):
+    tracer, __ = tracer_and_clock
+    tracer.event("alloc.persist", size=64)
+    assert len(tracer) == 0
+
+
+def test_span_records_sim_time_and_tags(tracer_and_clock):
+    tracer, clock = tracer_and_clock
+    tracer.activate()
+    clock.advance(100)
+    with tracer.span("wal.fsync", pending=512) as span:
+        clock.advance(40)
+        span.tag(entries=7)
+    (recorded,) = tracer.spans
+    assert recorded.name == "wal.fsync"
+    assert recorded.component == "wal"
+    assert recorded.start_ns == pytest.approx(100)
+    assert recorded.end_ns == pytest.approx(140)
+    assert recorded.duration_ns == pytest.approx(40)
+    assert recorded.tags == {"pending": 512, "entries": 7}
+
+
+def test_nesting_depth_is_recorded(tracer_and_clock):
+    tracer, clock = tracer_and_clock
+    tracer.activate()
+    with tracer.span("recovery.total"):
+        with tracer.span("recovery.wal_replay"):
+            clock.advance(5)
+        with tracer.span("recovery.index_rebuild"):
+            with tracer.span("recovery.leaf"):
+                clock.advance(1)
+    depths = {span.name: span.depth for span in tracer.spans}
+    assert depths == {"recovery.total": 0, "recovery.wal_replay": 1,
+                      "recovery.index_rebuild": 1, "recovery.leaf": 2}
+
+
+def test_spans_complete_innermost_first(tracer_and_clock):
+    tracer, clock = tracer_and_clock
+    tracer.activate()
+    with tracer.span("recovery.total"):
+        with tracer.span("recovery.wal_replay"):
+            clock.advance(5)
+    names = [span.name for span in tracer.spans]
+    assert names == ["recovery.wal_replay", "recovery.total"]
+
+
+def test_event_is_zero_duration(tracer_and_clock):
+    tracer, clock = tracer_and_clock
+    tracer.activate()
+    clock.advance(33)
+    tracer.event("alloc.persist", size=64)
+    (span,) = tracer.spans
+    assert span.duration_ns == 0.0
+    assert span.start_ns == pytest.approx(33)
+    assert span.tags == {"size": 64}
+
+
+def test_ring_overflow_keeps_newest_and_counts_dropped(tracer_and_clock):
+    tracer, clock = tracer_and_clock
+    tracer.activate(capacity=4)
+    for index in range(10):
+        clock.advance(1)
+        tracer.event(f"wal.append_{index}")
+    assert len(tracer) == 4
+    assert tracer.dropped == 6
+    names = [span.name for span in tracer.spans]
+    assert names == ["wal.append_6", "wal.append_7",
+                     "wal.append_8", "wal.append_9"]
+
+
+def test_activate_clears_previous_recording(tracer_and_clock):
+    tracer, __ = tracer_and_clock
+    tracer.activate(capacity=4)
+    tracer.event("wal.append")
+    tracer.activate(capacity=4)
+    assert len(tracer) == 0
+    assert tracer.dropped == 0
+
+
+def test_deactivate_keeps_spans_readable(tracer_and_clock):
+    tracer, __ = tracer_and_clock
+    tracer.activate()
+    tracer.event("wal.append")
+    tracer.deactivate()
+    tracer.event("wal.append")  # ignored
+    assert len(tracer) == 1
+    assert not tracer.enabled
+
+
+def test_activate_rejects_nonpositive_capacity(tracer_and_clock):
+    tracer, __ = tracer_and_clock
+    with pytest.raises(ValueError):
+        tracer.activate(capacity=0)
+
+
+def test_components_counts_by_prefix(tracer_and_clock):
+    tracer, __ = tracer_and_clock
+    tracer.activate()
+    tracer.event("wal.append")
+    tracer.event("wal.fsync")
+    tracer.event("checkpoint.write")
+    assert tracer.components() == {"wal": 2, "checkpoint": 1}
+
+
+def test_span_to_dict_round_trips_fields():
+    span = Span("compaction.merge", 10.0, 35.0, 1, {"level": 2})
+    record = span.to_dict()
+    assert record["type"] == "span"
+    assert record["component"] == "compaction"
+    assert record["dur_ns"] == pytest.approx(25.0)
+    assert record["tags"] == {"level": 2}

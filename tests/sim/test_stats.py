@@ -70,6 +70,66 @@ def test_snapshot_subtraction(stats_and_clock):
     assert delta.elapsed_ns == pytest.approx(5)
 
 
+def test_deep_category_nesting_unwinds_correctly(stats_and_clock):
+    stats, clock = stats_and_clock
+    with stats.category(Category.STORAGE):
+        with stats.category(Category.RECOVERY):
+            with stats.category(Category.STORAGE):
+                clock.advance(2)
+            clock.advance(3)
+        clock.advance(4)
+    clock.advance(5)
+    assert stats.category_ns(Category.STORAGE) == pytest.approx(6)
+    assert stats.category_ns(Category.RECOVERY) == pytest.approx(3)
+    assert stats.category_ns(Category.OTHER) == pytest.approx(5)
+
+
+def test_category_stack_unwinds_on_exception(stats_and_clock):
+    stats, clock = stats_and_clock
+    with pytest.raises(RuntimeError):
+        with stats.category(Category.INDEX):
+            raise RuntimeError("boom")
+    clock.advance(7)
+    assert stats.category_ns(Category.INDEX) == pytest.approx(0)
+    assert stats.category_ns(Category.OTHER) == pytest.approx(7)
+
+
+def test_snapshot_subtraction_includes_earlier_only_keys(
+        stats_and_clock):
+    stats, clock = stats_and_clock
+    stats.bump("a", 3)
+    clock.advance(10)
+    before = stats.snapshot()
+    stats.reset()  # "a" vanishes from later snapshots
+    stats.bump("b", 2)
+    delta = stats.snapshot() - before
+    # Keys only present in the earlier snapshot must still appear.
+    assert delta.counter("a") == -3
+    assert delta.counter("b") == 2
+    assert set(delta.counters) == {"a", "b"}
+
+
+def test_snapshot_subtraction_category_union(stats_and_clock):
+    stats, clock = stats_and_clock
+    with stats.category(Category.STORAGE):
+        clock.advance(10)
+    before = stats.snapshot()
+    del before.category_ns[Category.RECOVERY]  # simulate missing key
+    with stats.category(Category.RECOVERY):
+        clock.advance(4)
+    delta = stats.snapshot() - before
+    assert delta.category_ns[Category.RECOVERY] == pytest.approx(4)
+    assert delta.category_ns[Category.STORAGE] == pytest.approx(0)
+
+
+def test_snapshot_subtraction_zero_elapsed(stats_and_clock):
+    stats, __ = stats_and_clock
+    before = stats.snapshot()
+    delta = stats.snapshot() - before
+    assert delta.elapsed_ns == 0
+    assert all(value == 0 for value in delta.counters.values())
+
+
 def test_reset_clears_counters_and_time(stats_and_clock):
     stats, clock = stats_and_clock
     stats.bump("a")

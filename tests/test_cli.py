@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.__main__ import main
@@ -47,3 +49,51 @@ def test_unknown_figure(capsys):
 def test_bad_engine_rejected():
     with pytest.raises(SystemExit):
         main(["ycsb", "--engine", "no-such-engine"])
+
+
+def test_ycsb_trace_and_metrics_round_trip(tmp_path, capsys):
+    trace_path = tmp_path / "out.jsonl"
+    metrics_path = tmp_path / "out.prom"
+    assert main(["ycsb", "--engine", "log", "--tuples", "150",
+                 "--txns", "150",
+                 "--trace", str(trace_path),
+                 "--metrics", str(metrics_path)]) == 0
+    out = capsys.readouterr().out
+    assert "p50 (us)" in out and "p99 (us)" in out
+
+    records = [json.loads(line)
+               for line in trace_path.read_text().splitlines()]
+    spans = [r for r in records if r["type"] == "span"]
+    samples = [r for r in records if r["type"] == "sample"]
+    components = {span["component"] for span in spans}
+    assert "wal" in components
+    assert "recovery" in components  # from the post-run crash cycle
+    assert len(samples) >= 2
+    assert all("t_ms" in sample for sample in samples)
+    assert all(span["engine"] == "log" for span in spans)
+
+    metrics_text = metrics_path.read_text()
+    assert "# TYPE repro_txn_latency_ns histogram" in metrics_text
+    for quantile in ('quantile="0.5"', 'quantile="0.95"',
+                     'quantile="0.99"'):
+        assert quantile in metrics_text
+    assert "repro_txns_committed" in metrics_text
+
+    # The obs subcommand summarizes both artifact shapes.
+    assert main(["obs", str(trace_path)]) == 0
+    out = capsys.readouterr().out
+    assert "spans" in out and "Time series" in out
+    assert main(["obs", str(metrics_path)]) == 0
+    out = capsys.readouterr().out
+    assert "repro_txn_latency_ns" in out
+
+
+def test_obs_command_missing_file(tmp_path, capsys):
+    assert main(["obs", str(tmp_path / "nope.jsonl")]) == 2
+    assert "cannot summarize" in capsys.readouterr().err
+
+
+def test_ycsb_without_obs_flags_has_no_latency_columns(capsys):
+    assert main(["ycsb", "--engine", "nvm-inp", "--tuples", "120",
+                 "--txns", "120"]) == 0
+    assert "p50 (us)" not in capsys.readouterr().out
