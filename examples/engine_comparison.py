@@ -7,32 +7,37 @@ print throughput, NVM loads/stores, and the storage footprint — the
 NVM-aware engines deliver higher throughput with fewer writes to the
 device.
 
-Run:  python examples/engine_comparison.py [mixture] [skew]
+Run:  python examples/engine_comparison.py [mixture] [skew] [jobs]
       mixture in {read-only, read-heavy, balanced, write-heavy}
       skew    in {low, high}
+      jobs    worker processes for the sweep (default 1)
 """
 
 import sys
 
 from repro import ENGINE_NAMES
 from repro.analysis.tables import format_table
-from repro.harness import QUICK_SCALE, run_ycsb
+from repro.harness import (QUICK_SCALE, ExperimentSpec,
+                           results_or_raise, run_sweep)
 
 
 def main() -> None:
     mixture = sys.argv[1] if len(sys.argv) > 1 else "write-heavy"
     skew = sys.argv[2] if len(sys.argv) > 2 else "low"
+    jobs = int(sys.argv[3]) if len(sys.argv) > 3 else 1
     scale = QUICK_SCALE
     headers = ["engine", "txn/s", "NVM loads", "NVM stores",
                "footprint (KB)"]
+    specs = [ExperimentSpec.ycsb(engine, mixture, skew,
+                                 num_tuples=scale.ycsb_tuples,
+                                 num_txns=scale.ycsb_txns,
+                                 engine_config=scale.engine_config(),
+                                 cache_bytes=scale.cache_bytes)
+             for engine in ENGINE_NAMES.ALL]
     rows = []
-    for engine in ENGINE_NAMES.ALL:
-        result = run_ycsb(engine, mixture, skew,
-                          num_tuples=scale.ycsb_tuples,
-                          num_txns=scale.ycsb_txns,
-                          engine_config=scale.engine_config(),
-                          cache_bytes=scale.cache_bytes)
-        rows.append([engine, result.throughput, result.nvm_loads,
+    for spec, result in zip(specs, results_or_raise(
+            run_sweep(specs, jobs=jobs))):
+        rows.append([spec.engine, result.throughput, result.nvm_loads,
                      result.nvm_stores,
                      sum(result.storage_breakdown.values()) / 1024])
     print(format_table(

@@ -14,7 +14,11 @@ from repro import (Column, ColumnType, Database, Schema,
 
 
 def main() -> None:
-    db = Database(engine="nvm-inp")
+    with Database(engine="nvm-inp") as db:
+        _demo(db)
+
+
+def _demo(db: Database) -> None:
     db.create_table(Schema.build(
         "accounts",
         [Column("id", ColumnType.INT),

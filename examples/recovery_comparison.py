@@ -32,23 +32,25 @@ def main() -> None:
         config = EngineConfig(checkpoint_interval_txns=10 ** 9,
                               memtable_threshold_bytes=2 ** 30,
                               nvm_cow_node_size=512)
-        db = Database(engine=engine, engine_config=config, seed=17)
-        db.create_table(schema())
-        for i in range(800):
-            db.insert("events", {"id": i, "kind": i % 5,
-                                 "payload": f"event-{i}-" + "x" * 40})
-        for i in range(0, 800, 4):
-            db.update("events", i, {"kind": 99})
-        db.flush()
+        with Database(engine=engine, engine_config=config,
+                      seed=17) as db:
+            db.create_table(schema())
+            for i in range(800):
+                db.insert("events",
+                          {"id": i, "kind": i % 5,
+                           "payload": f"event-{i}-" + "x" * 40})
+            for i in range(0, 800, 4):
+                db.update("events", i, {"kind": 99})
+            db.flush()
 
-        db.crash()
-        millis = db.recover() * 1e3
+            db.crash()
+            millis = db.recover() * 1e3
 
-        intact = all(
-            (db.get("events", i) or {}).get("kind")
-            == (99 if i % 4 == 0 else i % 5)
-            for i in range(0, 800, 37))
-        rows.append([engine, millis, "yes" if intact else "NO"])
+            intact = all(
+                (db.get("events", i) or {}).get("kind")
+                == (99 if i % 4 == 0 else i % 5)
+                for i in range(0, 800, 37))
+            rows.append([engine, millis, "yes" if intact else "NO"])
 
     print(format_table(headers, rows,
                        title="Recovery after a kill (1000 committed "

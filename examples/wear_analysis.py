@@ -12,20 +12,22 @@ Run:  python examples/wear_analysis.py
 
 from repro import ENGINE_NAMES
 from repro.analysis.tables import format_table
-from repro.harness import QUICK_SCALE, run_ycsb
+from repro.harness import (QUICK_SCALE, ExperimentSpec,
+                           results_or_raise, run_sweep)
 from repro.nvm.constants import TECHNOLOGIES, wear_fraction
 
 
 def main() -> None:
     scale = QUICK_SCALE
-    stores = {}
-    for engine in ENGINE_NAMES.ALL:
-        result = run_ycsb(engine, "write-heavy", "low",
-                          num_tuples=scale.ycsb_tuples,
-                          num_txns=scale.ycsb_txns,
-                          engine_config=scale.engine_config(),
-                          cache_bytes=scale.cache_bytes)
-        stores[engine] = result.nvm_stores
+    specs = [ExperimentSpec.ycsb(engine, "write-heavy", "low",
+                                 num_tuples=scale.ycsb_tuples,
+                                 num_txns=scale.ycsb_txns,
+                                 engine_config=scale.engine_config(),
+                                 cache_bytes=scale.cache_bytes)
+             for engine in ENGINE_NAMES.ALL]
+    stores = {spec.engine: result.nvm_stores
+              for spec, result in zip(specs, results_or_raise(
+                  run_sweep(specs)))}
 
     baseline = stores["inp"]
     headers = ["engine", "NVM stores", "vs InP",

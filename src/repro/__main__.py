@@ -25,7 +25,8 @@ from .harness.experiments import (FULL_SCALE, QUICK_SCALE,
                                   fig1_interfaces, recovery_latency,
                                   storage_footprint, tpcc_throughput,
                                   ycsb_throughput)
-from .harness.runner import run_tpcc, run_ycsb
+from .harness.runner import ExperimentSpec
+from .harness.scheduler import merged_session, run_sweep
 from .workloads.ycsb import MIXTURES, SKEWS
 
 
@@ -35,6 +36,11 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                         help="NVM latency profile (Section 5.2)")
     parser.add_argument("--full", action="store_true",
                         help="use the larger FULL scale")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="run sweep points across N worker "
+                             "processes (1 = serial in-process); "
+                             "results are merged in spec order, so the "
+                             "output is identical to a serial run")
 
 
 def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
@@ -47,13 +53,6 @@ def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
         "--metrics", metavar="FILE", default=None,
         help="write Prometheus-style metrics (incl. per-txn latency "
              "histogram) to FILE")
-
-
-def _make_session(args):
-    if not (args.trace or args.metrics):
-        return None
-    from .obs.session import ObservabilitySession
-    return ObservabilitySession()
 
 
 def _export_obs(args, session) -> int:
@@ -105,49 +104,59 @@ def _result_headers(with_obs: bool) -> List[str]:
     return headers
 
 
+def _run_and_report(args, specs, title: str) -> int:
+    """Run a spec list through the scheduler (``--jobs``), print the
+    merged table (spec order), export observability artifacts."""
+    observe = bool(args.trace or args.metrics)
+    outcomes = run_sweep(specs, jobs=args.jobs, observe=observe)
+    rows = [_result_row(outcome.spec.engine, outcome.result)
+            for outcome in outcomes if outcome.ok]
+    print(format_table(_result_headers(observe), rows, title=title))
+    failures = [outcome for outcome in outcomes if not outcome.ok]
+    for outcome in failures:
+        print(f"point {outcome.spec.slug()} failed: {outcome.error}",
+              file=sys.stderr)
+    status = _export_obs(args, merged_session(outcomes)
+                         if observe else None)
+    return 1 if failures else status
+
+
 def _cmd_ycsb(args) -> int:
     scale = _scale(args)
     engines = list(ENGINE_NAMES.ALL) if args.all_engines \
         else [args.engine]
-    session = _make_session(args)
-    rows = []
-    for engine in engines:
-        result = run_ycsb(
+    specs = [
+        ExperimentSpec.ycsb(
             engine, args.mixture, args.skew,
-            latency=LatencyProfile.by_name(args.latency),
+            latency=LatencyProfile.parse(args.latency),
             num_tuples=args.tuples or scale.ycsb_tuples,
             num_txns=args.txns or scale.ycsb_txns,
             engine_config=scale.engine_config(),
             cache_bytes=scale.cache_bytes,
-            obs=session,
             crash_recover=bool(args.trace))
-        rows.append(_result_row(engine, result))
-    print(format_table(
-        _result_headers(session is not None), rows,
-        title=f"YCSB {args.mixture}/{args.skew} @ {args.latency}"))
-    return _export_obs(args, session)
+        for engine in engines
+    ]
+    return _run_and_report(
+        args, specs,
+        title=f"YCSB {args.mixture}/{args.skew} @ {args.latency}")
 
 
 def _cmd_tpcc(args) -> int:
     scale = _scale(args)
     engines = list(ENGINE_NAMES.ALL) if args.all_engines \
         else [args.engine]
-    session = _make_session(args)
-    rows = []
-    for engine in engines:
-        result = run_tpcc(
-            engine, latency=LatencyProfile.by_name(args.latency),
+    specs = [
+        ExperimentSpec.tpcc(
+            engine, latency=LatencyProfile.parse(args.latency),
             tpcc_config=scale.tpcc,
             num_txns=args.txns or scale.tpcc_txns,
             engine_config=scale.engine_config(),
             cache_bytes=scale.tpcc_cache_bytes,
-            obs=session,
             crash_recover=bool(args.trace))
-        rows.append(_result_row(engine, result))
-    print(format_table(
-        _result_headers(session is not None), rows,
-        title=f"TPC-C @ {args.latency}"))
-    return _export_obs(args, session)
+        for engine in engines
+    ]
+    return _run_and_report(args, specs,
+                           title=f"TPC-C @ {args.latency}")
 
 
 def _cmd_obs(args) -> int:
@@ -170,12 +179,13 @@ def _cmd_figure(args) -> int:
                                  "(MB/s)"))
     elif number in (5, 6, 7):
         latency = {5: "dram", 6: "low-nvm", 7: "high-nvm"}[number]
-        headers, rows, __ = ycsb_throughput(latency, scale)
+        headers, rows, __ = ycsb_throughput(latency, scale,
+                                            jobs=args.jobs)
         print(format_table(headers, rows,
                            title=f"Fig. {number} — YCSB throughput "
                                  f"@ {latency} (txn/s)"))
     elif number == 8:
-        headers, rows, __ = tpcc_throughput(scale)
+        headers, rows, __ = tpcc_throughput(scale, jobs=args.jobs)
         print(format_table(headers, rows,
                            title="Fig. 8 — TPC-C throughput (txn/s)"))
     elif number == 12:
@@ -184,7 +194,8 @@ def _cmd_figure(args) -> int:
                            title=f"Fig. 12 — recovery latency, "
                                  f"{args.workload} (ms)"))
     elif number == 14:
-        headers, rows = storage_footprint(args.workload, scale)
+        headers, rows = storage_footprint(args.workload, scale,
+                                          jobs=args.jobs)
         print(format_table(headers, rows,
                            title=f"Fig. 14 — storage footprint, "
                                  f"{args.workload} (KB)"))

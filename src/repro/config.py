@@ -61,10 +61,17 @@ class LatencyProfile:
         return cls("high-nvm", 8 * DRAM_LATENCY_NS, 8 * DRAM_LATENCY_NS)
 
     @classmethod
-    def by_name(cls, name: str) -> "LatencyProfile":
+    def parse(cls, name: str) -> "LatencyProfile":
+        """The single string→profile point: map a profile name (or its
+        short alias ``"low"``/``"high"``) to a :class:`LatencyProfile`.
+        An existing profile instance passes through unchanged."""
+        if isinstance(name, cls):
+            return name
         profiles = {
             "dram": cls.dram,
+            "low": cls.low_nvm,
             "low-nvm": cls.low_nvm,
+            "high": cls.high_nvm,
             "high-nvm": cls.high_nvm,
         }
         try:
@@ -72,6 +79,12 @@ class LatencyProfile:
         except KeyError:
             raise ConfigError(f"unknown latency profile {name!r}; "
                               f"expected one of {sorted(profiles)}") from None
+
+    @classmethod
+    def by_name(cls, name: str) -> "LatencyProfile":
+        """Deprecated spelling of :meth:`parse` (kept for callers of the
+        pre-scheduler API)."""
+        return cls.parse(name)
 
     def scaled(self, factor: float) -> "LatencyProfile":
         """Return a copy with read/write latency scaled by ``factor``."""

@@ -31,7 +31,7 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from ..config import EngineConfig, LatencyProfile, PlatformConfig
 from ..engines.base import ENGINE_NAMES
-from ..errors import ConfigError, CrashedError
+from ..errors import ConfigError, CrashedError, DatabaseClosedError
 from ..sim.stats import Category
 from .partition import Partition, StoredProcedure
 from .schema import Schema
@@ -47,7 +47,7 @@ def stable_partition_hash(key: Any) -> int:
 class Database:
     """A partitioned OLTP database on an NVM-only storage hierarchy."""
 
-    def __init__(self, engine: str = ENGINE_NAMES.NVM_INP,
+    def __init__(self, engine: str = ENGINE_NAMES.NVM_INP, *,
                  partitions: int = 1,
                  latency: Optional[LatencyProfile] = None,
                  platform_config: Optional[PlatformConfig] = None,
@@ -65,6 +65,30 @@ class Database:
             for pid in range(partitions)
         ]
         self._crashed = False
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release the database. Further operations raise
+        :class:`~repro.errors.DatabaseClosedError`. Idempotent — the
+        simulated NVM holds no host resources, so closing is a logical
+        end-of-life marker that catches use-after-scope bugs."""
+        self._closed = True
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __enter__(self) -> "Database":
+        if self._closed:
+            raise DatabaseClosedError("database already closed")
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # Schema & routing
@@ -168,6 +192,9 @@ class Database:
             partition.engine.checkpoint()
 
     def _require_alive(self) -> None:
+        if self._closed:
+            raise DatabaseClosedError(
+                "database closed; create a new Database to continue")
         if self._crashed:
             raise CrashedError(
                 "database crashed; call recover() before new operations")

@@ -74,3 +74,11 @@ class WorkloadError(ReproError):
 
 class CrashedError(ReproError):
     """An operation was attempted on a crashed (not yet recovered) system."""
+
+
+class DatabaseClosedError(ReproError):
+    """An operation was attempted on a closed database."""
+
+
+class SweepError(ReproError):
+    """One or more points of an experiment sweep failed."""

@@ -1,7 +1,25 @@
-"""Experiment harness: runners and per-figure experiment drivers."""
+"""Experiment harness: specs, runners, scheduler, and figure drivers.
+
+The modern API is spec-based::
+
+    from repro.harness import ExperimentSpec, run, run_sweep
+
+    spec = ExperimentSpec.ycsb("nvm-inp", "balanced", "low",
+                               latency="high")
+    result = run(spec)                       # one point, in-process
+
+    outcomes = run_sweep([spec, ...], jobs=4)   # a grid, in parallel
+
+``run_ycsb``/``run_tpcc`` are deprecated shims over ``run``.
+"""
 
 from .experiments import FULL_SCALE, QUICK_SCALE, Scale
-from .runner import ExperimentResult, run_tpcc, run_ycsb
+from .runner import (DEFAULT_CACHE_BYTES, ExperimentResult,
+                     ExperimentSpec, run, run_tpcc, run_ycsb)
+from .scheduler import (PointOutcome, merged_session, results_or_raise,
+                        run_sweep, write_sweep_summary)
 
-__all__ = ["ExperimentResult", "FULL_SCALE", "QUICK_SCALE", "Scale",
-           "run_tpcc", "run_ycsb"]
+__all__ = ["DEFAULT_CACHE_BYTES", "ExperimentResult", "ExperimentSpec",
+           "FULL_SCALE", "PointOutcome", "QUICK_SCALE", "Scale",
+           "merged_session", "results_or_raise", "run", "run_sweep",
+           "run_tpcc", "run_ycsb", "write_sweep_summary"]

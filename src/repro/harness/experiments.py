@@ -5,6 +5,12 @@ Each driver returns ``(headers, rows)`` ready for
 pytest benchmarks, the examples, and EXPERIMENTS.md. Workload sizes are
 scaled down from the paper (see EXPERIMENTS.md); engine order and the
 reported series match the paper's figures.
+
+Sweep-shaped drivers take a ``jobs`` parameter: each builds its grid as
+a list of :class:`~repro.harness.spec.ExperimentSpec` points and hands
+it to :func:`~repro.harness.scheduler.run_sweep`, so ``jobs > 1`` fans
+the grid out across worker processes while keeping the merged output
+identical to the serial run.
 """
 
 from __future__ import annotations
@@ -20,15 +26,17 @@ from ..nvm.constants import TECHNOLOGIES
 from ..nvm.platform import Platform
 from ..workloads.tpcc import TPCCConfig, TPCCWorkload
 from ..workloads.ycsb import YCSBConfig, YCSBWorkload
-from .runner import ExperimentResult, run_tpcc, run_ycsb
+from .runner import ExperimentResult, ExperimentSpec
+from .scheduler import results_or_raise, run_sweep
 
 ALL_ENGINES = list(ENGINE_NAMES.ALL)
 
-LATENCIES = {
-    "dram": LatencyProfile.dram,
-    "low-nvm": LatencyProfile.low_nvm,
-    "high-nvm": LatencyProfile.high_nvm,
-}
+#: Profile factories by canonical name (see LatencyProfile.parse, the
+#: single string→profile point; this mapping survives for callers that
+#: iterate over the paper's three configurations).
+LATENCY_NAMES = ("dram", "low-nvm", "high-nvm")
+LATENCIES = {name: (lambda name=name: LatencyProfile.parse(name))
+             for name in LATENCY_NAMES}
 
 
 @dataclass(frozen=True)
@@ -140,6 +148,7 @@ def ycsb_throughput(latency_name: str, scale: Scale = QUICK_SCALE,
                     mixtures: Optional[Sequence[str]] = None,
                     skews: Sequence[str] = ("low", "high"),
                     engines: Sequence[str] = tuple(ALL_ENGINES),
+                    jobs: int = 1,
                     ) -> Tuple[List[str], List[List],
                                Dict[tuple, ExperimentResult]]:
     """One of Figs. 5/6/7: throughput for every engine x mixture x skew
@@ -148,25 +157,26 @@ def ycsb_throughput(latency_name: str, scale: Scale = QUICK_SCALE,
     mixtures = list(mixtures or
                     ("read-only", "read-heavy", "balanced",
                      "write-heavy"))
-    latency = LATENCIES[latency_name]()
+    latency = LatencyProfile.parse(latency_name)
     headers = ["engine", *[f"{mixture}/{skew}"
                            for mixture in mixtures for skew in skews]]
-    results: Dict[tuple, ExperimentResult] = {}
-    rows = []
-    for engine in engines:
-        row: List = [engine]
-        for mixture in mixtures:
-            for skew in skews:
-                result = run_ycsb(
-                    engine, mixture, skew, latency=latency,
-                    num_tuples=scale.ycsb_tuples,
-                    num_txns=scale.ycsb_txns,
-                    engine_config=scale.engine_config(),
-                    cache_bytes=scale.cache_bytes,
-                    run_checkpoint_interval=scale.ycsb_txns // 2)
-                results[(engine, mixture, skew)] = result
-                row.append(result.throughput)
-        rows.append(row)
+    specs = [
+        ExperimentSpec.ycsb(
+            engine, mixture, skew, latency=latency,
+            num_tuples=scale.ycsb_tuples, num_txns=scale.ycsb_txns,
+            engine_config=scale.engine_config(),
+            cache_bytes=scale.cache_bytes,
+            run_checkpoint_interval=scale.ycsb_txns // 2)
+        for engine in engines
+        for mixture in mixtures
+        for skew in skews
+    ]
+    points = results_or_raise(run_sweep(specs, jobs=jobs))
+    results = {(spec.engine, spec.mixture, spec.skew): result
+               for spec, result in zip(specs, points)}
+    rows = [[engine, *[results[(engine, mixture, skew)].throughput
+                       for mixture in mixtures for skew in skews]]
+            for engine in engines]
     return headers, rows, results
 
 
@@ -178,24 +188,27 @@ def tpcc_throughput(scale: Scale = QUICK_SCALE,
                     latencies: Sequence[str] = ("dram", "low-nvm",
                                                 "high-nvm"),
                     engines: Sequence[str] = tuple(ALL_ENGINES),
+                    jobs: int = 1,
                     ) -> Tuple[List[str], List[List],
                                Dict[tuple, ExperimentResult]]:
     """Fig. 8: TPC-C throughput for every engine under each latency."""
     headers = ["engine", *latencies]
-    results: Dict[tuple, ExperimentResult] = {}
-    rows = []
-    for engine in engines:
-        row: List = [engine]
-        for latency_name in latencies:
-            result = run_tpcc(
-                engine, latency=LATENCIES[latency_name](),
-                tpcc_config=scale.tpcc, num_txns=scale.tpcc_txns,
-                engine_config=scale.engine_config(),
-                cache_bytes=scale.tpcc_cache_bytes,
-                run_checkpoint_interval=scale.tpcc_txns // 2)
-            results[(engine, latency_name)] = result
-            row.append(result.throughput)
-        rows.append(row)
+    grid = [(engine, latency_name)
+            for engine in engines for latency_name in latencies]
+    specs = [
+        ExperimentSpec.tpcc(
+            engine, latency=LatencyProfile.parse(latency_name),
+            tpcc_config=scale.tpcc, num_txns=scale.tpcc_txns,
+            engine_config=scale.engine_config(),
+            cache_bytes=scale.tpcc_cache_bytes,
+            run_checkpoint_interval=scale.tpcc_txns // 2)
+        for engine, latency_name in grid
+    ]
+    results = dict(zip(grid, results_or_raise(
+        run_sweep(specs, jobs=jobs))))
+    rows = [[engine, *[results[(engine, latency_name)].throughput
+                       for latency_name in latencies]]
+            for engine in engines]
     return headers, rows, results
 
 
@@ -262,24 +275,30 @@ def time_breakdown(scale: Scale = QUICK_SCALE,
                    mixtures: Sequence[str] = ("read-only", "read-heavy",
                                               "balanced", "write-heavy"),
                    engines: Sequence[str] = tuple(ALL_ENGINES),
+                   jobs: int = 1,
                    ) -> Dict[str, Tuple[List[str], List[List]]]:
     """Fig. 13: % of execution time per engine component (storage /
     recovery / index / other), YCSB low skew, low NVM latency."""
+    grid = [(mixture, engine)
+            for mixture in mixtures for engine in engines]
+    specs = [
+        ExperimentSpec.ycsb(
+            engine, mixture, "low", latency=LatencyProfile.low_nvm(),
+            num_tuples=scale.ycsb_tuples, num_txns=scale.ycsb_txns,
+            engine_config=scale.engine_config(),
+            cache_bytes=scale.cache_bytes,
+            run_checkpoint_interval=scale.ycsb_txns // 2)
+        for mixture, engine in grid
+    ]
+    results = dict(zip(grid, results_or_raise(
+        run_sweep(specs, jobs=jobs))))
     figures = {}
     for mixture in mixtures:
         headers = ["engine", "storage %", "recovery %", "index %",
                    "other %"]
         rows = []
         for engine in engines:
-            result = run_ycsb(
-                engine, mixture, "low",
-                latency=LatencyProfile.low_nvm(),
-                num_tuples=scale.ycsb_tuples,
-                num_txns=scale.ycsb_txns,
-                engine_config=scale.engine_config(),
-                cache_bytes=scale.cache_bytes,
-                run_checkpoint_interval=scale.ycsb_txns // 2)
-            breakdown = result.time_breakdown
+            breakdown = results[(mixture, engine)].time_breakdown
             rows.append([engine,
                          100 * breakdown.get("storage", 0.0),
                          100 * breakdown.get("recovery", 0.0),
@@ -296,28 +315,37 @@ def time_breakdown(scale: Scale = QUICK_SCALE,
 def storage_footprint(workload: str = "ycsb",
                       scale: Scale = QUICK_SCALE,
                       engines: Sequence[str] = tuple(ALL_ENGINES),
+                      jobs: int = 1,
                       ) -> Tuple[List[str], List[List]]:
     """Fig. 14: NVM bytes per component after running the workload."""
     headers = ["engine", "table (KB)", "index (KB)", "log (KB)",
                "checkpoint (KB)", "other (KB)", "total (KB)"]
-    rows = []
-    for engine in engines:
-        if workload == "ycsb":
-            result = run_ycsb(
+    if workload == "ycsb":
+        specs = [
+            ExperimentSpec.ycsb(
                 engine, "balanced", "low",
-                num_tuples=scale.ycsb_tuples, num_txns=scale.ycsb_txns,
+                num_tuples=scale.ycsb_tuples,
+                num_txns=scale.ycsb_txns,
                 engine_config=scale.engine_config(),
                 cache_bytes=scale.cache_bytes,
                 run_checkpoint_interval=scale.ycsb_txns // 2)
-        else:
-            result = run_tpcc(
+            for engine in engines
+        ]
+    else:
+        specs = [
+            ExperimentSpec.tpcc(
                 engine, tpcc_config=scale.tpcc,
                 num_txns=scale.tpcc_txns,
                 engine_config=scale.engine_config(),
                 cache_bytes=scale.tpcc_cache_bytes,
                 run_checkpoint_interval=scale.tpcc_txns // 2)
+            for engine in engines
+        ]
+    rows = []
+    for spec, result in zip(specs, results_or_raise(
+            run_sweep(specs, jobs=jobs))):
         breakdown = result.storage_breakdown
-        row = [engine]
+        row = [spec.engine]
         for component in ("table", "index", "log", "checkpoint",
                           "other"):
             row.append(breakdown.get(component, 0) / 1024)
@@ -333,6 +361,7 @@ def storage_footprint(workload: str = "ycsb",
 def node_size_sensitivity(scale: Scale = QUICK_SCALE,
                           mixtures: Sequence[str] = ("read-heavy",
                                                      "write-heavy"),
+                          jobs: int = 1,
                           ) -> Dict[str, Tuple[List[str], List[List]]]:
     """Fig. 15: throughput of the NVM-aware engines while varying their
     B+tree node sizes (YCSB, low latency, low skew)."""
@@ -344,22 +373,27 @@ def node_size_sensitivity(scale: Scale = QUICK_SCALE,
         ENGINE_NAMES.NVM_LOG: ("btree_node_size",
                                (128, 256, 512, 1024, 2048)),
     }
+    grid = [(engine, parameter, size, mixture)
+            for engine, (parameter, sizes) in sweeps.items()
+            for size in sizes
+            for mixture in mixtures]
+    specs = [
+        ExperimentSpec.ycsb(
+            engine, mixture, "low", latency=LatencyProfile.low_nvm(),
+            num_tuples=scale.ycsb_tuples, num_txns=scale.ycsb_txns,
+            engine_config=scale.engine_config(**{parameter: size}),
+            cache_bytes=scale.cache_bytes)
+        for engine, parameter, size, mixture in grid
+    ]
+    results = {(engine, size, mixture): result
+               for (engine, __, size, mixture), result in zip(
+                   grid, results_or_raise(run_sweep(specs, jobs=jobs)))}
     figures = {}
     for engine, (parameter, sizes) in sweeps.items():
         headers = ["node size (B)", *mixtures]
-        rows = []
-        for size in sizes:
-            row: List = [size]
-            for mixture in mixtures:
-                config = scale.engine_config(**{parameter: size})
-                result = run_ycsb(
-                    engine, mixture, "low",
-                    latency=LatencyProfile.low_nvm(),
-                    num_tuples=scale.ycsb_tuples,
-                    num_txns=scale.ycsb_txns, engine_config=config,
-                    cache_bytes=scale.cache_bytes)
-                row.append(result.throughput)
-            rows.append(row)
+        rows = [[size, *[results[(engine, size, mixture)].throughput
+                         for mixture in mixtures]]
+                for size in sizes]
         figures[engine] = (headers, rows)
     return figures
 

@@ -5,36 +5,39 @@ counters are snapshotted, the pre-generated fixed workload runs, and
 the deltas are reported — throughput in transactions per *simulated*
 second, NVM loads/stores from the device counters, the execution-time
 breakdown from the category stats, and the peak storage footprint.
+
+The single entry point is :func:`run`, which executes one
+:class:`~repro.harness.spec.ExperimentSpec`. The old per-workload
+``run_ycsb``/``run_tpcc`` signatures remain as deprecated shims.
 """
 
 from __future__ import annotations
 
+import dataclasses
+import warnings
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
-from ..config import CacheConfig, EngineConfig, LatencyProfile, PlatformConfig
+from ..config import CacheConfig, EngineConfig, LatencyProfile, \
+    PlatformConfig
 from ..core.database import Database
 from ..obs.session import ObservabilitySession
 from ..workloads.tpcc import TPCCConfig, TPCCWorkload
 from ..workloads.ycsb import YCSBConfig, YCSBWorkload
+from .spec import DEFAULT_CACHE_BYTES, ExperimentSpec
 
-#: Default CPU-cache size for experiments. The emulator's 20 MB L3
-#: covers ~1% of the paper's 2 GB YCSB database; a small cache keeps a
-#: comparable miss structure for the scaled-down datasets.
-DEFAULT_CACHE_BYTES = 256 * 1024
+__all__ = ["DEFAULT_CACHE_BYTES", "ExperimentResult", "ExperimentSpec",
+           "run", "run_tpcc", "run_ycsb"]
 
 
-def _make_database(engine: str, partitions: int,
-                   latency: LatencyProfile,
-                   engine_config: Optional[EngineConfig],
-                   seed: int, cache_bytes: int) -> Database:
+def _make_database(spec: ExperimentSpec) -> Database:
     platform_config = PlatformConfig(
-        latency=latency,
-        cache=CacheConfig(capacity_bytes=cache_bytes),
-        seed=seed)
-    return Database(engine=engine, partitions=partitions,
+        latency=spec.latency,
+        cache=CacheConfig(capacity_bytes=spec.cache_bytes),
+        seed=spec.seed)
+    return Database(engine=spec.engine, partitions=spec.partitions,
                     platform_config=platform_config,
-                    engine_config=engine_config, seed=seed)
+                    engine_config=spec.engine_config, seed=spec.seed)
 
 
 @dataclass
@@ -50,6 +53,9 @@ class ExperimentResult:
     nvm_stores: int
     time_breakdown: Dict[str, float] = field(default_factory=dict)
     storage_breakdown: Dict[str, int] = field(default_factory=dict)
+    #: Free-form per-run scalars. Always carries the spec identity
+    #: (``seed``, ``partitions``, ``cache_bytes``) so merged sweep
+    #: outputs are reproducible from the JSON alone.
     extra: Dict[str, float] = field(default_factory=dict)
     #: Per-transaction simulated-latency percentiles (p50/p95/p99/max,
     #: ns); populated only when an observability session is attached.
@@ -65,6 +71,12 @@ class ExperimentResult:
             return 0.0
         return self.txns / self.sim_seconds
 
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready representation (sweep summary files)."""
+        payload = dataclasses.asdict(self)
+        payload["throughput"] = self.throughput
+        return payload
+
 
 def _category_ns(db: Database) -> Dict[str, float]:
     from ..sim.stats import Category
@@ -76,11 +88,10 @@ def _category_ns(db: Database) -> Dict[str, float]:
     return totals
 
 
-def _measure(db: Database, run, txns: int, engine: str, workload: str,
-             latency_name: str,
+def _measure(db: Database, run_workload, spec: ExperimentSpec,
              obs: Optional[ObservabilitySession] = None
              ) -> ExperimentResult:
-    """Snapshot counters, execute ``run()``, report the deltas
+    """Snapshot counters, execute the workload, report the deltas
     (profiling starts after the initial load, as in Section 5)."""
     start_ns = db.now_ns
     loads_before = db.nvm_counters()["loads"]
@@ -88,7 +99,7 @@ def _measure(db: Database, run, txns: int, engine: str, workload: str,
     categories_before = _category_ns(db)
     if obs is not None:
         obs.begin_run(db)
-    run()
+    run_workload()
     # Steady-state accounting: dirty cache lines the run produced are
     # NVM writes it owes — drain them into the measurement window (at
     # the paper's 8M-txn scale eviction does this naturally).
@@ -100,10 +111,10 @@ def _measure(db: Database, run, txns: int, engine: str, workload: str,
               for name in categories_after}
     total_delta = sum(deltas.values()) or 1.0
     return ExperimentResult(
-        engine=engine,
-        workload=workload,
-        latency=latency_name,
-        txns=txns,
+        engine=spec.engine,
+        workload=spec.workload_name,
+        latency=spec.latency.name,
+        txns=spec.num_txns,
         sim_seconds=(db.now_ns - start_ns) / 1e9,
         nvm_loads=counters["loads"] - loads_before,
         nvm_stores=counters["stores"] - stores_before,
@@ -128,6 +139,69 @@ def _finish_run(db: Database, result: ExperimentResult,
         obs.detach(db)
 
 
+def _make_workload(spec: ExperimentSpec):
+    if spec.workload == "ycsb":
+        config = YCSBConfig(num_tuples=spec.num_tuples,
+                            mixture=spec.mixture, skew=spec.skew,
+                            seed=spec.seed)
+        return YCSBWorkload(config, partitions=spec.partitions)
+    config = spec.tpcc_config or TPCCConfig(seed=spec.seed)
+    return TPCCWorkload(config, partitions=spec.partitions)
+
+
+def run(spec: ExperimentSpec,
+        obs: Optional[ObservabilitySession] = None,
+        database: Optional[Database] = None) -> ExperimentResult:
+    """Execute one experiment point; returns its measurements.
+
+    ``spec`` fully determines the run, so equal specs produce equal
+    results in any process — this is what lets the scheduler fan points
+    out across workers and still merge deterministically.
+
+    Pass ``obs`` to trace/meter the run. Pass ``database`` to reuse a
+    pre-loaded database (e.g. several mixtures against one load, as in
+    the read/write experiments); that escape hatch is in-process only —
+    live databases never cross the scheduler's process boundary.
+    """
+    workload = _make_workload(spec)
+    db = database
+    if db is None:
+        db = _make_database(spec)
+        if obs is not None:
+            obs.attach(db, spec.engine, spec.workload_name)
+        workload.load(db)
+        # Post-load checkpoint (engines without checkpoints: no-op) so
+        # the in-run checkpoint cadence is measured from a clean base.
+        db.checkpoint()
+    elif obs is not None:
+        obs.attach(db, spec.engine, spec.workload_name)
+    if spec.run_checkpoint_interval is not None:
+        for partition in db.partitions:
+            partition.engine.checkpoint_interval_txns = \
+                spec.run_checkpoint_interval
+    db.settle()
+    result = _measure(
+        db, lambda: workload.run(db, spec.num_txns), spec, obs=obs)
+    if spec.workload == "ycsb":
+        result.extra["num_tuples"] = spec.num_tuples
+    result.extra["seed"] = spec.seed
+    result.extra["partitions"] = spec.partitions
+    result.extra["cache_bytes"] = spec.cache_bytes
+    _finish_run(db, result, obs, spec.crash_recover)
+    return result
+
+
+# ----------------------------------------------------------------------
+# Deprecated per-workload shims
+# ----------------------------------------------------------------------
+
+def _deprecated(old: str) -> None:
+    warnings.warn(
+        f"{old}() is deprecated; build an ExperimentSpec and call "
+        f"run(spec) (repro.harness.spec)", DeprecationWarning,
+        stacklevel=3)
+
+
 def run_ycsb(engine: str, mixture: str, skew: str,
              latency: Optional[LatencyProfile] = None,
              num_tuples: int = 2000, num_txns: int = 2000,
@@ -140,42 +214,17 @@ def run_ycsb(engine: str, mixture: str, skew: str,
              obs: Optional[ObservabilitySession] = None,
              crash_recover: bool = False,
              ) -> ExperimentResult:
-    """Run one YCSB point; returns its measurements.
-
-    Pass ``database`` to reuse a pre-loaded database (e.g. to run
-    several mixtures against one load in the read/write experiments).
-    Pass ``obs`` to trace/meter the run; ``crash_recover`` appends a
-    crash + recovery cycle *after* the measurement window so recovery
-    phases show up in the trace (throughput is unaffected).
-    """
-    latency = latency or LatencyProfile.dram()
-    config = YCSBConfig(num_tuples=num_tuples, mixture=mixture,
-                        skew=skew, seed=seed)
-    workload_name = f"ycsb/{mixture}/{skew}"
-    workload = YCSBWorkload(config, partitions=partitions)
-    db = database
-    if db is None:
-        db = _make_database(engine, partitions, latency, engine_config,
-                            seed, cache_bytes)
-        if obs is not None:
-            obs.attach(db, engine, workload_name)
-        workload.load(db)
-        # Post-load checkpoint (engines without checkpoints: no-op) so
-        # the in-run checkpoint cadence is measured from a clean base.
-        db.checkpoint()
-    elif obs is not None:
-        obs.attach(db, engine, workload_name)
-    if run_checkpoint_interval is not None:
-        for partition in db.partitions:
-            partition.engine.checkpoint_interval_txns = \
-                run_checkpoint_interval
-    db.settle()
-    result = _measure(
-        db, lambda: workload.run(db, num_txns), num_txns, engine,
-        workload_name, latency.name, obs=obs)
-    result.extra["num_tuples"] = num_tuples
-    _finish_run(db, result, obs, crash_recover)
-    return result
+    """Deprecated: use ``run(ExperimentSpec.ycsb(...))``."""
+    _deprecated("run_ycsb")
+    spec = ExperimentSpec.ycsb(
+        engine, mixture, skew,
+        latency=latency or LatencyProfile.dram(),
+        num_tuples=num_tuples, num_txns=num_txns,
+        partitions=partitions, engine_config=engine_config, seed=seed,
+        cache_bytes=cache_bytes,
+        run_checkpoint_interval=run_checkpoint_interval,
+        crash_recover=crash_recover)
+    return run(spec, obs=obs, database=database)
 
 
 def run_tpcc(engine: str,
@@ -189,23 +238,13 @@ def run_tpcc(engine: str,
              obs: Optional[ObservabilitySession] = None,
              crash_recover: bool = False,
              ) -> ExperimentResult:
-    """Run one TPC-C point; returns its measurements."""
-    latency = latency or LatencyProfile.dram()
-    config = tpcc_config or TPCCConfig(seed=seed)
-    workload = TPCCWorkload(config, partitions=partitions)
-    db = _make_database(engine, partitions, latency, engine_config,
-                        seed, cache_bytes)
-    if obs is not None:
-        obs.attach(db, engine, "tpcc")
-    workload.load(db)
-    db.checkpoint()
-    if run_checkpoint_interval is not None:
-        for partition in db.partitions:
-            partition.engine.checkpoint_interval_txns = \
-                run_checkpoint_interval
-    db.settle()
-    result = _measure(
-        db, lambda: workload.run(db, num_txns), num_txns, engine,
-        "tpcc", latency.name, obs=obs)
-    _finish_run(db, result, obs, crash_recover)
-    return result
+    """Deprecated: use ``run(ExperimentSpec.tpcc(...))``."""
+    _deprecated("run_tpcc")
+    spec = ExperimentSpec.tpcc(
+        engine, latency=latency or LatencyProfile.dram(),
+        tpcc_config=tpcc_config, num_txns=num_txns,
+        partitions=partitions, engine_config=engine_config, seed=seed,
+        cache_bytes=cache_bytes,
+        run_checkpoint_interval=run_checkpoint_interval,
+        crash_recover=crash_recover)
+    return run(spec, obs=obs)

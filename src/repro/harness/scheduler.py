@@ -1,0 +1,267 @@
+"""Process-pool experiment scheduler: fan a sweep out across cores.
+
+The paper's evaluation grid — engines x workload configurations x NVM
+latencies — is embarrassingly parallel: every point is an independent
+deterministic simulation. :func:`run_sweep` executes any list of
+:class:`~repro.harness.spec.ExperimentSpec` points across up to
+``jobs`` worker processes and merges the results **deterministically:
+outcomes are ordered by spec position, never by completion order**, so
+a parallel sweep is value-identical to the serial baseline.
+
+Each point gets:
+
+* **crash isolation** — a worker that dies (OOM, segfault, ``os._exit``)
+  marks only its own point failed; the sweep continues;
+* **a timeout** — ``timeout_s`` terminates a stuck worker and fails the
+  point;
+* **observability artifacts** — with ``artifacts_dir`` (or
+  ``spec.observe``), the point runs under its own
+  :class:`~repro.obs.session.ObservabilitySession`; its trace JSONL and
+  metrics are written to per-point files named by ``spec.slug()``, and
+  a merged ``summary.json`` describes the whole sweep.
+
+Specs are what cross the process boundary (pickled into the worker);
+results, and optionally the detached per-point session, come back over
+a pipe. ``jobs=1`` runs everything in-process — same code path, same
+results, no processes.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from multiprocessing.connection import wait as _connection_wait
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import SweepError
+from ..obs.session import ObservabilitySession
+from .runner import ExperimentResult, run
+from .spec import ExperimentSpec
+
+__all__ = ["PointOutcome", "run_sweep", "results_or_raise",
+           "merged_session", "write_sweep_summary", "SUMMARY_FILENAME"]
+
+SUMMARY_FILENAME = "summary.json"
+
+#: Seconds between scheduler polls for worker completion/timeout.
+_POLL_INTERVAL_S = 0.05
+
+
+@dataclass
+class PointOutcome:
+    """What happened to one spec of a sweep."""
+
+    spec: ExperimentSpec
+    result: Optional[ExperimentResult] = None
+    #: Human-readable failure ("TypeError: ...", "worker crashed
+    #: (exit code -11)", "timeout after 60s"); ``None`` on success.
+    error: Optional[str] = None
+    #: Host (wall-clock) seconds the point took, including worker
+    #: startup — this is what ``--jobs`` shrinks.
+    host_seconds: float = 0.0
+    #: The point's detached observability session (when observed).
+    session: Optional[ObservabilitySession] = None
+    #: Artifact kind -> file path written for this point.
+    artifacts: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+def _execute_point(spec: ExperimentSpec, observe: bool
+                   ) -> Tuple[ExperimentResult,
+                              Optional[ObservabilitySession]]:
+    """Run one spec (in whatever process this is), optionally under a
+    fresh per-point observability session."""
+    obs = ObservabilitySession() if (observe or spec.observe) else None
+    result = run(spec, obs=obs)
+    return result, obs
+
+
+def _point_worker(spec: ExperimentSpec, observe: bool, conn) -> None:
+    """Worker-process entry: run the point, ship back
+    ``(result, session, error)`` over the pipe."""
+    try:
+        result, session = _execute_point(spec, observe)
+        conn.send((result, session, None))
+    except BaseException as exc:  # isolate *any* point failure
+        message = f"{type(exc).__name__}: {exc}"
+        try:
+            conn.send((None, None, message))
+        except Exception:
+            pass  # parent will see EOF and report a crash
+    finally:
+        conn.close()
+
+
+def _run_serial(outcomes: List[PointOutcome], observe: bool) -> None:
+    for outcome in outcomes:
+        started = time.perf_counter()
+        try:
+            outcome.result, outcome.session = _execute_point(
+                outcome.spec, observe)
+        except Exception as exc:
+            outcome.error = f"{type(exc).__name__}: {exc}"
+        outcome.host_seconds = time.perf_counter() - started
+
+
+def _run_parallel(outcomes: List[PointOutcome], jobs: int,
+                  observe: bool, timeout_s: Optional[float]) -> None:
+    methods = multiprocessing.get_all_start_methods()
+    context = multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn")
+    pending = deque(range(len(outcomes)))
+    running: Dict[object, Tuple[int, object, float]] = {}
+
+    def _finish(conn) -> None:
+        index, process, started = running.pop(conn)
+        outcome = outcomes[index]
+        try:
+            result, session, error = conn.recv()
+        except (EOFError, OSError):
+            process.join()
+            result, session = None, None
+            error = f"worker crashed (exit code {process.exitcode})"
+        outcome.result = result
+        outcome.session = session
+        outcome.error = error
+        outcome.host_seconds = time.perf_counter() - started
+        conn.close()
+        process.join()
+
+    while pending or running:
+        while pending and len(running) < jobs:
+            index = pending.popleft()
+            parent_conn, child_conn = context.Pipe(duplex=False)
+            process = context.Process(
+                target=_point_worker,
+                args=(outcomes[index].spec, observe, child_conn),
+                daemon=True)
+            process.start()
+            child_conn.close()
+            running[parent_conn] = (index, process,
+                                    time.perf_counter())
+        # A closed pipe (dead worker) is also "ready" — recv then
+        # raises EOFError and the point is marked crashed.
+        for conn in _connection_wait(list(running),
+                                     timeout=_POLL_INTERVAL_S):
+            _finish(conn)
+        if timeout_s is None:
+            continue
+        now = time.perf_counter()
+        for conn, (index, process, started) in list(running.items()):
+            if now - started <= timeout_s:
+                continue
+            running.pop(conn)
+            process.terminate()
+            process.join()
+            conn.close()
+            outcome = outcomes[index]
+            outcome.error = f"timeout after {timeout_s:g}s"
+            outcome.host_seconds = now - started
+
+
+def run_sweep(specs: Sequence[ExperimentSpec], jobs: int = 1,
+              timeout_s: Optional[float] = None,
+              artifacts_dir: Optional[str] = None,
+              observe: bool = False) -> List[PointOutcome]:
+    """Execute every spec; returns one :class:`PointOutcome` per spec,
+    **in spec order** regardless of completion order.
+
+    ``jobs`` caps concurrent worker processes (``1`` = in-process
+    serial). ``timeout_s`` bounds each point's host runtime (parallel
+    mode only — a serial in-process point cannot be interrupted).
+    ``observe`` (or ``spec.observe``, or passing ``artifacts_dir``)
+    attaches a per-point ObservabilitySession; ``artifacts_dir``
+    additionally writes per-point trace/metrics files plus a merged
+    ``summary.json``.
+    """
+    outcomes = [PointOutcome(spec=spec) for spec in specs]
+    observe = observe or artifacts_dir is not None
+    if jobs <= 1 or len(outcomes) <= 1:
+        _run_serial(outcomes, observe)
+    else:
+        _run_parallel(outcomes, jobs, observe, timeout_s)
+    if artifacts_dir is not None:
+        _write_artifacts(outcomes, artifacts_dir)
+    return outcomes
+
+
+def results_or_raise(outcomes: Sequence[PointOutcome]
+                     ) -> List[ExperimentResult]:
+    """The results of a fully-successful sweep, in spec order; raises
+    :class:`~repro.errors.SweepError` naming every failed point."""
+    failures = [outcome for outcome in outcomes if not outcome.ok]
+    if failures:
+        details = "; ".join(
+            f"{outcome.spec.slug()}: {outcome.error}"
+            for outcome in failures)
+        raise SweepError(
+            f"{len(failures)}/{len(outcomes)} sweep points failed: "
+            f"{details}")
+    return [outcome.result for outcome in outcomes]
+
+
+def merged_session(outcomes: Sequence[PointOutcome]
+                   ) -> ObservabilitySession:
+    """All per-point sessions merged into one, in spec order — export
+    it exactly like a serial shared session."""
+    merged = ObservabilitySession()
+    for outcome in outcomes:
+        if outcome.session is not None:
+            merged.merge(outcome.session)
+    return merged
+
+
+# ----------------------------------------------------------------------
+# Artifacts
+# ----------------------------------------------------------------------
+
+def _write_artifacts(outcomes: Sequence[PointOutcome],
+                     artifacts_dir: str) -> None:
+    os.makedirs(artifacts_dir, exist_ok=True)
+    for index, outcome in enumerate(outcomes):
+        if outcome.session is None:
+            continue
+        stem = os.path.join(artifacts_dir,
+                            f"{index:04d}-{outcome.spec.slug()}")
+        trace_path = f"{stem}.trace.jsonl"
+        outcome.session.export_trace(trace_path)
+        outcome.artifacts["trace"] = trace_path
+        metrics_path = f"{stem}.metrics.prom"
+        outcome.session.export_metrics(metrics_path)
+        outcome.artifacts["metrics"] = metrics_path
+    write_sweep_summary(outcomes,
+                        os.path.join(artifacts_dir, SUMMARY_FILENAME))
+
+
+def write_sweep_summary(outcomes: Sequence[PointOutcome],
+                        path: str) -> str:
+    """Write the merged sweep summary JSON (one entry per point, in
+    spec order, each self-describing: full spec + result + artifacts);
+    returns ``path``."""
+    points = []
+    for outcome in outcomes:
+        points.append({
+            "spec": outcome.spec.to_dict(),
+            "ok": outcome.ok,
+            "error": outcome.error,
+            "host_seconds": outcome.host_seconds,
+            "result": (outcome.result.to_dict()
+                       if outcome.result is not None else None),
+            "artifacts": outcome.artifacts,
+        })
+    summary = {
+        "kind": "repro-sweep-summary",
+        "points": points,
+        "failed": sum(1 for outcome in outcomes if not outcome.ok),
+    }
+    with open(path, "w", encoding="utf-8") as stream:
+        json.dump(summary, stream, indent=2, sort_keys=True)
+        stream.write("\n")
+    return path

@@ -1,0 +1,161 @@
+"""`ExperimentSpec`: one experiment point as a picklable value object.
+
+The paper's evaluation (Section 5) is a grid — engines x workload
+configurations x NVM latencies — and every point of that grid is an
+independent deterministic simulation. A spec captures *everything* that
+defines one point, so it can
+
+* cross a process boundary (the scheduler pickles specs into worker
+  processes — see :mod:`repro.harness.scheduler`),
+* name result artifacts on disk (:meth:`ExperimentSpec.slug`), and
+* key the deterministic merge of a parallel sweep (results are ordered
+  by spec, never by completion).
+
+`repro.harness.runner.run(spec)` executes a spec. The legacy
+``run_ycsb(...)``/``run_tpcc(...)`` entry points survive as deprecated
+shims that build a spec and delegate.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, Optional
+
+from ..config import EngineConfig, LatencyProfile
+from ..errors import ConfigError
+from ..workloads.tpcc import TPCCConfig
+from ..workloads.ycsb import MIXTURES, SKEWS
+
+#: Default CPU-cache size for experiments. The emulator's 20 MB L3
+#: covers ~1% of the paper's 2 GB YCSB database; a small cache keeps a
+#: comparable miss structure for the scaled-down datasets.
+DEFAULT_CACHE_BYTES = 256 * 1024
+
+#: Workload-default RNG seeds (the seeds the legacy entry points used).
+DEFAULT_SEEDS = {"ycsb": 31, "tpcc": 47}
+
+#: Workload-default transaction counts.
+DEFAULT_TXNS = {"ycsb": 2000, "tpcc": 400}
+
+_SLUG_UNSAFE = re.compile(r"[^A-Za-z0-9._-]+")
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """Complete, immutable description of one experiment point."""
+
+    engine: str
+    workload: str                                   # "ycsb" | "tpcc"
+    #: YCSB shape (ignored for TPC-C).
+    mixture: str = "balanced"
+    skew: str = "low"
+    num_tuples: int = 2000
+    #: Transactions in the measurement window; ``None`` means the
+    #: workload default (2000 YCSB / 400 TPC-C).
+    num_txns: Optional[int] = None
+    #: TPC-C sizing (ignored for YCSB); ``None`` means TPCCConfig
+    #: defaults with this spec's seed.
+    tpcc_config: Optional[TPCCConfig] = None
+    #: Accepts a profile or a name ("dram" | "low[-nvm]" | "high[-nvm]").
+    latency: LatencyProfile = field(
+        default_factory=LatencyProfile.dram)
+    partitions: int = 1
+    engine_config: Optional[EngineConfig] = None
+    #: ``None`` means the workload default (31 YCSB / 47 TPC-C).
+    seed: Optional[int] = None
+    cache_bytes: int = DEFAULT_CACHE_BYTES
+    #: Checkpoint cadence applied for the measured window only.
+    run_checkpoint_interval: Optional[int] = None
+    #: Attach a fresh ObservabilitySession to this point when it runs
+    #: under the scheduler (per-point trace/metrics artifacts).
+    observe: bool = False
+    #: Append a crash + recovery cycle after the measurement window.
+    crash_recover: bool = False
+
+    def __post_init__(self) -> None:
+        if self.workload not in ("ycsb", "tpcc"):
+            raise ConfigError(
+                f"unknown workload {self.workload!r}; "
+                f"expected 'ycsb' or 'tpcc'")
+        if self.workload == "ycsb":
+            if self.mixture not in MIXTURES:
+                raise ConfigError(
+                    f"unknown YCSB mixture {self.mixture!r}; "
+                    f"expected one of {sorted(MIXTURES)}")
+            if self.skew not in SKEWS:
+                raise ConfigError(
+                    f"unknown YCSB skew {self.skew!r}; "
+                    f"expected one of {sorted(SKEWS)}")
+        if self.partitions < 1:
+            raise ConfigError("need at least one partition")
+        if isinstance(self.latency, str):
+            object.__setattr__(self, "latency",
+                               LatencyProfile.parse(self.latency))
+        if self.seed is None:
+            object.__setattr__(self, "seed",
+                               DEFAULT_SEEDS[self.workload])
+        if self.num_txns is None:
+            object.__setattr__(self, "num_txns",
+                               DEFAULT_TXNS[self.workload])
+        if self.num_txns < 1 or self.num_tuples < 1:
+            raise ConfigError("num_txns and num_tuples must be >= 1")
+
+    # ------------------------------------------------------------------
+    # Convenience constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def ycsb(cls, engine: str, mixture: str = "balanced",
+             skew: str = "low", **options: Any) -> "ExperimentSpec":
+        """Spec for one YCSB point."""
+        return cls(engine=engine, workload="ycsb", mixture=mixture,
+                   skew=skew, **options)
+
+    @classmethod
+    def tpcc(cls, engine: str, **options: Any) -> "ExperimentSpec":
+        """Spec for one TPC-C point."""
+        return cls(engine=engine, workload="tpcc", **options)
+
+    def with_options(self, **changes: Any) -> "ExperimentSpec":
+        """A copy with the given fields replaced (re-validated)."""
+        return replace(self, **changes)
+
+    # ------------------------------------------------------------------
+    # Identity
+    # ------------------------------------------------------------------
+
+    @property
+    def workload_name(self) -> str:
+        """The workload label results report (matches the legacy API):
+        ``ycsb/<mixture>/<skew>`` or ``tpcc``."""
+        if self.workload == "ycsb":
+            return f"ycsb/{self.mixture}/{self.skew}"
+        return "tpcc"
+
+    def slug(self) -> str:
+        """Filesystem-safe name for this point's result artifacts.
+        Distinct grid axes (workload, engine, latency, partitions,
+        seed) map to distinct slugs; the scheduler prefixes an index so
+        even identical specs get unique files."""
+        parts = [self.workload_name.replace("/", "-"), self.engine,
+                 self.latency.name, f"p{self.partitions}",
+                 f"s{self.seed}"]
+        return _SLUG_UNSAFE.sub("_", "_".join(parts))
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready description (self-describing sweep outputs)."""
+        spec: Dict[str, Any] = {
+            "engine": self.engine,
+            "workload": self.workload_name,
+            "latency": self.latency.name,
+            "num_txns": self.num_txns,
+            "partitions": self.partitions,
+            "seed": self.seed,
+            "cache_bytes": self.cache_bytes,
+        }
+        if self.workload == "ycsb":
+            spec["num_tuples"] = self.num_tuples
+        if self.run_checkpoint_interval is not None:
+            spec["run_checkpoint_interval"] = self.run_checkpoint_interval
+        return spec

@@ -188,11 +188,43 @@ def summarize_metrics(text: str) -> str:
                         title="Metrics (histogram buckets elided)")
 
 
+def summarize_sweep(summary: Dict[str, Any]) -> str:
+    """Render a scheduler ``summary.json`` (see
+    :func:`repro.harness.scheduler.write_sweep_summary`) as a table:
+    one row per point, in spec order."""
+    rows = []
+    for point in summary.get("points", []):
+        spec = point.get("spec", {})
+        result = point.get("result") or {}
+        rows.append([
+            spec.get("workload", "?"),
+            spec.get("engine", "?"),
+            spec.get("latency", "?"),
+            "ok" if point.get("ok") else
+            f"FAILED: {point.get('error')}",
+            round(result.get("throughput", 0.0), 1),
+            round(point.get("host_seconds", 0.0), 2),
+        ])
+    failed = summary.get("failed", 0)
+    return format_table(
+        ["workload", "engine", "latency", "status", "txn/s",
+         "host (s)"], rows,
+        title=f"Sweep: {len(rows)} points, {failed} failed")
+
+
 def summarize_file(path: str) -> str:
-    """Dispatch on file shape: JSONL trace vs Prometheus text."""
+    """Dispatch on file shape: sweep summary JSON vs JSONL trace vs
+    Prometheus text."""
     with open(path, "r", encoding="utf-8") as stream:
-        head = stream.read(1)
-        stream.seek(0)
-        if head == "{":
-            return summarize_trace(read_trace_jsonl(stream))
-        return summarize_metrics(stream.read())
+        text = stream.read()
+    if text.lstrip().startswith("{"):
+        try:
+            document = json.loads(text)
+        except json.JSONDecodeError:
+            document = None
+        if isinstance(document, dict) and \
+                document.get("kind") == "repro-sweep-summary":
+            return summarize_sweep(document)
+        import io
+        return summarize_trace(read_trace_jsonl(io.StringIO(text)))
+    return summarize_metrics(text)

@@ -102,6 +102,16 @@ class Histogram(Metric):
     def bucket_bound(index: int) -> float:
         return GROWTH ** index
 
+    def merge(self, other: "Histogram") -> None:
+        """Fold another histogram's observations into this one."""
+        for index, count in other.buckets.items():
+            self.buckets[index] = self.buckets.get(index, 0) + count
+        self.count += other.count
+        self.sum += other.sum
+        if other.count:
+            self.min = min(self.min, other.min)
+            self.max = max(self.max, other.max)
+
     def observe(self, value: float) -> None:
         if value < 0:
             raise ValueError(f"negative observation: {value}")
@@ -180,6 +190,22 @@ class MetricsRegistry:
         """All instruments, grouped by name (stable export order)."""
         return sorted(self._metrics.values(),
                       key=lambda m: (m.name, _labelset(m.labels)))
+
+    def merge_from(self, other: "MetricsRegistry") -> None:
+        """Fold another registry's instruments into this one: counters
+        add, histograms merge buckets, gauges take the newer value.
+        Used to combine per-worker registries from a parallel sweep
+        into one exportable collection."""
+        for metric in other.collect():
+            if isinstance(metric, Counter):
+                self.counter(metric.name, help=metric.help,
+                             **metric.labels).inc(metric.value)
+            elif isinstance(metric, Histogram):
+                self.histogram(metric.name, help=metric.help,
+                               **metric.labels).merge(metric)
+            elif isinstance(metric, Gauge):
+                self.gauge(metric.name, help=metric.help,
+                           **metric.labels).set(metric.value)
 
     def find(self, name: str, **labels: str) -> Optional[Metric]:
         """Look up an instrument without creating it."""

@@ -191,6 +191,22 @@ class ObservabilitySession:
         return merged
 
     # ------------------------------------------------------------------
+    # Cross-session merge (parallel sweeps)
+    # ------------------------------------------------------------------
+
+    def merge(self, other: "ObservabilitySession") -> None:
+        """Fold a detached session into this one: archived records are
+        appended, metric instruments are merged by identity. A sweep
+        runs one session per point in each worker process, sends the
+        (plain-data, picklable) session back, and merges in spec order —
+        the exports are then identical to a serial shared-session run,
+        whose record order is normalized at export time anyway."""
+        if other._samplers:
+            raise ValueError("detach the session before merging it")
+        self.records.extend(other.records)
+        self.registry.merge_from(other.registry)
+
+    # ------------------------------------------------------------------
     # Exports
     # ------------------------------------------------------------------
 

@@ -1,0 +1,44 @@
+"""Tests for Database lifecycle: keyword-only options, close(), and
+context-manager support."""
+
+import pytest
+
+from repro import Column, ColumnType, Database, Schema
+from repro.errors import DatabaseClosedError
+
+ACCOUNTS = Schema.build(
+    "accounts",
+    [Column("id", ColumnType.INT),
+     Column("balance", ColumnType.FLOAT)],
+    primary_key=["id"])
+
+
+def test_options_are_keyword_only():
+    with pytest.raises(TypeError):
+        Database("inp", 2)
+
+
+def test_context_manager_closes_on_exit():
+    with Database(engine="nvm-inp") as db:
+        db.create_table(ACCOUNTS)
+        db.insert("accounts", {"id": 1, "balance": 10.0})
+        assert db.get("accounts", 1)["balance"] == 10.0
+        assert not db.closed
+    assert db.closed
+    with pytest.raises(DatabaseClosedError):
+        db.get("accounts", 1)
+
+
+def test_close_is_idempotent():
+    db = Database(engine="inp")
+    db.close()
+    db.close()
+    assert db.closed
+
+
+def test_entering_a_closed_database_fails():
+    db = Database(engine="inp")
+    db.close()
+    with pytest.raises(DatabaseClosedError):
+        with db:
+            pass

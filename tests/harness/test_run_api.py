@@ -1,0 +1,66 @@
+"""Tests for the unified run(spec) entry point and deprecated shims."""
+
+import pytest
+
+from repro.config import LatencyProfile
+from repro.harness.runner import run, run_tpcc, run_ycsb
+from repro.harness.spec import ExperimentSpec
+from repro.obs.session import ObservabilitySession
+from repro.workloads.tpcc import TPCCConfig
+
+TINY = dict(num_tuples=200, num_txns=150, cache_bytes=64 * 1024)
+TINY_TPCC = TPCCConfig(warehouses=1, districts_per_warehouse=2,
+                       customers_per_district=10, items=30,
+                       initial_orders_per_district=5)
+
+
+def test_run_result_carries_spec_identity_in_extra():
+    spec = ExperimentSpec.ycsb("nvm-inp", "balanced", "low",
+                               partitions=2, seed=11, **TINY)
+    result = run(spec)
+    assert result.extra["seed"] == 11
+    assert result.extra["partitions"] == 2
+    assert result.extra["cache_bytes"] == TINY["cache_bytes"]
+    assert result.extra["num_tuples"] == TINY["num_tuples"]
+
+
+def test_run_to_dict_includes_throughput():
+    result = run(ExperimentSpec.ycsb("inp", "read-heavy", "low",
+                                     **TINY))
+    payload = result.to_dict()
+    assert payload["throughput"] == pytest.approx(result.throughput)
+    assert payload["extra"]["seed"] == 31
+
+
+def test_run_ycsb_shim_warns_and_matches_run():
+    with pytest.warns(DeprecationWarning, match="run_ycsb"):
+        legacy = run_ycsb("log", "balanced", "high",
+                          latency=LatencyProfile.low_nvm(), seed=5,
+                          **TINY)
+    modern = run(ExperimentSpec.ycsb(
+        "log", "balanced", "high", latency=LatencyProfile.low_nvm(),
+        seed=5, **TINY))
+    assert legacy == modern
+
+
+def test_run_tpcc_shim_warns_and_matches_run():
+    with pytest.warns(DeprecationWarning, match="run_tpcc"):
+        legacy = run_tpcc("nvm-log", tpcc_config=TINY_TPCC,
+                          num_txns=40)
+    modern = run(ExperimentSpec.tpcc("nvm-log",
+                                     tpcc_config=TINY_TPCC,
+                                     num_txns=40))
+    assert legacy == modern
+
+
+def test_run_with_observability_session():
+    session = ObservabilitySession()
+    spec = ExperimentSpec.ycsb("nvm-inp", "balanced", "low",
+                               crash_recover=True, **TINY)
+    result = run(spec, obs=session)
+    assert result.latency_percentiles is not None
+    assert result.timeseries
+    assert "recovery_seconds" in result.extra
+    components = {record.get("component")
+                  for record in session.records}
+    assert "recovery" in components

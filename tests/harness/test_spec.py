@@ -1,0 +1,82 @@
+"""Tests for the ExperimentSpec value object."""
+
+import pickle
+
+import pytest
+
+from repro.config import LatencyProfile
+from repro.errors import ConfigError
+from repro.harness.spec import ExperimentSpec
+from repro.workloads.tpcc import TPCCConfig
+
+
+def test_spec_round_trips_through_pickle():
+    spec = ExperimentSpec.ycsb(
+        "nvm-inp", "write-heavy", "high",
+        latency=LatencyProfile.high_nvm(), num_tuples=500,
+        num_txns=250, partitions=2, seed=7, cache_bytes=64 * 1024,
+        run_checkpoint_interval=100, observe=True, crash_recover=True)
+    clone = pickle.loads(pickle.dumps(spec))
+    assert clone == spec
+    assert clone.latency == spec.latency
+    assert clone.slug() == spec.slug()
+
+
+def test_tpcc_spec_round_trips_through_pickle():
+    spec = ExperimentSpec.tpcc(
+        "nvm-cow", tpcc_config=TPCCConfig(warehouses=1, items=30),
+        num_txns=50)
+    assert pickle.loads(pickle.dumps(spec)) == spec
+
+
+def test_latency_accepts_string_aliases():
+    assert ExperimentSpec.ycsb("inp", latency="high").latency.name \
+        == "high-nvm"
+    assert ExperimentSpec.ycsb("inp", latency="low-nvm").latency.name \
+        == "low-nvm"
+    assert ExperimentSpec.ycsb("inp").latency.name == "dram"
+
+
+def test_workload_defaults_resolved_at_construction():
+    ycsb = ExperimentSpec.ycsb("inp")
+    tpcc = ExperimentSpec.tpcc("inp")
+    assert (ycsb.seed, ycsb.num_txns) == (31, 2000)
+    assert (tpcc.seed, tpcc.num_txns) == (47, 400)
+
+
+def test_workload_name_matches_legacy_labels():
+    assert ExperimentSpec.ycsb("inp", "balanced", "low").workload_name \
+        == "ycsb/balanced/low"
+    assert ExperimentSpec.tpcc("inp").workload_name == "tpcc"
+
+
+def test_slug_is_filesystem_safe_and_distinguishes_axes():
+    a = ExperimentSpec.ycsb("nvm-inp", "balanced", "low")
+    b = a.with_options(latency="high")
+    assert a.slug() != b.slug()
+    for slug in (a.slug(), b.slug()):
+        assert "/" not in slug and " " not in slug
+
+
+@pytest.mark.parametrize("bad", [
+    dict(engine="inp", workload="htap"),
+    dict(engine="inp", workload="ycsb", mixture="nope"),
+    dict(engine="inp", workload="ycsb", skew="nope"),
+    dict(engine="inp", workload="ycsb", partitions=0),
+    dict(engine="inp", workload="ycsb", num_txns=0),
+    dict(engine="inp", workload="ycsb", latency="warp-speed"),
+])
+def test_invalid_specs_rejected(bad):
+    with pytest.raises(ConfigError):
+        ExperimentSpec(**bad)
+
+
+def test_to_dict_is_self_describing():
+    spec = ExperimentSpec.ycsb("nvm-inp", "balanced", "high",
+                               partitions=2, seed=9,
+                               cache_bytes=32 * 1024)
+    payload = spec.to_dict()
+    assert payload["workload"] == "ycsb/balanced/high"
+    assert payload["seed"] == 9
+    assert payload["partitions"] == 2
+    assert payload["cache_bytes"] == 32 * 1024
