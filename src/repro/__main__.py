@@ -10,6 +10,7 @@ Examples::
     python -m repro figure 1
     python -m repro figure 12 --workload tpcc
     python -m repro obs out.jsonl
+    python -m repro crashtest --engines inp,nvm-cow --seed 7
 """
 
 from __future__ import annotations
@@ -159,6 +160,39 @@ def _cmd_tpcc(args) -> int:
                            title=f"TPC-C @ {args.latency}")
 
 
+def _cmd_crashtest(args) -> int:
+    # Imported lazily: the campaign pulls in the full database stack.
+    from .fault import campaign
+
+    engines = [name.strip() for name in args.engines.split(",")
+               if name.strip()]
+    known = engine_names()
+    unknown = [name for name in engines if name not in known]
+    if not engines or unknown:
+        print(f"unknown engines: {', '.join(unknown) or '(none given)'}"
+              f"; choose from {', '.join(known)}", file=sys.stderr)
+        return 2
+    report = campaign.run_crash_campaign(
+        engines, seed=args.seed, ops=args.ops, jobs=args.jobs,
+        max_hits_per_point=args.max_hits, timeout_s=args.timeout,
+        retries=args.retries, artifacts_dir=args.artifacts)
+    print(format_table(
+        ["engine", "fault point", "coords", "crashes", "violations",
+         "status"],
+        report.point_rows(),
+        title=f"Crash campaign, seed {args.seed} "
+              f"({len(report.outcomes)} coordinates)"))
+    for violation in report.violations:
+        print(f"oracle violation: {violation}", file=sys.stderr)
+    for failure in report.failures:
+        print(f"point failed: {failure}", file=sys.stderr)
+    for engine, points in sorted(report.uncovered.items()):
+        for point in points:
+            print(f"uncovered fault point: {engine}/{point}",
+                  file=sys.stderr)
+    return 0 if report.ok else 1
+
+
 def _cmd_obs(args) -> int:
     from .obs.export import summarize_file
     try:
@@ -248,6 +282,34 @@ def main(argv: Optional[List[str]] = None) -> int:
                                choices=("ycsb", "tpcc"))
     _add_common(figure_parser)
     figure_parser.set_defaults(func=_cmd_figure)
+
+    crashtest_parser = commands.add_parser(
+        "crashtest",
+        help="fault-injection campaign: crash at every fault point, "
+             "recover, verify no committed data is lost")
+    crashtest_parser.add_argument(
+        "--engines", default="inp,nvm-cow", metavar="A,B,...",
+        help="comma-separated engine names to campaign over")
+    crashtest_parser.add_argument("--seed", type=int, default=7)
+    crashtest_parser.add_argument(
+        "--ops", type=int, default=64,
+        help="scripted operations per run")
+    crashtest_parser.add_argument(
+        "--max-hits", type=int, default=3, metavar="N",
+        help="crash coordinates sampled per fault point")
+    crashtest_parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for the coordinate sweep")
+    crashtest_parser.add_argument(
+        "--timeout", type=float, default=None, metavar="S",
+        help="per-coordinate host timeout (parallel mode)")
+    crashtest_parser.add_argument(
+        "--retries", type=int, default=1, metavar="N",
+        help="scheduler retries per failed coordinate")
+    crashtest_parser.add_argument(
+        "--artifacts", default=None, metavar="DIR",
+        help="write per-coordinate traces/metrics + summary.json here")
+    crashtest_parser.set_defaults(func=_cmd_crashtest)
 
     obs_parser = commands.add_parser(
         "obs", help="pretty-print a trace (.jsonl) or metrics (.prom) "

@@ -31,7 +31,9 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from ..config import EngineConfig, LatencyProfile, PlatformConfig
 from ..engines.base import ENGINE_NAMES
-from ..errors import ConfigError, CrashedError, DatabaseClosedError
+from ..errors import (ConfigError, CrashedError, DatabaseClosedError,
+                      SimulatedCrash)
+from ..fault.injector import FaultPlan
 from ..sim.stats import Category
 from .partition import Partition, StoredProcedure
 from .schema import Schema
@@ -112,7 +114,11 @@ class Database:
                 partition: int = 0) -> Any:
         """Run a stored procedure as one transaction on a partition."""
         self._require_alive()
-        return self.partitions[partition].execute(procedure, *args)
+        try:
+            return self.partitions[partition].execute(procedure, *args)
+        except SimulatedCrash:
+            self.crash()
+            raise
 
     def insert(self, table: str, values: Dict[str, Any],
                partition: Optional[int] = None) -> None:
@@ -146,17 +152,25 @@ class Database:
         """Range scan merged across partitions (read-only)."""
         self._require_alive()
         rows: List[Tuple[Any, Dict[str, Any]]] = []
-        for partition in self.partitions:
-            rows.extend(partition.execute(
-                lambda ctx: list(ctx.scan(table, lo=lo, hi=hi))))
+        try:
+            for partition in self.partitions:
+                rows.extend(partition.execute(
+                    lambda ctx: list(ctx.scan(table, lo=lo, hi=hi))))
+        except SimulatedCrash:
+            self.crash()
+            raise
         rows.sort(key=lambda pair: pair[0])
         return rows
 
     def flush(self) -> None:
         """Force a durable point on every partition (group commit)."""
         self._require_alive()
-        for partition in self.partitions:
-            partition.engine.flush_commits()
+        try:
+            for partition in self.partitions:
+                partition.engine.flush_commits()
+        except SimulatedCrash:
+            self.crash()
+            raise
 
     def settle(self) -> None:
         """Write back all dirty CPU-cache lines (steady state before a
@@ -171,6 +185,8 @@ class Database:
 
     def crash(self) -> None:
         """Simulated power failure across all partitions."""
+        if self._closed:
+            raise DatabaseClosedError("cannot crash a closed database")
         for partition in self.partitions:
             partition.platform.crash()
             partition.engine.on_crash()
@@ -179,17 +195,65 @@ class Database:
     def recover(self) -> float:
         """Run engine recovery; returns the simulated seconds until the
         database is consistent (partitions recover in parallel, so the
-        slowest one determines the latency)."""
+        slowest one determines the latency). A no-op on a database that
+        never crashed. May itself raise
+        :class:`~repro.errors.SimulatedCrash` under an armed fault plan
+        (crash-during-recovery) — the database is crashed again and the
+        caller retries."""
+        if self._closed:
+            raise DatabaseClosedError("cannot recover a closed database")
+        if not self._crashed:
+            return 0.0
         latency = 0.0
-        for partition in self.partitions:
-            latency = max(latency, partition.engine.recover())
+        try:
+            for partition in self.partitions:
+                latency = max(latency, partition.engine.recover())
+        except SimulatedCrash:
+            self.crash()
+            raise
         self._crashed = False
         return latency
 
     def checkpoint(self) -> None:
         self._require_alive()
+        try:
+            for partition in self.partitions:
+                partition.engine.checkpoint()
+        except SimulatedCrash:
+            self.crash()
+            raise
+
+    # ------------------------------------------------------------------
+    # Fault injection
+    # ------------------------------------------------------------------
+
+    def arm_faults(self, plan: Optional[FaultPlan] = None) -> None:
+        """Arm every partition's fault injector — count fault-point hits
+        and, with a non-empty ``plan``, crash at its triggers. Campaigns
+        use single-partition databases so a plan has one interpretation;
+        with several partitions each injector gets the same plan and the
+        first trigger to complete crashes the whole database.
+
+        Arming a *crashed* database is allowed — that is how a plan
+        targets the upcoming recovery (crash-during-recovery)."""
+        if self._closed:
+            raise DatabaseClosedError(
+                "cannot arm faults on a closed database")
         for partition in self.partitions:
-            partition.engine.checkpoint()
+            partition.platform.faults.arm(plan)
+
+    def disarm_faults(self) -> None:
+        for partition in self.partitions:
+            partition.platform.faults.disarm()
+
+    def fault_hits(self) -> Dict[str, int]:
+        """Fault-point hit counts summed across partitions (since the
+        last :meth:`arm_faults`)."""
+        totals: Dict[str, int] = {}
+        for partition in self.partitions:
+            for point, count in partition.platform.faults.hits.items():
+                totals[point] = totals.get(point, 0) + count
+        return totals
 
     def _require_alive(self) -> None:
         if self._closed:

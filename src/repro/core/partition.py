@@ -16,7 +16,7 @@ from typing import Any, Callable
 
 from ..config import EngineConfig, PlatformConfig
 from ..engines.base import create_engine
-from ..errors import TransactionAborted
+from ..errors import SimulatedCrash, TransactionAborted
 from ..nvm.platform import Platform
 from .executor import TransactionContext
 
@@ -50,6 +50,11 @@ class Partition:
         context = TransactionContext(self.engine, txn)
         try:
             result = procedure(context, *args)
+        except SimulatedCrash:
+            # Power failure, not an abort: the engine must not run its
+            # rollback path — the platform crash freezes state as-is and
+            # recovery decides the transaction's fate.
+            raise
         except TransactionAborted:
             self.engine.abort(txn)
             raise

@@ -89,6 +89,8 @@ class StorageEngine(abc.ABC):
         # The platform's tracer is activated/deactivated in place, so
         # caching the reference is safe and keeps hot paths cheap.
         self.tracer = platform.tracer
+        # Fault injector — same in-place arm/disarm contract.
+        self.faults = platform.faults
         self.schemas: Dict[str, Schema] = {}
         self._txn_ids = itertools.count(1)
         self._timestamps = itertools.count(1)

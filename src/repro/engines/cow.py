@@ -33,6 +33,7 @@ from ..core.schema import Schema
 from ..core.tuple_codec import decode_inlined, encode_inlined
 from ..core.transaction import Transaction
 from ..errors import DuplicateKeyError, StorageEngineError, TupleNotFoundError
+from ..fault.injector import register_fault_point
 from ..index.cost import NVMIndexCostModel
 from ..index.cow_btree import CoWBTree, CoWNode
 from ..nvm.platform import Platform
@@ -47,6 +48,23 @@ _U32 = struct.Struct("<I")
 MASTER_SLOTS = 64
 MASTER_SIZE = 8 * (1 + MASTER_SLOTS)
 _NO_ROOT = 0xFFFFFFFFFFFFFFFF
+
+register_fault_point(
+    "cow.persist.before_fsync",
+    "epoch's new pages written to the file, not yet fsync'd",
+    engines=("cow",))
+register_fault_point(
+    "cow.master_flip.before",
+    "new pages durable, master record not yet updated",
+    engines=("cow", "nvm-cow"))
+register_fault_point(
+    "cow.master_flip.after_write",
+    "master record written in place, not yet fsync'd",
+    engines=("cow",))
+register_fault_point(
+    "cow.master_flip.after",
+    "master record durable, superseded pages not yet recycled",
+    engines=("cow", "nvm-cow"))
 
 
 class _PageCache:
@@ -402,8 +420,10 @@ class CoWEngine(StorageEngine):
                 directory.tree.commit(
                     persist=lambda created, root, d=directory:
                     self._persist_nodes(d, created, root, reclaimable))
+        self.faults.fire("cow.master_flip.before")
         with self.tracer.span("cow.master_flip"):
             self._write_master(dirty)
+        self.faults.fire("cow.master_flip.after")
         # Only after the master record is durable are the previous
         # version's pages truly dead and safe to recycle.
         self._free_pages.extend(reclaimable)
@@ -437,6 +457,7 @@ class CoWEngine(StorageEngine):
             self.filesystem.write(
                 self._file, MASTER_SIZE + page * self.page_size,
                 record.ljust(count * self.page_size, b"\x00"))
+        self.faults.fire("cow.persist.before_fsync")
         self.filesystem.fsync(self._file)
         for node in directory.tree.replaced_this_epoch():
             location = directory.page_of.pop(node.node_id, None)
@@ -491,6 +512,7 @@ class CoWEngine(StorageEngine):
             self.filesystem.write(
                 self._file, 8 * (1 + directory.slot),
                 _U64.pack(location[0]))
+        self.faults.fire("cow.master_flip.after_write")
         self.filesystem.fsync(self._file)
 
     # ------------------------------------------------------------------
@@ -509,10 +531,12 @@ class CoWEngine(StorageEngine):
         demand-loaded on first access (the DBMS is online immediately,
         Section 3.2)."""
         start_ns = self.clock.now_ns
+        self.faults.fire("recovery.begin")
         with self.stats.category(Category.RECOVERY), \
                 self.tracer.span("recovery.total", engine=self.name):
             with self.tracer.span("recovery.master_read"):
                 self.filesystem.read(self._file, 0, MASTER_SIZE)
+        self.faults.fire("recovery.end")
         return self.clock.elapsed_since(start_ns) / 1e9
 
     def _ensure_loaded(self, table: str) -> None:

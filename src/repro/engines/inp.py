@@ -24,6 +24,7 @@ from ..core.tuple_codec import (decode_fields, decode_inlined,
                                 encode_slotted)
 from ..core.transaction import Transaction
 from ..errors import DuplicateKeyError, TupleNotFoundError
+from ..fault.injector import register_fault_point
 from ..index.cost import NVMIndexCostModel
 from ..index.stx_btree import STXBTree
 from ..nvm.platform import Platform
@@ -37,6 +38,11 @@ from .wal import WALEntry, WriteAheadLog
 import struct
 
 _U64 = struct.Struct("<Q")
+
+register_fault_point(
+    "checkpoint.truncate_wal.before",
+    "checkpoint installed, WAL about to be truncated",
+    engines=("inp",))
 
 
 class _Table:
@@ -71,9 +77,11 @@ class InPEngine(StorageEngine):
     def __init__(self, platform: Platform, config: EngineConfig) -> None:
         super().__init__(platform, config)
         self._tables: Dict[str, _Table] = {}
-        self._wal = WriteAheadLog(platform.filesystem)
+        self._wal = WriteAheadLog(platform.filesystem,
+                                  faults=platform.faults)
         self._checkpointer = Checkpointer(platform.filesystem,
-                                          platform.clock)
+                                          platform.clock,
+                                          faults=platform.faults)
         self._commits_since_checkpoint = 0
 
     # ------------------------------------------------------------------
@@ -416,6 +424,7 @@ class InPEngine(StorageEngine):
             tables = {name: (store.schema, rows_of(store))
                       for name, store in self._tables.items()}
             size = self._checkpointer.write(tables)
+            self.faults.fire("checkpoint.truncate_wal.before")
             self._wal.truncate()
             if span:
                 span.tag(compressed_bytes=size,
@@ -439,6 +448,7 @@ class InPEngine(StorageEngine):
         """Load the last checkpoint, replay the WAL (redo committed
         transactions only), rebuild every index."""
         start_ns = self.clock.now_ns
+        self.faults.fire("recovery.begin")
         with self.stats.category(Category.RECOVERY), \
                 self.tracer.span("recovery.total", engine=self.name):
             with self.tracer.span("recovery.rebuild_storage"):
@@ -460,6 +470,7 @@ class InPEngine(StorageEngine):
                     restored += 1
                 if span:
                     span.tag(tuples=restored)
+            self.faults.fire("recovery.checkpoint_loaded")
             with self.tracer.span("recovery.wal_replay") as span:
                 committed = self._wal.committed_txn_ids()
                 replayed = 0
@@ -472,9 +483,11 @@ class InPEngine(StorageEngine):
                     replayed += 1
                 if span:
                     span.tag(entries=replayed, committed=len(committed))
+            self.faults.fire("recovery.wal_replayed")
         from .base import logger
         logger.info("%s: recovery replayed WAL for %d committed txns",
                     self.name, len(committed))
+        self.faults.fire("recovery.end")
         return self.clock.elapsed_since(start_ns) / 1e9
 
     def _recover_insert(self, store: _Table,

@@ -24,6 +24,7 @@ from ..core.tuple_codec import (decode_fields, decode_inlined,
                                 encode_fields, encode_inlined)
 from ..core.transaction import Transaction
 from ..errors import DuplicateKeyError, TupleNotFoundError
+from ..fault.injector import register_fault_point
 from ..index.cost import NVMIndexCostModel
 from ..index.stx_btree import STXBTree
 from ..nvm.platform import Platform
@@ -37,6 +38,19 @@ from .lsm.memtable import (ENTRY_DELTA, ENTRY_PUT, ENTRY_TOMBSTONE,
 from .lsm.sstable import SSTable
 from .secondary import secondary_add, secondary_remove, secondary_update
 from .wal import WALEntry, WriteAheadLog
+
+register_fault_point(
+    "memtable.flush.before",
+    "MemTable about to be flushed to a level-0 SSTable",
+    engines=("log",))
+register_fault_point(
+    "memtable.flush.after_write",
+    "SSTable durably written, WAL not yet truncated",
+    engines=("log",))
+register_fault_point(
+    "compaction.merge.before",
+    "level overflow detected, compaction merge about to run",
+    engines=("log", "nvm-log"))
 
 
 class _LogTable:
@@ -66,7 +80,8 @@ class LogEngine(StorageEngine):
     def __init__(self, platform: Platform, config: EngineConfig) -> None:
         super().__init__(platform, config)
         self._tables: Dict[str, _LogTable] = {}
-        self._wal = WriteAheadLog(platform.filesystem)
+        self._wal = WriteAheadLog(platform.filesystem,
+                                  faults=platform.faults)
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -308,6 +323,7 @@ class LogEngine(StorageEngine):
         (its contents are now durably in the run)."""
         if not len(store.memtable):
             return
+        self.faults.fire("memtable.flush.before")
         with self.stats.category(Category.STORAGE), \
                 self.tracer.span("memtable.flush", table=name,
                                  entries=len(store.memtable),
@@ -324,6 +340,7 @@ class LogEngine(StorageEngine):
             if not store.levels:
                 store.levels.append([])
             store.levels[0].append(run)
+            self.faults.fire("memtable.flush.after_write")
             store.memtable.destroy()
             store.memtable = self._make_memtable()
         with self.stats.category(Category.RECOVERY):
@@ -343,6 +360,7 @@ class LogEngine(StorageEngine):
             with self.stats.category(Category.STORAGE), \
                     self.tracer.span("compaction.merge", table=name,
                                      level=level, runs=len(runs)):
+                self.faults.fire("compaction.merge.before")
                 merged = self._merge_runs(name, store, level, runs)
                 if level + 1 >= len(store.levels):
                     store.levels.append([])
@@ -399,6 +417,7 @@ class LogEngine(StorageEngine):
         """Rebuild the MemTable from the WAL (committed transactions
         only), reopen SSTables, reconstruct secondary indexes."""
         start_ns = self.clock.now_ns
+        self.faults.fire("recovery.begin")
         with self.stats.category(Category.RECOVERY), \
                 self.tracer.span("recovery.total", engine=self.name):
             with self.tracer.span("recovery.sstable_open"):
@@ -419,8 +438,10 @@ class LogEngine(StorageEngine):
                 if span:
                     span.tag(entries=replayed,
                              committed=len(committed))
+            self.faults.fire("recovery.wal_replayed")
             with self.tracer.span("recovery.index_rebuild"):
                 self._rebuild_secondaries()
+        self.faults.fire("recovery.end")
         return self.clock.elapsed_since(start_ns) / 1e9
 
     def _replay_entry(self, entry: WALEntry) -> None:

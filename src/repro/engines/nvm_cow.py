@@ -21,12 +21,13 @@ the simulator does it in the crash hook).
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 from ..config import EngineConfig
 from ..core.schema import Schema
 from ..core.tuple_codec import encode_slotted
 from ..core.transaction import Transaction
+from ..fault.injector import register_fault_point
 from ..index.cost import NVMIndexCostModel
 from ..index.cow_btree import CoWBTree, CoWNode
 from ..nvm.platform import Platform
@@ -34,6 +35,19 @@ from ..sim.stats import Category
 from .base import register_engine
 from .cow import MASTER_SLOTS, CoWEngine, _Directory
 from .slotted import FixedSlotPool, VarlenPool
+
+register_fault_point(
+    "nvm_cow.tuple_copy.after",
+    "tuple copy synced into the NVM pools, pointer not yet recorded",
+    engines=("nvm-cow",))
+register_fault_point(
+    "nvm_cow.node_sync.after",
+    "epoch's new tree nodes synced, master record not yet flipped",
+    engines=("nvm-cow",))
+register_fault_point(
+    "nvm_cow.master_flip.before_slot",
+    "immediately before a directory's atomic durable master store",
+    engines=("nvm-cow",))
 
 
 class _TuplePools:
@@ -62,6 +76,10 @@ class NVMCoWEngine(CoWEngine):
         # Master record: one atomic 8-byte slot per directory on NVM.
         self._master = self.allocator.malloc(8 * MASTER_SLOTS, tag="other")
         self.allocator.persist(self._master)
+        #: directory name -> (root node, size) the durable master record
+        #: points at — the crash hook's source of truth when a crash
+        #: lands between the in-memory flip and the master store.
+        self._durable_roots: Dict[str, Tuple[CoWNode, int]] = {}
         platform.register_crash_hook(self._crash_hook)
 
     # ------------------------------------------------------------------
@@ -85,6 +103,10 @@ class NVMCoWEngine(CoWEngine):
     def _create_table_storage(self, schema: Schema) -> None:
         super()._create_table_storage(schema)
         self._pools[schema.table] = _TuplePools(schema, self)
+        for name, directory in self._dirs.items():
+            self._durable_roots.setdefault(
+                name, (directory.tree.current_root,
+                       directory.tree.size(dirty=False)))
 
     def _encode_tuple(self, txn: Transaction, schema: Schema,
                       values: Dict[str, Any]) -> Any:
@@ -100,6 +122,7 @@ class NVMCoWEngine(CoWEngine):
         pools.fixed.sync_slot(addr)
         for pointer in pointers:
             pools.varlen.sync(pointer)
+        self.faults.fire("nvm_cow.tuple_copy.after")
         return addr
 
     def _decode_tuple(self, schema: Schema, stored: Any) -> Dict[str, Any]:
@@ -131,15 +154,22 @@ class NVMCoWEngine(CoWEngine):
         cost = directory.tree.cost_model
         for node in created:
             cost.sync_node(node.node_id, 0, self._node_size)
+        self.faults.fire("nvm_cow.node_sync.after")
         directory.page_of[root.node_id] = (root.node_id, 1)  # identity
 
     def _write_master(self, dirty: List[_Directory]) -> None:
         """One atomic durable 8-byte write per directory, ordered after
         the node syncs by the sync primitive's fence."""
         for directory in dirty:
+            self.faults.fire("nvm_cow.master_flip.before_slot")
             self.memory.atomic_durable_store_u64(
                 self._master.addr + 8 * directory.slot,
                 directory.tree.current_root.node_id)
+            # The store above is durable the moment it returns; mirror
+            # it so the crash hook knows which root survived.
+            self._durable_roots[directory.name] = (
+                directory.tree.current_root,
+                directory.tree.size(dirty=False))
 
     # ------------------------------------------------------------------
     # Restart events
@@ -148,15 +178,42 @@ class NVMCoWEngine(CoWEngine):
     def _crash_hook(self) -> None:
         """Platform crash: discard the dirty directory (its storage is
         reclaimed, Section 4.2) and the tuple copies created by
-        transactions that never reached a durable flip."""
+        transactions that never reached a durable flip.
+
+        A crash can also land *inside* the group-commit flush — after
+        the in-memory tree flip but before the atomic master store. The
+        durable master record is the source of truth, so any directory
+        whose in-memory root diverges from :attr:`_durable_roots` is
+        rolled back to the durable root (its node objects are still
+        alive: superseded nodes are only recycled after the flip)."""
+        in_batch = any(directory.tree.in_batch
+                       for directory in self._dirs.values())
+        for directory in self._dirs.values():
+            directory.tree.abort()
+        rolled_back = False
+        for name, directory in self._dirs.items():
+            durable = self._durable_roots.get(name)
+            if durable is None:
+                continue
+            root, size = durable
+            if directory.tree.current_root is not root:
+                directory.tree.install_recovered_root(root, size)
+                rolled_back = True
         doomed: List[Any] = []
-        for txn in list(self._active_txns.values()) \
-                + list(self._pending_durable):
+        for txn in self._active_txns.values():
             doomed.extend(txn.engine_state.pop("created_values", []))
             txn.engine_state.pop("superseded", None)
             txn.engine_state.pop("undo", None)
-        for directory in self._dirs.values():
-            directory.tree.abort()
+        for txn in self._pending_durable:
+            created = txn.engine_state.pop("created_values", [])
+            txn.engine_state.pop("superseded", None)
+            txn.engine_state.pop("undo", None)
+            # Pending commits whose flip became durable are live — their
+            # tuple copies are referenced by the surviving tree. Doom
+            # them only when no flip covered them (still in the dirty
+            # version, or the flip was rolled back above).
+            if rolled_back or in_batch:
+                doomed.extend(created)
         for stored in doomed:
             self._release_tuple_value(stored)
         self._active_txns.clear()
@@ -173,10 +230,12 @@ class NVMCoWEngine(CoWEngine):
         """No recovery: a single master-record read and the engine can
         start handling transactions (Section 4.2)."""
         start_ns = self.clock.now_ns
+        self.faults.fire("recovery.begin")
         with self.stats.category(Category.RECOVERY), \
                 self.tracer.span("recovery.total", engine=self.name):
             with self.tracer.span("recovery.master_read"):
                 self.memory.load(self._master.addr, 8 * MASTER_SLOTS)
+        self.faults.fire("recovery.end")
         return self.clock.elapsed_since(start_ns) / 1e9
 
     def _ensure_loaded(self, table: str) -> None:

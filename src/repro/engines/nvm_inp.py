@@ -51,7 +51,8 @@ class NVMInPEngine(InPEngine):
 
     def __init__(self, platform: Platform, config: EngineConfig) -> None:
         super().__init__(platform, config)
-        self._nvm_wal = NVMWal(self.allocator, self.memory, tag="log")
+        self._nvm_wal = NVMWal(self.allocator, self.memory, tag="log",
+                               faults=self.faults)
 
     def _make_index(self) -> NVBTree:
         cost = NVMIndexCostModel(self.allocator, self.memory, tag="index",
@@ -194,8 +195,13 @@ class NVMInPEngine(InPEngine):
     # ------------------------------------------------------------------
 
     def _do_commit(self, txn: Transaction) -> None:
-        # All changes were persisted as they happened; reclaim deleted
-        # tuples and superseded varlen slots, then truncate the log.
+        # All changes were persisted as they happened. The truncation is
+        # the commit point, so it must come *before* reclamation: until
+        # the log is gone, undo may still run and needs the deleted
+        # tuples and superseded varlen slots intact (a crash after the
+        # truncation merely leaks the space it would have reclaimed).
+        with self.tracer.span("wal.truncate", txn=txn.txn_id):
+            self._nvm_wal.truncate_txn(txn.txn_id)
         for record in txn.engine_state.get("undo", []):
             if record[0] == "delete":
                 __, table, __k, addr, __v = record
@@ -206,8 +212,6 @@ class NVMInPEngine(InPEngine):
                 for old_ptr in replaced.values():
                     if store.varlen.contains(old_ptr):
                         store.varlen.free(old_ptr)
-        with self.tracer.span("wal.truncate", txn=txn.txn_id):
-            self._nvm_wal.truncate_txn(txn.txn_id)
         txn.engine_state["durable"] = True
 
     def _do_flush_commits(self) -> None:
@@ -268,6 +272,7 @@ class NVMInPEngine(InPEngine):
         already durable; roll back the transactions whose WAL entries
         were never truncated."""
         start_ns = self.clock.now_ns
+        self.faults.fire("recovery.begin")
         with self.stats.category(Category.RECOVERY), \
                 self.tracer.span("recovery.total", engine=self.name):
             with self.tracer.span("recovery.wal_undo") as span:
@@ -281,12 +286,14 @@ class NVMInPEngine(InPEngine):
                     undone += 1
                 if span:
                     span.tag(txns=undone)
+            self.faults.fire("recovery.wal_undone")
             with self.tracer.span("recovery.pool_reclaim"):
                 for store in self._tables.values():
                     store.pool.recover_unpersisted()
                     store.varlen.prune_dead()
         from .base import logger
         logger.info("nvm-inp: undo-only recovery complete")
+        self.faults.fire("recovery.end")
         return self.clock.elapsed_since(start_ns) / 1e9
 
     def _undo_wal_record(self, record: NVMWalRecord) -> None:

@@ -29,6 +29,7 @@ from ..core.schema import Schema
 from ..core.tuple_codec import encode_fields, encode_inlined
 from ..core.transaction import Transaction
 from ..errors import DuplicateKeyError, TupleNotFoundError
+from ..fault.injector import register_fault_point
 from ..index.cost import NVMIndexCostModel
 from ..index.nv_btree import NVBTree
 from ..nvm.platform import Platform
@@ -41,6 +42,15 @@ from .lsm.memtable import (ENTRY_DELTA, ENTRY_PUT, ENTRY_TOMBSTONE,
 from .nvm_wal import NVMWal, NVMWalRecord
 from .secondary import secondary_add, secondary_remove, secondary_update
 
+register_fault_point(
+    "memtable.roll.before",
+    "full MemTable about to be marked immutable",
+    engines=("nvm-log",))
+register_fault_point(
+    "memtable.roll.after",
+    "immutable MemTable installed, new mutable MemTable started",
+    engines=("nvm-log",))
+
 
 @register_engine
 class NVMLogEngine(LogEngine):
@@ -52,7 +62,8 @@ class NVMLogEngine(LogEngine):
 
     def __init__(self, platform: Platform, config: EngineConfig) -> None:
         super().__init__(platform, config)
-        self._nvm_wal = NVMWal(self.allocator, self.memory, tag="log")
+        self._nvm_wal = NVMWal(self.allocator, self.memory, tag="log",
+                               faults=self.faults)
 
     def _make_secondary_index(self) -> NVBTree:
         cost = NVMIndexCostModel(self.allocator, self.memory, tag="index",
@@ -215,6 +226,7 @@ class NVMLogEngine(LogEngine):
         NVM-Log replacement for flushing an SSTable (Section 4.3)."""
         if not len(store.memtable):
             return
+        self.faults.fire("memtable.roll.before")
         with self.stats.category(Category.STORAGE), \
                 self.tracer.span("memtable.roll", table=name,
                                  entries=len(store.memtable),
@@ -225,6 +237,7 @@ class NVMLogEngine(LogEngine):
             store.mem_levels[0].append(store.memtable)
             store.memtable = self._make_memtable()
             self.stats.bump("lsm.memtable_rolls")
+        self.faults.fire("memtable.roll.after")
         self._maybe_compact_immutables(name, store)
 
     def _maybe_compact_immutables(self, name: str,
@@ -241,6 +254,7 @@ class NVMLogEngine(LogEngine):
             with self.stats.category(Category.STORAGE), \
                     self.tracer.span("compaction.merge", table=name,
                                      level=level, runs=len(runs)):
+                self.faults.fire("compaction.merge.before")
                 is_bottom = not any(store.mem_levels[level + 1:])
                 merged = self._merge_memtables(runs, is_bottom)
                 if level + 1 >= len(store.mem_levels):
@@ -283,6 +297,7 @@ class NVMLogEngine(LogEngine):
         """Undo-only recovery: remove the MemTable entries of
         transactions in flight at the crash (Section 4.3)."""
         start_ns = self.clock.now_ns
+        self.faults.fire("recovery.begin")
         with self.stats.category(Category.RECOVERY), \
                 self.tracer.span("recovery.total", engine=self.name):
             with self.tracer.span("recovery.wal_undo") as span:
@@ -296,6 +311,8 @@ class NVMLogEngine(LogEngine):
                     undone += 1
                 if span:
                     span.tag(txns=undone)
+            self.faults.fire("recovery.wal_undone")
+        self.faults.fire("recovery.end")
         return self.clock.elapsed_since(start_ns) / 1e9
 
     def _undo_wal_record(self, record: NVMWalRecord) -> None:

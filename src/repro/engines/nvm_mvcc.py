@@ -80,7 +80,8 @@ class NVMMVCCEngine(StorageEngine):
         self._tables: Dict[str, _MVCCTable] = {}
         #: In-flight version registry (pointers only, truncated at
         #: commit) — what recovery walks to unlink uncommitted versions.
-        self._inflight = NVMWal(self.allocator, self.memory, tag="log")
+        self._inflight = NVMWal(self.allocator, self.memory, tag="log",
+                                faults=self.faults)
         #: The commit watermark: one durable 8-byte NVM word.
         self._watermark = self.allocator.malloc(8, tag="other")
         self.allocator.persist(self._watermark)
@@ -244,6 +245,14 @@ class NVMMVCCEngine(StorageEngine):
     # ------------------------------------------------------------------
 
     def _do_commit(self, txn: Transaction) -> None:
+        if txn.engine_state.get("undo"):
+            # THE commit: one atomic durable watermark write.
+            self.memory.atomic_durable_store_u64(
+                self._watermark.addr, txn.timestamp)
+        # Drop the in-flight registry before reclaiming: until the
+        # registry is gone recovery may still undo this transaction and
+        # needs the superseded versions intact.
+        self._inflight.truncate_txn(txn.txn_id)
         # Reclaim versions this transaction superseded or deleted (no
         # snapshot readers exist in the serial testbed).
         for record in txn.engine_state.get("undo", []):
@@ -253,11 +262,6 @@ class NVMMVCCEngine(StorageEngine):
                 self._free_version(store, record[4])  # old version
             elif kind == "delete":
                 self._free_version(store, record[3])
-        if txn.engine_state.get("undo"):
-            # THE commit: one atomic durable watermark write.
-            self.memory.atomic_durable_store_u64(
-                self._watermark.addr, txn.timestamp)
-        self._inflight.truncate_txn(txn.txn_id)
 
     def _do_flush_commits(self) -> None:
         """Commits are durable the moment the watermark advances."""
@@ -302,6 +306,7 @@ class NVMMVCCEngine(StorageEngine):
         """Unlink the versions of transactions in flight at the crash;
         everything committed is already durable (the watermark)."""
         start_ns = self.clock.now_ns
+        self.faults.fire("recovery.begin")
         with self.stats.category(Category.RECOVERY):
             self.memory.load_u64(self._watermark.addr)
             for txn_id in self._inflight.active_txn_ids():
@@ -312,6 +317,7 @@ class NVMMVCCEngine(StorageEngine):
             for store in self._tables.values():
                 store.pool.recover_unpersisted()
                 store.varlen.prune_dead()
+        self.faults.fire("recovery.end")
         return self.clock.elapsed_since(start_ns) / 1e9
 
     def _undo_wal_record(self, record: NVMWalRecord) -> None:

@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
+from ..fault.injector import FaultInjector, register_fault_point
 from ..nvm.allocator import Allocation, NVMAllocator
 from ..nvm.memory import NVMMemory
 from ..nvm.pointers import NULL_PTR, NVPtr
@@ -26,6 +27,19 @@ from ..nvm.pointers import NULL_PTR, NVPtr
 #: Accounted bytes of an entry's fixed header (txn id, op, table id,
 #: previous-entry pointer, key digest).
 ENTRY_HEADER_SIZE = 32
+
+register_fault_point(
+    "nvm_wal.append.after_persist",
+    "entry synced to NVM, anchor pointer not yet linked",
+    engines=("nvm-inp", "nvm-log", "nvm-mvcc"))
+register_fault_point(
+    "nvm_wal.append.after_link",
+    "entry durably linked into the transaction's list",
+    engines=("nvm-inp", "nvm-log", "nvm-mvcc"))
+register_fault_point(
+    "nvm_wal.truncate.before",
+    "commit point: transaction's entries about to be truncated",
+    engines=("nvm-inp", "nvm-log", "nvm-mvcc"))
 
 
 @dataclass(frozen=True)
@@ -59,7 +73,8 @@ class NVMWal:
     """Per-transaction non-volatile linked lists of WAL entries."""
 
     def __init__(self, allocator: NVMAllocator, memory: NVMMemory,
-                 tag: str = "log") -> None:
+                 tag: str = "log",
+                 faults: FaultInjector = None) -> None:
         self._allocator = allocator
         self._memory = memory
         self._tag = tag
@@ -68,6 +83,7 @@ class NVMWal:
         self._anchor = allocator.malloc(8, tag=tag)
         allocator.persist(self._anchor)
         self._logs: Dict[int, _TxnLog] = {}
+        self._faults = faults if faults is not None else FaultInjector()
 
     def append(self, txn_id: int, record: NVMWalRecord) -> Allocation:
         """Durably append ``record`` to the transaction's list."""
@@ -77,15 +93,18 @@ class NVMWal:
         # Persist the entry, then atomically link it (Section 4.1:
         # "persists this entry before updating the slot's state").
         self._allocator.sync(entry)
+        self._faults.fire("nvm_wal.append.after_persist")
         self._memory.atomic_durable_store_u64(self._anchor.addr, entry.addr)
         log.entries.append(entry)
         log.head = entry.addr
+        self._faults.fire("nvm_wal.append.after_link")
         return entry
 
     def truncate_txn(self, txn_id: int) -> int:
         """Drop a committed transaction's entries ("after all of the
         transaction's changes are safely persisted, the engine
         truncates the log"). Returns entries freed."""
+        self._faults.fire("nvm_wal.truncate.before")
         log = self._logs.pop(txn_id, None)
         if log is None:
             return 0

@@ -20,9 +20,27 @@ from dataclasses import dataclass
 from typing import Dict, Iterator
 
 from ..core.tuple_codec import decode_key, encode_key
+from ..fault.injector import FaultInjector, register_fault_point
 from ..nvm.filesystem import NVMFile, NVMFilesystem
 
 _HEADER = struct.Struct("<IBQH")  # entry length, op, txn id, table id
+
+register_fault_point(
+    "wal.append.before",
+    "filesystem WAL: before the entry bytes are appended",
+    engines=("inp", "log"))
+register_fault_point(
+    "wal.append.after",
+    "filesystem WAL: entry appended but not yet fsync'd",
+    engines=("inp", "log"))
+register_fault_point(
+    "wal.fsync.before",
+    "group-commit boundary: entries pending, before the WAL fsync",
+    engines=("inp", "log"))
+register_fault_point(
+    "wal.fsync.after",
+    "group-commit boundary: right after the WAL fsync",
+    engines=("inp", "log"))
 
 OP_INSERT = 1
 OP_UPDATE = 2
@@ -81,20 +99,26 @@ class WriteAheadLog:
     """Append-only WAL on the NVM filesystem."""
 
     def __init__(self, filesystem: NVMFilesystem,
-                 file_name: str = "wal/log") -> None:
+                 file_name: str = "wal/log",
+                 faults: FaultInjector = None) -> None:
         self._fs = filesystem
         self._file: NVMFile = filesystem.open(file_name, create=True)
         self.file_name = file_name
+        self._faults = faults if faults is not None else FaultInjector()
 
     def append(self, entry: WALEntry) -> None:
         """Append an entry (durable only after :meth:`flush`)."""
+        self._faults.fire("wal.append.before")
         self._fs.append(self._file, entry.encode())
+        self._faults.fire("wal.append.after")
 
     def flush(self) -> None:
         """Group-commit boundary: fsync the log (skipped when nothing
         was appended since the last flush)."""
         if self._file.pending_bytes:
+            self._faults.fire("wal.fsync.before")
             self._fs.fsync(self._file)
+            self._faults.fire("wal.fsync.after")
 
     def replay(self) -> Iterator[WALEntry]:
         """Iterate over every entry currently in the log."""

@@ -76,6 +76,18 @@ class CrashedError(ReproError):
     """An operation was attempted on a crashed (not yet recovered) system."""
 
 
+class SimulatedCrash(ReproError):
+    """An armed fault point fired: a simulated power failure struck in
+    the middle of an operation. :class:`~repro.core.database.Database`
+    converts this into a full platform crash and re-raises."""
+
+    def __init__(self, message: str, point: str = "",
+                 hit: int = 0) -> None:
+        super().__init__(message)
+        self.point = point
+        self.hit = hit
+
+
 class DatabaseClosedError(ReproError):
     """An operation was attempted on a closed database."""
 

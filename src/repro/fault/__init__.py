@@ -1,0 +1,16 @@
+"""Fault injection: deterministic crash points and recovery campaigns.
+
+This package only re-exports the injector primitives here; the campaign
+driver lives in :mod:`repro.fault.campaign` and must be imported
+explicitly (``from repro.fault import campaign``) because it pulls in
+the database/engine stack, which itself imports the injector — eager
+re-export would create an import cycle.
+"""
+
+from .injector import (FaultInjector, FaultPlan, FaultPoint,
+                       fault_point_catalog, fault_points_for_engine,
+                       register_fault_point)
+
+__all__ = ["FaultInjector", "FaultPlan", "FaultPoint",
+           "fault_point_catalog", "fault_points_for_engine",
+           "register_fault_point"]

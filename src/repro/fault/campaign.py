@@ -1,0 +1,495 @@
+"""Systematic crash-point recovery campaigns.
+
+A campaign answers the question the paper's Section 5.4 recovery
+experiments leave open: does every engine actually *survive* a power
+failure at every interesting instant, not just recover quickly? It
+
+1. runs a scripted single-operation workload once per engine with the
+   fault injector in **counting mode**, recording how often every
+   registered fault point is hit;
+2. re-runs the identical workload once per ``(point, hit)``
+   **coordinate**, arming a :class:`~repro.fault.injector.FaultPlan`
+   that crashes the platform mid-operation at exactly that instant;
+3. recovers — possibly through *nested* crashes when the plan also
+   targets a recovery-phase point — and checks a tracking **oracle**:
+   every acknowledged transaction's effect must survive, every
+   unacknowledged transaction must be atomic (fully applied or fully
+   absent, disambiguated by reading the row back), and no phantom rows
+   may appear.
+
+Coordinates fan out across worker processes through the experiment
+scheduler (:func:`~repro.harness.scheduler.run_sweep`), so a campaign
+is parallel, deterministic, and crash-isolated like any other sweep.
+
+The campaign schema is deliberately a single table without secondary
+indexes: the NVM-CoW engine's master-record flip is atomic per
+directory, not across directories, so multi-index batches have a
+documented partial-flip window (see ``docs/fault-injection.md``).
+
+This module is imported explicitly (``from repro.fault import
+campaign``) rather than re-exported by the package, because it pulls in
+the database/engine stack that itself imports the injector.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..config import CacheConfig, EngineConfig, PlatformConfig
+from ..core.database import Database
+from ..core.schema import Column, ColumnType, Schema
+from ..errors import SimulatedCrash, StorageEngineError
+from ..harness.scheduler import PointOutcome, run_sweep
+from .injector import FaultPlan, fault_points_for_engine
+
+__all__ = ["CampaignSpec", "CampaignPointResult", "CampaignReport",
+           "run_crash_campaign", "build_script", "plan_coordinates"]
+
+TABLE = "crashtest"
+
+#: Keys the scripted workload draws from — small enough that updates
+#: and deletes keep landing on rows with history.
+KEY_SPACE = 25
+
+#: Key used by the post-recovery operational probe; never produced by
+#: the script, so the oracle ignores it.
+SENTINEL_KEY = 9999
+
+#: Recovery attempts before the oracle declares the database stuck.
+MAX_NESTED_RECOVERIES = 10
+
+
+def _schema() -> Schema:
+    return Schema.build(
+        TABLE,
+        [Column("id", ColumnType.INT),
+         Column("v", ColumnType.STRING, capacity=16)],
+        primary_key=["id"])
+
+
+def _make_database(engine: str, seed: int) -> Database:
+    """A deliberately harsh configuration: every commit is durable the
+    moment it is acknowledged (group commit of 1 — the oracle's
+    invariant), checkpoints/flushes/compactions all happen within a
+    short script, and *no* dirty cache line survives a crash by luck
+    (eviction probability 0), so a missing fence always loses data."""
+    platform_config = PlatformConfig(
+        seed=seed,
+        cache=CacheConfig(crash_eviction_probability=0.0))
+    engine_config = EngineConfig(
+        group_commit_size=1,
+        checkpoint_interval_txns=12,
+        memtable_threshold_bytes=512,
+        lsm_max_runs_per_level=2,
+        btree_node_size=256,
+        cow_btree_node_size=512,
+        nvm_cow_node_size=512)
+    db = Database(engine=engine, partitions=1,
+                  platform_config=platform_config,
+                  engine_config=engine_config)
+    db.create_table(_schema())
+    return db
+
+
+def build_script(seed: int, ops: int
+                 ) -> List[Tuple[str, int, Optional[str]]]:
+    """The deterministic single-operation workload: ``(op, key,
+    value)`` triples mixing inserts, updates, and deletes over a small
+    key space. Every written value is unique, so the oracle can tell
+    *which* version of a row survived."""
+    rng = random.Random(f"crashtest-{seed}")
+    live: set = set()
+    script: List[Tuple[str, int, Optional[str]]] = []
+    for i in range(ops):
+        value = f"v{i:04d}"
+        choices = []
+        if len(live) < KEY_SPACE:
+            choices.append("insert")
+        if live:
+            choices.extend(["update", "update", "delete"])
+        op = rng.choice(choices)
+        if op == "insert":
+            key = rng.choice(
+                [k for k in range(KEY_SPACE) if k not in live])
+            live.add(key)
+        else:
+            key = rng.choice(sorted(live))
+            if op == "delete":
+                live.discard(key)
+        script.append((op, key, None if op == "delete" else value))
+    return script
+
+
+def _apply_expected(expected: Dict[int, str], op: str, key: int,
+                    value: Optional[str]) -> None:
+    if op == "delete":
+        expected.pop(key, None)
+    else:
+        expected[key] = value
+
+
+@dataclass
+class CampaignPointResult:
+    """What one campaign run (counting or coordinate) observed."""
+
+    engine: str
+    seed: int
+    triggers: Tuple[Tuple[str, int], ...]
+    #: Simulated crashes, including nested crash-during-recovery ones.
+    crashes: int = 0
+    recoveries: int = 0
+    nested_crashes: int = 0
+    ops_applied: int = 0
+    #: Fault-point name -> times the workload passed through it.
+    hits: Dict[str, int] = field(default_factory=dict)
+    #: ``(point, hit)`` triggers that actually fired.
+    fired: Tuple[Tuple[str, int], ...] = ()
+    #: Oracle violations — empty means the run survived intact.
+    violations: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "engine": self.engine,
+            "seed": self.seed,
+            "triggers": [list(pair) for pair in self.triggers],
+            "crashes": self.crashes,
+            "recoveries": self.recoveries,
+            "nested_crashes": self.nested_crashes,
+            "ops_applied": self.ops_applied,
+            "hits": dict(sorted(self.hits.items())),
+            "fired": [list(pair) for pair in self.fired],
+            "violations": list(self.violations),
+            "ok": self.ok,
+        }
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """One campaign run: a scripted workload against one engine, with
+    an optional fault plan. Picklable, deterministic, and runnable by
+    the experiment scheduler (it provides its own :meth:`execute`)."""
+
+    engine: str
+    seed: int = 7
+    ops: int = 64
+    #: ``(point, hit)`` pairs; empty means counting mode (no crashes).
+    triggers: Tuple[Tuple[str, int], ...] = ()
+    observe: bool = False
+
+    def slug(self) -> str:
+        if not self.triggers:
+            return f"crashtest-{self.engine}-s{self.seed}-count"
+        coordinate = "+".join(f"{point}@{hit}"
+                              for point, hit in self.triggers)
+        return (f"crashtest-{self.engine}-s{self.seed}-"
+                f"{coordinate.replace('.', '_')}")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": "crashtest",
+            "engine": self.engine,
+            "seed": self.seed,
+            "ops": self.ops,
+            "triggers": [list(pair) for pair in self.triggers],
+        }
+
+    # ------------------------------------------------------------------
+    # Execution + oracle
+    # ------------------------------------------------------------------
+
+    def execute(self, obs=None,
+                database: Optional[Database] = None
+                ) -> CampaignPointResult:
+        """Run the scripted workload under this spec's fault plan and
+        verify the oracle after every recovery. ``database`` lets tests
+        substitute a sabotaged engine; it must use the campaign schema."""
+        result = CampaignPointResult(engine=self.engine, seed=self.seed,
+                                     triggers=self.triggers)
+        db = database if database is not None \
+            else _make_database(self.engine, self.seed)
+        if obs is not None:
+            obs.attach(db, self.engine, "crashtest")
+        db.arm_faults(FaultPlan(self.triggers))
+        expected: Dict[int, str] = {}
+        script = build_script(self.seed, self.ops)
+        index = 0
+        while index < len(script):
+            op, key, value = script[index]
+            try:
+                if op == "insert":
+                    db.insert(TABLE, {"id": key, "v": value})
+                elif op == "update":
+                    db.update(TABLE, key, {"v": value})
+                else:
+                    db.delete(TABLE, key)
+            except SimulatedCrash:
+                result.crashes += 1
+                self._recover(db, result)
+                # The interrupted transaction was never acknowledged,
+                # so either outcome is legal — but it must be atomic.
+                # Read the row to learn which way recovery decided.
+                if self._op_applied(db, op, key, value):
+                    _apply_expected(expected, op, key, value)
+                    index += 1
+                self._verify(db, expected, result,
+                             f"after crash at op {index}")
+                continue
+            except StorageEngineError as exc:
+                # A correct engine never rejects a script op: the oracle
+                # keeps `expected` in lockstep with the database. An
+                # engine error here means recovery silently diverged.
+                result.violations.append(
+                    f"op {index} ({op} {key}): "
+                    f"{type(exc).__name__}: {exc}")
+                break
+            _apply_expected(expected, op, key, value)
+            result.ops_applied += 1
+            index += 1
+        # Final clean crash + recovery: exercises the recovery-phase
+        # fault points every run and catches any commit whose
+        # durability silently depended on volatile state.
+        db.crash()
+        result.crashes += 1
+        self._recover(db, result)
+        self._verify(db, expected, result, "final")
+        self._probe(db, result)
+        result.hits = db.fault_hits()
+        result.fired = tuple(
+            (trigger.point, trigger.hit)
+            for partition in db.partitions
+            for trigger in partition.platform.faults.fired)
+        db.disarm_faults()
+        if obs is not None:
+            obs.detach(db)
+        db.close()
+        return result
+
+    def _recover(self, db: Database,
+                 result: CampaignPointResult) -> None:
+        """Recover, riding out nested crash-during-recovery faults."""
+        for __ in range(MAX_NESTED_RECOVERIES):
+            try:
+                db.recover()
+            except SimulatedCrash:
+                result.crashes += 1
+                result.nested_crashes += 1
+                continue
+            result.recoveries += 1
+            return
+        result.violations.append(
+            f"stuck-recovery: not recovered after "
+            f"{MAX_NESTED_RECOVERIES} attempts")
+
+    def _op_applied(self, db: Database, op: str, key: int,
+                    value: Optional[str]) -> bool:
+        row = db.get(TABLE, key)
+        if op == "delete":
+            return row is None
+        return row is not None and row["v"] == value
+
+    def _verify(self, db: Database, expected: Dict[int, str],
+                result: CampaignPointResult, when: str) -> None:
+        """The oracle: the surviving rows must be exactly the expected
+        (acknowledged) state."""
+        rows = {key: values["v"] for key, values in db.scan(TABLE)}
+        for key, value in sorted(expected.items()):
+            if key not in rows:
+                result.violations.append(
+                    f"{when}: lost committed row {key} "
+                    f"(expected {value!r})")
+            elif rows[key] != value:
+                result.violations.append(
+                    f"{when}: row {key} is {rows[key]!r}, "
+                    f"expected {value!r}")
+        for key in sorted(rows):
+            if key not in expected and key != SENTINEL_KEY:
+                result.violations.append(
+                    f"{when}: phantom row {key} = {rows[key]!r}")
+
+    def _probe(self, db: Database,
+               result: CampaignPointResult) -> None:
+        """Operational sentinel: the recovered database must still take
+        writes, not just answer reads."""
+        for __ in range(2):
+            try:
+                if db.get(TABLE, SENTINEL_KEY) is None:
+                    db.insert(TABLE, {"id": SENTINEL_KEY, "v": "probe"})
+                row = db.get(TABLE, SENTINEL_KEY)
+                if row is None or row["v"] != "probe":
+                    result.violations.append(
+                        "sentinel: probe row unreadable after recovery")
+                db.delete(TABLE, SENTINEL_KEY)
+                return
+            except SimulatedCrash:
+                # A leftover trigger fired mid-probe; recover and retry.
+                result.crashes += 1
+                self._recover(db, result)
+            except Exception as exc:
+                result.violations.append(
+                    f"sentinel: {type(exc).__name__}: {exc}")
+                return
+        result.violations.append(
+            "sentinel: probe kept crashing after recovery")
+
+
+# ----------------------------------------------------------------------
+# Campaign orchestration
+# ----------------------------------------------------------------------
+
+def plan_coordinates(engine: str, hits: Dict[str, int],
+                     max_hits_per_point: int = 3
+                     ) -> List[Tuple[Tuple[str, int], ...]]:
+    """Turn a counting run's hit profile into the crash coordinates to
+    explore: for every in-operation point, up to ``max_hits_per_point``
+    sampled hits (always the first and the last); for every
+    recovery-phase point, a nested plan that crashes in-operation
+    first and then again during the resulting recovery."""
+    points = fault_points_for_engine(engine)
+    data_points = [p for p in points if not p.startswith("recovery.")]
+    recovery_points = [p for p in points if p.startswith("recovery.")]
+    coordinates: List[Tuple[Tuple[str, int], ...]] = []
+    first_data: Optional[str] = None
+    for point in data_points:
+        total = hits.get(point, 0)
+        if total <= 0:
+            continue
+        if first_data is None:
+            first_data = point
+        sampled = {1, total, (1 + total) // 2}
+        for hit in sorted(sampled)[:max_hits_per_point]:
+            coordinates.append(((point, hit),))
+    for point in recovery_points:
+        if hits.get(point, 0) <= 0:
+            continue
+        if first_data is not None:
+            coordinates.append(((first_data, 1), (point, 1)))
+        else:
+            coordinates.append(((point, 1),))
+    return coordinates
+
+
+@dataclass
+class CampaignReport:
+    """Everything a crash campaign learned, per engine and per point."""
+
+    engines: Tuple[str, ...]
+    seed: int
+    counting: Dict[str, CampaignPointResult]
+    outcomes: List[PointOutcome]
+    #: engine -> registered points the counting run never even reached.
+    uncovered: Dict[str, List[str]]
+
+    @property
+    def violations(self) -> List[str]:
+        found: List[str] = []
+        for engine, counting in sorted(self.counting.items()):
+            found.extend(f"{engine}[counting]: {violation}"
+                         for violation in counting.violations)
+        for outcome in self.outcomes:
+            if outcome.result is not None:
+                found.extend(
+                    f"{outcome.spec.engine}[{outcome.spec.slug()}]: "
+                    f"{violation}"
+                    for violation in outcome.result.violations)
+        return found
+
+    @property
+    def failures(self) -> List[str]:
+        return [f"{outcome.spec.slug()}: {outcome.error}"
+                for outcome in self.outcomes if not outcome.ok]
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations and not self.failures \
+            and not any(self.uncovered.values())
+
+    def point_rows(self) -> List[List[str]]:
+        """Per-(engine, point) aggregation for the CLI table."""
+        stats: Dict[Tuple[str, str], Dict[str, int]] = {}
+        for outcome in self.outcomes:
+            spec = outcome.spec
+            target = spec.triggers[-1][0] if spec.triggers else "-"
+            entry = stats.setdefault((spec.engine, target), {
+                "coords": 0, "crashes": 0, "violations": 0,
+                "failures": 0})
+            entry["coords"] += 1
+            if outcome.result is not None:
+                entry["crashes"] += outcome.result.crashes
+                entry["violations"] += len(outcome.result.violations)
+            if not outcome.ok:
+                entry["failures"] += 1
+        rows = []
+        for (engine, point), entry in sorted(stats.items()):
+            status = "ok"
+            if entry["failures"]:
+                status = "FAILED"
+            elif entry["violations"]:
+                status = "VIOLATED"
+            rows.append([engine, point, str(entry["coords"]),
+                         str(entry["crashes"]),
+                         str(entry["violations"]), status])
+        for engine in self.engines:
+            for point in self.uncovered.get(engine, []):
+                rows.append([engine, point, "0", "0", "0", "UNCOVERED"])
+        return rows
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": "repro-crashtest-report",
+            "engines": list(self.engines),
+            "seed": self.seed,
+            "ok": self.ok,
+            "uncovered": {engine: list(points) for engine, points
+                          in sorted(self.uncovered.items())},
+            "violations": self.violations,
+            "failures": self.failures,
+            "counting": {engine: counting.to_dict() for engine, counting
+                         in sorted(self.counting.items())},
+            "coordinates": [{
+                "spec": outcome.spec.to_dict(),
+                "ok": outcome.ok,
+                "error": outcome.error,
+                "attempts": outcome.attempts,
+                "result": (outcome.result.to_dict()
+                           if outcome.result is not None else None),
+            } for outcome in self.outcomes],
+        }
+
+
+def run_crash_campaign(engines: Sequence[str], seed: int = 7,
+                       ops: int = 64, jobs: int = 1,
+                       max_hits_per_point: int = 3,
+                       timeout_s: Optional[float] = None,
+                       retries: int = 1, observe: bool = False,
+                       artifacts_dir: Optional[str] = None
+                       ) -> CampaignReport:
+    """The full campaign: count fault-point hits per engine, then
+    systematically crash at every sampled ``(point, hit)`` coordinate
+    and verify recovery with the oracle."""
+    counting: Dict[str, CampaignPointResult] = {}
+    uncovered: Dict[str, List[str]] = {}
+    specs: List[CampaignSpec] = []
+    for engine in engines:
+        count_result = CampaignSpec(engine=engine, seed=seed,
+                                    ops=ops).execute()
+        counting[engine] = count_result
+        uncovered[engine] = [
+            point for point in fault_points_for_engine(engine)
+            if count_result.hits.get(point, 0) <= 0]
+        for triggers in plan_coordinates(engine, count_result.hits,
+                                         max_hits_per_point):
+            specs.append(CampaignSpec(engine=engine, seed=seed, ops=ops,
+                                      triggers=triggers,
+                                      observe=observe))
+    outcomes = run_sweep(specs, jobs=jobs, timeout_s=timeout_s,
+                         retries=retries, observe=observe,
+                         artifacts_dir=artifacts_dir)
+    return CampaignReport(engines=tuple(engines), seed=seed,
+                          counting=counting, outcomes=outcomes,
+                          uncovered=uncovered)

@@ -134,7 +134,15 @@ def _finish_run(db: Database, result: ExperimentResult,
     recovery-phase spans land in the trace) and session detach."""
     if crash_recover:
         db.crash()
-        result.extra["recovery_seconds"] = db.recover()
+        recovery_s = db.recover()
+        result.extra["recovery_seconds"] = recovery_s
+        result.extra["recovery_s"] = recovery_s
+        if obs is not None:
+            obs.registry.gauge(
+                "recovery_sim_seconds",
+                help="Simulated seconds the crash-recovery epilogue took",
+                engine=result.engine,
+                workload=result.workload).set(recovery_s)
     if obs is not None:
         obs.detach(db)
 

@@ -14,6 +14,9 @@ Each point gets:
   marks only its own point failed; the sweep continues;
 * **a timeout** — ``timeout_s`` terminates a stuck worker and fails the
   point;
+* **retries** — ``retries=N`` re-runs a failed/crashed/timed-out point
+  up to ``N`` more times with exponential backoff before marking it
+  failed; :attr:`PointOutcome.attempts` records how many runs it took;
 * **observability artifacts** — with ``artifacts_dir`` (or
   ``spec.observe``), the point runs under its own
   :class:`~repro.obs.session.ObservabilitySession`; its trace JSONL and
@@ -61,8 +64,10 @@ class PointOutcome:
     #: (exit code -11)", "timeout after 60s"); ``None`` on success.
     error: Optional[str] = None
     #: Host (wall-clock) seconds the point took, including worker
-    #: startup — this is what ``--jobs`` shrinks.
+    #: startup and every retry — this is what ``--jobs`` shrinks.
     host_seconds: float = 0.0
+    #: How many times the point was launched (1 = no retries needed).
+    attempts: int = 0
     #: The point's detached observability session (when observed).
     session: Optional[ObservabilitySession] = None
     #: Artifact kind -> file path written for this point.
@@ -77,9 +82,18 @@ def _execute_point(spec: ExperimentSpec, observe: bool
                    ) -> Tuple[ExperimentResult,
                               Optional[ObservabilitySession]]:
     """Run one spec (in whatever process this is), optionally under a
-    fresh per-point observability session."""
-    obs = ObservabilitySession() if (observe or spec.observe) else None
-    result = run(spec, obs=obs)
+    fresh per-point observability session.
+
+    A spec that defines its own ``execute(obs=...)`` (e.g. a
+    fault-injection campaign point) runs through it; plain
+    :class:`ExperimentSpec` points go through :func:`run`."""
+    obs = ObservabilitySession() \
+        if (observe or getattr(spec, "observe", False)) else None
+    execute = getattr(spec, "execute", None)
+    if callable(execute):
+        result = execute(obs=obs)
+    else:
+        result = run(spec, obs=obs)
     return result, obs
 
 
@@ -99,24 +113,53 @@ def _point_worker(spec: ExperimentSpec, observe: bool, conn) -> None:
         conn.close()
 
 
-def _run_serial(outcomes: List[PointOutcome], observe: bool) -> None:
+def _backoff_s(retry_backoff_s: float, attempt: int) -> float:
+    """Exponential backoff before launch number ``attempt + 1``."""
+    return retry_backoff_s * (2 ** (attempt - 1))
+
+
+def _run_serial(outcomes: List[PointOutcome], observe: bool,
+                retries: int, retry_backoff_s: float) -> None:
     for outcome in outcomes:
-        started = time.perf_counter()
-        try:
-            outcome.result, outcome.session = _execute_point(
-                outcome.spec, observe)
-        except Exception as exc:
-            outcome.error = f"{type(exc).__name__}: {exc}"
-        outcome.host_seconds = time.perf_counter() - started
+        for attempt in range(retries + 1):
+            if attempt:
+                time.sleep(_backoff_s(retry_backoff_s, attempt))
+            outcome.attempts += 1
+            started = time.perf_counter()
+            try:
+                outcome.result, outcome.session = _execute_point(
+                    outcome.spec, observe)
+                outcome.error = None
+            except Exception as exc:
+                outcome.error = f"{type(exc).__name__}: {exc}"
+            outcome.host_seconds += time.perf_counter() - started
+            if outcome.error is None:
+                break
 
 
 def _run_parallel(outcomes: List[PointOutcome], jobs: int,
-                  observe: bool, timeout_s: Optional[float]) -> None:
+                  observe: bool, timeout_s: Optional[float],
+                  retries: int, retry_backoff_s: float) -> None:
     methods = multiprocessing.get_all_start_methods()
     context = multiprocessing.get_context(
         "fork" if "fork" in methods else "spawn")
-    pending = deque(range(len(outcomes)))
+    #: (outcome index, earliest perf_counter() it may launch).
+    pending = deque((index, 0.0) for index in range(len(outcomes)))
     running: Dict[object, Tuple[int, object, float]] = {}
+
+    def _pop_ready(now: float) -> Optional[int]:
+        for position, (index, ready_at) in enumerate(pending):
+            if ready_at <= now:
+                del pending[position]
+                return index
+        return None
+
+    def _fail_or_requeue(index: int, error: str) -> None:
+        outcome = outcomes[index]
+        outcome.error = error
+        if outcome.attempts <= retries:
+            delay = _backoff_s(retry_backoff_s, outcome.attempts)
+            pending.append((index, time.perf_counter() + delay))
 
     def _finish(conn) -> None:
         index, process, started = running.pop(conn)
@@ -129,14 +172,20 @@ def _run_parallel(outcomes: List[PointOutcome], jobs: int,
             error = f"worker crashed (exit code {process.exitcode})"
         outcome.result = result
         outcome.session = session
-        outcome.error = error
-        outcome.host_seconds = time.perf_counter() - started
+        outcome.host_seconds += time.perf_counter() - started
         conn.close()
         process.join()
+        if error is None:
+            outcome.error = None
+        else:
+            _fail_or_requeue(index, error)
 
     while pending or running:
         while pending and len(running) < jobs:
-            index = pending.popleft()
+            index = _pop_ready(time.perf_counter())
+            if index is None:
+                break  # every pending point is backing off
+            outcomes[index].attempts += 1
             parent_conn, child_conn = context.Pipe(duplex=False)
             process = context.Process(
                 target=_point_worker,
@@ -147,7 +196,9 @@ def _run_parallel(outcomes: List[PointOutcome], jobs: int,
             running[parent_conn] = (index, process,
                                     time.perf_counter())
         # A closed pipe (dead worker) is also "ready" — recv then
-        # raises EOFError and the point is marked crashed.
+        # raises EOFError and the point is marked crashed. With no
+        # running workers (all pending points backing off) this just
+        # sleeps one poll interval.
         for conn in _connection_wait(list(running),
                                      timeout=_POLL_INTERVAL_S):
             _finish(conn)
@@ -161,32 +212,38 @@ def _run_parallel(outcomes: List[PointOutcome], jobs: int,
             process.terminate()
             process.join()
             conn.close()
-            outcome = outcomes[index]
-            outcome.error = f"timeout after {timeout_s:g}s"
-            outcome.host_seconds = now - started
+            outcomes[index].host_seconds += now - started
+            _fail_or_requeue(index, f"timeout after {timeout_s:g}s")
 
 
 def run_sweep(specs: Sequence[ExperimentSpec], jobs: int = 1,
               timeout_s: Optional[float] = None,
               artifacts_dir: Optional[str] = None,
-              observe: bool = False) -> List[PointOutcome]:
+              observe: bool = False, retries: int = 0,
+              retry_backoff_s: float = 0.05) -> List[PointOutcome]:
     """Execute every spec; returns one :class:`PointOutcome` per spec,
     **in spec order** regardless of completion order.
 
     ``jobs`` caps concurrent worker processes (``1`` = in-process
     serial). ``timeout_s`` bounds each point's host runtime (parallel
     mode only — a serial in-process point cannot be interrupted).
+    ``retries`` re-launches a failed point up to that many extra times,
+    waiting ``retry_backoff_s * 2**(attempt - 1)`` before each retry;
+    other points keep running during the backoff.
     ``observe`` (or ``spec.observe``, or passing ``artifacts_dir``)
     attaches a per-point ObservabilitySession; ``artifacts_dir``
     additionally writes per-point trace/metrics files plus a merged
     ``summary.json``.
     """
+    if retries < 0:
+        raise ValueError(f"retries must be >= 0, got {retries}")
     outcomes = [PointOutcome(spec=spec) for spec in specs]
     observe = observe or artifacts_dir is not None
     if jobs <= 1 or len(outcomes) <= 1:
-        _run_serial(outcomes, observe)
+        _run_serial(outcomes, observe, retries, retry_backoff_s)
     else:
-        _run_parallel(outcomes, jobs, observe, timeout_s)
+        _run_parallel(outcomes, jobs, observe, timeout_s, retries,
+                      retry_backoff_s)
     if artifacts_dir is not None:
         _write_artifacts(outcomes, artifacts_dir)
     return outcomes
@@ -251,6 +308,7 @@ def write_sweep_summary(outcomes: Sequence[PointOutcome],
             "spec": outcome.spec.to_dict(),
             "ok": outcome.ok,
             "error": outcome.error,
+            "attempts": outcome.attempts,
             "host_seconds": outcome.host_seconds,
             "result": (outcome.result.to_dict()
                        if outcome.result is not None else None),

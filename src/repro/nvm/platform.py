@@ -22,6 +22,7 @@ from typing import Callable, List, Optional
 import logging
 
 from ..config import PlatformConfig
+from ..fault.injector import FaultInjector
 from ..obs.tracer import Tracer
 from ..sim.clock import SimClock
 from ..sim.rng import derive_rng
@@ -73,6 +74,10 @@ class Platform:
             from .dram import DRAMTier
             self.dram = DRAMTier(self.config.dram_capacity_bytes,
                                  self.clock, self.stats)
+        #: Fault-point switchboard (disabled by default; armed by crash
+        #: campaigns); engines cache a reference at construction, like
+        #: the tracer.
+        self.faults = FaultInjector(stats=self.stats, tracer=self.tracer)
         self._crash_hooks: List[CrashHook] = []
         self.crash_count = 0
 

@@ -42,3 +42,26 @@ def test_entering_a_closed_database_fails():
     with pytest.raises(DatabaseClosedError):
         with db:
             pass
+
+
+def test_crash_on_closed_database_fails():
+    db = Database(engine="inp")
+    db.close()
+    with pytest.raises(DatabaseClosedError):
+        db.crash()
+
+
+def test_recover_on_closed_database_fails():
+    db = Database(engine="inp")
+    db.crash()
+    db.close()
+    with pytest.raises(DatabaseClosedError):
+        db.recover()
+
+
+def test_recover_without_crash_is_a_noop():
+    db = Database(engine="inp")
+    db.create_table(ACCOUNTS)
+    db.insert("accounts", {"id": 1, "balance": 10.0})
+    assert db.recover() == 0.0
+    assert db.get("accounts", 1)["balance"] == 10.0

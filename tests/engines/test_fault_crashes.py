@@ -1,0 +1,81 @@
+"""Repeated/nested crash scenarios every engine must survive: a crash
+during recovery (recovery itself restarted), and recover() called again
+after a completed recovery."""
+
+import pytest
+
+from repro.errors import SimulatedCrash
+from repro.fault import FaultPlan
+
+from .conftest import ALL_ENGINES, make_database, sample_row
+
+
+@pytest.mark.parametrize("engine_name", ALL_ENGINES)
+def test_crash_during_recovery_then_recover(engine_name):
+    db = make_database(engine_name, group_commit_size=1)
+    for i in range(8):
+        db.insert("items", sample_row(i))
+    db.crash()
+    # Arm a crash at the very start of recovery: the first recover()
+    # attempt dies, the second must complete from the re-crashed state.
+    db.arm_faults(FaultPlan([("recovery.begin", 1)]))
+    with pytest.raises(SimulatedCrash):
+        db.recover()
+    db.recover()
+    db.disarm_faults()
+    for i in range(8):
+        row = db.get("items", i)
+        assert row is not None and row["price"] == sample_row(i)["price"]
+
+
+@pytest.mark.parametrize("engine_name", ALL_ENGINES)
+def test_crash_late_in_recovery_then_recover(engine_name):
+    db = make_database(engine_name, group_commit_size=1)
+    for i in range(8):
+        db.insert("items", sample_row(i))
+    db.update("items", 3, {"label": "upd"})
+    db.crash()
+    db.arm_faults(FaultPlan([("recovery.end", 1)]))
+    with pytest.raises(SimulatedCrash):
+        db.recover()
+    db.recover()
+    db.disarm_faults()
+    assert db.get("items", 3)["label"] == "upd"
+    assert len(db.scan("items")) == 8
+
+
+@pytest.mark.parametrize("engine_name", ALL_ENGINES)
+def test_double_recover_is_idempotent(engine_name):
+    db = make_database(engine_name, group_commit_size=1)
+    for i in range(6):
+        db.insert("items", sample_row(i))
+    db.crash()
+    first = db.recover()
+    assert first >= 0.0
+    # Second recover: the database never crashed again, so it's a no-op.
+    assert db.recover() == 0.0
+    assert len(db.scan("items")) == 6
+
+
+@pytest.mark.parametrize("engine_name", ALL_ENGINES)
+def test_repeated_crash_recover_cycles(engine_name):
+    db = make_database(engine_name, group_commit_size=1)
+    for cycle in range(3):
+        db.insert("items", sample_row(cycle))
+        db.crash()
+        db.recover()
+    rows = db.scan("items")
+    assert [key for key, __ in rows] == [0, 1, 2]
+
+
+@pytest.mark.parametrize("engine_name", ALL_ENGINES)
+def test_fault_hits_are_counted_while_armed(engine_name):
+    db = make_database(engine_name, group_commit_size=1)
+    db.arm_faults()  # counting mode: no crashes
+    db.insert("items", sample_row(1))
+    db.crash()
+    db.recover()
+    hits = db.fault_hits()
+    db.disarm_faults()
+    assert hits.get("recovery.begin") == 1
+    assert hits.get("recovery.end") == 1

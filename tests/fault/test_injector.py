@@ -1,0 +1,111 @@
+"""Unit tests for the fault injector: plans, counting, triggers."""
+
+import pytest
+
+from repro.errors import ConfigError, SimulatedCrash
+from repro.fault import (FaultInjector, FaultPlan, FaultPoint,
+                         fault_point_catalog, fault_points_for_engine)
+
+# Importing any engine registers its fault points; the database module
+# pulls in the whole engine registry.
+import repro.core.database  # noqa: F401
+
+
+def test_disabled_injector_is_inert():
+    injector = FaultInjector()
+    injector.fire("wal.append.before")
+    assert injector.hits == {}
+    assert injector.fired == []
+
+
+def test_counting_mode_counts_without_crashing():
+    injector = FaultInjector()
+    injector.arm()
+    injector.fire("wal.append.before")
+    injector.fire("wal.append.before")
+    injector.fire("wal.fsync.before")
+    assert injector.hits == {"wal.append.before": 2,
+                             "wal.fsync.before": 1}
+    assert injector.fired == []
+
+
+def test_trigger_fires_on_nth_hit():
+    injector = FaultInjector()
+    injector.arm(FaultPlan([("wal.append.before", 3)]))
+    injector.fire("wal.append.before")
+    injector.fire("wal.append.before")
+    with pytest.raises(SimulatedCrash) as excinfo:
+        injector.fire("wal.append.before")
+    assert excinfo.value.point == "wal.append.before"
+    assert excinfo.value.hit == 3
+    assert injector.fired == [FaultPoint("wal.append.before", 3)]
+    # After the last trigger fires, further hits only count.
+    injector.fire("wal.append.before")
+    assert injector.hits["wal.append.before"] == 4
+
+
+def test_triggers_fire_in_sequence():
+    injector = FaultInjector()
+    injector.arm(FaultPlan([("wal.append.before", 1),
+                            ("recovery.begin", 1)]))
+    with pytest.raises(SimulatedCrash):
+        injector.fire("wal.append.before")
+    # recovery.begin only becomes current after the first trigger.
+    with pytest.raises(SimulatedCrash):
+        injector.fire("recovery.begin")
+    assert injector.pending_triggers == ()
+
+
+def test_later_trigger_ignores_hits_before_its_turn():
+    injector = FaultInjector()
+    injector.arm(FaultPlan([("wal.append.before", 1),
+                            ("wal.fsync.before", 1)]))
+    injector.fire("wal.fsync.before")  # not current yet: no crash
+    with pytest.raises(SimulatedCrash):
+        injector.fire("wal.append.before")
+    with pytest.raises(SimulatedCrash):
+        injector.fire("wal.fsync.before")
+
+
+def test_disarm_stops_everything():
+    injector = FaultInjector()
+    injector.arm(FaultPlan([("wal.append.before", 1)]))
+    injector.disarm()
+    injector.fire("wal.append.before")
+    assert not injector.enabled
+    assert injector.hits == {}
+
+
+def test_arm_rejects_unknown_point():
+    injector = FaultInjector()
+    with pytest.raises(ConfigError):
+        injector.arm(FaultPlan([("no.such.point", 1)]))
+
+
+def test_fault_point_requires_positive_hit():
+    with pytest.raises(ConfigError):
+        FaultPoint("wal.append.before", 0)
+
+
+def test_plan_parsing_formats():
+    plan = FaultPlan.parse("wal.append.before:2,wal.fsync.before")
+    assert plan.triggers == (FaultPoint("wal.append.before", 2),
+                             FaultPoint("wal.fsync.before", 1))
+    assert bool(plan)
+    assert not bool(FaultPlan())
+    mixed = FaultPlan([FaultPoint("wal.append.before", 2),
+                       ("wal.fsync.before", 3),
+                       "recovery.begin"])
+    assert mixed.triggers[1] == FaultPoint("wal.fsync.before", 3)
+    assert mixed.triggers[2] == FaultPoint("recovery.begin", 1)
+
+
+def test_catalog_is_engine_scoped():
+    catalog = fault_point_catalog()
+    assert "wal.append.before" in catalog
+    assert "recovery.begin" in catalog
+    inp_points = fault_points_for_engine("inp")
+    assert "wal.append.before" in inp_points
+    assert "nvm_wal.append.after_persist" not in inp_points
+    # engine-agnostic points apply to every engine
+    assert "recovery.begin" in fault_points_for_engine("nvm-cow")
