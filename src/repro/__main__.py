@@ -193,6 +193,93 @@ def _cmd_crashtest(args) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_check(args) -> int:
+    # Imported lazily: the checker pulls in the full database stack.
+    import json
+
+    from .analysis.check import run_check
+    from .analysis.ordering import ORDERING_RULES
+
+    engines = list(ENGINE_NAMES.ALL) if args.engines == "all" else \
+        [name.strip() for name in args.engines.split(",")
+         if name.strip()]
+    try:
+        outcomes = run_check(
+            engines, num_tuples=args.tuples, num_txns=args.txns,
+            deletes=args.deletes, mixture=args.mixture, skew=args.skew,
+            latency=LatencyProfile.parse(args.latency), seed=args.seed)
+    except ValueError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    if args.json:
+        payload = {"ok": all(outcome.ok for outcome in outcomes),
+                   "rules": ORDERING_RULES,
+                   "engines": [outcome.to_dict()
+                               for outcome in outcomes]}
+        try:
+            if args.json == "-":
+                json.dump(payload, sys.stdout, indent=2)
+                print()
+            else:
+                with open(args.json, "w") as handle:
+                    json.dump(payload, handle, indent=2)
+                print(f"report -> {args.json}")
+        except OSError as error:
+            print(f"cannot write {args.json}: {error}", file=sys.stderr)
+            return 2
+    rows = []
+    for outcome in outcomes:
+        counts = outcome.counts
+        violations = sum(count for code, count in counts.items()
+                         if code not in ("ORD005",))
+        lints = counts.get("ORD005", 0)
+        rows.append([outcome.engine, outcome.events, violations,
+                     lints, "ok" if outcome.ok else "FAIL"])
+    print(format_table(
+        ["engine", "events", "violations", "lints", "status"], rows,
+        title=f"Persistence-ordering check, YCSB {args.mixture}/"
+              f"{args.skew} seed {args.seed}"))
+    failed = False
+    for outcome in outcomes:
+        for report in outcome.reports:
+            for violation in report.violations:
+                failed = True
+                print(f"{outcome.engine}: {violation}",
+                      file=sys.stderr)
+    return 1 if failed else 0
+
+
+def _cmd_lint(args) -> int:
+    import json
+
+    from .lint import DEFAULT_LINT_PATHS, LINT_RULES, lint_paths
+
+    if args.rules:
+        print(format_table(
+            ["code", "name", "description"],
+            [[code, name, description]
+             for code, (name, description) in sorted(LINT_RULES.items())],
+            title="repro lint rules"))
+        return 0
+    paths = args.paths or list(DEFAULT_LINT_PATHS)
+    select = [code.strip() for code in args.select.split(",")
+              if code.strip()] if args.select else None
+    try:
+        violations = lint_paths(paths, select=select)
+    except (OSError, SyntaxError, ValueError) as error:
+        print(f"lint failed: {error}", file=sys.stderr)
+        return 2
+    if args.json:
+        json.dump([violation.to_dict() for violation in violations],
+                  sys.stdout, indent=2)
+        print()
+    else:
+        for violation in violations:
+            print(violation)
+        print(f"{len(violations)} finding(s)")
+    return 1 if violations else 0
+
+
 def _cmd_obs(args) -> int:
     from .obs.export import summarize_file
     try:
@@ -310,6 +397,48 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--artifacts", default=None, metavar="DIR",
         help="write per-coordinate traces/metrics + summary.json here")
     crashtest_parser.set_defaults(func=_cmd_crashtest)
+
+    check_parser = commands.add_parser(
+        "check",
+        help="persistence-ordering check: run a YCSB smoke per engine "
+             "with the ordering checker attached, fail on violations")
+    check_parser.add_argument(
+        "--engines", default="all", metavar="A,B,...",
+        help="comma-separated engine names, or 'all' for the paper's "
+             "six architectures")
+    check_parser.add_argument("--tuples", type=int, default=200)
+    check_parser.add_argument("--txns", type=int, default=400)
+    check_parser.add_argument(
+        "--deletes", type=int, default=20,
+        help="delete tail length (exercises slot reclamation)")
+    check_parser.add_argument("--mixture", default="balanced",
+                              choices=sorted(MIXTURES))
+    check_parser.add_argument("--skew", default="low",
+                              choices=sorted(SKEWS))
+    check_parser.add_argument("--latency", default="dram",
+                              choices=("dram", "low-nvm", "high-nvm"))
+    check_parser.add_argument("--seed", type=int, default=31)
+    check_parser.add_argument(
+        "--json", metavar="FILE", default=None,
+        help="write the full JSON report to FILE ('-' for stdout)")
+    check_parser.set_defaults(func=_cmd_check)
+
+    lint_parser = commands.add_parser(
+        "lint",
+        help="project-specific static lint pass (stdlib-ast, "
+             "LNT001-LNT005) over the engine and NVM packages")
+    lint_parser.add_argument(
+        "paths", nargs="*",
+        help="files/directories to lint (default: src/repro/engines, "
+             "src/repro/nvm, src/repro/fault)")
+    lint_parser.add_argument(
+        "--select", metavar="LNT001,...", default=None,
+        help="run only these rule codes")
+    lint_parser.add_argument("--json", action="store_true",
+                             help="emit findings as JSON on stdout")
+    lint_parser.add_argument("--rules", action="store_true",
+                             help="print the rule catalogue and exit")
+    lint_parser.set_defaults(func=_cmd_lint)
 
     obs_parser = commands.add_parser(
         "obs", help="pretty-print a trace (.jsonl) or metrics (.prom) "

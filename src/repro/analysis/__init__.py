@@ -1,7 +1,27 @@
-"""Analysis utilities: the Table 3 cost model and table formatting."""
+"""Analysis utilities: the Table 3 cost model, table formatting, and
+the persistence-ordering checker behind ``repro check``."""
 
 from .cost_model import CostModelParams, OperationCost, engine_cost
+from .ordering import (LINT_CODES, ORDERING_RULES, OrderingChecker,
+                       OrderingReport, OrderingViolation)
 from .tables import format_table
 
+#: ``analysis.check`` pulls in the full database stack, which itself
+#: imports this package (via ``obs.export``) — so its symbols are
+#: re-exported lazily (PEP 562) instead of eagerly.
+_CHECK_SYMBOLS = ("CheckOutcome", "attach_checkers", "check_engine",
+                  "run_check", "engine_requires_persisted_allocations")
+
+
+def __getattr__(name: str):
+    if name in _CHECK_SYMBOLS:
+        from . import check
+        return getattr(check, name)
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}")
+
 __all__ = ["CostModelParams", "OperationCost", "engine_cost",
-           "format_table"]
+           "format_table", "OrderingChecker", "OrderingReport",
+           "OrderingViolation", "ORDERING_RULES", "LINT_CODES",
+           "CheckOutcome", "attach_checkers", "check_engine",
+           "run_check", "engine_requires_persisted_allocations"]

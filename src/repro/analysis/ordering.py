@@ -1,0 +1,513 @@
+"""Dynamic persistence-ordering checker (CLFLUSH/SFENCE protocol).
+
+The paper's NVM engines are correct only if every durable-critical
+store is flushed *and* fenced before the commit marker that makes it
+reachable becomes visible (the Section 2.3 sync primitive). The fault
+campaign samples executions for crash bugs; this checker validates the
+ordering contract **exhaustively on every run** by observing the
+platform's persistence primitives:
+
+* :class:`~repro.nvm.memory.NVMMemory` reports stores, CLFLUSH/CLWB,
+  SFENCE, sync, and commit-marker writes;
+* :class:`~repro.nvm.allocator.NVMAllocator` reports allocation
+  lifecycle (malloc / persist / free);
+* :class:`~repro.engines.base.StorageEngine` reports transaction
+  begin / commit / abort and group-commit durable points;
+* :class:`~repro.fault.injector.FaultInjector` reports fault-point
+  hits so traces carry crash-point markers.
+
+Durability is tracked per cache line in *program order* with event
+sequence numbers — evictions are chance, so a store only counts as
+durably ordered once a flush issued **after** it was followed by a
+fence. Sequence numbers (rather than a plain dirty/flushed/durable
+state) make the model precise about false sharing: when two objects
+share a line, a later store by one cannot retract the already-fenced
+flush that covered the other's bytes. Rules:
+
+========  ==============================================================
+ORD001    commit marker published a range with an unflushed (dirty) line
+ORD002    commit marker published a range flushed but not yet fenced
+ORD003    txn reached its durable point with an unflushed store to a
+          persisted allocation
+ORD004    txn reached its durable point with a flushed-but-unfenced
+          store to a persisted allocation
+ORD005    redundant flush: line flushed twice with no intervening store
+          (performance lint, reported separately)
+ORD006    allocation left live but never persisted at finalize
+          (NVM leak; checked only for engines with persistent pools)
+========  ==============================================================
+
+Hard checks (ORD001-ORD004) apply to **byte-backed** stores, whose
+durability the simulator models exactly. Accounting-only object
+regions (index nodes, MemTable entries) deliberately model a durable
+sync of just the *touched entry* per mutation, so their stores count
+toward line dirtiness and the trace but are not hard-checked.
+
+Every violation carries the tail of the recent event trace
+(``store``/``flush``/``sfence``/``sync``/``marker``/``fault_point``
+tuples) — see ``docs/static-analysis.md`` for the trace format.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right, insort
+from collections import deque
+from dataclasses import dataclass, field
+from typing import (TYPE_CHECKING, Any, Deque, Dict, List, Optional,
+                    Tuple)
+
+if TYPE_CHECKING:  # imported lazily: platform's import chain reaches
+    from ..nvm.allocator import Allocation  # back into this package
+    from ..nvm.platform import Platform
+
+__all__ = ["OrderingChecker", "OrderingReport", "OrderingViolation",
+           "ORDERING_RULES"]
+
+#: Rule code -> one-line description (the rule catalogue).
+ORDERING_RULES: Dict[str, str] = {
+    "ORD001": "commit marker published an unflushed (dirty) range",
+    "ORD002": "commit marker published a flushed-but-unfenced range",
+    "ORD003": "unflushed store to a persisted allocation at the "
+              "transaction's durable point",
+    "ORD004": "flushed-but-unfenced store to a persisted allocation at "
+              "the transaction's durable point",
+    "ORD005": "redundant flush: line flushed twice with no intervening "
+              "store (performance lint)",
+    "ORD006": "allocation still live but never persisted at finalize "
+              "(non-volatile memory leak)",
+}
+
+#: Codes reported as performance lints rather than hard violations.
+LINT_CODES = frozenset({"ORD005"})
+
+#: Bound on stored violation/lint examples per code (all occurrences
+#: are still counted in :attr:`OrderingChecker.counts`).
+MAX_EXAMPLES = 50
+
+
+@dataclass(frozen=True)
+class OrderingViolation:
+    """One persistence-ordering finding."""
+
+    code: str
+    message: str
+    addr: int
+    txn_id: Optional[int] = None
+    #: Tail of the recent event trace at detection time.
+    trace: Tuple[Tuple[Any, ...], ...] = ()
+
+    @property
+    def is_lint(self) -> bool:
+        return self.code in LINT_CODES
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "code": self.code,
+            "message": self.message,
+            "addr": self.addr,
+            "txn_id": self.txn_id,
+            "trace": [list(event) for event in self.trace],
+        }
+
+    def __str__(self) -> str:
+        txn = f" txn={self.txn_id}" if self.txn_id is not None else ""
+        return f"{self.code}{txn} addr={self.addr:#x}: {self.message}"
+
+
+@dataclass
+class OrderingReport:
+    """JSON-ready summary of one checked run."""
+
+    engine: Optional[str]
+    events: int
+    violations: List[OrderingViolation] = field(default_factory=list)
+    lints: List[OrderingViolation] = field(default_factory=list)
+    counts: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "engine": self.engine,
+            "events": self.events,
+            "ok": self.ok,
+            "counts": dict(self.counts),
+            "violations": [v.to_dict() for v in self.violations],
+            "lints": [v.to_dict() for v in self.lints],
+        }
+
+
+class OrderingChecker:
+    """Persistence-ordering observer for one emulated platform.
+
+    Attach with :meth:`attach`; run a workload; read
+    :attr:`violations` / :attr:`lints` or call :meth:`finalize` for
+    the leak check and a full :class:`OrderingReport`.
+
+    Per cache line the checker keeps three event sequence numbers:
+    the last store (``_store_seq``), the last unfenced flush
+    (``_flush_seq``), and the newest *fenced* flush
+    (``_durable_seq``). A store at sequence ``s`` is durably ordered
+    once ``_durable_seq[line] > s`` — i.e. some flush issued after
+    the store has been fenced. Later stores to the same line (by the
+    same or another object) never retract that.
+    """
+
+    def __init__(self, platform: Platform,
+                 engine: Optional[str] = None,
+                 require_persisted_allocations: bool = False,
+                 trace_cap: int = 128,
+                 keep_full_trace: bool = False) -> None:
+        self._platform = platform
+        self.engine = engine
+        #: When True, :meth:`finalize` reports ORD006 for live
+        #: allocations that were never persisted (NVM-aware engines
+        #: whose pools must survive a restart).
+        self.require_persisted_allocations = require_persisted_allocations
+        self.line_size = platform.memory.line_size
+        self.violations: List[OrderingViolation] = []
+        self.lints: List[OrderingViolation] = []
+        #: Total occurrences per rule code (examples are capped,
+        #: counts are not).
+        self.counts: Dict[str, int] = {}
+        self.events = 0
+        #: Full event trace (only when ``keep_full_trace``).
+        self.trace: List[Tuple[Any, ...]] = []
+        self._keep_full_trace = keep_full_trace
+        self._recent: Deque[Tuple[Any, ...]] = deque(maxlen=trace_cap)
+        # Per-line sequence numbers (see class docstring).
+        self._store_seq: Dict[int, int] = {}
+        self._flush_seq: Dict[int, int] = {}
+        self._durable_seq: Dict[int, int] = {}
+        # Per-line store intervals (addr, end, seq) since the line's
+        # last covering fence — lets the commit-marker check test
+        # whether a store actually *intersects* the published range,
+        # so a neighbour object dirtying a shared boundary line cannot
+        # produce a false ORD001/ORD002. Entries subsumed by a newer
+        # covering store, or older than a fenced flush, are pruned.
+        self._line_stores: Dict[int, List[Tuple[int, int, int]]] = {}
+        # Live allocations, addr-sorted for covering-range lookup.
+        self._alloc_starts: List[int] = []
+        self._allocs: Dict[int, Allocation] = {}
+        # Txn attribution: current open txn and, per txn, the lines it
+        # byte-stored into live allocations:
+        # line -> (allocation, store sequence).
+        self._current_txn: Optional[int] = None
+        self._txn_written: Dict[int, Dict[int, Tuple[Allocation, int]]] \
+            = {}
+        self._attached = False
+
+    # ------------------------------------------------------------------
+    # Attachment
+    # ------------------------------------------------------------------
+
+    def attach(self) -> "OrderingChecker":
+        """Install the checker on the platform's hook points."""
+        platform = self._platform
+        platform.memory.observer = self
+        platform.allocator.observer = self
+        platform.faults.observer = self
+        platform.ordering = self
+        self._attached = True
+        return self
+
+    def detach(self) -> None:
+        platform = self._platform
+        if platform.memory.observer is self:
+            platform.memory.observer = None
+        if platform.allocator.observer is self:
+            platform.allocator.observer = None
+        if platform.faults.observer is self:
+            platform.faults.observer = None
+        if platform.ordering is self:
+            platform.ordering = None
+        self._attached = False
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+
+    def _lines(self, addr: int, size: int) -> range:
+        first = (addr // self.line_size) * self.line_size
+        last = ((addr + max(size, 1) - 1)
+                // self.line_size) * self.line_size
+        return range(first, last + self.line_size, self.line_size)
+
+    def _covering(self, addr: int) -> Optional[Allocation]:
+        """The live allocation whose user region contains ``addr``."""
+        index = bisect_right(self._alloc_starts, addr) - 1
+        if index < 0:
+            return None
+        start = self._alloc_starts[index]
+        allocation = self._allocs.get(start)
+        if allocation is not None and addr < start + allocation.size:
+            return allocation
+        return None
+
+    def _event(self, *payload: Any) -> None:
+        self.events += 1
+        self._recent.append(payload)
+        if self._keep_full_trace:
+            self.trace.append(payload)
+
+    def _record(self, code: str, message: str, addr: int,
+                txn_id: Optional[int] = None) -> None:
+        self.counts[code] = self.counts.get(code, 0) + 1
+        bucket = self.lints if code in LINT_CODES else self.violations
+        if len(bucket) < MAX_EXAMPLES:
+            bucket.append(OrderingViolation(
+                code, message, addr, txn_id,
+                trace=tuple(self._recent)))
+
+    # ------------------------------------------------------------------
+    # Memory observer callbacks
+    # ------------------------------------------------------------------
+
+    def on_store(self, addr: int, size: int, byte_backed: bool) -> None:
+        self._event("store", addr, size,
+                    "bytes" if byte_backed else "object")
+        seq = self.events
+        store_seq = self._store_seq
+        end = addr + size
+        for line in self._lines(addr, size):
+            store_seq[line] = seq
+            entries = self._line_stores.setdefault(line, [])
+            if entries:
+                entries[:] = [entry for entry in entries
+                              if not (addr <= entry[0]
+                                      and entry[1] <= end)]
+            entries.append((addr, end, seq))
+        if not byte_backed:
+            return
+        txn = self._current_txn
+        if txn is None:
+            return
+        allocation = self._covering(addr)
+        if allocation is None:
+            return
+        written = self._txn_written.setdefault(txn, {})
+        for line in self._lines(addr, size):
+            written[line] = (allocation, seq)
+
+    def _flush_one(self, line: int, seq: int) -> None:
+        last_store = self._store_seq.get(line, -1)
+        if last_store < 0 and line not in self._durable_seq \
+                and line not in self._flush_seq:
+            # Never-written line inside a larger sync range —
+            # harmless, not counted.
+            return
+        if last_store < self._flush_seq.get(line, -1) \
+                or last_store < self._durable_seq.get(line, -1):
+            self._record(
+                "ORD005",
+                f"line {line:#x} flushed again with no intervening "
+                f"store", line, self._current_txn)
+        self._flush_seq[line] = seq
+
+    def _flush_lines(self, addr: int, size: int) -> None:
+        seq = self.events
+        for line in self._lines(addr, size):
+            self._flush_one(line, seq)
+
+    def on_flush(self, addr: int, size: int, keep: bool) -> None:
+        self._event("clwb" if keep else "clflush", addr, size)
+        self._flush_lines(addr, size)
+
+    def _fence(self) -> None:
+        """A fence orders every outstanding flush: their lines' flush
+        sequences become durable sequences."""
+        durable_seq = self._durable_seq
+        for line, seq in self._flush_seq.items():
+            if seq > durable_seq.get(line, -1):
+                durable_seq[line] = seq
+            entries = self._line_stores.get(line)
+            if entries:
+                durable = durable_seq[line]
+                entries[:] = [entry for entry in entries
+                              if entry[2] > durable]
+                if not entries:
+                    del self._line_stores[line]
+        self._flush_seq.clear()
+
+    def on_sfence(self) -> None:
+        self._event("sfence")
+        self._fence()
+
+    def on_sync(self, addr: int, size: int) -> None:
+        """The Section 2.3 sync primitive: flush range, then fence."""
+        self._event("sync", addr, size)
+        self._flush_lines(addr, size)
+        self._fence()
+
+    def on_sync_ranges(self,
+                       ranges: Tuple[Tuple[int, int], ...]) -> None:
+        """Batched sync: every distinct line of the ranges is flushed
+        once (shared boundary lines are not redundant within the
+        batch), then one fence."""
+        self._event("sync_batch", tuple(ranges))
+        seq = self.events
+        seen = set()
+        for addr, size in ranges:
+            for line in self._lines(addr, size):
+                if line not in seen:
+                    seen.add(line)
+                    self._flush_one(line, seq)
+        self._fence()
+
+    def on_commit_marker(self, addr: int, value: int,
+                         publishes: Tuple[Tuple[int, int], ...]) -> None:
+        self._event("marker", addr, value,
+                    tuple(publishes) if publishes else ())
+        for paddr, psize in publishes:
+            pend = paddr + psize
+            for line in self._lines(paddr, psize):
+                # Newest store that actually intersects the published
+                # range — dirtiness from neighbouring objects sharing
+                # the line is not this marker's obligation.
+                store_seq = max(
+                    (seq for start, end, seq
+                     in self._line_stores.get(line, ())
+                     if start < pend and end > paddr),
+                    default=None)
+                if store_seq is None:
+                    continue
+                if self._durable_seq.get(line, -1) > store_seq:
+                    continue
+                if self._flush_seq.get(line, -1) > store_seq:
+                    self._record(
+                        "ORD002",
+                        f"commit marker at {addr:#x} publishes "
+                        f"[{paddr:#x}, {paddr + psize:#x}) but line "
+                        f"{line:#x} was flushed without a fence", line,
+                        self._current_txn)
+                else:
+                    self._record(
+                        "ORD001",
+                        f"commit marker at {addr:#x} publishes "
+                        f"[{paddr:#x}, {paddr + psize:#x}) but line "
+                        f"{line:#x} was never flushed", line,
+                        self._current_txn)
+
+    # ------------------------------------------------------------------
+    # Allocator observer callbacks
+    # ------------------------------------------------------------------
+
+    def on_malloc(self, allocation: Allocation) -> None:
+        self._event("malloc", allocation.addr, allocation.size,
+                    allocation.tag)
+        start = allocation.addr
+        if start not in self._allocs:
+            insort(self._alloc_starts, start)
+        self._allocs[start] = allocation
+
+    def on_free(self, allocation: Allocation) -> None:
+        self._event("free", allocation.addr, allocation.size)
+        start = allocation.addr
+        if self._allocs.get(start) is allocation:
+            del self._allocs[start]
+            index = bisect_right(self._alloc_starts, start) - 1
+            if 0 <= index < len(self._alloc_starts) \
+                    and self._alloc_starts[index] == start:
+                del self._alloc_starts[index]
+
+    def on_persist(self, allocation: Allocation) -> None:
+        self._event("persist", allocation.addr, allocation.size)
+
+    # ------------------------------------------------------------------
+    # Fault injector observer
+    # ------------------------------------------------------------------
+
+    def on_fault_point(self, point: str) -> None:
+        self._event("fault_point", point)
+
+    # ------------------------------------------------------------------
+    # Transaction lifecycle (engine base notifications)
+    # ------------------------------------------------------------------
+
+    def txn_begin(self, txn_id: int) -> None:
+        self._event("txn_begin", txn_id)
+        self._current_txn = txn_id
+
+    def txn_commit(self, txn_id: int, durable: bool) -> None:
+        self._event("txn_commit", txn_id, durable)
+        if self._current_txn == txn_id:
+            self._current_txn = None
+        if durable:
+            self._check_txn_durable(txn_id)
+        # Otherwise the txn's written map stays pending until the next
+        # group-commit durable point.
+
+    def txn_abort(self, txn_id: int) -> None:
+        self._event("txn_abort", txn_id)
+        if self._current_txn == txn_id:
+            self._current_txn = None
+        # Aborted effects were rolled back; nothing must be durable.
+        self._txn_written.pop(txn_id, None)
+
+    def durable_point(self, txn_ids: List[int]) -> None:
+        self._event("durable_point", tuple(txn_ids))
+        for txn_id in txn_ids:
+            self._check_txn_durable(txn_id)
+
+    def _check_txn_durable(self, txn_id: int) -> None:
+        written = self._txn_written.pop(txn_id, None)
+        if not written:
+            return
+        for line, (allocation, store_seq) in written.items():
+            if self._allocs.get(allocation.addr) is not allocation:
+                continue  # freed (and possibly reused) since the store
+            if not allocation.persisted:
+                continue  # volatile region: rebuilt after restart
+            if self._durable_seq.get(line, -1) > store_seq:
+                continue  # a later flush of the line has been fenced
+            if self._flush_seq.get(line, -1) > store_seq:
+                self._record(
+                    "ORD004",
+                    f"store to line {line:#x} (allocation "
+                    f"{allocation.addr:#x}/{allocation.tag}) was "
+                    f"flushed but not fenced before the durable point",
+                    line, txn_id)
+            else:
+                self._record(
+                    "ORD003",
+                    f"store to line {line:#x} (allocation "
+                    f"{allocation.addr:#x}/{allocation.tag}) was never "
+                    f"flushed before the durable point", line, txn_id)
+
+    # ------------------------------------------------------------------
+    # Platform events & finalize
+    # ------------------------------------------------------------------
+
+    def on_crash(self) -> None:
+        """Power failure: every pending obligation is void (recovery
+        decides transaction fates) and all cache state is gone."""
+        self._event("crash")
+        self._store_seq.clear()
+        self._flush_seq.clear()
+        self._durable_seq.clear()
+        self._line_stores.clear()
+        self._txn_written.clear()
+        self._current_txn = None
+
+    def finalize(self) -> OrderingReport:
+        """Run end-of-trace checks and return the report. Call after
+        the workload (and a final ``flush_commits``) completed."""
+        if self.require_persisted_allocations:
+            for allocation in list(self._allocs.values()):
+                if not allocation.persisted:
+                    self._record(
+                        "ORD006",
+                        f"allocation {allocation.addr:#x} "
+                        f"({allocation.size}B, tag={allocation.tag}) "
+                        f"is live but was never persisted — it would "
+                        f"be reclaimed by post-crash recovery",
+                        allocation.addr)
+        return self.report()
+
+    def report(self) -> OrderingReport:
+        return OrderingReport(
+            engine=self.engine, events=self.events,
+            violations=list(self.violations), lints=list(self.lints),
+            counts=dict(self.counts))

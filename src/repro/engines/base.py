@@ -133,6 +133,9 @@ class StorageEngine(abc.ABC):
         txn = Transaction(next(self._txn_ids), next(self._timestamps))
         txn.begin_ns = self.clock.now_ns
         self._active_txns[txn.txn_id] = txn
+        ordering = self.platform.ordering
+        if ordering is not None:
+            ordering.txn_begin(txn.txn_id)
         self._on_begin(txn)
         return txn
 
@@ -151,6 +154,14 @@ class StorageEngine(abc.ABC):
         self._active_txns.pop(txn.txn_id, None)
         self.committed_txns += 1
         self._pending_durable.append(txn)
+        ordering = self.platform.ordering
+        if ordering is not None:
+            # Immediately-durable engines flag the txn in _do_commit;
+            # group-commit engines defer the ordering check to the next
+            # durable point (flush_commits).
+            ordering.txn_commit(
+                txn.txn_id,
+                durable=bool(txn.engine_state.get("durable")))
         self._commits_since_flush += 1
         if self._commits_since_flush >= self.config.group_commit_size:
             self.flush_commits()
@@ -163,6 +174,9 @@ class StorageEngine(abc.ABC):
         txn.mark_aborted()
         self._active_txns.pop(txn.txn_id, None)
         self.aborted_txns += 1
+        ordering = self.platform.ordering
+        if ordering is not None:
+            ordering.txn_abort(txn.txn_id)
 
     def flush_commits(self) -> List[int]:
         """Reach a durable point: every logically committed transaction
@@ -176,6 +190,9 @@ class StorageEngine(abc.ABC):
             durable_ids.append(txn.txn_id)
         self._pending_durable.clear()
         self._commits_since_flush = 0
+        ordering = self.platform.ordering
+        if ordering is not None and durable_ids:
+            ordering.durable_point(durable_ids)
         return durable_ids
 
     @abc.abstractmethod

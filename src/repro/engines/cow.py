@@ -133,6 +133,8 @@ class _PagedCostModel:
 class _Directory:
     """One versioned directory (primary table or secondary index)."""
 
+    __slots__ = ("name", "tree", "slot", "page_of", "loaded")
+
     def __init__(self, name: str, tree: CoWBTree, slot: int) -> None:
         self.name = name
         self.tree = tree

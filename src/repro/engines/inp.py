@@ -48,6 +48,9 @@ register_fault_point(
 class _Table:
     """Per-table storage state for the InP engine."""
 
+    __slots__ = ("schema", "pool", "varlen", "primary", "secondary",
+                 "slots", "varlen_of")
+
     def __init__(self, schema: Schema, engine: "InPEngine") -> None:
         self.schema = schema
         self.pool = FixedSlotPool(schema, engine.allocator, engine.memory,

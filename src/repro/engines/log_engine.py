@@ -56,6 +56,12 @@ register_fault_point(
 class _LogTable:
     """Per-table LSM tree for the Log engine."""
 
+    # ``mem_levels`` is the NVM-Log subclass's extension slot (its
+    # leveled immutable MemTables); declared here so the slotted
+    # layout covers the whole engine family.
+    __slots__ = ("schema", "memtable", "levels", "secondary",
+                 "sstable_ids", "mem_levels")
+
     def __init__(self, schema: Schema, engine: "LogEngine") -> None:
         self.schema = schema
         self.memtable = engine._make_memtable()

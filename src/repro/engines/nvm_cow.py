@@ -53,6 +53,8 @@ register_fault_point(
 class _TuplePools:
     """Per-table persistent slot pools for the NVM-CoW engine."""
 
+    __slots__ = ("schema", "fixed", "varlen", "varlen_of")
+
     def __init__(self, schema: Schema, engine: "NVMCoWEngine") -> None:
         self.schema = schema
         self.fixed = FixedSlotPool(schema, engine.allocator,
@@ -119,9 +121,11 @@ class NVMCoWEngine(CoWEngine):
                                         pools.varlen.write)
         pools.fixed.write_slot(addr, slot)
         pools.varlen_of[addr] = pointers
-        pools.fixed.sync_slot(addr)
-        for pointer in pointers:
-            pools.varlen.sync(pointer)
+        # One batched sync: the slot and its varlen fields, each line
+        # flushed once under a single fence.
+        pools.varlen.sync_many(
+            pointers,
+            extra_ranges=((addr, pools.fixed.slot_size),))
         self.faults.fire("nvm_cow.tuple_copy.after")
         return addr
 
@@ -162,9 +166,14 @@ class NVMCoWEngine(CoWEngine):
         the node syncs by the sync primitive's fence."""
         for directory in dirty:
             self.faults.fire("nvm_cow.master_flip.before_slot")
+            root = directory.tree.current_root
+            root_alloc = directory.tree.cost_model.allocation_for(
+                root.node_id)
             self.memory.atomic_durable_store_u64(
                 self._master.addr + 8 * directory.slot,
-                directory.tree.current_root.node_id)
+                root.node_id,
+                publishes=((root_alloc.addr, root_alloc.size),)
+                if root_alloc is not None else None)
             # The store above is durable the moment it returns; mirror
             # it so the crash hook knows which root survived.
             self._durable_roots[directory.name] = (

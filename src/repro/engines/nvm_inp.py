@@ -88,11 +88,12 @@ class NVMInPEngine(InPEngine):
                                        pointers))))
         with self.stats.category(Category.STORAGE):
             store.pool.set_state(addr, STATE_PERSISTED, durable=False)
-            # One sync covers the state byte and every tuple line.
-            store.pool.sync_slot(addr)
+            # One batched sync covers the state byte, every tuple
+            # line, and the new varlen slots under a single fence.
+            store.varlen.sync_many(
+                pointers,
+                extra_ranges=((addr, store.pool.slot_size),))
             store.pool.mark_persisted(addr)
-            for pointer in pointers:
-                store.varlen.sync(pointer)
         with self.stats.category(Category.INDEX):
             store.primary.put(key, addr)
             self._index_add(store, key, values)
@@ -176,19 +177,26 @@ class NVMInPEngine(InPEngine):
                     self.memory.load(offset, FIELD_SLOT_SIZE))[0]
         return pointers
 
+    def _field_ranges(self, store: _Table, addr: int,
+                      names) -> List[tuple]:
+        """``(addr, size)`` ranges of the named fields' slot positions."""
+        return [(addr + SLOT_HEADER_SIZE + position * FIELD_SLOT_SIZE,
+                 FIELD_SLOT_SIZE)
+                for position, column in enumerate(store.schema.columns)
+                if column.name in names]
+
     def _sync_fields(self, store: _Table, addr: int,
                      changes: Dict[str, Any],
                      created: Dict[str, int]) -> None:
         """Sync exactly the changed field positions (and new varlen
-        slots) — the 'sync tuple changes with NVM' step of Table 2."""
-        for position, column in enumerate(store.schema.columns):
-            if column.name not in changes:
-                continue
-            offset = addr + SLOT_HEADER_SIZE + position * FIELD_SLOT_SIZE
-            self.memory.sync(offset, FIELD_SLOT_SIZE)
-        for new_ptr in created.values():
-            if store.varlen.contains(new_ptr):
-                store.varlen.sync(new_ptr)
+        slots) — the 'sync tuple changes with NVM' step of Table 2.
+        Batched: adjacent field positions share cache lines, so
+        per-field syncs would re-flush shared lines and pay one fence
+        per field."""
+        store.varlen.sync_many(
+            [new_ptr for new_ptr in created.values()
+             if store.varlen.contains(new_ptr)],
+            extra_ranges=self._field_ranges(store, addr, changes))
 
     # ------------------------------------------------------------------
     # Transaction lifecycle
@@ -240,11 +248,8 @@ class NVMInPEngine(InPEngine):
             current = self._read_tuple(store, addr)
             with self.stats.category(Category.STORAGE):
                 self._restore_fields(store, addr, before, replaced)
-                for position, column in enumerate(store.schema.columns):
-                    if column.name in before:
-                        offset = addr + SLOT_HEADER_SIZE \
-                            + position * FIELD_SLOT_SIZE
-                        self.memory.sync(offset, FIELD_SLOT_SIZE)
+                self.memory.sync_ranges(
+                    self._field_ranges(store, addr, before))
             with self.stats.category(Category.INDEX):
                 self._index_update(store, key, {}, before, current)
         else:  # delete

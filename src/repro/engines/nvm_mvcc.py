@@ -53,6 +53,9 @@ NO_PREV = 0
 class _MVCCTable:
     """Per-table storage for the MVCC engine."""
 
+    __slots__ = ("schema", "pool", "varlen", "index", "secondary",
+                 "varlen_of")
+
     def __init__(self, schema: Schema, engine: "NVMMVCCEngine") -> None:
         self.schema = schema
         self.pool = FixedSlotPool(schema, engine.allocator, engine.memory,
@@ -117,10 +120,12 @@ class NVMMVCCEngine(StorageEngine):
             + _U64.pack(prev)
         store.pool.write_slot(addr, slot + prologue)
         store.varlen_of[addr] = pointers
-        store.pool.sync_slot(addr)
+        # One batched sync: slot (incl. prologue) + varlen fields,
+        # each line flushed once under a single fence.
+        store.varlen.sync_many(
+            pointers,
+            extra_ranges=((addr, store.pool.slot_size),))
         store.pool.mark_persisted(addr)
-        for pointer in pointers:
-            store.varlen.sync(pointer)
         return addr
 
     def _read_version(self, store: _MVCCTable,

@@ -94,7 +94,9 @@ class NVMWal:
         # "persists this entry before updating the slot's state").
         self._allocator.sync(entry)
         self._faults.fire("nvm_wal.append.after_persist")
-        self._memory.atomic_durable_store_u64(self._anchor.addr, entry.addr)
+        self._memory.atomic_durable_store_u64(
+            self._anchor.addr, entry.addr,
+            publishes=((entry.addr, entry.size),))
         log.entries.append(entry)
         log.head = entry.addr
         self._faults.fire("nvm_wal.append.after_link")

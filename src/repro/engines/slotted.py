@@ -95,6 +95,12 @@ class FixedSlotPool:
         self._live_slots.remove(addr)
         self._unpersisted_slots.discard(addr)
         self._memory.store(addr, bytes([STATE_UNALLOCATED]))
+        if self._persistent:
+            # The cleared state byte must reach NVM before the freeing
+            # transaction's durable point — otherwise a crash resurrects
+            # the slot as allocated while the free list also hands it
+            # out after restart.
+            self._memory.sync(addr, 1)
         self._free_slots.append(addr)
 
     def write_slot(self, addr: NVPtr, data: bytes) -> None:
@@ -204,6 +210,16 @@ class VarlenPool:
     def sync(self, addr: NVPtr) -> None:
         allocation = self._slots[addr]
         self._allocator.sync(allocation)
+
+    def sync_many(self, addrs: List[NVPtr],
+                  extra_ranges: Any = ()) -> None:
+        """Durably flush several slots (plus optional raw ranges, e.g.
+        the fixed slot pointing at them) with one batched sync: a
+        tuple's variable-length slots are allocated back to back, so
+        per-slot syncs re-flush shared boundary cache lines and pay a
+        fence per slot."""
+        self._allocator.sync_many([self._slots[addr] for addr in addrs],
+                                  extra_ranges=extra_ranges)
 
     def free(self, addr: NVPtr) -> None:
         allocation = self._slots.pop(addr)

@@ -153,6 +153,10 @@ class FaultInjector:
 
     def __init__(self, stats=None, tracer=None) -> None:
         self.enabled = False
+        #: Persistence-ordering observer: receives every fault-point
+        #: hit (armed or not) so ordering traces carry crash-point
+        #: markers. ``None`` costs one attribute check per fire.
+        self.observer = None
         #: Hits per point since the last :meth:`arm`.
         self.hits: Dict[str, int] = {}
         #: Triggers that have fired, in order.
@@ -194,6 +198,8 @@ class FaultInjector:
         """Hot-path hook: a no-op while disabled. While armed, count the
         hit and raise :class:`~repro.errors.SimulatedCrash` if it
         completes the current trigger."""
+        if self.observer is not None:
+            self.observer.on_fault_point(point)
         if not self.enabled:
             return
         self.hits[point] = self.hits.get(point, 0) + 1

@@ -1,0 +1,17 @@
+"""Project-specific static lint pass (``repro lint``).
+
+A ruff-plugin-style framework over the stdlib :mod:`ast` module — no
+third-party linter is needed to enforce the project's NVM-specific
+invariants. Each rule is a small visitor class with a stable ``LNTxxx``
+code; ``# noqa: LNTxxx`` on the flagged line waives a finding.
+
+See ``docs/static-analysis.md`` for the rule catalogue.
+"""
+
+from .framework import (LintViolation, Rule, RULE_REGISTRY, SourceFile,
+                        lint_files, lint_paths, register_rule)
+from .rules import DEFAULT_LINT_PATHS, LINT_RULES
+
+__all__ = ["LintViolation", "Rule", "RULE_REGISTRY", "SourceFile",
+           "lint_files", "lint_paths", "register_rule",
+           "DEFAULT_LINT_PATHS", "LINT_RULES"]

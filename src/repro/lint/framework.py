@@ -1,0 +1,181 @@
+"""Lint framework: source model, rule registry, noqa waivers, runner.
+
+The framework mirrors how ruff plugins are structured — a rule is a
+class with a stable code and a ``check`` hook yielding violations —
+but is built purely on the stdlib :mod:`ast` module so it runs in the
+bare container (no third-party linter install).
+
+Two rule scopes exist:
+
+* **file** rules inspect one parsed module at a time;
+* **project** rules see every scanned module at once (needed for the
+  fault-point registry cross-check, where registrations and fire sites
+  live in different files).
+
+Waivers: a ``# noqa`` comment on the flagged physical line suppresses
+every code; ``# noqa: LNT001`` (comma-separated list allowed)
+suppresses just those codes.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import (Dict, Iterable, Iterator, List, Optional, Sequence,
+                    Set, Type, Union)
+
+__all__ = ["LintViolation", "Rule", "RULE_REGISTRY", "SourceFile",
+           "lint_files", "lint_paths", "register_rule"]
+
+_NOQA = re.compile(
+    r"#\s*noqa(?::\s*(?P<codes>[A-Z]+\d+(?:\s*,\s*[A-Z]+\d+)*))?",
+    re.IGNORECASE)
+
+
+@dataclass(frozen=True)
+class LintViolation:
+    """One finding: rule code + message anchored to a source line."""
+
+    code: str
+    message: str
+    path: str
+    line: int
+    col: int = 0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"code": self.code, "message": self.message,
+                "path": self.path, "line": self.line, "col": self.col}
+
+    def __str__(self) -> str:
+        return (f"{self.path}:{self.line}:{self.col + 1}: "
+                f"{self.code} {self.message}")
+
+
+def _parse_noqa(source: str) -> Dict[int, Optional[Set[str]]]:
+    """Map 1-based line number -> waived codes (``None`` = all)."""
+    waivers: Dict[int, Optional[Set[str]]] = {}
+    for number, text in enumerate(source.splitlines(), start=1):
+        match = _NOQA.search(text)
+        if match is None:
+            continue
+        codes = match.group("codes")
+        waivers[number] = (None if codes is None else
+                           {code.strip().upper()
+                            for code in codes.split(",")})
+    return waivers
+
+
+class SourceFile:
+    """A parsed module: path, raw source, AST, and noqa waivers."""
+
+    __slots__ = ("path", "source", "tree", "noqa")
+
+    def __init__(self, path: Union[str, Path], source: str) -> None:
+        self.path = str(path)
+        self.source = source
+        self.tree = ast.parse(source, filename=self.path)
+        self.noqa = _parse_noqa(source)
+
+    @classmethod
+    def read(cls, path: Union[str, Path]) -> "SourceFile":
+        return cls(path, Path(path).read_text())
+
+    def waives(self, violation: LintViolation) -> bool:
+        codes = self.noqa.get(violation.line, frozenset())
+        return codes is None or violation.code in codes
+
+
+class Rule:
+    """Base class for lint rules. Subclasses set ``code``, ``name``,
+    ``description`` and override :meth:`check` (file scope) or
+    :meth:`check_project` (project scope, ``project_wide = True``)."""
+
+    code: str = ""
+    name: str = ""
+    description: str = ""
+    project_wide: bool = False
+
+    def check(self, file: SourceFile) -> Iterator[LintViolation]:
+        return iter(())
+
+    def check_project(
+            self, files: Sequence[SourceFile]) -> Iterator[LintViolation]:
+        return iter(())
+
+    def violation(self, file: SourceFile, node: ast.AST,
+                  message: str) -> LintViolation:
+        return LintViolation(
+            code=self.code, message=message, path=file.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0))
+
+
+#: code -> rule class; populated by :func:`register_rule`.
+RULE_REGISTRY: Dict[str, Type[Rule]] = {}
+
+
+def register_rule(cls: Type[Rule]) -> Type[Rule]:
+    if not cls.code:
+        raise ValueError(f"rule {cls.__name__} has no code")
+    if cls.code in RULE_REGISTRY:
+        raise ValueError(f"duplicate rule code {cls.code}")
+    RULE_REGISTRY[cls.code] = cls
+    return cls
+
+
+def iter_source_files(
+        paths: Iterable[Union[str, Path]]) -> List[SourceFile]:
+    """Expand files/directories into parsed :class:`SourceFile`\\ s.
+    Directories are walked recursively for ``*.py``."""
+    seen: Set[str] = set()
+    files: List[SourceFile] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            candidates = sorted(path.rglob("*.py"))
+        else:
+            candidates = [path]
+        for candidate in candidates:
+            key = str(candidate.resolve())
+            if key in seen:
+                continue
+            seen.add(key)
+            files.append(SourceFile.read(candidate))
+    return files
+
+
+def lint_files(files: Sequence[SourceFile],
+               select: Optional[Iterable[str]] = None
+               ) -> List[LintViolation]:
+    """Run all registered (or ``select``-ed) rules over ``files``,
+    apply noqa waivers, return violations sorted by location."""
+    wanted = None if select is None else {code.upper()
+                                          for code in select}
+    unknown = (wanted or set()) - set(RULE_REGISTRY)
+    if unknown:
+        raise ValueError(
+            f"unknown rule codes: {', '.join(sorted(unknown))}; "
+            f"choose from {', '.join(sorted(RULE_REGISTRY))}")
+    by_path = {file.path: file for file in files}
+    violations: List[LintViolation] = []
+    for code in sorted(RULE_REGISTRY):
+        if wanted is not None and code not in wanted:
+            continue
+        rule = RULE_REGISTRY[code]()
+        if rule.project_wide:
+            violations.extend(rule.check_project(files))
+        else:
+            for file in files:
+                violations.extend(rule.check(file))
+    kept = [violation for violation in violations
+            if not by_path[violation.path].waives(violation)]
+    kept.sort(key=lambda v: (v.path, v.line, v.col, v.code))
+    return kept
+
+
+def lint_paths(paths: Iterable[Union[str, Path]],
+               select: Optional[Iterable[str]] = None
+               ) -> List[LintViolation]:
+    return lint_files(iter_source_files(paths), select=select)

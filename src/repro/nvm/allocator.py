@@ -28,7 +28,7 @@ Two kinds of allocation are supported:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..errors import InvalidAddressError, OutOfMemoryError
 from ..sim.stats import StatsCollector
@@ -76,6 +76,9 @@ class NVMAllocator:
         self._memory = memory
         self._stats = stats
         self._tracer = tracer
+        #: Persistence-ordering observer (malloc/persist/free events);
+        #: ``None`` means "off" — one attribute check per call.
+        self.observer = None
         self.capacity_bytes = capacity_bytes
         # Reserve [0, _ALIGNMENT) so that 0 is never a valid pointer.
         self._free: List[Tuple[int, int]] = [
@@ -118,6 +121,8 @@ class NVMAllocator:
         self._stats.bump("alloc.malloc")
         # Writing the allocation header touches NVM.
         self._memory.touch_write(base, HEADER_SIZE)
+        if self.observer is not None:
+            self.observer.on_malloc(allocation)
         return allocation
 
     def malloc_object(self, obj: object, size: int,
@@ -159,6 +164,8 @@ class NVMAllocator:
         self._account(allocation.tag, -needed)
         self._stats.bump("alloc.free")
         allocation.obj = None
+        if self.observer is not None:
+            self.observer.on_free(allocation)
 
     def _insert_free(self, base: int, size: int) -> None:
         """Insert a free block, coalescing with adjacent blocks."""
@@ -186,12 +193,30 @@ class NVMAllocator:
 
     def persist(self, allocation: Allocation) -> None:
         """Mark the allocation as durable allocator metadata: it will
-        survive allocator recovery after a crash."""
+        survive allocator recovery after a crash. Idempotent — a
+        second call on an already-persisted allocation is a no-op, so
+        repeated persists cannot inflate the ``alloc.persist`` stat."""
+        if allocation.persisted:
+            return
         allocation.persisted = True
         self._stats.bump("alloc.persist")
         if self._tracer is not None and self._tracer.enabled:
             self._tracer.event("alloc.persist", size=allocation.size,
                                tag=allocation.tag)
+        if self.observer is not None:
+            self.observer.on_persist(allocation)
+
+    def persist_all(self) -> int:
+        """Persist every live allocation (bulk-load epilogue / orderly
+        shutdown helper). Idempotent: already-persisted allocations are
+        skipped, so calling it twice persists nothing the second time.
+        Returns how many allocations transitioned to persisted."""
+        transitioned = 0
+        for allocation in self._allocations.values():
+            if not allocation.persisted:
+                self.persist(allocation)
+                transitioned += 1
+        return transitioned
 
     def sync(self, allocation: Allocation, offset: int = 0,
              size: Optional[int] = None) -> None:
@@ -204,8 +229,31 @@ class NVMAllocator:
                 f"sync range [{offset}, {offset + size}) outside "
                 f"allocation of {allocation.size} bytes")
         self._memory.sync(allocation.addr + offset, size)
-        allocation.persisted = True
+        if not allocation.persisted:
+            allocation.persisted = True
+            if self.observer is not None:
+                self.observer.on_persist(allocation)
         self._stats.bump("alloc.sync")
+
+    def sync_many(self, allocations: Sequence[Allocation],
+                  extra_ranges: Sequence[Tuple[int, int]] = ()) -> None:
+        """Durably flush several allocations (plus optional raw
+        ``(addr, size)`` ranges, e.g. the fixed slot the allocations
+        hang off) as one batched sync: each distinct cache line is
+        flushed once and a single fence orders them all. Marks every
+        allocation persisted, like :meth:`sync`."""
+        ranges = list(extra_ranges)
+        ranges.extend((allocation.addr, allocation.size)
+                      for allocation in allocations)
+        if not ranges:
+            return
+        self._memory.sync_ranges(ranges)
+        for allocation in allocations:
+            if not allocation.persisted:
+                allocation.persisted = True
+                if self.observer is not None:
+                    self.observer.on_persist(allocation)
+            self._stats.bump("alloc.sync")
 
     def resolve(self, addr: NVPtr) -> Allocation:
         """Map a non-volatile pointer back to its live allocation."""

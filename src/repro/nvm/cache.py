@@ -227,23 +227,26 @@ class CPUCache:
     # Persistence primitives
     # ------------------------------------------------------------------
 
+    def _flush_line(self, base: int, keep: bool) -> None:
+        if keep:
+            line = self._lines.get(base)
+            self._stats.bump("cache.clwb")
+        else:
+            line = self._lines.pop(base, None)
+            self._stats.bump("cache.clflush")
+        self._clock.advance(self.config.flush_latency_ns)
+        if line is not None and line.dirty:
+            self._writeback(base, line)
+
     def clflush(self, addr: int, size: int) -> None:
         """Flush-and-invalidate every line overlapping the range."""
         for base in self._line_range(addr, size):
-            line = self._lines.pop(base, None)
-            self._clock.advance(self.config.flush_latency_ns)
-            self._stats.bump("cache.clflush")
-            if line is not None and line.dirty:
-                self._writeback(base, line)
+            self._flush_line(base, keep=False)
 
     def clwb(self, addr: int, size: int) -> None:
         """Write back dirty lines but keep them cached (clean)."""
         for base in self._line_range(addr, size):
-            line = self._lines.get(base)
-            self._clock.advance(self.config.flush_latency_ns)
-            self._stats.bump("cache.clwb")
-            if line is not None and line.dirty:
-                self._writeback(base, line)
+            self._flush_line(base, keep=True)
 
     def sfence(self) -> None:
         """Store fence: order preceding flushes before later stores."""
@@ -259,6 +262,25 @@ class CPUCache:
             self.clwb(addr, size)
         else:
             self.clflush(addr, size)
+        self.sfence()
+        self._stats.bump("cache.sync")
+        if self.config.sync_extra_latency_ns:
+            self._clock.advance(self.config.sync_extra_latency_ns)
+
+    def sync_ranges(self, ranges) -> None:
+        """Batched sync primitive: flush each distinct line covered by
+        the ``(addr, size)`` ranges once, then a single SFENCE.
+        Adjacent ranges (e.g. a tuple's variable-length slots, which
+        the allocator places back to back) share boundary lines;
+        syncing them one by one flushes those lines twice and pays one
+        fence per range."""
+        keep = self.config.use_clwb
+        seen = set()
+        for addr, size in ranges:
+            for base in self._line_range(addr, size):
+                if base not in seen:
+                    seen.add(base)
+                    self._flush_line(base, keep)
         self.sfence()
         self._stats.bump("cache.sync")
         if self.config.sync_extra_latency_ns:

@@ -78,6 +78,11 @@ class Platform:
         #: campaigns); engines cache a reference at construction, like
         #: the tracer.
         self.faults = FaultInjector(stats=self.stats, tracer=self.tracer)
+        #: Persistence-ordering checker attached to this platform
+        #: (:class:`repro.analysis.ordering.OrderingChecker`); ``None``
+        #: means no checking. Engines consult it on txn lifecycle
+        #: events, the platform on crashes.
+        self.ordering = None
         self._crash_hooks: List[CrashHook] = []
         self.crash_count = 0
 
@@ -93,6 +98,8 @@ class Platform:
 
     def crash(self) -> None:
         """Simulate a power failure (or a ``SIGKILL`` of the DBMS)."""
+        if self.ordering is not None:
+            self.ordering.on_crash()
         self.cache.crash()
         self.filesystem.crash()
         self.allocator.crash_recover()

@@ -1,0 +1,67 @@
+"""Tests for the `repro check` runner (analysis.check)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.check import (CheckOutcome, check_engine,
+                                  engine_requires_persisted_allocations,
+                                  run_check)
+from repro.config import EngineConfig, PlatformConfig
+from repro.core.database import Database
+
+
+SMOKE = dict(num_tuples=60, num_txns=80, deletes=8)
+
+
+@pytest.mark.parametrize("engine", ["nvm-inp", "nvm-cow", "nvm-log",
+                                    "nvm-mvcc", "inp", "hybrid-inp"])
+def test_engines_pass_the_ordering_smoke(engine):
+    outcome = check_engine(engine, **SMOKE)
+    assert outcome.ok, [str(violation)
+                        for report in outcome.reports
+                        for violation in report.violations]
+    assert outcome.events > 0
+
+
+def test_outcome_to_dict_shape():
+    outcome = check_engine("nvm-cow", **SMOKE)
+    payload = outcome.to_dict()
+    assert payload["engine"] == "nvm-cow"
+    assert payload["ok"] is True
+    assert isinstance(payload["partitions"], list)
+    assert payload["events"] == sum(part["events"]
+                                    for part in payload["partitions"])
+
+
+def test_run_check_rejects_unknown_engine():
+    with pytest.raises(ValueError, match="unknown engines"):
+        run_check(["nvm-inp", "bogus"], **SMOKE)
+
+
+def test_counts_merge_across_partitions():
+    outcome = CheckOutcome(engine="x", reports=[])
+    assert outcome.ok and outcome.counts == {} and outcome.events == 0
+
+
+def test_leak_check_predicate_matches_engine_architecture():
+    expectations = {
+        "inp": False,          # volatile heap + filesystem durability
+        "cow": False,
+        "log": False,
+        "nvm-inp": True,       # persistent slotted pools
+        "nvm-cow": True,
+        "nvm-log": True,
+        "nvm-mvcc": True,
+        "hybrid-inp": False,   # DRAM-rebuilt indexes by design
+    }
+    for name, expected in expectations.items():
+        platform_config = PlatformConfig(
+            dram_capacity_bytes=32 * 1024 * 1024) \
+            if name == "hybrid-inp" else PlatformConfig()
+        db = Database(engine=name, platform_config=platform_config,
+                      engine_config=EngineConfig(), seed=5)
+        actual = engine_requires_persisted_allocations(
+            db.partitions[0].engine)
+        db.close()
+        assert actual is expected, name

@@ -1,0 +1,117 @@
+"""Mutation tests: delete one ordering-critical call and assert the
+checker reports exactly the right rule code.
+
+Two layers:
+
+* a **synthetic engine** (a hand-rolled insert/commit sequence over a
+  bare platform) where single mutations map to single codes;
+* the real **NVM-InP engine** with its sync primitive mutated — the
+  acceptance criterion that a dropped ``sfence`` in the commit path
+  fails ``repro check`` with a rule-coded diagnostic.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.check import check_engine
+from repro.analysis.ordering import OrderingChecker
+from repro.nvm.memory import NVMMemory
+from repro.nvm.platform import Platform
+
+
+def _insert_commit(platform, checker, mutation=None):
+    """One synthetic durable insert: allocate + persist a slot, store
+    the tuple bytes (line-aligned so counts are deterministic), sync,
+    commit. ``mutation`` deletes one step."""
+    allocation = platform.allocator.malloc(256, tag="table")
+    platform.allocator.persist(allocation)
+    line = platform.memory.line_size
+    addr = ((allocation.addr + line - 1) // line) * line
+    checker.txn_begin(1)
+    platform.memory.store(addr, b"tuple-v1")
+    if mutation == "drop-sync":
+        pass                                   # flush + fence deleted
+    elif mutation == "drop-fence":
+        platform.memory.clflush(addr, 8)       # fence deleted
+    else:
+        platform.memory.sync(addr, 8)
+    checker.txn_commit(1, durable=True)
+    return addr
+
+
+class TestSyntheticEngineMutations:
+    @pytest.fixture()
+    def rig(self):
+        platform = Platform()
+        checker = OrderingChecker(platform, engine="synthetic").attach()
+        yield platform, checker
+        checker.detach()
+
+    def test_unmutated_sequence_is_clean(self, rig):
+        platform, checker = rig
+        _insert_commit(platform, checker)
+        assert checker.report().ok
+        assert checker.counts == {}
+
+    def test_deleting_the_sync_reports_ord003(self, rig):
+        platform, checker = rig
+        _insert_commit(platform, checker, mutation="drop-sync")
+        assert checker.counts == {"ORD003": 1}
+        assert "never flushed" in checker.violations[0].message
+
+    def test_deleting_the_fence_reports_ord004(self, rig):
+        platform, checker = rig
+        _insert_commit(platform, checker, mutation="drop-fence")
+        assert checker.counts == {"ORD004": 1}
+        assert "not fenced" in checker.violations[0].message
+
+    def test_deleting_the_persist_reports_ord006(self):
+        platform = Platform()
+        checker = OrderingChecker(
+            platform, engine="synthetic",
+            require_persisted_allocations=True).attach()
+        allocation = platform.allocator.malloc(256, tag="table")
+        # mutation: allocator.persist(allocation) deleted
+        platform.memory.store(allocation.addr, b"tuple-v1")
+        platform.memory.sync(allocation.addr, 8)
+        report = checker.finalize()
+        checker.detach()
+        assert [v.code for v in report.violations] == ["ORD006"]
+
+
+class TestNVMInPMutations:
+    """The acceptance-criterion mutations: break the sync primitive
+    under the real NVM-InP engine and `repro check` must fail with a
+    rule-coded diagnostic."""
+
+    SMOKE = dict(num_tuples=40, num_txns=60, deletes=5)
+
+    def test_unmutated_engine_passes(self):
+        outcome = check_engine("nvm-inp", **self.SMOKE)
+        assert outcome.ok
+
+    def test_dropped_sfence_in_commit_path_fails(self, monkeypatch):
+        # sync() degraded to an unfenced flush — exactly the bug a
+        # dropped sfence after CLFLUSH would be (Section 2.3).
+        monkeypatch.setattr(
+            NVMMemory, "sync",
+            lambda self, addr, size: self.clflush(addr, size))
+        outcome = check_engine("nvm-inp", **self.SMOKE)
+        assert not outcome.ok
+        codes = {violation.code
+                 for report in outcome.reports
+                 for violation in report.violations}
+        # WAL-entry publishes see the unfenced flush (ORD002) and/or
+        # commit-time obligations do (ORD004).
+        assert codes <= {"ORD002", "ORD004"} and codes
+
+    def test_dropped_flush_in_commit_path_fails(self, monkeypatch):
+        monkeypatch.setattr(NVMMemory, "sync",
+                            lambda self, addr, size: None)
+        outcome = check_engine("nvm-inp", **self.SMOKE)
+        assert not outcome.ok
+        codes = {violation.code
+                 for report in outcome.reports
+                 for violation in report.violations}
+        assert codes <= {"ORD001", "ORD003"} and codes

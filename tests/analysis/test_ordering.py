@@ -1,0 +1,278 @@
+"""Unit tests for the persistence-ordering checker (ORD001-ORD006).
+
+Each test drives a bare :class:`Platform` by hand — stores, flushes,
+fences, commit markers — and asserts the exact rule code the checker
+reports (or that a correct sequence stays clean).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.ordering import (LINT_CODES, MAX_EXAMPLES,
+                                     ORDERING_RULES, OrderingChecker)
+from repro.nvm.platform import Platform
+
+
+@pytest.fixture()
+def platform() -> Platform:
+    return Platform()
+
+
+@pytest.fixture()
+def checker(platform) -> OrderingChecker:
+    checker = OrderingChecker(platform, engine="synthetic").attach()
+    yield checker
+    checker.detach()
+
+
+def _persisted_alloc(platform, size=256, tag="table"):
+    allocation = platform.allocator.malloc(size, tag=tag)
+    platform.allocator.persist(allocation)
+    return allocation
+
+
+def _aligned_addr(platform, allocation):
+    """A line-aligned address inside ``allocation`` — an 8-byte store
+    there touches exactly one cache line, so violation counts are
+    deterministic."""
+    line = platform.memory.line_size
+    addr = ((allocation.addr + line - 1) // line) * line
+    assert addr + 8 <= allocation.addr + allocation.size
+    return addr
+
+
+class TestDurablePointRules:
+    def test_correct_store_sync_commit_is_clean(self, platform, checker):
+        allocation = _persisted_alloc(platform)
+        checker.txn_begin(1)
+        platform.memory.store(allocation.addr, b"v" * 32)
+        platform.memory.sync(allocation.addr, 32)
+        checker.txn_commit(1, durable=True)
+        assert checker.report().ok
+        assert checker.counts == {}
+
+    def test_dropped_flush_reports_ord003(self, platform, checker):
+        allocation = _persisted_alloc(platform)
+        addr = _aligned_addr(platform, allocation)
+        checker.txn_begin(1)
+        platform.memory.store(addr, b"v" * 8)
+        checker.txn_commit(1, durable=True)
+        assert checker.counts == {"ORD003": 1}
+        violation = checker.violations[0]
+        assert violation.txn_id == 1
+        assert violation.trace  # carries the recent event tail
+
+    def test_dropped_fence_reports_ord004(self, platform, checker):
+        allocation = _persisted_alloc(platform)
+        addr = _aligned_addr(platform, allocation)
+        checker.txn_begin(1)
+        platform.memory.store(addr, b"v" * 8)
+        platform.memory.clflush(addr, 8)  # flush, no fence
+        checker.txn_commit(1, durable=True)
+        assert checker.counts == {"ORD004": 1}
+
+    def test_late_fence_discharges_the_flush(self, platform, checker):
+        allocation = _persisted_alloc(platform)
+        addr = _aligned_addr(platform, allocation)
+        checker.txn_begin(1)
+        platform.memory.store(addr, b"v" * 8)
+        platform.memory.clflush(addr, 8)
+        platform.memory.sfence()
+        checker.txn_commit(1, durable=True)
+        assert checker.report().ok
+
+    def test_store_after_fenced_flush_still_owed(self, platform,
+                                                 checker):
+        """store -> sync -> store -> commit: the second store has no
+        covering fenced flush even though the line was synced once."""
+        allocation = _persisted_alloc(platform)
+        addr = _aligned_addr(platform, allocation)
+        checker.txn_begin(1)
+        platform.memory.store(addr, b"a" * 8)
+        platform.memory.sync(addr, 8)
+        platform.memory.store(addr, b"b" * 8)
+        checker.txn_commit(1, durable=True)
+        assert checker.counts == {"ORD003": 1}
+
+    def test_group_commit_defers_to_durable_point(self, platform,
+                                                  checker):
+        allocation = _persisted_alloc(platform)
+        addr = _aligned_addr(platform, allocation)
+        checker.txn_begin(1)
+        platform.memory.store(addr, b"v" * 8)
+        checker.txn_commit(1, durable=False)
+        # Not durable yet: no violation is reported at commit...
+        assert checker.counts == {}
+        checker.durable_point([1])
+        # ...but the deferred durable point still finds it.
+        assert checker.counts == {"ORD003": 1}
+
+    def test_abort_drops_obligations(self, platform, checker):
+        allocation = _persisted_alloc(platform)
+        checker.txn_begin(1)
+        platform.memory.store(allocation.addr, b"v" * 8)
+        checker.txn_abort(1)
+        checker.durable_point([1])
+        assert checker.report().ok
+
+    def test_freed_allocation_is_skipped(self, platform, checker):
+        allocation = _persisted_alloc(platform)
+        checker.txn_begin(1)
+        platform.memory.store(allocation.addr, b"v" * 8)
+        platform.allocator.free(allocation)
+        checker.txn_commit(1, durable=True)
+        assert checker.report().ok
+
+    def test_unpersisted_allocation_is_volatile(self, platform,
+                                                checker):
+        """Stores into never-persisted (volatile) regions carry no
+        durability obligation."""
+        allocation = platform.allocator.malloc(256, tag="index")
+        checker.txn_begin(1)
+        platform.memory.store(allocation.addr, b"v" * 8)
+        checker.txn_commit(1, durable=True)
+        assert checker.report().ok
+
+    def test_crash_voids_pending_obligations(self, platform, checker):
+        allocation = _persisted_alloc(platform)
+        checker.txn_begin(1)
+        platform.memory.store(allocation.addr, b"v" * 8)
+        platform.crash()
+        checker.txn_commit(1, durable=True)
+        assert checker.report().ok
+
+
+class TestCommitMarkerRules:
+    def test_marker_over_dirty_range_reports_ord001(self, platform,
+                                                    checker):
+        data = _persisted_alloc(platform)
+        marker = _persisted_alloc(platform, size=8, tag="other")
+        addr = _aligned_addr(platform, data)
+        platform.memory.store(addr, b"v" * 8)
+        platform.memory.atomic_durable_store_u64(
+            marker.addr, 1, publishes=((addr, 8),))
+        assert checker.counts == {"ORD001": 1}
+
+    def test_marker_over_unfenced_range_reports_ord002(self, platform,
+                                                       checker):
+        data = _persisted_alloc(platform)
+        marker = _persisted_alloc(platform, size=8, tag="other")
+        addr = _aligned_addr(platform, data)
+        platform.memory.store(addr, b"v" * 8)
+        platform.memory.clflush(addr, 8)
+        platform.memory.atomic_durable_store_u64(
+            marker.addr, 1, publishes=((addr, 8),))
+        assert checker.counts == {"ORD002": 1}
+
+    def test_marker_over_synced_range_is_clean(self, platform,
+                                               checker):
+        data = _persisted_alloc(platform)
+        marker = _persisted_alloc(platform, size=8, tag="other")
+        addr = _aligned_addr(platform, data)
+        platform.memory.store(addr, b"v" * 8)
+        platform.memory.sync(addr, 8)
+        platform.memory.atomic_durable_store_u64(
+            marker.addr, 1, publishes=((addr, 8),))
+        assert checker.report().ok
+
+    def test_marker_ignores_never_written_ranges(self, platform,
+                                                 checker):
+        data = _persisted_alloc(platform)
+        marker = _persisted_alloc(platform, size=8, tag="other")
+        platform.memory.atomic_durable_store_u64(
+            marker.addr, 1, publishes=((data.addr, 64),))
+        assert checker.report().ok
+
+
+class TestRedundantFlushLint:
+    def test_double_sync_reports_ord005_lint(self, platform, checker):
+        allocation = _persisted_alloc(platform)
+        platform.memory.store(allocation.addr, b"v" * 8)
+        platform.memory.sync(allocation.addr, 8)
+        platform.memory.sync(allocation.addr, 8)
+        assert "ORD005" in checker.counts
+        assert checker.lints and checker.lints[0].is_lint
+        # A lint never fails the check.
+        assert checker.report().ok
+
+    def test_sync_ranges_dedups_boundary_lines(self, platform,
+                                               checker):
+        allocation = _persisted_alloc(platform)
+        platform.memory.store(allocation.addr, b"v" * 192)
+        # Overlapping ranges in one batch: each line flushed once.
+        platform.memory.sync_ranges(
+            [(allocation.addr, 128), (allocation.addr + 32, 160)])
+        assert checker.counts == {}
+
+    def test_separate_syncs_of_shared_line_are_flagged(self, platform,
+                                                       checker):
+        allocation = _persisted_alloc(platform)
+        platform.memory.store(allocation.addr, b"v" * 128)
+        platform.memory.sync(allocation.addr, 128)
+        platform.memory.store(allocation.addr, b"w" * 8)
+        # Re-syncing the whole range re-flushes lines with no new
+        # store (only the first line was re-dirtied).
+        platform.memory.sync(allocation.addr, 128)
+        assert "ORD005" in checker.counts
+
+
+class TestLeakCheck:
+    def test_unpersisted_live_allocation_reports_ord006(self, platform):
+        checker = OrderingChecker(
+            platform, require_persisted_allocations=True).attach()
+        platform.allocator.malloc(64, tag="table")
+        report = checker.finalize()
+        checker.detach()
+        assert [v.code for v in report.violations] == ["ORD006"]
+
+    def test_persisted_allocations_pass_finalize(self, platform):
+        checker = OrderingChecker(
+            platform, require_persisted_allocations=True).attach()
+        _persisted_alloc(platform, 64)
+        report = checker.finalize()
+        checker.detach()
+        assert report.ok
+
+    def test_leak_check_off_by_default(self, platform, checker):
+        platform.allocator.malloc(64, tag="table")
+        assert checker.finalize().ok
+
+
+class TestReportPlumbing:
+    def test_rule_catalogue_covers_all_reported_codes(self):
+        assert set(LINT_CODES) < set(ORDERING_RULES)
+        assert sorted(ORDERING_RULES) == [
+            "ORD001", "ORD002", "ORD003", "ORD004", "ORD005", "ORD006"]
+
+    def test_report_to_dict_round_trips(self, platform, checker):
+        allocation = _persisted_alloc(platform)
+        checker.txn_begin(9)
+        platform.memory.store(allocation.addr, b"v" * 8)
+        checker.txn_commit(9, durable=True)
+        payload = checker.report().to_dict()
+        assert payload["ok"] is False
+        assert payload["counts"]["ORD003"] >= 1
+        assert payload["violations"][0]["code"] == "ORD003"
+        assert payload["violations"][0]["txn_id"] == 9
+
+    def test_example_cap_keeps_counting(self, platform, checker):
+        allocation = _persisted_alloc(platform, size=64 * 1024)
+        line = platform.memory.line_size
+        total = MAX_EXAMPLES + 7
+        checker.txn_begin(1)
+        for index in range(total):
+            platform.memory.store(allocation.addr + index * line,
+                                  b"v" * 8)
+        checker.txn_commit(1, durable=True)
+        assert checker.counts["ORD003"] >= total
+        assert len(checker.violations) == MAX_EXAMPLES
+
+    def test_detach_restores_platform_hooks(self, platform):
+        checker = OrderingChecker(platform).attach()
+        assert platform.ordering is checker
+        assert platform.memory.observer is checker
+        checker.detach()
+        assert platform.ordering is None
+        assert platform.memory.observer is None
+        assert platform.allocator.observer is None

@@ -42,8 +42,30 @@ def sample_row(i: int) -> dict:
 
 @pytest.fixture(params=ALL_ENGINES)
 def db(request) -> Database:
-    """One Database per engine — conformance tests run 6x."""
-    return make_database(request.param)
+    """One Database per engine — conformance tests run 6x.
+
+    Every run doubles as a persistence-ordering check: an
+    :class:`OrderingChecker` observes each partition and the fixture
+    fails the test at teardown if any hard ordering violation
+    (ORD001-ORD004) was recorded. Redundant-flush lints (ORD005) and
+    the leak check (ORD006, timing-sensitive at arbitrary teardown
+    points) are not enforced here — `repro check` covers those.
+    """
+    from repro.analysis.ordering import OrderingChecker
+
+    database = make_database(request.param)
+    checkers = [OrderingChecker(partition.platform,
+                                engine=request.param).attach()
+                for partition in database.partitions]
+    yield database
+    reports = [checker.report() for checker in checkers]
+    for checker in checkers:
+        checker.detach()
+    problems = [f"{report.engine}: {violation}"
+                for report in reports
+                for violation in report.violations]
+    assert not problems, \
+        "persistence-ordering violations:\n" + "\n".join(problems)
 
 
 @pytest.fixture(params=ALL_ENGINES)

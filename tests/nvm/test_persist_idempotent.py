@@ -1,0 +1,67 @@
+"""Double-persist guards: repeated persist()/persist_all() calls must
+not inflate the ``alloc.persist`` stat or re-notify observers."""
+
+from __future__ import annotations
+
+from repro.nvm.platform import Platform
+
+
+class _Recorder:
+    def __init__(self):
+        self.persists = []
+
+    def on_malloc(self, allocation):
+        pass
+
+    def on_free(self, allocation):
+        pass
+
+    def on_persist(self, allocation):
+        self.persists.append(allocation.addr)
+
+
+def test_double_persist_bumps_stat_once():
+    platform = Platform()
+    allocation = platform.allocator.malloc(64)
+    before = platform.stats.counter("alloc.persist")
+    platform.allocator.persist(allocation)
+    platform.allocator.persist(allocation)
+    platform.allocator.persist(allocation)
+    assert platform.stats.counter("alloc.persist") == before + 1
+    assert allocation.persisted
+
+
+def test_double_persist_notifies_observer_once():
+    platform = Platform()
+    recorder = _Recorder()
+    platform.allocator.observer = recorder
+    allocation = platform.allocator.malloc(64)
+    platform.allocator.persist(allocation)
+    platform.allocator.persist(allocation)
+    assert recorder.persists == [allocation.addr]
+
+
+def test_persist_all_is_idempotent():
+    platform = Platform()
+    for _ in range(3):
+        platform.allocator.malloc(64)
+    first = platform.allocator.persist_all()
+    assert first == 3
+    assert platform.allocator.persist_all() == 0
+    # A new allocation after the sweep is picked up by the next one.
+    platform.allocator.malloc(64)
+    assert platform.allocator.persist_all() == 1
+
+
+def test_sync_marks_persisted_without_persist_stat():
+    """allocator.sync() persists as a side effect (flush+fence makes
+    the region durable); it must not double-count alloc.persist when
+    the allocation was already persisted."""
+    platform = Platform()
+    allocation = platform.allocator.malloc(64)
+    platform.allocator.persist(allocation)
+    before = platform.stats.counter("alloc.persist")
+    platform.allocator.sync(allocation)
+    platform.allocator.sync(allocation)
+    assert platform.stats.counter("alloc.persist") == before
+    assert allocation.persisted

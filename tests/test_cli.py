@@ -97,3 +97,65 @@ def test_ycsb_without_obs_flags_has_no_latency_columns(capsys):
     assert main(["ycsb", "--engine", "nvm-inp", "--tuples", "120",
                  "--txns", "120"]) == 0
     assert "p50 (us)" not in capsys.readouterr().out
+
+
+def test_check_command_single_engine(capsys):
+    assert main(["check", "--engines", "nvm-cow", "--tuples", "80",
+                 "--txns", "100"]) == 0
+    out = capsys.readouterr().out
+    assert "Persistence-ordering check" in out
+    assert "nvm-cow" in out and "ok" in out
+
+
+def test_check_command_json_report(tmp_path, capsys):
+    report_path = tmp_path / "check.json"
+    assert main(["check", "--engines", "nvm-log", "--tuples", "80",
+                 "--txns", "100", "--json", str(report_path)]) == 0
+    payload = json.loads(report_path.read_text())
+    assert payload["ok"] is True
+    assert "ORD001" in payload["rules"]
+    assert payload["engines"][0]["engine"] == "nvm-log"
+    assert payload["engines"][0]["ok"] is True
+
+
+def test_check_command_unknown_engine(capsys):
+    assert main(["check", "--engines", "bogus"]) == 2
+    assert "unknown engines" in capsys.readouterr().err
+
+
+def test_lint_command_clean_tree(capsys):
+    assert main(["lint"]) == 0
+    assert "0 finding(s)" in capsys.readouterr().out
+
+
+def test_lint_command_rule_catalogue(capsys):
+    assert main(["lint", "--rules"]) == 0
+    out = capsys.readouterr().out
+    for code in ("LNT001", "LNT002", "LNT003", "LNT004", "LNT005"):
+        assert code in out
+
+
+def test_lint_command_flags_violations(tmp_path, capsys):
+    bad = tmp_path / "bad_engine.py"
+    bad.write_text(
+        "def commit(self):\n"
+        "    self.memory.clflush(addr, size)\n")
+    assert main(["lint", str(bad), "--select", "LNT001"]) == 1
+    out = capsys.readouterr().out
+    assert "LNT001" in out and "1 finding(s)" in out
+
+
+def test_lint_command_json_output(tmp_path, capsys):
+    bad = tmp_path / "bad_engine.py"
+    bad.write_text(
+        "class _Holder:\n"
+        "    def __init__(self):\n"
+        "        self.x = 0\n")
+    assert main(["lint", str(bad), "--json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload[0]["code"] == "LNT005"
+
+
+def test_lint_command_unknown_select(capsys):
+    assert main(["lint", "--select", "LNT999"]) == 2
+    assert "unknown rule codes" in capsys.readouterr().err
