@@ -16,6 +16,7 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -280,6 +281,68 @@ def _cmd_lint(args) -> int:
     return 1 if violations else 0
 
 
+def _cmd_bench(args) -> int:
+    # Imported lazily: the harness pulls in the full database stack.
+    from .bench import (compare_payloads, find_baseline, load_payload,
+                        make_payload, run_bench, write_payload)
+
+    engines = None
+    if args.engines:
+        engines = [name.strip() for name in args.engines.split(",")
+                   if name.strip()]
+        known = engine_names()
+        unknown = [name for name in engines if name not in known]
+        if unknown:
+            print(f"unknown engines: {', '.join(unknown)}; choose "
+                  f"from {', '.join(known)}", file=sys.stderr)
+            return 2
+    results = run_bench(quick=args.quick, engines=engines,
+                        only=args.only, repeats=args.repeats)
+    if not results:
+        print(f"no benches match --only {args.only!r}",
+              file=sys.stderr)
+        return 2
+    payload = make_payload(results, quick=args.quick)
+    path = write_payload(payload, args.out)
+    rows = [[result.name, result.ops, f"{result.ops_per_s:,.0f}",
+             f"{result.wall_s:.3f}", f"{result.sim_time_ns:,.0f}",
+             result.peak_rss_kb]
+            for result in results]
+    print(format_table(
+        ["bench", "ops", "ops/s (wall)", "wall s", "sim ns",
+         "peak RSS KB"],
+        rows, title=f"Wall-clock bench ({'quick' if args.quick else 'full'})"))
+    print(f"results -> {path}")
+    baseline_path = args.baseline or find_baseline(args.out,
+                                                   exclude=path)
+    if baseline_path is None:
+        committed = os.path.join(args.out, "BENCH_baseline.json")
+        if os.path.exists(committed):
+            baseline_path = committed
+    if baseline_path is None:
+        print("no baseline found; skipping comparison")
+        return 0
+    try:
+        baseline = load_payload(baseline_path)
+    except (OSError, ValueError, KeyError) as error:
+        print(f"cannot load baseline {baseline_path}: {error}",
+              file=sys.stderr)
+        return 2
+    findings = compare_payloads(payload, baseline,
+                                threshold=args.threshold)
+    failed = [finding for finding in findings if finding.failed]
+    print(format_table(
+        ["bench", "status", "new/old ops/s", "detail"],
+        [[finding.name, finding.kind, f"{finding.ratio:.2f}x",
+          finding.detail] for finding in findings],
+        title=f"vs baseline {os.path.basename(baseline_path)} "
+              f"(threshold {args.threshold * 100:.0f}%)"))
+    for finding in failed:
+        print(f"{finding.kind}: {finding.name}: {finding.detail}",
+              file=sys.stderr)
+    return 1 if failed and args.gate else 0
+
+
 def _cmd_obs(args) -> int:
     from .obs.export import summarize_file
     try:
@@ -439,6 +502,42 @@ def main(argv: Optional[List[str]] = None) -> int:
     lint_parser.add_argument("--rules", action="store_true",
                              help="print the rule catalogue and exit")
     lint_parser.set_defaults(func=_cmd_lint)
+
+    bench_parser = commands.add_parser(
+        "bench",
+        help="wall-clock benchmark harness: cache microbenches + "
+             "YCSB/TPC-C smoke per engine, BENCH_*.json emission, "
+             "regression comparison vs the newest prior run")
+    bench_parser.add_argument("--quick", action="store_true",
+                              help="smaller op counts (CI smoke)")
+    bench_parser.add_argument(
+        "--engines", default=None, metavar="A,B,...",
+        help="macro-bench only these engines (default: the paper's "
+             "six architectures)")
+    bench_parser.add_argument(
+        "--only", default=None, metavar="SUBSTR",
+        help="run only benches whose name contains SUBSTR")
+    bench_parser.add_argument(
+        "--out", default="benchmarks/results", metavar="DIR",
+        help="directory for BENCH_<timestamp>.json "
+             "(default: benchmarks/results)")
+    bench_parser.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help="compare against FILE instead of the newest prior "
+             "BENCH_*.json (falls back to the committed "
+             "BENCH_baseline.json)")
+    bench_parser.add_argument(
+        "--threshold", type=float, default=0.20, metavar="FRAC",
+        help="wall-clock regression threshold as a fraction "
+             "(default: 0.20)")
+    bench_parser.add_argument(
+        "--repeats", type=int, default=3, metavar="N",
+        help="best-of-N repeats for microbenches (default: 3)")
+    bench_parser.add_argument(
+        "--gate", action="store_true",
+        help="exit non-zero on a regression or sim divergence "
+             "(CI bench-smoke mode)")
+    bench_parser.set_defaults(func=_cmd_bench)
 
     obs_parser = commands.add_parser(
         "obs", help="pretty-print a trace (.jsonl) or metrics (.prom) "

@@ -1,0 +1,32 @@
+"""Wall-clock benchmark harness with regression gating.
+
+Unlike ``benchmarks/`` (which measures *simulated* time — the paper's
+figures), this package measures how fast the emulator itself runs on
+the host: ops per wall-clock second through the cache primitives and
+the end-to-end YCSB/TPC-C smoke per engine. Results are emitted as
+``BENCH_<timestamp>.json`` trajectories and compared against a prior
+run (or the committed seed baseline) with a configurable regression
+threshold, so hot-path speedups — and regressions — are visible.
+
+See ``docs/performance.md`` for usage and the threshold policy.
+"""
+
+from .harness import (BenchResult, run_bench, run_macro_benches,
+                      run_micro_benches)
+from .report import (SCHEMA_NAME, compare_payloads, find_baseline,
+                     load_payload, make_payload, validate_payload,
+                     write_payload)
+
+__all__ = [
+    "BenchResult",
+    "SCHEMA_NAME",
+    "compare_payloads",
+    "find_baseline",
+    "load_payload",
+    "make_payload",
+    "run_bench",
+    "run_macro_benches",
+    "run_micro_benches",
+    "validate_payload",
+    "write_payload",
+]

@@ -1,0 +1,208 @@
+"""BENCH_*.json emission, schema validation, and regression gating.
+
+A bench trajectory is a directory of ``BENCH_<timestamp>.json`` files.
+Each run is compared against a baseline — by default the newest prior
+file in the output directory, falling back to the committed seed
+baseline — and two kinds of finding are reported:
+
+* **regression** — a bench's wall-clock ops/s dropped by more than the
+  threshold (default 20%). This is what the CI bench-smoke job gates.
+* **sim-divergence** — a bench's ``sim_time_ns`` or counter
+  fingerprint changed while its configuration (``ops`` + ``extra``)
+  did not. The emulator is deterministic, so any such change means the
+  cost model itself moved, which a performance PR must never do
+  silently.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from .harness import BenchResult
+
+SCHEMA_NAME = "repro-bench/1"
+
+#: Default wall-clock regression threshold (fraction of baseline).
+DEFAULT_THRESHOLD = 0.20
+
+_REQUIRED_TOP = ("schema", "created_utc", "quick", "results")
+_REQUIRED_RESULT = ("name", "kind", "ops", "wall_s", "ops_per_s",
+                    "sim_time_ns", "peak_rss_kb")
+
+
+def make_payload(results: Sequence[BenchResult],
+                 quick: bool) -> Dict[str, object]:
+    """JSON-ready payload for a bench run."""
+    import platform as host_platform
+    return {
+        "schema": SCHEMA_NAME,
+        "created_utc": time.strftime("%Y-%m-%dT%H:%M:%SZ",
+                                     time.gmtime()),
+        "quick": bool(quick),
+        "host": {
+            "python": host_platform.python_version(),
+            "machine": host_platform.machine(),
+            "system": host_platform.system(),
+        },
+        "results": [result.to_dict() for result in results],
+    }
+
+
+def validate_payload(payload: object) -> List[str]:
+    """Schema check; returns a list of problems (empty = valid)."""
+    problems: List[str] = []
+    if not isinstance(payload, dict):
+        return ["payload is not a JSON object"]
+    for key in _REQUIRED_TOP:
+        if key not in payload:
+            problems.append(f"missing top-level key {key!r}")
+    if payload.get("schema") not in (None, SCHEMA_NAME):
+        problems.append(
+            f"unknown schema {payload.get('schema')!r}; "
+            f"expected {SCHEMA_NAME!r}")
+    results = payload.get("results")
+    if not isinstance(results, list):
+        problems.append("results is not a list")
+        return problems
+    for index, result in enumerate(results):
+        if not isinstance(result, dict):
+            problems.append(f"results[{index}] is not an object")
+            continue
+        for key in _REQUIRED_RESULT:
+            if key not in result:
+                problems.append(f"results[{index}] missing {key!r}")
+        for key in ("wall_s", "ops_per_s", "sim_time_ns"):
+            value = result.get(key)
+            if value is not None and (
+                    not isinstance(value, (int, float))
+                    or isinstance(value, bool)
+                    or not math.isfinite(value)):
+                problems.append(
+                    f"results[{index}].{key} is not a finite number")
+    return problems
+
+
+def write_payload(payload: Dict[str, object], out_dir: str) -> str:
+    """Write ``BENCH_<timestamp>.json`` into ``out_dir``; returns the
+    path. A suffix disambiguates same-second runs."""
+    os.makedirs(out_dir, exist_ok=True)
+    stamp = time.strftime("%Y%m%dT%H%M%SZ", time.gmtime())
+    path = os.path.join(out_dir, f"BENCH_{stamp}.json")
+    counter = 1
+    while os.path.exists(path):
+        path = os.path.join(out_dir, f"BENCH_{stamp}-{counter}.json")
+        counter += 1
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def load_payload(path: str) -> Dict[str, object]:
+    """Load and validate one BENCH file (raises ValueError on schema
+    problems)."""
+    with open(path) as handle:
+        payload = json.load(handle)
+    problems = validate_payload(payload)
+    if problems:
+        raise ValueError(
+            f"{path}: invalid bench payload: {'; '.join(problems)}")
+    return payload
+
+
+def find_baseline(out_dir: str,
+                  exclude: Optional[str] = None) -> Optional[str]:
+    """Newest ``BENCH_*.json`` in ``out_dir`` other than ``exclude``
+    and the committed ``BENCH_baseline.json`` (which callers pass
+    explicitly when they want it)."""
+    try:
+        names = sorted(
+            name for name in os.listdir(out_dir)
+            if name.startswith("BENCH_") and name.endswith(".json")
+            and name != "BENCH_baseline.json")
+    except OSError:
+        return None
+    exclude_name = os.path.basename(exclude) if exclude else None
+    names = [name for name in names if name != exclude_name]
+    if not names:
+        return None
+    return os.path.join(out_dir, names[-1])
+
+
+@dataclass
+class Finding:
+    """One comparison outcome for a bench present in both payloads."""
+
+    name: str
+    kind: str               # "regression" | "sim-divergence" | "ok"
+    ratio: float            # new ops/s over baseline ops/s
+    detail: str
+
+    @property
+    def failed(self) -> bool:
+        return self.kind in ("regression", "sim-divergence")
+
+
+def _result_index(payload: Dict[str, object]) -> Dict[str, dict]:
+    return {result["name"]: result
+            for result in payload.get("results", [])
+            if isinstance(result, dict) and "name" in result}
+
+
+def _config_extra(result: dict) -> dict:
+    """The configuration part of a result's ``extra`` — measured wall
+    times vary run to run and must not defeat the comparison."""
+    extra = dict(result.get("extra") or {})
+    extra.pop("load_wall_s", None)
+    return extra
+
+
+def _same_configuration(new: dict, old: dict) -> bool:
+    """Whether two results measured the same deterministic workload
+    (only then is the sim fingerprint comparable)."""
+    return (new.get("ops") == old.get("ops")
+            and _config_extra(new) == _config_extra(old))
+
+
+def compare_payloads(new: Dict[str, object], old: Dict[str, object],
+                     threshold: float = DEFAULT_THRESHOLD
+                     ) -> List[Finding]:
+    """Compare a run against a baseline; one finding per shared bench."""
+    findings: List[Finding] = []
+    old_index = _result_index(old)
+    for result in new.get("results", []):
+        name = result.get("name")
+        baseline = old_index.get(name)
+        if baseline is None:
+            continue
+        old_ops = baseline.get("ops_per_s") or 0.0
+        new_ops = result.get("ops_per_s") or 0.0
+        ratio = new_ops / old_ops if old_ops else float("inf")
+        comparable = _same_configuration(result, baseline)
+        if comparable and (
+                result.get("sim_time_ns") != baseline.get("sim_time_ns")
+                or (result.get("counters") or {})
+                != (baseline.get("counters") or {})):
+            findings.append(Finding(
+                name=name, kind="sim-divergence", ratio=ratio,
+                detail=(f"sim_time_ns {baseline.get('sim_time_ns')} -> "
+                        f"{result.get('sim_time_ns')}; counters "
+                        f"{baseline.get('counters')} -> "
+                        f"{result.get('counters')}")))
+            continue
+        if old_ops and new_ops < old_ops * (1.0 - threshold):
+            findings.append(Finding(
+                name=name, kind="regression", ratio=ratio,
+                detail=(f"ops/s {old_ops:,.0f} -> {new_ops:,.0f} "
+                        f"({(1 - ratio) * 100:.1f}% slower; "
+                        f"threshold {threshold * 100:.0f}%)")))
+            continue
+        findings.append(Finding(
+            name=name, kind="ok", ratio=ratio,
+            detail=f"ops/s {old_ops:,.0f} -> {new_ops:,.0f}"))
+    return findings

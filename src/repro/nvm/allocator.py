@@ -253,7 +253,8 @@ class NVMAllocator:
                 allocation.persisted = True
                 if self.observer is not None:
                     self.observer.on_persist(allocation)
-            self._stats.bump("alloc.sync")
+        if allocations:
+            self._stats.bump("alloc.sync", len(allocations))
 
     def resolve(self, addr: NVPtr) -> Allocation:
         """Map a non-volatile pointer back to its live allocation."""

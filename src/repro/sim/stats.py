@@ -9,16 +9,24 @@ Two kinds of data are collected:
   Fig. 13 execution-time breakdown. Attribution uses an explicit
   category stack: engines push a category around a code region and every
   clock charge inside it is attributed to the innermost category.
+
+Hot-path design (see docs/performance.md): instead of subscribing a
+per-charge callback to the clock, the collector keeps one mutable
+accumulator cell per category and installs the innermost category's
+cell into the clock (:meth:`SimClock.set_attribution_cell`); a charge
+is then a single indexed add — same order, same values, byte-identical
+totals. Hot counters are bumped through prebound
+:class:`CounterHandle` objects so the per-event cost is one dict add
+on an interned key, batched to one call per cache operation.
 """
 
 from __future__ import annotations
 
 import enum
 from collections import Counter
-from contextlib import contextmanager
-from typing import Dict, Iterator, List
+from typing import Dict, List
 
-from .clock import SimClock
+from .clock import AttributionCell, SimClock
 
 
 class Category(enum.Enum):
@@ -30,37 +38,92 @@ class Category(enum.Enum):
     OTHER = "other"
 
 
+class CounterHandle:
+    """A prebound counter: ``handle.add(n)`` is exactly
+    ``stats.bump(name, n)`` without the attribute/bound-method lookup
+    or string re-interning on every event. Handles share the
+    collector's counter table, so mixing ``bump`` and handle adds on
+    the same name stays consistent."""
+
+    __slots__ = ("name", "_counters")
+
+    def __init__(self, name: str, counters: "Counter[str]") -> None:
+        self.name = name
+        self._counters = counters
+
+    def add(self, amount: int = 1) -> None:
+        self._counters[self.name] += amount
+
+    def __repr__(self) -> str:
+        return (f"CounterHandle({self.name!r}, "
+                f"count={self._counters[self.name]})")
+
+
+class _CategoryContext:
+    """Reusable context manager pushing one category (no generator
+    frame, no allocation per ``with`` block)."""
+
+    __slots__ = ("_stats", "_category")
+
+    def __init__(self, stats: "StatsCollector",
+                 category: Category) -> None:
+        self._stats = stats
+        self._category = category
+
+    def __enter__(self) -> None:
+        self._stats.push_category(self._category)
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._stats.pop_category()
+
+
 class StatsCollector:
     """Collects counters and per-category simulated time.
 
-    A collector subscribes to a :class:`SimClock`; every ``advance`` is
+    A collector attaches to a :class:`SimClock`; every ``advance`` is
     attributed to the category on top of the stack (``Category.OTHER``
-    when the stack is empty).
+    when the stack is empty). Attaching a second collector to the same
+    clock redirects attribution to the newest one (the platform owns a
+    single collector, so this does not arise in practice).
     """
 
     def __init__(self, clock: SimClock) -> None:
         self._clock = clock
         self._counters: Counter[str] = Counter()
-        self._category_ns: Dict[Category, float] = {c: 0.0 for c in Category}
-        self._stack: List[Category] = []
-        clock.subscribe(self._on_advance)
+        self._cells: Dict[Category, AttributionCell] = {
+            category: [0.0] for category in Category}
+        #: Innermost-first stack of attribution cells; the bottom entry
+        #: is the OTHER cell (the "no category pushed" default).
+        self._cell_stack: List[AttributionCell] = [
+            self._cells[Category.OTHER]]
+        self._contexts = {category: _CategoryContext(self, category)
+                          for category in Category}
+        clock.set_attribution_cell(self._cell_stack[0])
 
-    def _on_advance(self, ns: float) -> None:
-        category = self._stack[-1] if self._stack else Category.OTHER
-        self._category_ns[category] += ns
+    def category(self, category: Category) -> _CategoryContext:
+        """Attribute all simulated time inside the block to
+        ``category`` (``with stats.category(Category.STORAGE): ...``)."""
+        return self._contexts[category]
 
-    @contextmanager
-    def category(self, category: Category) -> Iterator[None]:
-        """Attribute all simulated time inside the block to ``category``."""
-        self._stack.append(category)
-        try:
-            yield
-        finally:
-            self._stack.pop()
+    def push_category(self, category: Category) -> None:
+        """Imperative spelling of :meth:`category` for hot paths that
+        pair it with ``try/finally``."""
+        cell = self._cells[category]
+        self._cell_stack.append(cell)
+        self._clock.set_attribution_cell(cell)
+
+    def pop_category(self) -> None:
+        stack = self._cell_stack
+        stack.pop()
+        self._clock.set_attribution_cell(stack[-1])
 
     def bump(self, name: str, amount: int = 1) -> None:
         """Increment counter ``name`` by ``amount``."""
         self._counters[name] += amount
+
+    def counter_handle(self, name: str) -> CounterHandle:
+        """Prebind counter ``name`` for repeated cheap increments."""
+        return CounterHandle(name, self._counters)
 
     def counter(self, name: str) -> int:
         """Current value of counter ``name`` (0 if never bumped)."""
@@ -73,28 +136,32 @@ class StatsCollector:
 
     def category_ns(self, category: Category) -> float:
         """Simulated time attributed to ``category`` so far."""
-        return self._category_ns[category]
+        return self._cells[category][0]
 
     def category_breakdown(self) -> Dict[str, float]:
         """Fraction of total simulated time per category (sums to 1.0)."""
-        total = sum(self._category_ns.values())
+        total = sum(cell[0] for cell in self._cells.values())
         if total == 0:
-            return {c.value: 0.0 for c in Category}
-        return {c.value: self._category_ns[c] / total for c in Category}
+            return {category.value: 0.0 for category in Category}
+        return {category.value: self._cells[category][0] / total
+                for category in Category}
 
     def snapshot(self) -> "StatsSnapshot":
         """Immutable snapshot of counters and category times."""
         return StatsSnapshot(
             counters=dict(self._counters),
-            category_ns=dict(self._category_ns),
+            category_ns={category: cell[0]
+                         for category, cell in self._cells.items()},
             now_ns=self._clock.now_ns,
         )
 
     def reset(self) -> None:
-        """Clear all counters and category times (the clock is kept)."""
+        """Clear all counters and category times (the clock is kept).
+        Cells are zeroed in place so outstanding handles and the
+        clock's installed attribution cell stay valid."""
         self._counters.clear()
-        for category in Category:
-            self._category_ns[category] = 0.0
+        for cell in self._cells.values():
+            cell[0] = 0.0
 
 
 class StatsSnapshot:

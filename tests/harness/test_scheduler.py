@@ -36,6 +36,18 @@ def test_parallel_sweep_matches_serial_baseline():
     assert [r.engine for r in parallel] == [s.engine for s in specs]
 
 
+def test_parallel_sweep_exports_are_byte_identical():
+    """Regression guard for the cache fast paths: the serialized sweep
+    output — including float formatting of simulated times and dict
+    insertion order — must not depend on worker count."""
+    specs = _grid()
+    serial = results_or_raise(run_sweep(specs, jobs=1))
+    parallel = results_or_raise(run_sweep(specs, jobs=2))
+    serial_json = json.dumps([r.to_dict() for r in serial])
+    parallel_json = json.dumps([r.to_dict() for r in parallel])
+    assert serial_json == parallel_json
+
+
 def test_sweep_mixes_workloads():
     specs = [
         ExperimentSpec.ycsb("inp", "read-heavy", "low", **TINY),
