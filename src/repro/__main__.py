@@ -57,6 +57,95 @@ def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
              "histogram) to FILE")
 
 
+def _add_telemetry_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--live", action="store_true",
+        help="stream live progress to stderr while the run executes "
+             "(in-place status line on a TTY, plain log lines "
+             "otherwise): points done, ETA, per-engine txn/s, "
+             "retry/crash counters")
+    parser.add_argument(
+        "--events", metavar="FILE", default=None,
+        help="persist the full telemetry event stream (point "
+             "lifecycle, phase transitions, heartbeats) as JSONL; "
+             "inspect it later with `repro obs FILE`")
+    parser.add_argument(
+        "--phases", metavar="FILE", default=None,
+        help="write the merged phase profile (wall-vs-simulated time "
+             "per setup/load/run/checkpoint/recovery phase) as JSON")
+    parser.add_argument(
+        "--collapsed", metavar="FILE", default=None,
+        help="write the merged phase profile as collapsed-stack lines "
+             "(flamegraph.pl / speedscope input)")
+
+
+class _Telemetry:
+    """CLI telemetry wiring: one bus feeding an optional live renderer
+    and an optional JSONL event log, plus phase-profile artifacts
+    merged from the outcomes afterwards."""
+
+    def __init__(self, args) -> None:
+        self.live = bool(getattr(args, "live", False))
+        self.events_path = getattr(args, "events", None)
+        self.phases_path = getattr(args, "phases", None)
+        self.collapsed_path = getattr(args, "collapsed", None)
+        self.enabled = bool(self.live or self.events_path
+                            or self.phases_path or self.collapsed_path)
+        self.bus = None
+        self._log = None
+        self._renderer = None
+        if not self.enabled:
+            return
+        from .obs.bus import EventBus, JsonlEventLog
+        from .obs.live import LiveRenderer
+        self.bus = EventBus()
+        if self.events_path:
+            self._log = JsonlEventLog(self.events_path, self.bus)
+        if self.live:
+            self._renderer = LiveRenderer(self.bus)
+
+    def finish(self, profiles=()) -> int:
+        """Close renderer/log and write phase artifacts; returns a
+        non-zero status only on artifact write errors."""
+        if not self.enabled:
+            return 0
+        if self._renderer is not None:
+            self._renderer.close()
+        if self._log is not None:
+            self._log.close()
+            print(f"events: {self._log.lines} -> {self.events_path}")
+        status = 0
+        if self.phases_path or self.collapsed_path:
+            import json as _json
+
+            from .obs.profiler import merge_profiles, write_collapsed
+            merged = merge_profiles(profiles)
+            try:
+                if self.phases_path:
+                    with open(self.phases_path, "w",
+                              encoding="utf-8") as stream:
+                        _json.dump(merged, stream, indent=2,
+                                   sort_keys=True)
+                        stream.write("\n")
+                    print(f"phases: {len(merged['phases'])} stacks -> "
+                          f"{self.phases_path}")
+                if self.collapsed_path:
+                    lines = write_collapsed(merged, self.collapsed_path)
+                    print(f"collapsed stacks: {lines} -> "
+                          f"{self.collapsed_path}")
+            except OSError as error:
+                print(f"cannot write phase profile: {error}",
+                      file=sys.stderr)
+                status = 2
+        return status
+
+
+def _outcome_profiles(outcomes) -> List:
+    return [outcome.result.phases for outcome in outcomes
+            if outcome.result is not None
+            and getattr(outcome.result, "phases", None)]
+
+
 def _export_obs(args, session) -> int:
     if session is None:
         return 0
@@ -108,19 +197,35 @@ def _result_headers(with_obs: bool) -> List[str]:
 
 def _run_and_report(args, specs, title: str) -> int:
     """Run a spec list through the scheduler (``--jobs``), print the
-    merged table (spec order), export observability artifacts."""
+    merged table (spec order), export observability + telemetry
+    artifacts."""
     observe = bool(args.trace or args.metrics)
-    outcomes = run_sweep(specs, jobs=args.jobs, observe=observe)
+    artifacts_dir = getattr(args, "artifacts", None)
+    telemetry = _Telemetry(args)
+    outcomes = None
+    try:
+        outcomes = run_sweep(specs, jobs=args.jobs, observe=observe,
+                             artifacts_dir=artifacts_dir,
+                             bus=telemetry.bus)
+    finally:
+        telemetry_status = telemetry.finish(
+            _outcome_profiles(outcomes) if outcomes is not None
+            else [])
+    # --artifacts implies observation inside run_sweep, so the rows
+    # carry latency percentiles even without --trace/--metrics.
+    with_obs = observe or artifacts_dir is not None
     rows = [_result_row(outcome.spec.engine, outcome.result)
             for outcome in outcomes if outcome.ok]
-    print(format_table(_result_headers(observe), rows, title=title))
+    print(format_table(_result_headers(with_obs), rows, title=title))
     failures = [outcome for outcome in outcomes if not outcome.ok]
     for outcome in failures:
-        print(f"point {outcome.spec.slug()} failed: {outcome.error}",
-              file=sys.stderr)
+        print(f"point {outcome.spec.slug()} failed: "
+              f"{outcome.error_summary}", file=sys.stderr)
+        if outcome.error != outcome.error_summary:
+            print(outcome.error, file=sys.stderr)
     status = _export_obs(args, merged_session(outcomes)
                          if observe else None)
-    return 1 if failures else status
+    return 1 if failures else (status or telemetry_status)
 
 
 def _cmd_ycsb(args) -> int:
@@ -173,10 +278,38 @@ def _cmd_crashtest(args) -> int:
         print(f"unknown engines: {', '.join(unknown) or '(none given)'}"
               f"; choose from {', '.join(known)}", file=sys.stderr)
         return 2
-    report = campaign.run_crash_campaign(
-        engines, seed=args.seed, ops=args.ops, jobs=args.jobs,
-        max_hits_per_point=args.max_hits, timeout_s=args.timeout,
-        retries=args.retries, artifacts_dir=args.artifacts)
+    telemetry = _Telemetry(args)
+    report = None
+    try:
+        report = campaign.run_crash_campaign(
+            engines, seed=args.seed, ops=args.ops, jobs=args.jobs,
+            max_hits_per_point=args.max_hits, timeout_s=args.timeout,
+            retries=args.retries, artifacts_dir=args.artifacts,
+            bus=telemetry.bus)
+    finally:
+        profiles = []
+        if report is not None:
+            profiles = [counting.phases
+                        for counting in report.counting.values()
+                        if counting.phases]
+            profiles.extend(
+                outcome.result.phases for outcome in report.outcomes
+                if outcome.result is not None
+                and getattr(outcome.result, "phases", None))
+        telemetry.finish(profiles)
+    if args.json:
+        import json
+
+        try:
+            with open(args.json, "w", encoding="utf-8") as handle:
+                json.dump(report.to_dict(), handle, indent=2,
+                          sort_keys=True)
+                handle.write("\n")
+            print(f"report -> {args.json}")
+        except OSError as error:
+            print(f"cannot write {args.json}: {error}",
+                  file=sys.stderr)
+            return 2
     print(format_table(
         ["engine", "fault point", "coords", "crashes", "violations",
          "status"],
@@ -286,6 +419,25 @@ def _cmd_bench(args) -> int:
     from .bench import (compare_payloads, find_baseline, load_payload,
                         make_payload, run_bench, write_payload)
 
+    if args.history:
+        from .obs.history import bench_trajectory, \
+            collect_bench_history
+        history = collect_bench_history(args.out)
+        if not history:
+            print(f"no BENCH_*.json files in {args.out}",
+                  file=sys.stderr)
+            return 2
+        headers, rows = bench_trajectory(history)
+        print(format_table(
+            headers, rows,
+            title=f"Bench trajectory: {len(history)} runs in "
+                  f"{args.out}"))
+        bad = [entry for entry in history if entry.get("error")]
+        for entry in bad:
+            print(f"invalid payload {entry['path']}: {entry['error']}",
+                  file=sys.stderr)
+        return 1 if bad else 0
+
     engines = None
     if args.engines:
         engines = [name.strip() for name in args.engines.split(",")
@@ -343,6 +495,33 @@ def _cmd_bench(args) -> int:
     return 1 if failed and args.gate else 0
 
 
+def _cmd_report(args) -> int:
+    import json
+
+    from .obs.history import build_report, render_markdown
+
+    scan_dirs = args.scan or ["artifacts"]
+    report = build_report(bench_dir=args.bench_dir,
+                          scan_dirs=scan_dirs)
+    markdown = render_markdown(report)
+    try:
+        if args.json:
+            with open(args.json, "w", encoding="utf-8") as handle:
+                json.dump(report, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            print(f"report JSON -> {args.json}")
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as handle:
+                handle.write(markdown)
+            print(f"report markdown -> {args.out}")
+    except OSError as error:
+        print(f"cannot write report: {error}", file=sys.stderr)
+        return 2
+    if not args.out:
+        print(markdown)
+    return 0
+
+
 def _cmd_obs(args) -> int:
     from .obs.export import summarize_file
     try:
@@ -356,38 +535,48 @@ def _cmd_obs(args) -> int:
 def _cmd_figure(args) -> int:
     scale = _scale(args)
     number = args.number
-    if number == 1:
-        headers, rows = fig1_interfaces()
-        print(format_table(headers, rows,
-                           title="Fig. 1 — durable write bandwidth "
-                                 "(MB/s)"))
-    elif number in (5, 6, 7):
-        latency = {5: "dram", 6: "low-nvm", 7: "high-nvm"}[number]
-        headers, rows, __ = ycsb_throughput(latency, scale,
-                                            jobs=args.jobs)
-        print(format_table(headers, rows,
-                           title=f"Fig. {number} — YCSB throughput "
-                                 f"@ {latency} (txn/s)"))
-    elif number == 8:
-        headers, rows, __ = tpcc_throughput(scale, jobs=args.jobs)
-        print(format_table(headers, rows,
-                           title="Fig. 8 — TPC-C throughput (txn/s)"))
-    elif number == 12:
-        headers, rows = recovery_latency(args.workload, scale)
-        print(format_table(headers, rows,
-                           title=f"Fig. 12 — recovery latency, "
-                                 f"{args.workload} (ms)"))
-    elif number == 14:
-        headers, rows = storage_footprint(args.workload, scale,
-                                          jobs=args.jobs)
-        print(format_table(headers, rows,
-                           title=f"Fig. 14 — storage footprint, "
-                                 f"{args.workload} (KB)"))
-    else:
-        print(f"figure {number} not wired into the CLI; run "
-              f"`pytest benchmarks/ --benchmark-only` for the full "
-              f"set", file=sys.stderr)
-        return 2
+    telemetry = _Telemetry(args)
+    try:
+        if number == 1:
+            headers, rows = fig1_interfaces()
+            print(format_table(headers, rows,
+                               title="Fig. 1 — durable write bandwidth "
+                                     "(MB/s)"))
+        elif number in (5, 6, 7):
+            latency = {5: "dram", 6: "low-nvm", 7: "high-nvm"}[number]
+            headers, rows, __ = ycsb_throughput(latency, scale,
+                                                jobs=args.jobs,
+                                                bus=telemetry.bus)
+            print(format_table(headers, rows,
+                               title=f"Fig. {number} — YCSB throughput "
+                                     f"@ {latency} (txn/s)"))
+        elif number == 8:
+            headers, rows, __ = tpcc_throughput(scale, jobs=args.jobs,
+                                                bus=telemetry.bus)
+            print(format_table(headers, rows,
+                               title="Fig. 8 — TPC-C throughput "
+                                     "(txn/s)"))
+        elif number == 12:
+            headers, rows = recovery_latency(args.workload, scale)
+            print(format_table(headers, rows,
+                               title=f"Fig. 12 — recovery latency, "
+                                     f"{args.workload} (ms)"))
+        elif number == 14:
+            headers, rows = storage_footprint(args.workload, scale,
+                                              jobs=args.jobs,
+                                              bus=telemetry.bus)
+            print(format_table(headers, rows,
+                               title=f"Fig. 14 — storage footprint, "
+                                     f"{args.workload} (KB)"))
+        else:
+            print(f"figure {number} not wired into the CLI; run "
+                  f"`pytest benchmarks/ --benchmark-only` for the full "
+                  f"set", file=sys.stderr)
+            return 2
+    finally:
+        # Figure drivers keep only merged tables, so phase artifacts
+        # are not available here — the bus still feeds --live/--events.
+        telemetry.finish([])
     return 0
 
 
@@ -412,8 +601,13 @@ def main(argv: Optional[List[str]] = None) -> int:
                              choices=sorted(SKEWS))
     ycsb_parser.add_argument("--tuples", type=int, default=None)
     ycsb_parser.add_argument("--txns", type=int, default=None)
+    ycsb_parser.add_argument(
+        "--artifacts", default=None, metavar="DIR",
+        help="write per-point traces/metrics and the merged "
+             "summary.json under DIR")
     _add_common(ycsb_parser)
     _add_obs_flags(ycsb_parser)
+    _add_telemetry_flags(ycsb_parser)
     ycsb_parser.set_defaults(func=_cmd_ycsb)
 
     tpcc_parser = commands.add_parser("tpcc", help="run a TPC-C point")
@@ -421,8 +615,13 @@ def main(argv: Optional[List[str]] = None) -> int:
                              choices=engine_names())
     tpcc_parser.add_argument("--all-engines", action="store_true")
     tpcc_parser.add_argument("--txns", type=int, default=None)
+    tpcc_parser.add_argument(
+        "--artifacts", default=None, metavar="DIR",
+        help="write per-point traces/metrics and the merged "
+             "summary.json under DIR")
     _add_common(tpcc_parser)
     _add_obs_flags(tpcc_parser)
+    _add_telemetry_flags(tpcc_parser)
     tpcc_parser.set_defaults(func=_cmd_tpcc)
 
     figure_parser = commands.add_parser(
@@ -431,6 +630,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     figure_parser.add_argument("--workload", default="ycsb",
                                choices=("ycsb", "tpcc"))
     _add_common(figure_parser)
+    _add_telemetry_flags(figure_parser)
     figure_parser.set_defaults(func=_cmd_figure)
 
     crashtest_parser = commands.add_parser(
@@ -459,6 +659,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     crashtest_parser.add_argument(
         "--artifacts", default=None, metavar="DIR",
         help="write per-coordinate traces/metrics + summary.json here")
+    crashtest_parser.add_argument(
+        "--json", metavar="FILE", default=None,
+        help="write the full campaign report (kind "
+             "repro-crashtest-report) to FILE")
+    _add_telemetry_flags(crashtest_parser)
     crashtest_parser.set_defaults(func=_cmd_crashtest)
 
     check_parser = commands.add_parser(
@@ -537,7 +742,34 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--gate", action="store_true",
         help="exit non-zero on a regression or sim divergence "
              "(CI bench-smoke mode)")
+    bench_parser.add_argument(
+        "--history", action="store_true",
+        help="print the perf trajectory across the committed "
+             "BENCH_*.json files in --out and exit (runs nothing)")
     bench_parser.set_defaults(func=_cmd_bench)
+
+    report_parser = commands.add_parser(
+        "report",
+        help="aggregate run history — bench trajectory, sweep "
+             "summaries, crash-campaign outcomes, telemetry event "
+             "logs — into one markdown/JSON report")
+    report_parser.add_argument(
+        "--bench-dir", default=os.path.join("benchmarks", "results"),
+        metavar="DIR",
+        help="directory of committed BENCH_*.json files "
+             "(default: benchmarks/results)")
+    report_parser.add_argument(
+        "--scan", action="append", default=None, metavar="DIR",
+        help="directory to scan for sweep/campaign/event-log "
+             "artifacts (repeatable; default: artifacts)")
+    report_parser.add_argument(
+        "--json", metavar="FILE", default=None,
+        help="also write the report as JSON (kind "
+             "repro-history-report)")
+    report_parser.add_argument(
+        "--out", metavar="FILE", default=None,
+        help="write the markdown report to FILE instead of stdout")
+    report_parser.set_defaults(func=_cmd_report)
 
     obs_parser = commands.add_parser(
         "obs", help="pretty-print a trace (.jsonl) or metrics (.prom) "

@@ -65,6 +65,9 @@ class Partition:
         histogram = self.platform.txn_latency
         if histogram is not None:
             histogram.observe(txn.commit_ns - txn.begin_ns)
+        probe = self.platform.txn_probe
+        if probe is not None:
+            probe()
         return result
 
     @property

@@ -42,6 +42,10 @@ from ..core.database import Database
 from ..core.schema import Column, ColumnType, Schema
 from ..errors import SimulatedCrash, StorageEngineError
 from ..harness.scheduler import PointOutcome, run_sweep
+from ..obs import bus as _bus
+from ..obs.bus import (DEFAULT_HEARTBEAT_S, BusPublisher, EventBus,
+                       HeartbeatEmitter)
+from ..obs.profiler import PhaseProfiler
 from .injector import FaultPlan, fault_points_for_engine
 
 __all__ = ["CampaignSpec", "CampaignPointResult", "CampaignReport",
@@ -59,6 +63,10 @@ SENTINEL_KEY = 9999
 
 #: Recovery attempts before the oracle declares the database stuck.
 MAX_NESTED_RECOVERIES = 10
+
+#: Shared disabled profiler: phase scopes become no-ops, so internal
+#: helpers can profile unconditionally.
+_NULL_PROFILER = PhaseProfiler(enabled=False)
 
 
 def _schema() -> Schema:
@@ -148,13 +156,15 @@ class CampaignPointResult:
     fired: Tuple[Tuple[str, int], ...] = ()
     #: Oracle violations — empty means the run survived intact.
     violations: List[str] = field(default_factory=list)
+    #: Phase profile (wall-vs-sim attribution; telemetry runs only).
+    phases: Optional[Dict[str, Any]] = None
 
     @property
     def ok(self) -> bool:
         return not self.violations
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        payload = {
             "engine": self.engine,
             "seed": self.seed,
             "triggers": [list(pair) for pair in self.triggers],
@@ -167,6 +177,11 @@ class CampaignPointResult:
             "violations": list(self.violations),
             "ok": self.ok,
         }
+        # Wall-clock side-band data: only present on telemetry runs, so
+        # default campaign reports stay identical with or without it.
+        if self.phases is not None:
+            payload["phases"] = self.phases
+        return payload
 
 
 @dataclass(frozen=True)
@@ -204,87 +219,120 @@ class CampaignSpec:
     # ------------------------------------------------------------------
 
     def execute(self, obs=None,
-                database: Optional[Database] = None
-                ) -> CampaignPointResult:
+                database: Optional[Database] = None,
+                telemetry=None) -> CampaignPointResult:
         """Run the scripted workload under this spec's fault plan and
         verify the oracle after every recovery. ``database`` lets tests
-        substitute a sabotaged engine; it must use the campaign schema."""
+        substitute a sabotaged engine; it must use the campaign schema.
+        ``telemetry`` (a :class:`~repro.obs.bus.TelemetryPublisher`)
+        streams heartbeats — with crash/recovery counters — and phase
+        transitions while the point runs, and attaches the phase
+        profile to the result."""
         result = CampaignPointResult(engine=self.engine, seed=self.seed,
                                      triggers=self.triggers)
-        db = database if database is not None \
-            else _make_database(self.engine, self.seed)
+        profiler = PhaseProfiler(publisher=telemetry,
+                                 enabled=telemetry is not None)
+        profiler.start()
+        with profiler.phase("setup"):
+            db = database if database is not None \
+                else _make_database(self.engine, self.seed)
         if obs is not None:
             obs.attach(db, self.engine, "crashtest")
+        heartbeat = None
+        if telemetry is not None:
+            heartbeat = HeartbeatEmitter(
+                telemetry, db,
+                extra=lambda: {"crashes": result.crashes,
+                               "recoveries": result.recoveries,
+                               "ops": result.ops_applied})
+            heartbeat.install()
+        try:
+            self._run_script(db, result, profiler)
+        finally:
+            if heartbeat is not None:
+                heartbeat.uninstall()
+        db.disarm_faults()
+        if obs is not None:
+            obs.detach(db)
+        with profiler.phase("teardown", db):
+            db.close()
+        profiler.stop()
+        if profiler.enabled:
+            result.phases = profiler.to_dict()
+        return result
+
+    def _run_script(self, db: Database, result: CampaignPointResult,
+                    profiler: PhaseProfiler) -> None:
         db.arm_faults(FaultPlan(self.triggers))
         expected: Dict[int, str] = {}
-        script = build_script(self.seed, self.ops)
+        with profiler.phase("load", db):
+            script = build_script(self.seed, self.ops)
         index = 0
-        while index < len(script):
-            op, key, value = script[index]
-            try:
-                if op == "insert":
-                    db.insert(TABLE, {"id": key, "v": value})
-                elif op == "update":
-                    db.update(TABLE, key, {"v": value})
-                else:
-                    db.delete(TABLE, key)
-            except SimulatedCrash:
-                result.crashes += 1
-                self._recover(db, result)
-                # The interrupted transaction was never acknowledged,
-                # so either outcome is legal — but it must be atomic.
-                # Read the row to learn which way recovery decided.
-                if self._op_applied(db, op, key, value):
-                    _apply_expected(expected, op, key, value)
-                    index += 1
-                self._verify(db, expected, result,
-                             f"after crash at op {index}")
-                continue
-            except StorageEngineError as exc:
-                # A correct engine never rejects a script op: the oracle
-                # keeps `expected` in lockstep with the database. An
-                # engine error here means recovery silently diverged.
-                result.violations.append(
-                    f"op {index} ({op} {key}): "
-                    f"{type(exc).__name__}: {exc}")
-                break
-            _apply_expected(expected, op, key, value)
-            result.ops_applied += 1
-            index += 1
+        with profiler.phase("run", db):
+            while index < len(script):
+                op, key, value = script[index]
+                try:
+                    if op == "insert":
+                        db.insert(TABLE, {"id": key, "v": value})
+                    elif op == "update":
+                        db.update(TABLE, key, {"v": value})
+                    else:
+                        db.delete(TABLE, key)
+                except SimulatedCrash:
+                    result.crashes += 1
+                    self._recover(db, result, profiler)
+                    # The interrupted transaction was never
+                    # acknowledged, so either outcome is legal — but it
+                    # must be atomic. Read the row to learn which way
+                    # recovery decided.
+                    if self._op_applied(db, op, key, value):
+                        _apply_expected(expected, op, key, value)
+                        index += 1
+                    self._verify(db, expected, result,
+                                 f"after crash at op {index}", profiler)
+                    continue
+                except StorageEngineError as exc:
+                    # A correct engine never rejects a script op: the
+                    # oracle keeps `expected` in lockstep with the
+                    # database. An engine error here means recovery
+                    # silently diverged.
+                    result.violations.append(
+                        f"op {index} ({op} {key}): "
+                        f"{type(exc).__name__}: {exc}")
+                    break
+                _apply_expected(expected, op, key, value)
+                result.ops_applied += 1
+                index += 1
         # Final clean crash + recovery: exercises the recovery-phase
         # fault points every run and catches any commit whose
         # durability silently depended on volatile state.
         db.crash()
         result.crashes += 1
-        self._recover(db, result)
-        self._verify(db, expected, result, "final")
-        self._probe(db, result)
+        self._recover(db, result, profiler)
+        self._verify(db, expected, result, "final", profiler)
+        self._probe(db, result, profiler)
         result.hits = db.fault_hits()
         result.fired = tuple(
             (trigger.point, trigger.hit)
             for partition in db.partitions
             for trigger in partition.platform.faults.fired)
-        db.disarm_faults()
-        if obs is not None:
-            obs.detach(db)
-        db.close()
-        return result
 
-    def _recover(self, db: Database,
-                 result: CampaignPointResult) -> None:
+    def _recover(self, db: Database, result: CampaignPointResult,
+                 profiler: PhaseProfiler = _NULL_PROFILER) -> None:
         """Recover, riding out nested crash-during-recovery faults."""
-        for __ in range(MAX_NESTED_RECOVERIES):
-            try:
-                db.recover()
-            except SimulatedCrash:
-                result.crashes += 1
-                result.nested_crashes += 1
-                continue
-            result.recoveries += 1
-            return
-        result.violations.append(
-            f"stuck-recovery: not recovered after "
-            f"{MAX_NESTED_RECOVERIES} attempts")
+        with profiler.phase("recovery", db):
+            for __ in range(MAX_NESTED_RECOVERIES):
+                try:
+                    db.recover()
+                except SimulatedCrash:
+                    result.crashes += 1
+                    result.nested_crashes += 1
+                    continue
+                result.recoveries += 1
+                return
+            result.violations.append(
+                f"stuck-recovery: not recovered after "
+                f"{MAX_NESTED_RECOVERIES} attempts")
 
     def _op_applied(self, db: Database, op: str, key: int,
                     value: Optional[str]) -> bool:
@@ -294,10 +342,13 @@ class CampaignSpec:
         return row is not None and row["v"] == value
 
     def _verify(self, db: Database, expected: Dict[int, str],
-                result: CampaignPointResult, when: str) -> None:
+                result: CampaignPointResult, when: str,
+                profiler: PhaseProfiler = _NULL_PROFILER) -> None:
         """The oracle: the surviving rows must be exactly the expected
         (acknowledged) state."""
-        rows = {key: values["v"] for key, values in db.scan(TABLE)}
+        with profiler.phase("verify", db):
+            rows = {key: values["v"]
+                    for key, values in db.scan(TABLE)}
         for key, value in sorted(expected.items()):
             if key not in rows:
                 result.violations.append(
@@ -312,8 +363,8 @@ class CampaignSpec:
                 result.violations.append(
                     f"{when}: phantom row {key} = {rows[key]!r}")
 
-    def _probe(self, db: Database,
-               result: CampaignPointResult) -> None:
+    def _probe(self, db: Database, result: CampaignPointResult,
+               profiler: PhaseProfiler = _NULL_PROFILER) -> None:
         """Operational sentinel: the recovered database must still take
         writes, not just answer reads."""
         for __ in range(2):
@@ -329,7 +380,7 @@ class CampaignSpec:
             except SimulatedCrash:
                 # A leftover trigger fired mid-probe; recover and retry.
                 result.crashes += 1
-                self._recover(db, result)
+                self._recover(db, result, profiler)
             except Exception as exc:
                 result.violations.append(
                     f"sentinel: {type(exc).__name__}: {exc}")
@@ -467,29 +518,50 @@ def run_crash_campaign(engines: Sequence[str], seed: int = 7,
                        max_hits_per_point: int = 3,
                        timeout_s: Optional[float] = None,
                        retries: int = 1, observe: bool = False,
-                       artifacts_dir: Optional[str] = None
+                       artifacts_dir: Optional[str] = None,
+                       bus: Optional[EventBus] = None,
+                       heartbeat_s: float = DEFAULT_HEARTBEAT_S
                        ) -> CampaignReport:
     """The full campaign: count fault-point hits per engine, then
     systematically crash at every sampled ``(point, hit)`` coordinate
-    and verify recovery with the oracle."""
+    and verify recovery with the oracle.
+
+    ``bus`` streams live telemetry: the counting phase publishes
+    ``campaign_started`` / per-engine ``campaign_counted`` events plus
+    its own heartbeats, and the coordinate sweep streams point
+    lifecycle events and worker heartbeats like any other sweep."""
     counting: Dict[str, CampaignPointResult] = {}
     uncovered: Dict[str, List[str]] = {}
     specs: List[CampaignSpec] = []
+    if bus is not None:
+        bus.publish(_bus.CAMPAIGN_STARTED, source="campaign",
+                    engines=list(engines), seed=seed, ops=ops)
     for engine in engines:
-        count_result = CampaignSpec(engine=engine, seed=seed,
-                                    ops=ops).execute()
+        publisher = BusPublisher(bus, source=f"count-{engine}",
+                                 heartbeat_s=heartbeat_s) \
+            if bus is not None else None
+        count_spec = CampaignSpec(engine=engine, seed=seed, ops=ops)
+        count_result = count_spec.execute(telemetry=publisher) \
+            if publisher is not None else count_spec.execute()
         counting[engine] = count_result
         uncovered[engine] = [
             point for point in fault_points_for_engine(engine)
             if count_result.hits.get(point, 0) <= 0]
-        for triggers in plan_coordinates(engine, count_result.hits,
-                                         max_hits_per_point):
+        coordinates = plan_coordinates(engine, count_result.hits,
+                                       max_hits_per_point)
+        for triggers in coordinates:
             specs.append(CampaignSpec(engine=engine, seed=seed, ops=ops,
                                       triggers=triggers,
                                       observe=observe))
+        if bus is not None:
+            bus.publish(_bus.CAMPAIGN_COUNTED, source=f"count-{engine}",
+                        engine=engine, coordinates=len(coordinates),
+                        points_hit=len(count_result.hits),
+                        uncovered=len(uncovered[engine]))
     outcomes = run_sweep(specs, jobs=jobs, timeout_s=timeout_s,
                          retries=retries, observe=observe,
-                         artifacts_dir=artifacts_dir)
+                         artifacts_dir=artifacts_dir, bus=bus,
+                         heartbeat_s=heartbeat_s)
     return CampaignReport(engines=tuple(engines), seed=seed,
                           counting=counting, outcomes=outcomes,
                           uncovered=uncovered)

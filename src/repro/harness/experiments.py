@@ -148,7 +148,7 @@ def ycsb_throughput(latency_name: str, scale: Scale = QUICK_SCALE,
                     mixtures: Optional[Sequence[str]] = None,
                     skews: Sequence[str] = ("low", "high"),
                     engines: Sequence[str] = tuple(ALL_ENGINES),
-                    jobs: int = 1,
+                    jobs: int = 1, bus=None,
                     ) -> Tuple[List[str], List[List],
                                Dict[tuple, ExperimentResult]]:
     """One of Figs. 5/6/7: throughput for every engine x mixture x skew
@@ -171,7 +171,7 @@ def ycsb_throughput(latency_name: str, scale: Scale = QUICK_SCALE,
         for mixture in mixtures
         for skew in skews
     ]
-    points = results_or_raise(run_sweep(specs, jobs=jobs))
+    points = results_or_raise(run_sweep(specs, jobs=jobs, bus=bus))
     results = {(spec.engine, spec.mixture, spec.skew): result
                for spec, result in zip(specs, points)}
     rows = [[engine, *[results[(engine, mixture, skew)].throughput
@@ -188,7 +188,7 @@ def tpcc_throughput(scale: Scale = QUICK_SCALE,
                     latencies: Sequence[str] = ("dram", "low-nvm",
                                                 "high-nvm"),
                     engines: Sequence[str] = tuple(ALL_ENGINES),
-                    jobs: int = 1,
+                    jobs: int = 1, bus=None,
                     ) -> Tuple[List[str], List[List],
                                Dict[tuple, ExperimentResult]]:
     """Fig. 8: TPC-C throughput for every engine under each latency."""
@@ -205,7 +205,7 @@ def tpcc_throughput(scale: Scale = QUICK_SCALE,
         for engine, latency_name in grid
     ]
     results = dict(zip(grid, results_or_raise(
-        run_sweep(specs, jobs=jobs))))
+        run_sweep(specs, jobs=jobs, bus=bus))))
     rows = [[engine, *[results[(engine, latency_name)].throughput
                        for latency_name in latencies]]
             for engine in engines]
@@ -275,7 +275,7 @@ def time_breakdown(scale: Scale = QUICK_SCALE,
                    mixtures: Sequence[str] = ("read-only", "read-heavy",
                                               "balanced", "write-heavy"),
                    engines: Sequence[str] = tuple(ALL_ENGINES),
-                   jobs: int = 1,
+                   jobs: int = 1, bus=None,
                    ) -> Dict[str, Tuple[List[str], List[List]]]:
     """Fig. 13: % of execution time per engine component (storage /
     recovery / index / other), YCSB low skew, low NVM latency."""
@@ -291,7 +291,7 @@ def time_breakdown(scale: Scale = QUICK_SCALE,
         for mixture, engine in grid
     ]
     results = dict(zip(grid, results_or_raise(
-        run_sweep(specs, jobs=jobs))))
+        run_sweep(specs, jobs=jobs, bus=bus))))
     figures = {}
     for mixture in mixtures:
         headers = ["engine", "storage %", "recovery %", "index %",
@@ -315,7 +315,7 @@ def time_breakdown(scale: Scale = QUICK_SCALE,
 def storage_footprint(workload: str = "ycsb",
                       scale: Scale = QUICK_SCALE,
                       engines: Sequence[str] = tuple(ALL_ENGINES),
-                      jobs: int = 1,
+                      jobs: int = 1, bus=None,
                       ) -> Tuple[List[str], List[List]]:
     """Fig. 14: NVM bytes per component after running the workload."""
     headers = ["engine", "table (KB)", "index (KB)", "log (KB)",
@@ -343,7 +343,7 @@ def storage_footprint(workload: str = "ycsb",
         ]
     rows = []
     for spec, result in zip(specs, results_or_raise(
-            run_sweep(specs, jobs=jobs))):
+            run_sweep(specs, jobs=jobs, bus=bus))):
         breakdown = result.storage_breakdown
         row = [spec.engine]
         for component in ("table", "index", "log", "checkpoint",
@@ -361,7 +361,7 @@ def storage_footprint(workload: str = "ycsb",
 def node_size_sensitivity(scale: Scale = QUICK_SCALE,
                           mixtures: Sequence[str] = ("read-heavy",
                                                      "write-heavy"),
-                          jobs: int = 1,
+                          jobs: int = 1, bus=None,
                           ) -> Dict[str, Tuple[List[str], List[List]]]:
     """Fig. 15: throughput of the NVM-aware engines while varying their
     B+tree node sizes (YCSB, low latency, low skew)."""
@@ -387,7 +387,9 @@ def node_size_sensitivity(scale: Scale = QUICK_SCALE,
     ]
     results = {(engine, size, mixture): result
                for (engine, __, size, mixture), result in zip(
-                   grid, results_or_raise(run_sweep(specs, jobs=jobs)))}
+                   grid,
+                   results_or_raise(run_sweep(specs, jobs=jobs,
+                                              bus=bus)))}
     figures = {}
     for engine, (parameter, sizes) in sweeps.items():
         headers = ["node size (B)", *mixtures]

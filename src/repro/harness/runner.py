@@ -21,6 +21,8 @@ from typing import Any, Dict, List, Optional
 from ..config import CacheConfig, EngineConfig, LatencyProfile, \
     PlatformConfig
 from ..core.database import Database
+from ..obs.bus import HeartbeatEmitter, TelemetryPublisher
+from ..obs.profiler import PhaseProfiler
 from ..obs.session import ObservabilitySession
 from ..workloads.tpcc import TPCCConfig, TPCCWorkload
 from ..workloads.ycsb import YCSBConfig, YCSBWorkload
@@ -63,6 +65,12 @@ class ExperimentResult:
     #: Periodic counter samples over the run (see repro.obs.sampler);
     #: populated only when an observability session is attached.
     timeseries: Optional[List[Dict[str, float]]] = None
+    #: Phase profile (``repro-phase-profile`` payload, see
+    #: repro.obs.profiler): wall-vs-simulated time per run phase.
+    #: Populated only when the run executes with live telemetry —
+    #: profile data is wall-clock side-band, so default runs stay
+    #: byte-identical between serial and parallel sweeps.
+    phases: Optional[Dict[str, Any]] = None
 
     @property
     def throughput(self) -> float:
@@ -129,12 +137,14 @@ def _measure(db: Database, run_workload, spec: ExperimentSpec,
 
 def _finish_run(db: Database, result: ExperimentResult,
                 obs: Optional[ObservabilitySession],
-                crash_recover: bool) -> None:
+                crash_recover: bool,
+                profiler: PhaseProfiler) -> None:
     """Post-measurement epilogue: optional crash + recovery cycle (so
     recovery-phase spans land in the trace) and session detach."""
     if crash_recover:
-        db.crash()
-        recovery_s = db.recover()
+        with profiler.phase("recovery", db):
+            db.crash()
+            recovery_s = db.recover()
         result.extra["recovery_seconds"] = recovery_s
         result.extra["recovery_s"] = recovery_s
         if obs is not None:
@@ -144,7 +154,8 @@ def _finish_run(db: Database, result: ExperimentResult,
                 engine=result.engine,
                 workload=result.workload).set(recovery_s)
     if obs is not None:
-        obs.detach(db)
+        with profiler.phase("teardown", db):
+            obs.detach(db)
 
 
 def _make_workload(spec: ExperimentSpec):
@@ -159,7 +170,9 @@ def _make_workload(spec: ExperimentSpec):
 
 def run(spec: ExperimentSpec,
         obs: Optional[ObservabilitySession] = None,
-        database: Optional[Database] = None) -> ExperimentResult:
+        database: Optional[Database] = None,
+        telemetry: Optional[TelemetryPublisher] = None
+        ) -> ExperimentResult:
     """Execute one experiment point; returns its measurements.
 
     ``spec`` fully determines the run, so equal specs produce equal
@@ -170,32 +183,59 @@ def run(spec: ExperimentSpec,
     pre-loaded database (e.g. several mixtures against one load, as in
     the read/write experiments); that escape hatch is in-process only —
     live databases never cross the scheduler's process boundary.
+
+    Pass ``telemetry`` (a :class:`~repro.obs.bus.TelemetryPublisher`)
+    to stream progress while the point runs: per-commit heartbeats
+    (rate-limited) plus phase transitions, and to attach the phase
+    profile to :attr:`ExperimentResult.phases`. Telemetry is wall-clock
+    side-band data; the measured results are identical with it on or
+    off.
     """
+    profiler = PhaseProfiler(publisher=telemetry,
+                             enabled=telemetry is not None)
+    profiler.start()
     workload = _make_workload(spec)
     db = database
-    if db is None:
-        db = _make_database(spec)
-        if obs is not None:
-            obs.attach(db, spec.engine, spec.workload_name)
-        workload.load(db)
-        # Post-load checkpoint (engines without checkpoints: no-op) so
-        # the in-run checkpoint cadence is measured from a clean base.
-        db.checkpoint()
-    elif obs is not None:
+    fresh = db is None
+    if fresh:
+        with profiler.phase("setup"):
+            db = _make_database(spec)
+    if obs is not None:
         obs.attach(db, spec.engine, spec.workload_name)
-    if spec.run_checkpoint_interval is not None:
-        for partition in db.partitions:
-            partition.engine.checkpoint_interval_txns = \
-                spec.run_checkpoint_interval
-    db.settle()
-    result = _measure(
-        db, lambda: workload.run(db, spec.num_txns), spec, obs=obs)
-    if spec.workload == "ycsb":
-        result.extra["num_tuples"] = spec.num_tuples
-    result.extra["seed"] = spec.seed
-    result.extra["partitions"] = spec.partitions
-    result.extra["cache_bytes"] = spec.cache_bytes
-    _finish_run(db, result, obs, spec.crash_recover)
+    heartbeat = None
+    if telemetry is not None:
+        heartbeat = HeartbeatEmitter(telemetry, db)
+        heartbeat.install()
+    try:
+        if fresh:
+            with profiler.phase("load", db):
+                workload.load(db)
+            # Post-load checkpoint (engines without checkpoints: no-op)
+            # so the in-run checkpoint cadence is measured from a clean
+            # base.
+            with profiler.phase("checkpoint", db):
+                db.checkpoint()
+        if spec.run_checkpoint_interval is not None:
+            for partition in db.partitions:
+                partition.engine.checkpoint_interval_txns = \
+                    spec.run_checkpoint_interval
+        db.settle()
+        with profiler.phase("run", db):
+            result = _measure(
+                db, lambda: workload.run(db, spec.num_txns), spec,
+                obs=obs)
+        if spec.workload == "ycsb":
+            result.extra["num_tuples"] = spec.num_tuples
+        result.extra["seed"] = spec.seed
+        result.extra["partitions"] = spec.partitions
+        result.extra["cache_bytes"] = spec.cache_bytes
+        _finish_run(db, result, obs, spec.crash_recover, profiler)
+    finally:
+        if heartbeat is not None:
+            heartbeat.uninstall()
+    profiler.stop()
+    if profiler.enabled:
+        result.phases = profiler.to_dict()
     return result
 
 

@@ -21,12 +21,21 @@ Each point gets:
   ``spec.observe``), the point runs under its own
   :class:`~repro.obs.session.ObservabilitySession`; its trace JSONL and
   metrics are written to per-point files named by ``spec.slug()``, and
-  a merged ``summary.json`` describes the whole sweep.
+  a merged ``summary.json`` describes the whole sweep;
+* **live telemetry** — with a ``bus``
+  (:class:`~repro.obs.bus.EventBus`), the scheduler publishes point
+  lifecycle events (started / finished / retried / crashed) and workers
+  stream phase transitions and progress heartbeats back over the result
+  pipe as they run, so a multi-hour sweep is observable from its first
+  second (``--live`` and ``--events`` in the CLI).
 
 Specs are what cross the process boundary (pickled into the worker);
-results, and optionally the detached per-point session, come back over
-a pipe. ``jobs=1`` runs everything in-process — same code path, same
-results, no processes.
+telemetry events, then the final result (and optionally the detached
+per-point session), come back over a pipe as tagged messages —
+``("event", payload)`` interleaved ahead of one ``("done", ...)``.
+``jobs=1`` runs everything in-process — same code path, same results,
+no processes. Failures carry the full formatted traceback in
+:attr:`PointOutcome.error` (``error_summary`` is the one-line digest).
 """
 
 from __future__ import annotations
@@ -35,12 +44,16 @@ import json
 import multiprocessing
 import os
 import time
+import traceback
 from collections import deque
 from dataclasses import dataclass, field
 from multiprocessing.connection import wait as _connection_wait
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..errors import SweepError
+from ..obs import bus as _bus
+from ..obs.bus import (DEFAULT_HEARTBEAT_S, BusPublisher, EventBus,
+                       PipePublisher, TelemetryEvent)
 from ..obs.session import ObservabilitySession
 from .runner import ExperimentResult, run
 from .spec import ExperimentSpec
@@ -54,14 +67,34 @@ SUMMARY_FILENAME = "summary.json"
 _POLL_INTERVAL_S = 0.05
 
 
+def _format_error(exc: BaseException) -> str:
+    """The full formatted traceback — sweeps run far from the failure,
+    so the outcome must carry everything needed to debug it."""
+    return "".join(traceback.format_exception(
+        type(exc), exc, exc.__traceback__)).rstrip()
+
+
+def _error_summary(error: Optional[str]) -> Optional[str]:
+    """Last non-blank line of a (possibly multi-line) error — the
+    ``TypeError: ...`` headline of a traceback."""
+    if not error:
+        return error
+    for line in reversed(error.splitlines()):
+        if line.strip():
+            return line.strip()
+    return error
+
+
 @dataclass
 class PointOutcome:
     """What happened to one spec of a sweep."""
 
     spec: ExperimentSpec
     result: Optional[ExperimentResult] = None
-    #: Human-readable failure ("TypeError: ...", "worker crashed
-    #: (exit code -11)", "timeout after 60s"); ``None`` on success.
+    #: Failure description; ``None`` on success. For in-point
+    #: exceptions this is the **full formatted traceback**; scheduler
+    #: failures read "worker crashed (exit code -11)" / "timeout after
+    #: 60s". Use :attr:`error_summary` for one-line displays.
     error: Optional[str] = None
     #: Host (wall-clock) seconds the point took, including worker
     #: startup and every retry — this is what ``--jobs`` shrinks.
@@ -77,12 +110,19 @@ class PointOutcome:
     def ok(self) -> bool:
         return self.error is None
 
+    @property
+    def error_summary(self) -> Optional[str]:
+        """One-line digest of :attr:`error` (tracebacks collapse to
+        their final ``SomeError: ...`` line)."""
+        return _error_summary(self.error)
 
-def _execute_point(spec: ExperimentSpec, observe: bool
+
+def _execute_point(spec: ExperimentSpec, observe: bool,
+                   telemetry=None
                    ) -> Tuple[ExperimentResult,
                               Optional[ObservabilitySession]]:
     """Run one spec (in whatever process this is), optionally under a
-    fresh per-point observability session.
+    fresh per-point observability session and/or telemetry publisher.
 
     A spec that defines its own ``execute(obs=...)`` (e.g. a
     fault-injection campaign point) runs through it; plain
@@ -91,22 +131,62 @@ def _execute_point(spec: ExperimentSpec, observe: bool
         if (observe or getattr(spec, "observe", False)) else None
     execute = getattr(spec, "execute", None)
     if callable(execute):
-        result = execute(obs=obs)
+        # Only pass telemetry when live: campaign specs accept it, but
+        # minimal test doubles only implement execute(obs=...).
+        result = execute(obs=obs, telemetry=telemetry) \
+            if telemetry is not None else execute(obs=obs)
+    elif telemetry is not None:
+        result = run(spec, obs=obs, telemetry=telemetry)
     else:
         result = run(spec, obs=obs)
     return result, obs
 
 
-def _point_worker(spec: ExperimentSpec, observe: bool, conn) -> None:
-    """Worker-process entry: run the point, ship back
-    ``(result, session, error)`` over the pipe."""
+def _point_source(index: int, spec: ExperimentSpec) -> str:
+    return f"{index:04d}-{spec.slug()}"
+
+
+def _publish_point(bus: Optional[EventBus], kind: str, index: int,
+                   spec: ExperimentSpec, **data) -> None:
+    if bus is None:
+        return
+    bus.publish(kind, source=_point_source(index, spec),
+                index=index, engine=getattr(spec, "engine", ""),
+                **data)
+
+
+def _point_finished_data(outcome: PointOutcome) -> Dict[str, object]:
+    data: Dict[str, object] = {
+        "ok": outcome.ok,
+        "attempts": outcome.attempts,
+        "host_seconds": outcome.host_seconds,
+    }
+    if outcome.error is not None:
+        data["error"] = outcome.error_summary
+    throughput = getattr(outcome.result, "throughput", None)
+    if throughput is not None:
+        data["throughput"] = throughput
+    return data
+
+
+def _point_worker(spec: ExperimentSpec, observe: bool, conn,
+                  telemetry: bool = False,
+                  heartbeat_s: float = DEFAULT_HEARTBEAT_S,
+                  source: str = "") -> None:
+    """Worker-process entry: run the point — streaming telemetry
+    events over the pipe when live — then ship back
+    ``("done", (result, session, error))``."""
+    publisher = PipePublisher(conn, source=source,
+                              heartbeat_s=heartbeat_s) \
+        if telemetry else None
     try:
-        result, session = _execute_point(spec, observe)
-        conn.send((result, session, None))
+        result, session = _execute_point(spec, observe) \
+            if publisher is None \
+            else _execute_point(spec, observe, publisher)
+        conn.send(("done", (result, session, None)))
     except BaseException as exc:  # isolate *any* point failure
-        message = f"{type(exc).__name__}: {exc}"
         try:
-            conn.send((None, None, message))
+            conn.send(("done", (None, None, _format_error(exc))))
         except Exception:
             pass  # parent will see EOF and report a crash
     finally:
@@ -119,27 +199,46 @@ def _backoff_s(retry_backoff_s: float, attempt: int) -> float:
 
 
 def _run_serial(outcomes: List[PointOutcome], observe: bool,
-                retries: int, retry_backoff_s: float) -> None:
-    for outcome in outcomes:
+                retries: int, retry_backoff_s: float,
+                bus: Optional[EventBus],
+                heartbeat_s: float) -> None:
+    for index, outcome in enumerate(outcomes):
+        spec = outcome.spec
+        publisher = None
+        if bus is not None:
+            publisher = BusPublisher(bus,
+                                     source=_point_source(index, spec),
+                                     heartbeat_s=heartbeat_s)
         for attempt in range(retries + 1):
             if attempt:
                 time.sleep(_backoff_s(retry_backoff_s, attempt))
             outcome.attempts += 1
+            _publish_point(bus, _bus.POINT_STARTED, index, spec,
+                           attempt=outcome.attempts)
             started = time.perf_counter()
             try:
-                outcome.result, outcome.session = _execute_point(
-                    outcome.spec, observe)
+                outcome.result, outcome.session = \
+                    _execute_point(spec, observe) if publisher is None \
+                    else _execute_point(spec, observe, publisher)
                 outcome.error = None
             except Exception as exc:
-                outcome.error = f"{type(exc).__name__}: {exc}"
+                outcome.error = _format_error(exc)
             outcome.host_seconds += time.perf_counter() - started
             if outcome.error is None:
                 break
+            if attempt < retries:
+                _publish_point(bus, _bus.POINT_RETRIED, index, spec,
+                               attempt=outcome.attempts,
+                               error=outcome.error_summary)
+        _publish_point(bus, _bus.POINT_FINISHED, index, spec,
+                       **_point_finished_data(outcome))
 
 
 def _run_parallel(outcomes: List[PointOutcome], jobs: int,
                   observe: bool, timeout_s: Optional[float],
-                  retries: int, retry_backoff_s: float) -> None:
+                  retries: int, retry_backoff_s: float,
+                  bus: Optional[EventBus],
+                  heartbeat_s: float) -> None:
     methods = multiprocessing.get_all_start_methods()
     context = multiprocessing.get_context(
         "fork" if "fork" in methods else "spawn")
@@ -158,18 +257,31 @@ def _run_parallel(outcomes: List[PointOutcome], jobs: int,
         outcome = outcomes[index]
         outcome.error = error
         if outcome.attempts <= retries:
+            _publish_point(bus, _bus.POINT_RETRIED, index,
+                           outcome.spec, attempt=outcome.attempts,
+                           error=outcome.error_summary)
             delay = _backoff_s(retry_backoff_s, outcome.attempts)
             pending.append((index, time.perf_counter() + delay))
+        else:
+            _publish_point(bus, _bus.POINT_FINISHED, index,
+                           outcome.spec,
+                           **_point_finished_data(outcome))
 
-    def _finish(conn) -> None:
+    def _finish(conn, payload) -> None:
+        """Handle a worker's final message (or its death when
+        ``payload`` is None)."""
         index, process, started = running.pop(conn)
         outcome = outcomes[index]
-        try:
-            result, session, error = conn.recv()
-        except (EOFError, OSError):
+        if payload is None:
             process.join()
             result, session = None, None
-            error = f"worker crashed (exit code {process.exitcode})"
+            error: Optional[str] = \
+                f"worker crashed (exit code {process.exitcode})"
+            _publish_point(bus, _bus.POINT_CRASHED, index,
+                           outcome.spec, exitcode=process.exitcode,
+                           attempt=outcome.attempts)
+        else:
+            result, session, error = payload
         outcome.result = result
         outcome.session = session
         outcome.host_seconds += time.perf_counter() - started
@@ -177,19 +289,43 @@ def _run_parallel(outcomes: List[PointOutcome], jobs: int,
         process.join()
         if error is None:
             outcome.error = None
+            _publish_point(bus, _bus.POINT_FINISHED, index,
+                           outcome.spec,
+                           **_point_finished_data(outcome))
         else:
             _fail_or_requeue(index, error)
+
+    def _service(conn) -> None:
+        """One readable pipe: either a streamed telemetry event
+        (re-publish and keep the worker running) or the final tagged
+        result / an EOF from a dead worker."""
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            _finish(conn, None)
+            return
+        tag, payload = message
+        if tag == "event":
+            if bus is not None:
+                bus.publish(TelemetryEvent.from_dict(payload))
+            return
+        _finish(conn, payload)
 
     while pending or running:
         while pending and len(running) < jobs:
             index = _pop_ready(time.perf_counter())
             if index is None:
                 break  # every pending point is backing off
-            outcomes[index].attempts += 1
+            outcome = outcomes[index]
+            outcome.attempts += 1
+            _publish_point(bus, _bus.POINT_STARTED, index,
+                           outcome.spec, attempt=outcome.attempts)
             parent_conn, child_conn = context.Pipe(duplex=False)
             process = context.Process(
                 target=_point_worker,
-                args=(outcomes[index].spec, observe, child_conn),
+                args=(outcome.spec, observe, child_conn,
+                      bus is not None, heartbeat_s,
+                      _point_source(index, outcome.spec)),
                 daemon=True)
             process.start()
             child_conn.close()
@@ -201,7 +337,7 @@ def _run_parallel(outcomes: List[PointOutcome], jobs: int,
         # sleeps one poll interval.
         for conn in _connection_wait(list(running),
                                      timeout=_POLL_INTERVAL_S):
-            _finish(conn)
+            _service(conn)
         if timeout_s is None:
             continue
         now = time.perf_counter()
@@ -220,7 +356,10 @@ def run_sweep(specs: Sequence[ExperimentSpec], jobs: int = 1,
               timeout_s: Optional[float] = None,
               artifacts_dir: Optional[str] = None,
               observe: bool = False, retries: int = 0,
-              retry_backoff_s: float = 0.05) -> List[PointOutcome]:
+              retry_backoff_s: float = 0.05,
+              bus: Optional[EventBus] = None,
+              heartbeat_s: float = DEFAULT_HEARTBEAT_S
+              ) -> List[PointOutcome]:
     """Execute every spec; returns one :class:`PointOutcome` per spec,
     **in spec order** regardless of completion order.
 
@@ -234,16 +373,34 @@ def run_sweep(specs: Sequence[ExperimentSpec], jobs: int = 1,
     attaches a per-point ObservabilitySession; ``artifacts_dir``
     additionally writes per-point trace/metrics files plus a merged
     ``summary.json``.
+    ``bus`` streams live telemetry: the scheduler publishes point
+    lifecycle events and every point publishes phase transitions and
+    rate-limited progress heartbeats (at most one per ``heartbeat_s``
+    wall seconds per point). Telemetry is wall-clock side-band data —
+    the merged *results* stay byte-identical with or without it.
     """
     if retries < 0:
         raise ValueError(f"retries must be >= 0, got {retries}")
     outcomes = [PointOutcome(spec=spec) for spec in specs]
     observe = observe or artifacts_dir is not None
+    started = time.perf_counter()
+    if bus is not None:
+        bus.publish(_bus.SWEEP_STARTED, source="sweep",
+                    points=len(outcomes), jobs=jobs)
     if jobs <= 1 or len(outcomes) <= 1:
-        _run_serial(outcomes, observe, retries, retry_backoff_s)
+        _run_serial(outcomes, observe, retries, retry_backoff_s,
+                    bus, heartbeat_s)
     else:
         _run_parallel(outcomes, jobs, observe, timeout_s, retries,
-                      retry_backoff_s)
+                      retry_backoff_s, bus, heartbeat_s)
+    if bus is not None:
+        bus.publish(_bus.SWEEP_FINISHED, source="sweep",
+                    points=len(outcomes),
+                    failed=sum(1 for o in outcomes if not o.ok),
+                    retries=sum(max(0, o.attempts - 1)
+                                for o in outcomes),
+                    host_seconds=time.perf_counter() - started,
+                    **bus.stats())
     if artifacts_dir is not None:
         _write_artifacts(outcomes, artifacts_dir)
     return outcomes
@@ -256,7 +413,7 @@ def results_or_raise(outcomes: Sequence[PointOutcome]
     failures = [outcome for outcome in outcomes if not outcome.ok]
     if failures:
         details = "; ".join(
-            f"{outcome.spec.slug()}: {outcome.error}"
+            f"{outcome.spec.slug()}: {outcome.error_summary}"
             for outcome in failures)
         raise SweepError(
             f"{len(failures)}/{len(outcomes)} sweep points failed: "

@@ -55,6 +55,10 @@ class Platform:
         self.txn_latency = None
         self.op_counters = None
         self.sampler = None
+        #: Telemetry heartbeat probe (see repro.obs.bus): called once
+        #: per committed transaction when a live-telemetry session is
+        #: attached. None means "off" and costs one check per commit.
+        self.txn_probe = None
         self.device = NVMDevice(
             self.config.nvm_capacity_bytes, self.config.latency,
             self.clock, self.stats, line_size=self.config.cache.line_size,

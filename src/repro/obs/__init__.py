@@ -15,25 +15,53 @@ latencies) but exposes it continuously instead of as end-of-run deltas:
   metrics, and human-readable summaries.
 * :mod:`repro.obs.session` — harness glue attaching all of the above to
   a :class:`~repro.core.database.Database`.
+* :mod:`repro.obs.bus` — cross-process telemetry event bus: workers
+  stream typed events (point lifecycle, phase transitions, progress
+  heartbeats) over the scheduler pipe into a coordinator-side
+  aggregator with JSONL event logs and bounded, drop-counted queues.
+* :mod:`repro.obs.live` — TTY-gated live progress renderer over the
+  bus (``--live``), with a plain-log fallback.
+* :mod:`repro.obs.profiler` — per-phase wall-vs-simulated time
+  attribution (setup/load/run/checkpoint/recovery/teardown) with
+  collapsed-stack flamegraph export.
+* :mod:`repro.obs.history` — run-history aggregation backing the
+  ``repro report`` subcommand.
 
 Everything is opt-in: the default tracer is inactive and records
 nothing, so instrumented code paths cost one attribute check when
 observability is off.
 """
 
+from .bus import (BoundedEventQueue, BusPublisher, EventBus,
+                  HeartbeatEmitter, JsonlEventLog, PipePublisher,
+                  TelemetryEvent, TelemetryPublisher)
+from .live import LiveRenderer
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .profiler import PhaseProfiler, merge_profiles, write_collapsed
 from .sampler import TimeSeriesSampler
 from .session import ObservabilityOptions, ObservabilitySession
 from .tracer import Span, Tracer
 
 __all__ = [
+    "BoundedEventQueue",
+    "BusPublisher",
     "Counter",
+    "EventBus",
     "Gauge",
+    "HeartbeatEmitter",
     "Histogram",
+    "JsonlEventLog",
+    "LiveRenderer",
     "MetricsRegistry",
     "ObservabilityOptions",
     "ObservabilitySession",
+    "PhaseProfiler",
+    "PipePublisher",
     "Span",
+    "TelemetryEvent",
+    "TelemetryPublisher",
     "TimeSeriesSampler",
     "Tracer",
+    "merge_profiles",
+    "write_collapsed",
 ]

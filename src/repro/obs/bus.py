@@ -1,0 +1,388 @@
+"""Cross-process telemetry event bus for sweeps and campaigns.
+
+A multi-hour sweep used to be opaque: process-per-point workers ran to
+completion and the coordinator learned everything at the end. This
+module gives every run a structured event stream instead:
+
+* **Workers** publish typed events — phase transitions, periodic
+  progress heartbeats with transaction counts and the sim-clock
+  position — through a :class:`PipePublisher` over the *existing*
+  scheduler pipe (no extra file descriptors, no sockets).
+* **The coordinator** owns an :class:`EventBus`. Point lifecycle events
+  (started / finished / retried / crashed) are published by the
+  scheduler itself; worker events are re-published as they arrive.
+* **Consumers** attach in two ways: push *sinks* see every event (the
+  :class:`JsonlEventLog` persists the full stream), and pull
+  :class:`BoundedEventQueue` subscriptions buffer events for periodic
+  consumers like the live renderer — bounded, with heartbeat
+  coalescing, and with every drop **counted**, never silent.
+
+Events are plain data (a kind, a source, a wall timestamp, a payload
+dict), so they cross the process boundary as dicts and land in JSONL
+logs unchanged. Ordering: the bus assigns a monotonically increasing
+``seq`` at publish time, and queues preserve publish order for
+non-heartbeat events (a coalesced heartbeat keeps its queue position
+but carries the newest payload).
+
+This is the observation substrate the upcoming network tier and the
+sharded executor publish into — anything that can call
+``publisher.publish(kind, **data)`` becomes observable.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Deque, Dict, List, Optional
+
+__all__ = [
+    "EVENT_KINDS", "TelemetryEvent", "EventBus", "BoundedEventQueue",
+    "JsonlEventLog", "TelemetryPublisher", "BusPublisher",
+    "PipePublisher", "HeartbeatEmitter", "DEFAULT_HEARTBEAT_S",
+    "DEFAULT_QUEUE_CAPACITY",
+]
+
+# Event kinds (the wire vocabulary; free-form kinds are allowed, these
+# are the ones the scheduler/campaign/runner emit and the live renderer
+# understands).
+SWEEP_STARTED = "sweep_started"
+SWEEP_FINISHED = "sweep_finished"
+POINT_STARTED = "point_started"
+POINT_FINISHED = "point_finished"
+POINT_RETRIED = "point_retried"
+POINT_CRASHED = "point_crashed"
+PHASE_ENTER = "phase_enter"
+PHASE_EXIT = "phase_exit"
+HEARTBEAT = "heartbeat"
+CAMPAIGN_STARTED = "campaign_started"
+CAMPAIGN_COUNTED = "campaign_counted"
+LOG_CLOSED = "log_closed"
+
+EVENT_KINDS = (
+    SWEEP_STARTED, SWEEP_FINISHED, POINT_STARTED, POINT_FINISHED,
+    POINT_RETRIED, POINT_CRASHED, PHASE_ENTER, PHASE_EXIT, HEARTBEAT,
+    CAMPAIGN_STARTED, CAMPAIGN_COUNTED, LOG_CLOSED,
+)
+
+#: Minimum wall seconds between heartbeats from one publisher.
+DEFAULT_HEARTBEAT_S = 0.25
+
+#: Default pending-event capacity of a subscribed queue.
+DEFAULT_QUEUE_CAPACITY = 1024
+
+
+@dataclass
+class TelemetryEvent:
+    """One telemetry event: a kind, a source, a timestamp, a payload."""
+
+    kind: str
+    #: Emitting entity: ``"sweep"``, a point's ``NNNN-<slug>`` name, ...
+    source: str = ""
+    #: Free-form JSON-ready payload (txn counts, sim clock, errors...).
+    data: Dict[str, Any] = field(default_factory=dict)
+    #: Wall-clock epoch seconds at emission (stamped by the publisher;
+    #: the bus fills it in if the emitter left it zero).
+    wall_s: float = 0.0
+    #: Global publish order, assigned by the coordinator bus.
+    seq: int = -1
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "source": self.source,
+                "seq": self.seq, "wall_s": self.wall_s,
+                "data": self.data}
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "TelemetryEvent":
+        return cls(kind=payload.get("kind", "?"),
+                   source=payload.get("source", ""),
+                   data=dict(payload.get("data") or {}),
+                   wall_s=float(payload.get("wall_s", 0.0)),
+                   seq=int(payload.get("seq", -1)))
+
+
+class BoundedEventQueue:
+    """Pull-side event buffer: bounded, heartbeat-coalescing, and
+    drop-counting.
+
+    * Non-heartbeat events drain in publish (``seq``) order.
+    * A heartbeat whose source already has a pending heartbeat
+      *coalesces*: the pending entry is replaced in place with the
+      newer payload (``coalesced`` counts how many were folded away).
+    * When the queue is full, the **oldest** pending event is dropped
+      to make room (the freshest state wins for a live display) and
+      ``dropped`` is incremented — drops are always counted, never
+      silent.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_QUEUE_CAPACITY) -> None:
+        if capacity <= 0:
+            raise ValueError("queue capacity must be positive")
+        self.capacity = capacity
+        self.dropped = 0
+        self.coalesced = 0
+        self._events: Deque[TelemetryEvent] = deque()
+
+    def push(self, event: TelemetryEvent) -> None:
+        if event.kind == HEARTBEAT:
+            for index in range(len(self._events) - 1, -1, -1):
+                pending = self._events[index]
+                if pending.kind == HEARTBEAT \
+                        and pending.source == event.source:
+                    self._events[index] = event
+                    self.coalesced += 1
+                    return
+        if len(self._events) >= self.capacity:
+            self._events.popleft()
+            self.dropped += 1
+        self._events.append(event)
+
+    def drain(self) -> List[TelemetryEvent]:
+        """All pending events, oldest first; the queue is left empty."""
+        events = list(self._events)
+        self._events.clear()
+        return events
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+
+class EventBus:
+    """Coordinator-side aggregator: assigns order, fans events out.
+
+    ``publish`` stamps each event with a global sequence number, pushes
+    it into every subscribed :class:`BoundedEventQueue`, and hands it to
+    every sink. Sinks see the complete stream (a JSONL log must not have
+    holes); queues are bounded and account for their own losses.
+    """
+
+    def __init__(self) -> None:
+        self._sinks: List[Callable[[TelemetryEvent], None]] = []
+        self._queues: List[BoundedEventQueue] = []
+        self._seq = 0
+        self.published = 0
+
+    def add_sink(self, sink: Callable[[TelemetryEvent], None]) -> None:
+        self._sinks.append(sink)
+
+    def remove_sink(self, sink: Callable[[TelemetryEvent], None]
+                    ) -> None:
+        if sink in self._sinks:
+            self._sinks.remove(sink)
+
+    def subscribe(self, capacity: int = DEFAULT_QUEUE_CAPACITY
+                  ) -> BoundedEventQueue:
+        """A new bounded queue receiving every subsequent event."""
+        queue = BoundedEventQueue(capacity)
+        self._queues.append(queue)
+        return queue
+
+    def publish(self, event, source: str = "",
+                **data: Any) -> TelemetryEvent:
+        """Publish an event (or build one from ``kind`` + ``data``);
+        returns the stamped event."""
+        if not isinstance(event, TelemetryEvent):
+            event = TelemetryEvent(kind=str(event), source=source,
+                                   data=data)
+        if event.wall_s == 0.0:
+            event.wall_s = time.time()
+        event.seq = self._seq
+        self._seq += 1
+        self.published += 1
+        for queue in self._queues:
+            queue.push(event)
+        for sink in self._sinks:
+            sink(event)
+        return event
+
+    def stats(self) -> Dict[str, int]:
+        """Aggregate accounting: published events plus every
+        subscriber's drop/coalesce counts (the non-silent report)."""
+        return {
+            "published": self.published,
+            "dropped": sum(q.dropped for q in self._queues),
+            "coalesced": sum(q.coalesced for q in self._queues),
+        }
+
+
+class JsonlEventLog:
+    """Bus sink persisting every event as one JSON line.
+
+    Lines are flushed as written so ``tail -f`` follows a running
+    sweep. ``close()`` appends a final ``log_closed`` event carrying
+    the bus accounting (published/dropped/coalesced), so any queue
+    losses are recorded in the artifact itself.
+    """
+
+    def __init__(self, path: str,
+                 bus: Optional[EventBus] = None) -> None:
+        self.path = path
+        self.lines = 0
+        self._bus = bus
+        parent = os.path.dirname(os.path.abspath(path))
+        os.makedirs(parent, exist_ok=True)
+        self._stream = open(path, "w", encoding="utf-8")
+        if bus is not None:
+            bus.add_sink(self)
+
+    def __call__(self, event: TelemetryEvent) -> None:
+        self._stream.write(json.dumps(event.to_dict(), sort_keys=True))
+        self._stream.write("\n")
+        self._stream.flush()
+        self.lines += 1
+
+    def close(self) -> None:
+        if self._stream.closed:
+            return
+        if self._bus is not None:
+            self._bus.remove_sink(self)
+            stats = dict(self._bus.stats(), lines=self.lines)
+            self(TelemetryEvent(kind=LOG_CLOSED, source="log",
+                                data=stats, wall_s=time.time(),
+                                seq=self._bus.published))
+        self._stream.close()
+
+    def __enter__(self) -> "JsonlEventLog":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+# ----------------------------------------------------------------------
+# Publishers (the worker/run side)
+# ----------------------------------------------------------------------
+
+class TelemetryPublisher:
+    """Base publisher: event construction + heartbeat rate limiting.
+
+    Subclasses implement :meth:`_emit` to move the event somewhere —
+    into a local bus or over a pipe. ``heartbeat()`` is rate-limited to
+    one per ``heartbeat_s`` wall seconds, and :meth:`heartbeat_due`
+    makes the *pre-collection* gate cheap: callers skip gathering
+    counter snapshots entirely between beats.
+    """
+
+    def __init__(self, source: str = "",
+                 heartbeat_s: float = DEFAULT_HEARTBEAT_S) -> None:
+        self.source = source
+        self.heartbeat_s = heartbeat_s
+        self.sent = 0
+        self._last_heartbeat = float("-inf")
+
+    def publish(self, kind: str, **data: Any) -> TelemetryEvent:
+        event = TelemetryEvent(kind=kind, source=self.source,
+                               data=data, wall_s=time.time())
+        self._emit(event)
+        self.sent += 1
+        return event
+
+    def heartbeat_due(self) -> bool:
+        return (time.monotonic() - self._last_heartbeat
+                >= self.heartbeat_s)
+
+    def heartbeat(self, **data: Any) -> bool:
+        """Publish a heartbeat unless one went out too recently;
+        returns whether it was sent."""
+        now = time.monotonic()
+        if now - self._last_heartbeat < self.heartbeat_s:
+            return False
+        self._last_heartbeat = now
+        self.publish(HEARTBEAT, **data)
+        return True
+
+    def _emit(self, event: TelemetryEvent) -> None:
+        raise NotImplementedError
+
+
+class BusPublisher(TelemetryPublisher):
+    """In-process publisher: events go straight into a local bus
+    (serial sweeps, counting runs, anything coordinator-side)."""
+
+    def __init__(self, bus: EventBus, source: str = "",
+                 heartbeat_s: float = DEFAULT_HEARTBEAT_S) -> None:
+        super().__init__(source, heartbeat_s)
+        self._bus = bus
+
+    def _emit(self, event: TelemetryEvent) -> None:
+        self._bus.publish(event)
+
+
+class PipePublisher(TelemetryPublisher):
+    """Worker-process publisher: events travel the scheduler's result
+    pipe as ``("event", payload)`` messages, interleaved ahead of the
+    final ``("done", ...)``. Sends are lock-serialized (heartbeats may
+    fire from instrumentation hooks) and a dead pipe — the coordinator
+    gave up on this point — degrades to counting, never raising into
+    the workload."""
+
+    def __init__(self, conn, source: str = "",
+                 heartbeat_s: float = DEFAULT_HEARTBEAT_S) -> None:
+        super().__init__(source, heartbeat_s)
+        self._conn = conn
+        self._lock = threading.Lock()
+        self.send_failures = 0
+
+    def _emit(self, event: TelemetryEvent) -> None:
+        try:
+            with self._lock:
+                self._conn.send(("event", event.to_dict()))
+        except (OSError, ValueError, BrokenPipeError):
+            self.send_failures += 1
+
+
+class HeartbeatEmitter:
+    """Per-commit probe turning a running database into heartbeats.
+
+    Installed as ``platform.txn_probe`` on every partition (the same
+    pattern as the session's latency histogram: one attribute check per
+    transaction when telemetry is off). Each call is gated by the
+    publisher's heartbeat window before any counters are gathered, so
+    steady-state cost is a clock read and a comparison.
+
+    Heartbeat payload: committed/aborted transaction counts, the
+    sim-clock position, and the NVM load/store counters — plus whatever
+    the optional ``extra`` callable contributes (campaigns add
+    crash/recovery counters).
+    """
+
+    def __init__(self, publisher: TelemetryPublisher, db,
+                 extra: Optional[Callable[[], Dict[str, Any]]] = None
+                 ) -> None:
+        self._publisher = publisher
+        self._db = db
+        self._extra = extra
+
+    def install(self) -> None:
+        for partition in self._db.partitions:
+            partition.platform.txn_probe = self
+
+    def uninstall(self) -> None:
+        for partition in self._db.partitions:
+            if partition.platform.txn_probe is self:
+                partition.platform.txn_probe = None
+
+    def __call__(self) -> None:
+        if not self._publisher.heartbeat_due():
+            return
+        self.emit()
+
+    def emit(self) -> bool:
+        """Collect a snapshot and offer it to the publisher (still
+        subject to the rate limit); returns whether it went out."""
+        db = self._db
+        counters = db.nvm_counters()
+        data: Dict[str, Any] = {
+            "engine": getattr(db, "engine_name", ""),
+            "txns": db.committed_txns,
+            "aborted": db.aborted_txns,
+            "sim_ns": db.now_ns,
+            "nvm_loads": counters["loads"],
+            "nvm_stores": counters["stores"],
+        }
+        if self._extra is not None:
+            data.update(self._extra())
+        return self._publisher.heartbeat(**data)

@@ -188,33 +188,115 @@ def summarize_metrics(text: str) -> str:
                         title="Metrics (histogram buckets elided)")
 
 
+def _error_headline(error: Any) -> Any:
+    """Last non-blank line of a possibly multi-line error (tracebacks
+    collapse to their final ``SomeError: ...`` line)."""
+    if not isinstance(error, str):
+        return error
+    for line in reversed(error.splitlines()):
+        if line.strip():
+            return line.strip()
+    return error
+
+
 def summarize_sweep(summary: Dict[str, Any]) -> str:
     """Render a scheduler ``summary.json`` (see
     :func:`repro.harness.scheduler.write_sweep_summary`) as a table:
-    one row per point, in spec order."""
+    one row per point, in spec order — plus a merged phase-profile
+    table when the points carry one (telemetry runs)."""
     rows = []
+    profiles = []
     for point in summary.get("points", []):
         spec = point.get("spec", {})
         result = point.get("result") or {}
+        profiles.append(result.get("phases"))
         rows.append([
             spec.get("workload", "?"),
             spec.get("engine", "?"),
             spec.get("latency", "?"),
             "ok" if point.get("ok") else
-            f"FAILED: {point.get('error')}",
+            f"FAILED: {_error_headline(point.get('error'))}",
             round(result.get("throughput", 0.0), 1),
             round(point.get("host_seconds", 0.0), 2),
         ])
     failed = summary.get("failed", 0)
-    return format_table(
+    rendered = format_table(
         ["workload", "engine", "latency", "status", "txn/s",
          "host (s)"], rows,
         title=f"Sweep: {len(rows)} points, {failed} failed")
+    if any(profiles):
+        from .profiler import merge_profiles
+        rendered += "\n\n" + summarize_profile(merge_profiles(profiles))
+    return rendered
+
+
+def summarize_profile(profile: Dict[str, Any]) -> str:
+    """Render a ``repro-phase-profile`` payload (see
+    :mod:`repro.obs.profiler`) as a wall-vs-simulated phase table."""
+    total = profile.get("total_wall_s") or 0.0
+    rows = []
+    for entry in sorted(profile.get("phases", []),
+                        key=lambda e: (e["depth"], -e["wall_s"])):
+        indent = "  " * entry["depth"]
+        share = 100.0 * entry["wall_s"] / total if total > 0 else 0.0
+        rows.append([
+            indent + entry["stack"],
+            entry["count"],
+            round(entry["wall_s"] * 1e3, 3),
+            f"{share:.1f}%",
+            round(entry["sim_ns"] / 1e6, 3),
+        ])
+    coverage = profile.get("coverage")
+    coverage_text = f"{100 * coverage:.1f}%" \
+        if coverage is not None else "n/a"
+    return format_table(
+        ["phase", "count", "wall (ms)", "wall %", "sim (ms)"], rows,
+        title=(f"Phases: {total * 1e3:.3f} ms wall, "
+               f"{coverage_text} attributed"))
+
+
+def summarize_events(records: List[Dict[str, Any]]) -> str:
+    """Render a telemetry event log (JSONL, see
+    :class:`repro.obs.bus.JsonlEventLog`) as per-kind and per-source
+    tables, surfacing the final accounting (drops are never silent)."""
+    by_kind: Dict[str, int] = {}
+    sources = set()
+    first_wall = last_wall = None
+    closing: Dict[str, Any] = {}
+    for record in records:
+        kind = record.get("kind", "?")
+        by_kind[kind] = by_kind.get(kind, 0) + 1
+        sources.add(record.get("source", ""))
+        wall = record.get("wall_s")
+        if isinstance(wall, (int, float)):
+            first_wall = wall if first_wall is None else first_wall
+            last_wall = wall
+        if kind == "log_closed":
+            closing = record.get("data", {})
+    rows = [[kind, count] for kind, count in sorted(by_kind.items())]
+    span = (last_wall - first_wall) \
+        if first_wall is not None and last_wall is not None else 0.0
+    parts = [format_table(
+        ["event kind", "count"], rows,
+        title=(f"Event log: {len(records)} events, "
+               f"{len(sources)} sources, {span:.2f} s"))]
+    if closing:
+        rows = [[key, _format_value(value)]
+                for key, value in sorted(closing.items())
+                if isinstance(value, (int, float))]
+        parts.append(format_table(
+            ["counter", "value"], rows, title="Bus accounting"))
+    return "\n\n".join(parts)
+
+
+def _looks_like_event_log(records: List[Dict[str, Any]]) -> bool:
+    return bool(records) and all(
+        "kind" in record and "seq" in record for record in records)
 
 
 def summarize_file(path: str) -> str:
-    """Dispatch on file shape: sweep summary JSON vs JSONL trace vs
-    Prometheus text."""
+    """Dispatch on file shape: sweep summary / phase profile JSON vs
+    event-log / trace JSONL vs Prometheus text."""
     with open(path, "r", encoding="utf-8") as stream:
         text = stream.read()
     if text.lstrip().startswith("{"):
@@ -222,9 +304,15 @@ def summarize_file(path: str) -> str:
             document = json.loads(text)
         except json.JSONDecodeError:
             document = None
-        if isinstance(document, dict) and \
-                document.get("kind") == "repro-sweep-summary":
-            return summarize_sweep(document)
+        if isinstance(document, dict):
+            kind = document.get("kind")
+            if kind == "repro-sweep-summary":
+                return summarize_sweep(document)
+            if kind == "repro-phase-profile":
+                return summarize_profile(document)
         import io
-        return summarize_trace(read_trace_jsonl(io.StringIO(text)))
+        records = read_trace_jsonl(io.StringIO(text))
+        if _looks_like_event_log(records):
+            return summarize_events(records)
+        return summarize_trace(records)
     return summarize_metrics(text)

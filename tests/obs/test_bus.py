@@ -1,0 +1,247 @@
+"""Event bus: ordering, heartbeat coalescing, drop accounting."""
+
+import json
+import multiprocessing
+
+import pytest
+
+from repro.obs import bus as bus_mod
+from repro.obs.bus import (BoundedEventQueue, BusPublisher, EventBus,
+                           HeartbeatEmitter, JsonlEventLog,
+                           PipePublisher, TelemetryEvent)
+
+
+def _event(kind="heartbeat", source="p0", **data):
+    return TelemetryEvent(kind=kind, source=source, data=data)
+
+
+# ----------------------------------------------------------------------
+# TelemetryEvent round-trip
+# ----------------------------------------------------------------------
+
+def test_event_round_trips_through_dict():
+    event = _event("point_started", "0001-slug", attempt=2)
+    event.seq = 17
+    event.wall_s = 123.5
+    clone = TelemetryEvent.from_dict(event.to_dict())
+    assert clone.kind == "point_started"
+    assert clone.source == "0001-slug"
+    assert clone.data == {"attempt": 2}
+    assert clone.seq == 17
+    assert clone.wall_s == 123.5
+
+
+# ----------------------------------------------------------------------
+# Bus ordering
+# ----------------------------------------------------------------------
+
+def test_bus_assigns_monotonic_seq_in_publish_order():
+    bus = EventBus()
+    seen = []
+    bus.add_sink(lambda e: seen.append(e))
+    queue = bus.subscribe()
+    for index in range(5):
+        bus.publish("point_started", source=f"p{index}", index=index)
+    assert [e.seq for e in seen] == [0, 1, 2, 3, 4]
+    drained = queue.drain()
+    assert [e.seq for e in drained] == [0, 1, 2, 3, 4]
+    assert [e.data["index"] for e in drained] == [0, 1, 2, 3, 4]
+
+
+def test_bus_stamps_wall_clock_when_unset():
+    bus = EventBus()
+    event = bus.publish("sweep_started", source="sweep")
+    assert event.wall_s > 0
+
+
+def test_queue_preserves_order_of_non_heartbeat_events():
+    queue = BoundedEventQueue(capacity=10)
+    kinds = ["point_started", "phase_enter", "phase_exit",
+             "point_finished"]
+    for seq, kind in enumerate(kinds):
+        event = _event(kind)
+        event.seq = seq
+        queue.push(event)
+    assert [e.kind for e in queue.drain()] == kinds
+
+
+# ----------------------------------------------------------------------
+# Heartbeat coalescing
+# ----------------------------------------------------------------------
+
+def test_heartbeats_coalesce_per_source_in_place():
+    queue = BoundedEventQueue(capacity=10)
+    queue.push(_event("heartbeat", "a", txns=1))
+    queue.push(_event("point_started", "b"))
+    queue.push(_event("heartbeat", "b", txns=5))
+    queue.push(_event("heartbeat", "a", txns=2))  # replaces a's beat
+    queue.push(_event("heartbeat", "a", txns=3))  # replaces again
+    events = queue.drain()
+    # a's heartbeat kept its original queue position, newest payload.
+    assert [(e.kind, e.source) for e in events] == [
+        ("heartbeat", "a"), ("point_started", "b"), ("heartbeat", "b")]
+    assert events[0].data["txns"] == 3
+    assert queue.coalesced == 2
+
+
+def test_distinct_sources_do_not_coalesce():
+    queue = BoundedEventQueue(capacity=10)
+    queue.push(_event("heartbeat", "a", txns=1))
+    queue.push(_event("heartbeat", "b", txns=2))
+    assert len(queue) == 2
+    assert queue.coalesced == 0
+
+
+# ----------------------------------------------------------------------
+# Bounded queue drop accounting
+# ----------------------------------------------------------------------
+
+def test_full_queue_drops_oldest_and_counts():
+    queue = BoundedEventQueue(capacity=3)
+    for index in range(5):
+        queue.push(_event("point_started", f"p{index}", index=index))
+    events = queue.drain()
+    assert [e.data["index"] for e in events] == [2, 3, 4]
+    assert queue.dropped == 2
+
+
+def test_bus_stats_aggregate_subscriber_losses():
+    bus = EventBus()
+    bus.subscribe(capacity=2)
+    bus.subscribe(capacity=100)
+    for index in range(6):
+        bus.publish("point_started", source=f"p{index}")
+    stats = bus.stats()
+    assert stats["published"] == 6
+    assert stats["dropped"] == 4  # only the tiny queue lost events
+    assert stats["coalesced"] == 0
+
+
+def test_queue_capacity_must_be_positive():
+    with pytest.raises(ValueError):
+        BoundedEventQueue(capacity=0)
+
+
+# ----------------------------------------------------------------------
+# JSONL event log
+# ----------------------------------------------------------------------
+
+def test_event_log_persists_stream_and_closing_accounting(tmp_path):
+    path = str(tmp_path / "events.jsonl")
+    bus = EventBus()
+    with JsonlEventLog(path, bus):
+        bus.publish("sweep_started", source="sweep", points=2)
+        bus.publish("heartbeat", source="p0", txns=10)
+        bus.publish("sweep_finished", source="sweep", failed=0)
+    records = [json.loads(line) for line in open(path)]
+    assert [r["kind"] for r in records] == [
+        "sweep_started", "heartbeat", "sweep_finished", "log_closed"]
+    assert [r["seq"] for r in records[:3]] == [0, 1, 2]
+    closing = records[-1]["data"]
+    assert closing["published"] == 3
+    assert closing["dropped"] == 0
+    assert closing["lines"] == 3
+
+
+def test_event_log_close_is_idempotent(tmp_path):
+    path = str(tmp_path / "events.jsonl")
+    log = JsonlEventLog(path, EventBus())
+    log.close()
+    log.close()
+
+
+# ----------------------------------------------------------------------
+# Publishers
+# ----------------------------------------------------------------------
+
+def test_bus_publisher_rate_limits_heartbeats():
+    bus = EventBus()
+    queue = bus.subscribe()
+    publisher = BusPublisher(bus, source="p0", heartbeat_s=3600.0)
+    assert publisher.heartbeat(txns=1) is True
+    assert publisher.heartbeat(txns=2) is False  # window not elapsed
+    assert publisher.publish("phase_enter", phase="run")  # not limited
+    kinds = [e.kind for e in queue.drain()]
+    assert kinds == ["heartbeat", "phase_enter"]
+
+
+def test_zero_interval_heartbeats_all_pass():
+    bus = EventBus()
+    publisher = BusPublisher(bus, source="p0", heartbeat_s=0.0)
+    assert publisher.heartbeat(txns=1)
+    assert publisher.heartbeat(txns=2)
+    assert bus.stats()["published"] == 2
+
+
+def test_pipe_publisher_sends_tagged_events():
+    parent, child = multiprocessing.Pipe(duplex=False)
+    publisher = PipePublisher(child, source="0001-x", heartbeat_s=0.0)
+    publisher.publish("phase_enter", phase="load")
+    tag, payload = parent.recv()
+    assert tag == "event"
+    event = TelemetryEvent.from_dict(payload)
+    assert event.kind == "phase_enter"
+    assert event.source == "0001-x"
+    assert event.data == {"phase": "load"}
+    parent.close()
+    child.close()
+
+
+def test_pipe_publisher_survives_dead_pipe():
+    parent, child = multiprocessing.Pipe(duplex=False)
+    publisher = PipePublisher(child, source="p0", heartbeat_s=0.0)
+    parent.close()
+    child.close()
+    publisher.publish("heartbeat", txns=1)  # must not raise
+    assert publisher.send_failures == 1
+
+
+# ----------------------------------------------------------------------
+# Heartbeat emitter (per-commit probe)
+# ----------------------------------------------------------------------
+
+class _FakeDb:
+    engine_name = "inp"
+    committed_txns = 42
+    aborted_txns = 1
+    now_ns = 5e9
+
+    def __init__(self):
+        self.partitions = [self]
+        self.platform = self
+
+        class _P:
+            txn_probe = None
+        self.platform = _P()
+
+    def nvm_counters(self):
+        return {"loads": 10, "stores": 20}
+
+
+def test_heartbeat_emitter_payload_and_install_cycle():
+    bus = EventBus()
+    queue = bus.subscribe()
+    publisher = BusPublisher(bus, source="p0", heartbeat_s=0.0)
+    db = _FakeDb()
+    emitter = HeartbeatEmitter(
+        publisher, db, extra=lambda: {"crashes": 3})
+    emitter.install()
+    assert db.partitions[0].platform.txn_probe is emitter
+    emitter()  # what the partition executor calls per commit
+    emitter.uninstall()
+    assert db.partitions[0].platform.txn_probe is None
+    (event,) = queue.drain()
+    assert event.kind == bus_mod.HEARTBEAT
+    assert event.data == {
+        "engine": "inp", "txns": 42, "aborted": 1, "sim_ns": 5e9,
+        "nvm_loads": 10, "nvm_stores": 20, "crashes": 3}
+
+
+def test_heartbeat_emitter_skips_collection_when_not_due():
+    bus = EventBus()
+    publisher = BusPublisher(bus, source="p0", heartbeat_s=3600.0)
+    db = _FakeDb()
+    emitter = HeartbeatEmitter(publisher, db)
+    emitter()
+    emitter()
+    assert bus.stats()["published"] == 1
