@@ -9,7 +9,8 @@ multi-run LSM tree.
 """
 
 from repro.analysis.tables import format_table
-from repro.harness.runner import run_ycsb
+from repro.harness.runner import run
+from repro.harness.spec import ExperimentSpec
 
 
 def _run(scale):
@@ -18,14 +19,14 @@ def _run(scale):
         measures = {}
         for label, bits, hashes in (("bloom", 10, 3),
                                     ("saturated", 1, 1)):
-            result = run_ycsb(
+            result = run(ExperimentSpec.ycsb(
                 engine, "read-heavy", "low",
                 num_tuples=scale.ycsb_tuples,
                 num_txns=scale.ycsb_txns,
                 engine_config=scale.engine_config(
                     bloom_bits_per_key=bits, bloom_hashes=hashes,
                     memtable_threshold_bytes=16 * 1024),
-                cache_bytes=scale.cache_bytes)
+                cache_bytes=scale.cache_bytes))
             measures[label] = result
         rows.append([engine,
                      measures["bloom"].throughput,

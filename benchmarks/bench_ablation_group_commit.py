@@ -7,7 +7,8 @@ the batch size on a write-heavy workload.
 """
 
 from repro.analysis.tables import format_table
-from repro.harness.runner import run_ycsb
+from repro.harness.runner import run
+from repro.harness.spec import ExperimentSpec
 
 BATCHES = (1, 4, 16, 64)
 
@@ -17,13 +18,13 @@ def _run(scale):
     for engine in ("inp", "cow", "nvm-inp"):
         row = [engine]
         for batch in BATCHES:
-            result = run_ycsb(
+            result = run(ExperimentSpec.ycsb(
                 engine, "write-heavy", "low",
                 num_tuples=scale.ycsb_tuples,
                 num_txns=scale.ycsb_txns,
                 engine_config=scale.engine_config(
                     group_commit_size=batch),
-                cache_bytes=scale.cache_bytes)
+                cache_bytes=scale.cache_bytes))
             row.append(result.throughput)
         rows.append(row)
     headers = ["engine", *[f"batch={batch}" for batch in BATCHES]]

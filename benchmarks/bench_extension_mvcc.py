@@ -8,7 +8,8 @@ and the in-flight registry never holds images.
 """
 
 from repro.analysis.tables import format_table
-from repro.harness.runner import run_ycsb
+from repro.harness.runner import run
+from repro.harness.spec import ExperimentSpec
 
 
 def _run(scale):
@@ -16,12 +17,12 @@ def _run(scale):
     for engine in ("nvm-inp", "nvm-mvcc"):
         row = [engine]
         for mixture in ("read-heavy", "write-heavy"):
-            result = run_ycsb(
+            result = run(ExperimentSpec.ycsb(
                 engine, mixture, "low",
                 num_tuples=scale.ycsb_tuples,
                 num_txns=scale.ycsb_txns,
                 engine_config=scale.engine_config(),
-                cache_bytes=scale.cache_bytes)
+                cache_bytes=scale.cache_bytes))
             row.append(result.throughput)
             if mixture == "write-heavy":
                 row.append(result.nvm_stores)

@@ -9,7 +9,8 @@ than DRAM", Section 1), PCM (50/150 ns), and RRAM (100 ns).
 """
 
 from repro.analysis.tables import format_table
-from repro.harness.runner import run_ycsb
+from repro.harness.runner import run
+from repro.harness.spec import ExperimentSpec
 from repro.nvm.constants import TECHNOLOGIES
 
 PROFILES = ("MRAM", "PCM", "RRAM")
@@ -21,12 +22,12 @@ def _run(scale):
         profile = TECHNOLOGIES[technology].latency_profile()
         row = [technology]
         for mixture in ("read-heavy", "write-heavy"):
-            result = run_ycsb(
+            result = run(ExperimentSpec.ycsb(
                 "nvm-inp", mixture, "low", latency=profile,
                 num_tuples=scale.ycsb_tuples,
                 num_txns=scale.ycsb_txns,
                 engine_config=scale.engine_config(),
-                cache_bytes=scale.cache_bytes)
+                cache_bytes=scale.cache_bytes))
             row.append(result.throughput)
         rows.append(row)
     return ["technology", "read-heavy", "write-heavy"], rows

@@ -1,0 +1,81 @@
+"""Server-side group commit — the network tier's acceptance benchmark.
+
+A loopback server under a closed-loop multi-client load: with >= 8
+concurrent sessions, batching durability across sessions must cut the
+simulated durability cost (WAL fsyncs + flush+fence trains) per
+committed transaction versus flushing every commit, and the saving
+must grow with client count as batches fill (``docs/server.md``).
+
+Engines: ``inp`` (WAL fsync per durable point — the engine group
+commit was built for) and ``nvm-inp`` (persists at the logical commit;
+batching must at least never hurt its durability accounting).
+"""
+
+from repro.analysis.tables import format_table
+from repro.harness.closed_loop import ClosedLoopConfig, run_loopback
+from repro.server import GroupCommitConfig, ServerConfig
+
+CLIENTS = (1, 4, 8)
+
+
+def _workload(clients: int) -> ClosedLoopConfig:
+    return ClosedLoopConfig(clients=clients, txns_per_client=25,
+                            ops_per_txn=2, keys=256, seed=42)
+
+
+def _server(engine: str, enabled: bool) -> ServerConfig:
+    return ServerConfig(
+        engine=engine,
+        group_commit=GroupCommitConfig(enabled=enabled, batch_size=16,
+                                       max_hold_ns=500_000.0,
+                                       max_hold_wall_s=0.002))
+
+
+def _measure(engine: str):
+    rows = []
+    for clients in CLIENTS:
+        off = run_loopback(_server(engine, False), _workload(clients))
+        on = run_loopback(_server(engine, True), _workload(clients))
+        rows.append([clients,
+                     f"{off.rounds_per_txn:.3f}",
+                     f"{on.rounds_per_txn:.3f}",
+                     f"{on.mean_batch:.2f}", on.max_batch,
+                     on.committed, on.failed])
+    headers = ["clients", "rounds/txn off", "rounds/txn on",
+               "mean batch", "max batch", "committed", "failed"]
+    return headers, rows
+
+
+def test_server_group_commit_inp(benchmark, report):
+    headers, rows = benchmark.pedantic(
+        _measure, args=("inp",), rounds=1, iterations=1)
+    report("server group commit inp",
+           format_table(headers, rows,
+                        title="Server group commit — inp (WAL fsync)"))
+    by_clients = {row[0]: row for row in rows}
+    for clients, row in by_clients.items():
+        assert row[6] == 0                      # no failed txns
+        assert row[5] == clients * 25           # all committed
+        assert float(row[1]) >= 1.0             # unbatched: 1 round/txn
+    # The acceptance criterion: at 8 concurrent sessions, group commit
+    # reduces durability rounds per committed transaction.
+    eight = by_clients[8]
+    assert float(eight[2]) < float(eight[1]), \
+        "group commit did not reduce durability cost at 8 clients"
+    assert float(eight[3]) > 1.5                # batches actually form
+    # And the saving grows with concurrency.
+    assert float(by_clients[8][2]) < float(by_clients[1][2])
+
+
+def test_server_group_commit_nvm_inp(benchmark, report):
+    headers, rows = benchmark.pedantic(
+        _measure, args=("nvm-inp",), rounds=1, iterations=1)
+    report("server group commit nvm-inp",
+           format_table(headers, rows,
+                        title="Server group commit — nvm-inp "
+                              "(persists at logical commit)"))
+    for row in rows:
+        assert row[6] == 0
+        # The NVM-aware engine's durable point is (near) free either
+        # way — batching must never increase its durability cost.
+        assert float(row[2]) <= float(row[1])

@@ -1,0 +1,144 @@
+#!/usr/bin/env python
+"""CI smoke test of the network tier, end to end.
+
+Launches a real ``python -m repro serve`` subprocess on a loopback
+ephemeral port, drives it through the client library with concurrent
+closed-loop sessions, injects one mid-run crash/recover cycle under
+live load, verifies every transaction was accounted for, then shuts
+the server down with SIGTERM and requires a clean exit (code 0, group
+commit accounting table printed, no orphan process).
+
+Telemetry lands in ``--out`` (default ``server-smoke-artifacts/``):
+``result.json`` (closed-loop measurement), ``stats.json`` (the stats
+verb's final snapshot), ``server.log`` (the subprocess's output) — CI
+uploads the directory when the job fails.
+
+Exit code 0 on success; any assertion failure or timeout is fatal.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import re
+import signal
+import subprocess
+import sys
+import threading
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent
+                       / "src"))
+
+from repro.client import ReproClient                      # noqa: E402
+from repro.harness.closed_loop import (ClosedLoopConfig,  # noqa: E402
+                                       run_closed_loop)
+
+BANNER = re.compile(r"listening on ([\d.]+):(\d+)")
+
+
+def start_server(engine: str, log_path: pathlib.Path,
+                 timeout_s: float = 30.0):
+    """Launch ``repro serve`` and wait for its listening banner."""
+    log = log_path.open("w", encoding="utf-8")
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--engine", engine,
+         "--port", "0", "--batch-size", "8", "--hold-ns", "500000",
+         "--hold-wall-ms", "2"],
+        stdout=log, stderr=subprocess.STDOUT,
+        cwd=str(pathlib.Path(__file__).resolve().parent.parent))
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        banner = BANNER.search(log_path.read_text(encoding="utf-8"))
+        if banner:
+            return process, banner.group(1), int(banner.group(2))
+        if process.poll() is not None:
+            raise RuntimeError(
+                f"server died at startup (exit {process.returncode}); "
+                f"see {log_path}")
+        time.sleep(0.1)
+    process.kill()
+    raise RuntimeError(f"server never printed its banner; see {log_path}")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--engine", default="inp",
+                        help="storage engine (default: inp — its WAL "
+                             "fsync makes group commit visible)")
+    parser.add_argument("--clients", type=int, default=6)
+    parser.add_argument("--txns-per-client", type=int, default=50)
+    parser.add_argument("--out", default="server-smoke-artifacts")
+    args = parser.parse_args()
+    assert args.clients >= 4, "smoke needs >= 4 concurrent sessions"
+
+    out = pathlib.Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    process, host, port = start_server(args.engine, out / "server.log")
+    print(f"server up on {host}:{port} (pid {process.pid})")
+
+    try:
+        # One crash/recover cycle while the clients are mid-flight:
+        # trigger on progress (~25% of the workload committed), not on
+        # wall time, so the failure always lands under live load.
+        expected = args.clients * args.txns_per_client
+
+        def saboteur():
+            with ReproClient(host, port) as admin:
+                deadline = time.monotonic() + 60.0
+                while time.monotonic() < deadline:
+                    if admin.stats()["committed_txns"] >= expected // 4:
+                        break
+                    time.sleep(0.005)
+                lost = admin.crash()["lost_commits"]
+                print(f"injected power failure "
+                      f"({lost} in-flight commits lost)")
+                time.sleep(0.05)
+                admin.recover()
+                print("recovered under live load")
+
+        chaos = threading.Thread(target=saboteur, daemon=True)
+        chaos.start()
+
+        workload = ClosedLoopConfig(clients=args.clients,
+                                    txns_per_client=args.txns_per_client,
+                                    ops_per_txn=2, keys=256, seed=20150631)
+        result = run_closed_loop(host, port, workload)
+        chaos.join(timeout=30.0)
+        assert not chaos.is_alive(), "saboteur never finished"
+
+        (out / "result.json").write_text(
+            json.dumps(result.to_dict(), indent=2), encoding="utf-8")
+        (out / "stats.json").write_text(
+            json.dumps(result.server_stats, indent=2), encoding="utf-8")
+
+        print(f"committed {result.committed}/{expected} "
+              f"({result.failed} retried through the crash), "
+              f"rounds/txn {result.rounds_per_txn:.3f}, "
+              f"mean batch {result.mean_batch:.2f}")
+        assert result.committed == expected, \
+            f"lost transactions: {result.committed} != {expected}"
+        assert result.failed > 0, \
+            "the crash was invisible — saboteur raced the workload?"
+        assert not result.server_stats["crashed"]
+        assert result.mean_batch > 1.0, \
+            "group commit never batched despite concurrent sessions"
+    except BaseException:
+        process.send_signal(signal.SIGTERM)
+        process.wait(timeout=15.0)
+        raise
+
+    # Clean SIGTERM shutdown: exit 0 and the accounting table printed.
+    process.send_signal(signal.SIGTERM)
+    exit_code = process.wait(timeout=15.0)
+    log_text = (out / "server.log").read_text(encoding="utf-8")
+    assert exit_code == 0, f"server exited {exit_code}; log:\n{log_text}"
+    assert "group commit on" in log_text, \
+        f"no accounting table in server output:\n{log_text}"
+    print("clean shutdown (exit 0, accounting table printed)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

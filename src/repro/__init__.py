@@ -26,9 +26,12 @@ from .config import (CacheConfig, EngineConfig, FilesystemConfig,
                      LatencyProfile, PlatformConfig)
 from .core.database import Database
 from .core.schema import Column, ColumnType, Schema
+from .core.session import Session, SessionState
 from .core.transaction import Transaction, TransactionStatus
 from .engines import ENGINE_NAMES, StorageEngine, create_engine
-from .errors import (DuplicateKeyError, ReproError, TransactionAborted,
+from .errors import (CrashedError, DatabaseClosedError,
+                     DuplicateKeyError, ReproError, SessionClosedError,
+                     SessionError, SessionStateError, TransactionAborted,
                      TupleNotFoundError)
 from .nvm.platform import Platform
 
@@ -38,7 +41,9 @@ __all__ = [
     "CacheConfig",
     "Column",
     "ColumnType",
+    "CrashedError",
     "Database",
+    "DatabaseClosedError",
     "DuplicateKeyError",
     "ENGINE_NAMES",
     "EngineConfig",
@@ -48,6 +53,11 @@ __all__ = [
     "PlatformConfig",
     "ReproError",
     "Schema",
+    "Session",
+    "SessionClosedError",
+    "SessionError",
+    "SessionState",
+    "SessionStateError",
     "StorageEngine",
     "Transaction",
     "TransactionAborted",

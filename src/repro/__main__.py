@@ -532,6 +532,45 @@ def _cmd_obs(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from .server import DatabaseServer, GroupCommitConfig, ServerConfig
+
+    group_commit = GroupCommitConfig(
+        enabled=not args.no_group_commit,
+        batch_size=args.batch_size,
+        max_hold_ns=args.hold_ns,
+        max_hold_wall_s=args.hold_wall_ms / 1000.0)
+    config = ServerConfig(
+        host=args.host, port=args.port, engine=args.engine,
+        partitions=args.partitions, latency=args.latency,
+        seed=args.seed, max_inflight=args.max_inflight,
+        group_commit=group_commit)
+    server = DatabaseServer(config)
+
+    def _ready(address):
+        print(f"repro server: {config.engine} engine, "
+              f"{config.partitions} partition(s), group commit "
+              f"{'off' if args.no_group_commit else 'on'} — listening "
+              f"on {address[0]}:{address[1]} (ctrl-C to stop)",
+              flush=True)
+
+    server.run(ready=_ready)    # blocks until SIGINT/SIGTERM/shutdown
+    host, port = server.address or (args.host, args.port)
+    stats = [stage.stats() for __, stage
+             in sorted(server._stages.items())]
+    rows = [[s["partition"], s["txns"], s["batches"],
+             f"{s['mean_batch']:.2f}", s["max_batch"],
+             s["durability_rounds"], f"{s['rounds_per_txn']:.3f}"]
+            for s in stats]
+    if rows:
+        print(format_table(
+            ["partition", "txns", "batches", "mean", "max",
+             "rounds", "rounds/txn"],
+            rows, title=f"group commit on {host}:{port} "
+                        f"({server.database.engine_name})"))
+    return 0
+
+
 def _cmd_figure(args) -> int:
     scale = _scale(args)
     number = args.number
@@ -776,6 +815,37 @@ def main(argv: Optional[List[str]] = None) -> int:
                     "file produced by --trace/--metrics")
     obs_parser.add_argument("file")
     obs_parser.set_defaults(func=_cmd_obs)
+
+    serve_parser = commands.add_parser(
+        "serve",
+        help="serve a database over the wire protocol (asyncio "
+             "socket server with group commit; see docs/server.md)")
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument("--port", type=int, default=7333,
+                              help="TCP port (0 = ephemeral)")
+    serve_parser.add_argument("--engine", default="nvm-inp",
+                              choices=engine_names())
+    serve_parser.add_argument("--partitions", type=int, default=1)
+    serve_parser.add_argument("--latency", default=None,
+                              choices=("dram", "low-nvm", "high-nvm"))
+    serve_parser.add_argument("--seed", type=int, default=0x5EED)
+    serve_parser.add_argument(
+        "--batch-size", type=int, default=8, metavar="N",
+        help="group-commit batch size (commits per durable point)")
+    serve_parser.add_argument(
+        "--hold-ns", type=float, default=200_000.0, metavar="NS",
+        help="max simulated ns a batch is held open")
+    serve_parser.add_argument(
+        "--hold-wall-ms", type=float, default=2.0, metavar="MS",
+        help="wall-clock liveness backstop for the last batch")
+    serve_parser.add_argument(
+        "--no-group-commit", action="store_true",
+        help="flush every commit individually (baseline)")
+    serve_parser.add_argument(
+        "--max-inflight", type=int, default=64, metavar="N",
+        help="admission control: transactions in flight before "
+             "begin blocks")
+    serve_parser.set_defaults(func=_cmd_serve)
 
     args = parser.parse_args(argv)
     return args.func(args)

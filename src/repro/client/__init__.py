@@ -1,0 +1,9 @@
+"""Synchronous Python client for the network tier.
+
+See :mod:`repro.client.client` for the connection object and
+``docs/server.md`` for the wire protocol it speaks.
+"""
+
+from .client import ClientSession, ReproClient, RETRYABLE_VERBS
+
+__all__ = ["ReproClient", "ClientSession", "RETRYABLE_VERBS"]

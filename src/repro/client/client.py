@@ -1,0 +1,296 @@
+"""Synchronous client for the repro database server.
+
+A :class:`ReproClient` owns one TCP connection and speaks the
+length-prefixed JSON protocol of :mod:`repro.server.protocol`. Server-
+side errors come back as structured error frames and are re-raised
+here as the same exception classes (:mod:`repro.errors`), so remote
+code reads like in-process code::
+
+    with ReproClient(host, port) as client:
+        client.create_table(schema)
+        with client.session("worker-0") as session:
+            session.begin()
+            session.insert("kv", {"k": 1, "v": "hello"})
+            session.commit()        # returns once durable
+
+**Retries.** A transient disconnect (server restart, dropped socket)
+is retried transparently — reconnect with backoff, replay the frame —
+but only for verbs that are safe to repeat (handshake, ping, stats,
+flush, recover, ...). Verbs inside a transaction are *not* replayed:
+the server closed the session with the connection, so the client
+raises :class:`~repro.errors.ServerDisconnected` and the caller
+decides (the closed-loop driver opens a fresh session and carries on).
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from ..core.schema import Schema
+from ..errors import ProtocolError, ServerDisconnected
+from ..server.protocol import (MAX_FRAME_BYTES, FrameDecoder,
+                               encode_frame, error_to_exception, request,
+                               schema_from_wire, schema_to_wire,
+                               unwire_value, wire_value)
+
+__all__ = ["ReproClient", "ClientSession", "RETRYABLE_VERBS"]
+
+#: Verbs safe to replay on a fresh connection after a transient
+#: disconnect: they carry no per-connection session state and are
+#: idempotent (or, like ``flush``/``recover``, converge to the same
+#: state when repeated).
+RETRYABLE_VERBS = frozenset(
+    {"hello", "ping", "stats", "procedures", "schema",
+     "flush", "checkpoint", "recover"})
+
+
+class ReproClient:
+    """One connection to a :class:`~repro.server.DatabaseServer`."""
+
+    def __init__(self, host: str, port: int, *,
+                 timeout: float = 30.0,
+                 retries: int = 2,
+                 retry_backoff_s: float = 0.05,
+                 max_frame_bytes: int = MAX_FRAME_BYTES) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.retries = retries
+        self.retry_backoff_s = retry_backoff_s
+        self.max_frame_bytes = max_frame_bytes
+        self._sock: Optional[socket.socket] = None
+        self._decoder = FrameDecoder(max_frame_bytes=max_frame_bytes)
+        self._pending: List[Dict[str, Any]] = []
+        self._request_ids = iter(range(1, 2 ** 62))
+        self.server_info: Dict[str, Any] = {}
+
+    # ------------------------------------------------------------------
+    # Connection management
+    # ------------------------------------------------------------------
+
+    def connect(self) -> Dict[str, Any]:
+        """Connect (with retries) and handshake; returns the server's
+        ``hello`` banner."""
+        last_error: Optional[Exception] = None
+        for attempt in range(self.retries + 1):
+            try:
+                self._open_socket()
+                self.server_info = self.call("hello")
+                return self.server_info
+            except (ConnectionError, OSError, ServerDisconnected) as exc:
+                last_error = exc
+                self._drop_socket()
+                if attempt < self.retries:
+                    time.sleep(self.retry_backoff_s * 2 ** attempt)
+        raise ServerDisconnected(
+            f"could not connect to {self.host}:{self.port}: {last_error}")
+
+    def _open_socket(self) -> None:
+        self._drop_socket()
+        self._sock = socket.create_connection(
+            (self.host, self.port), timeout=self.timeout)
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._decoder = FrameDecoder(max_frame_bytes=self.max_frame_bytes)
+        self._pending = []
+
+    def _drop_socket(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    @property
+    def connected(self) -> bool:
+        return self._sock is not None
+
+    def close(self) -> None:
+        self._drop_socket()
+
+    def __enter__(self) -> "ReproClient":
+        if not self.connected:
+            self.connect()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # The wire
+    # ------------------------------------------------------------------
+
+    def call(self, verb: str, **args: Any) -> Any:
+        """Send one request and wait for its response; server errors
+        re-raise as their :mod:`repro.errors` class."""
+        retryable = verb in RETRYABLE_VERBS
+        attempts = (self.retries + 1) if retryable else 1
+        last_error: Optional[Exception] = None
+        for attempt in range(attempts):
+            if self._sock is None:
+                # Reconnecting before anything was sent is always safe,
+                # even for non-retryable verbs.
+                self._open_socket()
+            request_id = next(self._request_ids)
+            frame = encode_frame(request(request_id, verb, **args),
+                                 max_frame_bytes=self.max_frame_bytes)
+            try:
+                self._sock.sendall(frame)
+                payload = self._read_frame()
+            except (ConnectionError, OSError) as exc:
+                last_error = exc
+                self._drop_socket()
+                if retryable and attempt < attempts - 1:
+                    time.sleep(self.retry_backoff_s * 2 ** attempt)
+                    continue
+                raise ServerDisconnected(
+                    f"connection to {self.host}:{self.port} lost during "
+                    f"{verb!r}: {exc}") from None
+            return self._unpack(payload, request_id, verb)
+        raise ServerDisconnected(
+            f"{verb!r} failed after {attempts} attempts: {last_error}")
+
+    def _read_frame(self) -> Dict[str, Any]:
+        while True:
+            if self._pending:
+                return self._pending.pop(0)
+            data = self._sock.recv(65536)
+            if not data:
+                self._decoder.eof()     # raises on a truncated frame
+                raise ConnectionError("server closed the connection")
+            self._pending.extend(self._decoder.feed(data))
+
+    @staticmethod
+    def _unpack(payload: Dict[str, Any], request_id: int,
+                verb: str) -> Any:
+        if payload.get("ok"):
+            if payload.get("id") != request_id:
+                raise ProtocolError(
+                    f"response id {payload.get('id')!r} does not match "
+                    f"request id {request_id}")
+            return payload.get("result")
+        raise error_to_exception(payload.get("error"))
+
+    # ------------------------------------------------------------------
+    # Convenience surface
+    # ------------------------------------------------------------------
+
+    def ping(self) -> Dict[str, Any]:
+        return self.call("ping")
+
+    def create_table(self, schema: Schema) -> None:
+        self.call("create_table", schema=schema_to_wire(schema))
+
+    def schema(self, table: str) -> Schema:
+        return schema_from_wire(self.call("schema", table=table)["schema"])
+
+    def procedures(self) -> List[str]:
+        return list(self.call("procedures")["procedures"])
+
+    def session(self, name: str = "") -> "ClientSession":
+        result = self.call("open_session", name=name)
+        return ClientSession(self, result["session"], result["name"])
+
+    def flush(self) -> int:
+        return self.call("flush")["flushed"]
+
+    def checkpoint(self) -> None:
+        self.call("checkpoint")
+
+    def crash(self) -> Dict[str, Any]:
+        """Simulated power failure; returns how many logically-
+        committed transactions it caught before their durable point."""
+        return self.call("crash")
+
+    def recover(self) -> float:
+        return self.call("recover")["seconds"]
+
+    def stats(self) -> Dict[str, Any]:
+        return self.call("stats")
+
+    def shutdown_server(self) -> None:
+        self.call("shutdown")
+
+
+class ClientSession:
+    """A remote session: the same begin/op/commit/abort lifecycle as
+    :class:`repro.core.session.Session`, one round trip per verb."""
+
+    def __init__(self, client: ReproClient, session_id: int,
+                 name: str) -> None:
+        self.client = client
+        self.session_id = session_id
+        self.name = name
+        self._closed = False
+
+    def _call(self, verb: str, **args: Any) -> Any:
+        return self.client.call(verb, session=self.session_id, **args)
+
+    # -- lifecycle ------------------------------------------------------
+
+    def begin(self, partition: int = 0) -> int:
+        return self._call("begin", partition=partition)["txn"]
+
+    def commit(self) -> int:
+        """Commit; returns once the transaction is *durable* (its
+        group-commit batch flushed)."""
+        return self._call("commit")["txn"]
+
+    def abort(self) -> int:
+        return self._call("abort")["txn"]
+
+    def call(self, name: str, *args: Any, partition: int = 0) -> Any:
+        """One-shot: run the registered stored procedure ``name`` as a
+        single transaction on ``partition``."""
+        result = self._call("call", name=name,
+                            args=[wire_value(arg) for arg in args],
+                            partition=partition)
+        return unwire_value(result["result"])
+
+    def close(self) -> None:
+        if self._closed or not self.client.connected:
+            self._closed = True
+            return
+        try:
+            self._call("close_session")
+        except ServerDisconnected:
+            pass
+        self._closed = True
+
+    def __enter__(self) -> "ClientSession":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # -- table operations (inside the active transaction) ---------------
+
+    def insert(self, table: str, values: Dict[str, Any]) -> None:
+        self._call("insert", table=table, values=wire_value(values))
+
+    def update(self, table: str, key: Any,
+               changes: Dict[str, Any]) -> None:
+        self._call("update", table=table, key=wire_value(key),
+                   changes=wire_value(changes))
+
+    def delete(self, table: str, key: Any) -> None:
+        self._call("delete", table=table, key=wire_value(key))
+
+    def get(self, table: str, key: Any) -> Optional[Dict[str, Any]]:
+        return unwire_value(
+            self._call("get", table=table, key=wire_value(key))["row"])
+
+    def get_secondary(self, table: str, index: str,
+                      key: Any) -> List[Any]:
+        return unwire_value(self._call(
+            "get_secondary", table=table, index=index,
+            key=wire_value(key))["keys"])
+
+    def scan(self, table: str, lo: Any = None, hi: Any = None
+             ) -> List[Tuple[Any, Dict[str, Any]]]:
+        rows = self._call("scan", table=table, lo=wire_value(lo),
+                          hi=wire_value(hi))["rows"]
+        return [(unwire_value(key), unwire_value(row))
+                for key, row in rows]

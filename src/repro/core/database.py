@@ -26,6 +26,7 @@ serially against the active storage engine. Typical usage::
 
 from __future__ import annotations
 
+import itertools
 import zlib
 from typing import Any, Dict, List, Optional, Tuple
 
@@ -37,6 +38,7 @@ from ..fault.injector import FaultPlan
 from ..sim.stats import Category
 from .partition import Partition, StoredProcedure
 from .schema import Schema
+from .session import Session
 
 
 def stable_partition_hash(key: Any) -> int:
@@ -68,6 +70,10 @@ class Database:
         ]
         self._crashed = False
         self._closed = False
+        self._session_ids = itertools.count(1)
+        # The autocommit session behind Database.execute — the one-shot
+        # API is a thin wrapper over the same Session code path.
+        self._autocommit = Session(self, 0, name="autocommit")
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -83,6 +89,24 @@ class Database:
     @property
     def closed(self) -> bool:
         return self._closed
+
+    @property
+    def crashed(self) -> bool:
+        """True between :meth:`crash` and a successful :meth:`recover`."""
+        return self._crashed
+
+    def session(self, name: str = "") -> Session:
+        """Open an explicit transaction session — the
+        begin/op/commit/abort lifecycle behind both the in-process API
+        and the network tier (see :mod:`repro.core.session`)::
+
+            with db.session() as s:
+                ctx = s.begin()
+                ctx.insert("kv", {"k": 1, "v": "hello"})
+                s.commit()
+        """
+        self._require_alive()
+        return Session(self, next(self._session_ids), name=name)
 
     def __enter__(self) -> "Database":
         if self._closed:
@@ -112,13 +136,14 @@ class Database:
 
     def execute(self, procedure: StoredProcedure, *args: Any,
                 partition: int = 0) -> Any:
-        """Run a stored procedure as one transaction on a partition."""
-        self._require_alive()
-        try:
-            return self.partitions[partition].execute(procedure, *args)
-        except SimulatedCrash:
-            self.crash()
-            raise
+        """Run a stored procedure as one transaction on a partition
+        (a one-shot wrapper over the :class:`Session` code path)."""
+        session = self._autocommit
+        if session.in_transaction:
+            # Reentrant call from inside a stored procedure: give the
+            # nested transaction its own one-shot session.
+            session = Session(self, 0, name="autocommit-nested")
+        return session.execute(procedure, *args, partition=partition)
 
     def insert(self, table: str, values: Dict[str, Any],
                partition: Optional[int] = None) -> None:

@@ -38,16 +38,36 @@ class Partition:
         self.engine = create_engine(engine_name, self.platform,
                                     engine_config)
 
+    def begin(self) -> TransactionContext:
+        """Start a transaction; returns its live execution context."""
+        txn = self.engine.begin()
+        # Transaction begin/commit bookkeeping is compute, not NVM.
+        self.platform.clock.advance(self.engine.config.txn_cpu_ns)
+        return TransactionContext(self.engine, txn)
+
+    def commit(self, context: TransactionContext) -> None:
+        """Commit the context's transaction (engine commit + per-txn
+        latency observation + telemetry probe)."""
+        txn = context.txn
+        self.engine.commit(txn)
+        histogram = self.platform.txn_latency
+        if histogram is not None:
+            histogram.observe(txn.commit_ns - txn.begin_ns)
+        probe = self.platform.txn_probe
+        if probe is not None:
+            probe()
+
+    def abort(self, context: TransactionContext) -> None:
+        """Abort the context's transaction and roll back its effects."""
+        self.engine.abort(context.txn)
+
     def execute(self, procedure: StoredProcedure, *args: Any) -> Any:
         """Run a stored procedure in its own transaction.
 
         Commits on normal return; aborts (and re-raises) on
         :class:`TransactionAborted` or any other exception.
         """
-        txn = self.engine.begin()
-        # Transaction begin/commit bookkeeping is compute, not NVM.
-        self.platform.clock.advance(self.engine.config.txn_cpu_ns)
-        context = TransactionContext(self.engine, txn)
+        context = self.begin()
         try:
             result = procedure(context, *args)
         except SimulatedCrash:
@@ -56,18 +76,12 @@ class Partition:
             # recovery decides the transaction's fate.
             raise
         except TransactionAborted:
-            self.engine.abort(txn)
+            self.abort(context)
             raise
         except Exception:
-            self.engine.abort(txn)
+            self.abort(context)
             raise
-        self.engine.commit(txn)
-        histogram = self.platform.txn_latency
-        if histogram is not None:
-            histogram.observe(txn.commit_ns - txn.begin_ns)
-        probe = self.platform.txn_probe
-        if probe is not None:
-            probe()
+        self.commit(context)
         return result
 
     @property

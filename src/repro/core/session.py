@@ -1,0 +1,292 @@
+"""Explicit transaction sessions over the database.
+
+A :class:`Session` is the unit of client state in the testbed's
+coordinator: it owns at most one active transaction at a time and walks
+a small lifecycle state machine::
+
+    open ──begin()──► active-txn ──commit()/abort()──► open
+      │                                                  │
+      └───────────────────close()◄───────────────────────┘
+
+The same session object drives the database in-process (``with
+db.session() as s: ...``) and backs one remote connection in the
+network tier (``repro.server``). :meth:`Database.execute
+<repro.core.database.Database.execute>` is a thin one-shot wrapper over
+:meth:`Session.execute`, so both paths run the exact same begin /
+procedure / commit sequence against the partition executor.
+
+Error taxonomy: a closed database raises
+:class:`~repro.errors.DatabaseClosedError`, a crashed (not yet
+recovered) database raises :class:`~repro.errors.CrashedError`, a verb
+called in the wrong session state raises
+:class:`~repro.errors.SessionStateError`, and anything on a closed
+session raises :class:`~repro.errors.SessionClosedError`. A
+:class:`~repro.errors.SimulatedCrash` escaping a session verb has
+already crashed the whole database (power failure), exactly like the
+one-shot path.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..errors import (CrashedError, SessionClosedError,
+                      SessionStateError, SimulatedCrash,
+                      TransactionAborted)
+from .executor import TransactionContext
+from .partition import Partition, StoredProcedure
+
+__all__ = ["Session", "SessionState"]
+
+
+class SessionState(enum.Enum):
+    """Lifecycle states of a :class:`Session` (see module docstring)."""
+
+    OPEN = "open"
+    ACTIVE = "active-txn"
+    CLOSED = "closed"
+
+
+class Session:
+    """One client's transaction stream against a database.
+
+    Sessions are handed out by :meth:`Database.session
+    <repro.core.database.Database.session>`; each carries a database-
+    unique ``session_id``. They are single-threaded objects — the
+    testbed executes transactions serially per partition, and the
+    network tier serializes all sessions onto the event loop.
+    """
+
+    __slots__ = ("database", "session_id", "name", "_state", "_context",
+                 "_partition", "txns_committed", "txns_aborted")
+
+    def __init__(self, database, session_id: int,
+                 name: str = "") -> None:
+        self.database = database
+        self.session_id = session_id
+        self.name = name or f"session-{session_id}"
+        self._state = SessionState.OPEN
+        self._context: Optional[TransactionContext] = None
+        self._partition: Optional[Partition] = None
+        self.txns_committed = 0
+        self.txns_aborted = 0
+
+    # ------------------------------------------------------------------
+    # State machine
+    # ------------------------------------------------------------------
+
+    @property
+    def state(self) -> SessionState:
+        return self._state
+
+    @property
+    def in_transaction(self) -> bool:
+        return self._state is SessionState.ACTIVE
+
+    @property
+    def closed(self) -> bool:
+        return self._state is SessionState.CLOSED
+
+    @property
+    def partition_id(self) -> Optional[int]:
+        """Partition of the active transaction (None when idle)."""
+        if self._partition is None:
+            return None
+        return self._partition.partition_id
+
+    @property
+    def context(self) -> Optional[TransactionContext]:
+        """The active transaction's context (None when idle)."""
+        return self._context
+
+    def _require_open(self) -> None:
+        if self._state is SessionState.CLOSED:
+            raise SessionClosedError(
+                f"{self.name} is closed; open a new session")
+        if self._state is SessionState.ACTIVE:
+            raise SessionStateError(
+                f"{self.name} already has an active transaction; "
+                "commit() or abort() it first")
+
+    def _require_active(self) -> None:
+        if self._state is SessionState.CLOSED:
+            raise SessionClosedError(
+                f"{self.name} is closed; open a new session")
+        if self._state is not SessionState.ACTIVE:
+            raise SessionStateError(
+                f"{self.name} has no active transaction; call begin()")
+
+    def _finish_txn(self) -> None:
+        self._context = None
+        self._partition = None
+        if self._state is SessionState.ACTIVE:
+            self._state = SessionState.OPEN
+
+    def invalidate(self, reason: str = "database crashed") -> bool:
+        """Drop the active transaction without touching the engine —
+        used when the platform crashed underneath the session (the
+        engine's volatile state is gone; recovery decides the
+        transaction's fate). Returns True if a transaction was open."""
+        had_txn = self._state is SessionState.ACTIVE
+        if had_txn:
+            self.txns_aborted += 1
+        self._finish_txn()
+        return had_txn
+
+    # ------------------------------------------------------------------
+    # Transaction lifecycle
+    # ------------------------------------------------------------------
+
+    def begin(self, partition: int = 0) -> TransactionContext:
+        """Start a transaction on ``partition``; returns the live
+        :class:`~repro.core.executor.TransactionContext` so in-process
+        callers can drive engine operations with zero per-op session
+        overhead."""
+        self._require_open()
+        self.database._require_alive()
+        part = self.database.partitions[partition]
+        try:
+            context = part.begin()
+        except SimulatedCrash:
+            self.database.crash()
+            raise
+        self._context = context
+        self._partition = part
+        self._state = SessionState.ACTIVE
+        return context
+
+    def commit(self) -> int:
+        """Commit the active transaction; returns its transaction id.
+        Durability may still await the engine's next group-commit
+        flush (see :meth:`flush`)."""
+        self._require_active()
+        context = self._context
+        try:
+            self._partition.commit(context)
+        except SimulatedCrash:
+            self._finish_txn()
+            self.database.crash()
+            raise
+        self._finish_txn()
+        self.txns_committed += 1
+        return context.txn.txn_id
+
+    def abort(self) -> int:
+        """Abort the active transaction and roll back its effects;
+        returns its transaction id."""
+        self._require_active()
+        context = self._context
+        try:
+            self._partition.abort(context)
+        except SimulatedCrash:
+            self._finish_txn()
+            self.database.crash()
+            raise
+        self._finish_txn()
+        self.txns_aborted += 1
+        return context.txn.txn_id
+
+    def execute(self, procedure: StoredProcedure, *args: Any,
+                partition: int = 0) -> Any:
+        """One-shot: run a stored procedure as a single transaction.
+
+        Commits on normal return; aborts (and re-raises) on
+        :class:`~repro.errors.TransactionAborted` or any other
+        exception. This is the code path behind
+        :meth:`Database.execute
+        <repro.core.database.Database.execute>`."""
+        context = self.begin(partition=partition)
+        try:
+            result = procedure(context, *args)
+        except SimulatedCrash:
+            # Power failure, not an abort: the engine must not run its
+            # rollback path — recovery decides the transaction's fate.
+            self._finish_txn()
+            self.database.crash()
+            raise
+        except TransactionAborted:
+            self.abort()
+            raise
+        except Exception:
+            self.abort()
+            raise
+        self.commit()
+        return result
+
+    # ------------------------------------------------------------------
+    # In-transaction operations (server-facing verb surface)
+    # ------------------------------------------------------------------
+
+    def _active_context(self) -> TransactionContext:
+        self._require_active()
+        return self._context
+
+    def _op(self, operation, *args: Any) -> Any:
+        """Run one engine operation of the active transaction,
+        converting a mid-operation power failure exactly like the
+        one-shot path does."""
+        context = self._active_context()
+        try:
+            return operation(context, *args)
+        except SimulatedCrash:
+            self._finish_txn()
+            self.database.crash()
+            raise
+
+    def insert(self, table: str, values: Dict[str, Any]) -> None:
+        self._op(TransactionContext.insert, table, values)
+
+    def update(self, table: str, key: Any,
+               changes: Dict[str, Any]) -> None:
+        self._op(TransactionContext.update, table, key, changes)
+
+    def delete(self, table: str, key: Any) -> None:
+        self._op(TransactionContext.delete, table, key)
+
+    def get(self, table: str, key: Any) -> Optional[Dict[str, Any]]:
+        return self._op(TransactionContext.get, table, key)
+
+    def get_secondary(self, table: str, index_name: str,
+                      key: Any) -> List[Any]:
+        return self._op(TransactionContext.get_secondary, table,
+                        index_name, key)
+
+    def scan(self, table: str, lo: Any = None, hi: Any = None
+             ) -> List[Tuple[Any, Dict[str, Any]]]:
+        """Materialized range scan inside the active transaction (the
+        remote tier cannot stream a live iterator)."""
+        return self._op(
+            lambda context: list(context.scan(table, lo=lo, hi=hi)))
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Close the session. An active transaction is aborted first
+        (best effort — a crashed or closed database just drops it).
+        Idempotent."""
+        if self._state is SessionState.CLOSED:
+            return
+        if self._state is SessionState.ACTIVE:
+            if self.database.closed or self.database.crashed:
+                self.invalidate()
+            else:
+                try:
+                    self.abort()
+                except CrashedError:
+                    self.invalidate()
+        self._state = SessionState.CLOSED
+
+    def __enter__(self) -> "Session":
+        if self._state is SessionState.CLOSED:
+            raise SessionClosedError(f"{self.name} is already closed")
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (f"Session(id={self.session_id}, name={self.name!r}, "
+                f"state={self._state.value})")

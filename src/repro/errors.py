@@ -92,5 +92,35 @@ class DatabaseClosedError(ReproError):
     """An operation was attempted on a closed database."""
 
 
+class SessionError(ReproError):
+    """Base class for transaction-session errors (see
+    :class:`repro.core.session.Session`)."""
+
+
+class SessionStateError(SessionError):
+    """A session verb was called in the wrong lifecycle state (e.g.
+    ``commit`` with no active transaction, or ``begin`` twice)."""
+
+
+class SessionClosedError(SessionError):
+    """An operation was attempted on a closed session."""
+
+
 class SweepError(ReproError):
     """One or more points of an experiment sweep failed."""
+
+
+class ProtocolError(ReproError):
+    """A malformed, oversized, or truncated wire-protocol frame."""
+
+
+class ServerError(ReproError):
+    """Base class for network-tier failures (server and client)."""
+
+
+class AdmissionError(ServerError):
+    """The server refused new work (admission control limit hit)."""
+
+
+class ServerDisconnected(ServerError):
+    """The connection to the server was lost mid-conversation."""

@@ -9,17 +9,19 @@ The modern API is spec-based::
     result = run(spec)                       # one point, in-process
 
     outcomes = run_sweep([spec, ...], jobs=4)   # a grid, in parallel
-
-``run_ycsb``/``run_tpcc`` are deprecated shims over ``run``.
 """
 
+from .closed_loop import (ClosedLoopConfig, ClosedLoopResult,
+                          run_closed_loop, run_loopback, sweep_clients)
 from .experiments import FULL_SCALE, QUICK_SCALE, Scale
 from .runner import (DEFAULT_CACHE_BYTES, ExperimentResult,
-                     ExperimentSpec, run, run_tpcc, run_ycsb)
+                     ExperimentSpec, run)
 from .scheduler import (PointOutcome, merged_session, results_or_raise,
                         run_sweep, write_sweep_summary)
 
-__all__ = ["DEFAULT_CACHE_BYTES", "ExperimentResult", "ExperimentSpec",
+__all__ = ["ClosedLoopConfig", "ClosedLoopResult", "DEFAULT_CACHE_BYTES",
+           "ExperimentResult", "ExperimentSpec",
            "FULL_SCALE", "PointOutcome", "QUICK_SCALE", "Scale",
-           "merged_session", "results_or_raise", "run", "run_sweep",
-           "run_tpcc", "run_ycsb", "write_sweep_summary"]
+           "merged_session", "results_or_raise", "run", "run_closed_loop",
+           "run_loopback", "run_sweep", "sweep_clients",
+           "write_sweep_summary"]

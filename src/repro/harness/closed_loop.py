@@ -1,0 +1,281 @@
+"""Closed-loop multi-client workload driver for the network tier.
+
+Where :func:`repro.harness.runner.run` drives one in-process database
+as fast as the simulator allows, this driver measures the *server*:
+N clients, each on its own connection and session, each running a
+think-time-free loop of ``begin -> ops -> commit`` (a *closed loop* —
+a client issues its next transaction only after its previous commit
+became durable). Concurrency here is what makes group commit visible:
+with N clients in flight the server coalesces their durable points,
+and the per-transaction durability cost drops roughly N-fold.
+
+The driver is deliberately resilient: a transaction that dies to a
+simulated power failure (``CrashedError``) or a dropped connection
+(``ServerDisconnected``) is counted as failed, the client re-opens its
+session, and the loop carries on — which is exactly what lets the CI
+smoke job crash and recover the server mid-run under live load.
+
+Client count is a sweep dimension: :func:`sweep_clients` runs the same
+workload at increasing client counts against fresh servers, showing
+durability rounds per transaction fall as batches fill
+(``docs/performance.md``).
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..core.schema import Column, ColumnType, Schema
+from ..errors import (CrashedError, ReproError, ServerDisconnected,
+                      SessionError)
+
+__all__ = ["ClosedLoopConfig", "ClosedLoopResult", "run_closed_loop",
+           "run_loopback", "sweep_clients"]
+
+
+@dataclass(frozen=True)
+class ClosedLoopConfig:
+    """Shape of one closed-loop run."""
+
+    clients: int = 8
+    txns_per_client: int = 50
+    ops_per_txn: int = 2        # update+get pairs per transaction
+    keys: int = 512
+    seed: int = 131
+    table: str = "cl_kv"
+    #: Give up on a transaction after this many begin retries while the
+    #: server is crashed (waiting for somebody to call recover).
+    max_txn_retries: int = 2000
+    retry_sleep_s: float = 0.005
+
+
+@dataclass
+class ClosedLoopResult:
+    """What one closed-loop run measured."""
+
+    clients: int
+    committed: int
+    failed: int
+    wall_seconds: float
+    #: Transactions per wall-clock second (closed-loop throughput).
+    throughput: float
+    #: Simulated durability rounds (WAL fsyncs + flush+fence trains)
+    #: spent by the measurement window's group-commit flushes.
+    durability_rounds: int
+    rounds_per_txn: float
+    mean_batch: float
+    max_batch: int
+    flush_reasons: Dict[str, int] = field(default_factory=dict)
+    server_stats: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "clients": self.clients,
+            "committed": self.committed,
+            "failed": self.failed,
+            "wall_seconds": self.wall_seconds,
+            "throughput": self.throughput,
+            "durability_rounds": self.durability_rounds,
+            "rounds_per_txn": self.rounds_per_txn,
+            "mean_batch": self.mean_batch,
+            "max_batch": self.max_batch,
+            "flush_reasons": dict(self.flush_reasons),
+        }
+
+
+def table_schema(config: ClosedLoopConfig) -> Schema:
+    return Schema.build(
+        config.table,
+        [Column("k", ColumnType.INT), Column("v", ColumnType.INT)],
+        primary_key=["k"])
+
+
+def load_table(client, config: ClosedLoopConfig) -> None:
+    """Create and populate the driver's table through one session."""
+    client.create_table(table_schema(config))
+    with client.session("loader") as session:
+        for base in range(0, config.keys, 256):
+            session.begin()
+            for key in range(base, min(base + 256, config.keys)):
+                session.insert(config.table, {"k": key, "v": 0})
+            session.commit()
+
+
+class _Worker(threading.Thread):
+    """One closed-loop client."""
+
+    def __init__(self, index: int, host: str, port: int,
+                 config: ClosedLoopConfig,
+                 start_barrier: threading.Barrier) -> None:
+        super().__init__(name=f"closed-loop-{index}", daemon=True)
+        self.index = index
+        self.host = host
+        self.port = port
+        self.config = config
+        self.start_barrier = start_barrier
+        self.committed = 0
+        self.failed = 0
+        self.error: Optional[BaseException] = None
+
+    def run(self) -> None:
+        try:
+            self._loop()
+        except BaseException as exc:
+            self.error = exc
+
+    def _loop(self) -> None:
+        from ..client import ReproClient
+
+        config = self.config
+        rng = random.Random(config.seed * 7919 + self.index)
+        client = ReproClient(self.host, self.port)
+        client.connect()
+        session = client.session(f"client-{self.index}")
+        # A bounded wait so one worker failing to connect cannot hang
+        # the whole fleet on the barrier.
+        self.start_barrier.wait(timeout=60.0)
+        try:
+            for _ in range(config.txns_per_client):
+                session = self._one_txn(client, session, rng)
+        finally:
+            try:
+                session.close()
+            except ReproError:
+                pass
+            client.close()
+
+    def _one_txn(self, client, session, rng):
+        """Run one transaction to durable commit, re-opening the
+        session (or connection) as needed; returns the live session."""
+        config = self.config
+        for attempt in range(config.max_txn_retries):
+            try:
+                session.begin()
+                for _ in range(config.ops_per_txn):
+                    key = rng.randrange(config.keys)
+                    row = session.get(config.table, key)
+                    session.update(config.table, key,
+                                   {"v": row["v"] + 1})
+                session.commit()
+                self.committed += 1
+                return session
+            except CrashedError:
+                # Power failure: the transaction (possibly logically
+                # committed, not yet durable) is gone. Wait out the
+                # recovery, then retry with the same session.
+                self.failed += 1
+                time.sleep(config.retry_sleep_s)
+            except SessionError:
+                # Session state got out of step with a failure above;
+                # start over with a fresh one. The server may still be
+                # crashed — then wait it out and retry, same as above.
+                try:
+                    session = client.session(
+                        f"client-{self.index}r{attempt}")
+                except CrashedError:
+                    self.failed += 1
+                    time.sleep(config.retry_sleep_s)
+            except ServerDisconnected:
+                self.failed += 1
+                client.connect()
+                session = client.session(
+                    f"client-{self.index}r{attempt}")
+        raise RuntimeError(
+            f"client {self.index} could not commit after "
+            f"{config.max_txn_retries} attempts")
+
+
+def _gc_totals(stats: Dict[str, Any]) -> Tuple[int, int, int, int,
+                                               Dict[str, int]]:
+    txns = batches = rounds = max_batch = 0
+    reasons: Dict[str, int] = {}
+    for stage in stats.get("group_commit", []):
+        txns += stage["txns"]
+        batches += stage["batches"]
+        rounds += stage["durability_rounds"]
+        max_batch = max(max_batch, stage["max_batch"])
+        for reason, count in stage["flush_reasons"].items():
+            reasons[reason] = reasons.get(reason, 0) + count
+    return txns, batches, rounds, max_batch, reasons
+
+
+def run_closed_loop(host: str, port: int,
+                    config: Optional[ClosedLoopConfig] = None,
+                    *, load: bool = True) -> ClosedLoopResult:
+    """Drive a running server with N concurrent closed-loop clients."""
+    from ..client import ReproClient
+
+    config = config or ClosedLoopConfig()
+    admin = ReproClient(host, port)
+    admin.connect()
+    try:
+        if load:
+            load_table(admin, config)
+        before = _gc_totals(admin.stats())
+        barrier = threading.Barrier(config.clients)
+        workers = [_Worker(i, host, port, config, barrier)
+                   for i in range(config.clients)]
+        started = time.perf_counter()
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        wall = time.perf_counter() - started
+        for worker in workers:
+            if worker.error is not None:
+                raise worker.error
+        stats = admin.stats()
+    finally:
+        admin.close()
+
+    after = _gc_totals(stats)
+    txns = after[0] - before[0]
+    batches = after[1] - before[1]
+    rounds = after[2] - before[2]
+    committed = sum(worker.committed for worker in workers)
+    failed = sum(worker.failed for worker in workers)
+    return ClosedLoopResult(
+        clients=config.clients,
+        committed=committed,
+        failed=failed,
+        wall_seconds=wall,
+        throughput=committed / wall if wall > 0 else 0.0,
+        durability_rounds=rounds,
+        rounds_per_txn=rounds / txns if txns else 0.0,
+        mean_batch=txns / batches if batches else 0.0,
+        max_batch=after[3],
+        flush_reasons={reason: after[4].get(reason, 0)
+                       - before[4].get(reason, 0)
+                       for reason in after[4]},
+        server_stats=stats,
+    )
+
+
+def run_loopback(server_config=None,
+                 config: Optional[ClosedLoopConfig] = None,
+                 *, procedures=None) -> ClosedLoopResult:
+    """Start a loopback server on a background thread, run one
+    closed-loop measurement against it, and shut it down."""
+    from ..server import ServerConfig, ServerThread
+
+    server_config = server_config or ServerConfig()
+    with ServerThread(server_config, procedures=procedures) as thread:
+        host, port = thread.server.address
+        return run_closed_loop(host, port, config)
+
+
+def sweep_clients(client_counts: List[int], server_config=None,
+                  config: Optional[ClosedLoopConfig] = None
+                  ) -> List[ClosedLoopResult]:
+    """The client-count sweep dimension: one fresh loopback server per
+    point, same workload shape, increasing concurrency."""
+    import dataclasses
+
+    base = config or ClosedLoopConfig()
+    return [run_loopback(server_config,
+                         dataclasses.replace(base, clients=clients))
+            for clients in client_counts]

@@ -7,19 +7,16 @@ second, NVM loads/stores from the device counters, the execution-time
 breakdown from the category stats, and the peak storage footprint.
 
 The single entry point is :func:`run`, which executes one
-:class:`~repro.harness.spec.ExperimentSpec`. The old per-workload
-``run_ycsb``/``run_tpcc`` signatures remain as deprecated shims.
+:class:`~repro.harness.spec.ExperimentSpec`.
 """
 
 from __future__ import annotations
 
 import dataclasses
-import warnings
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
-from ..config import CacheConfig, EngineConfig, LatencyProfile, \
-    PlatformConfig
+from ..config import CacheConfig, PlatformConfig
 from ..core.database import Database
 from ..obs.bus import HeartbeatEmitter, TelemetryPublisher
 from ..obs.profiler import PhaseProfiler
@@ -29,7 +26,7 @@ from ..workloads.ycsb import YCSBConfig, YCSBWorkload
 from .spec import DEFAULT_CACHE_BYTES, ExperimentSpec
 
 __all__ = ["DEFAULT_CACHE_BYTES", "ExperimentResult", "ExperimentSpec",
-           "run", "run_tpcc", "run_ycsb"]
+           "run"]
 
 
 def _make_database(spec: ExperimentSpec) -> Database:
@@ -237,62 +234,3 @@ def run(spec: ExperimentSpec,
     if profiler.enabled:
         result.phases = profiler.to_dict()
     return result
-
-
-# ----------------------------------------------------------------------
-# Deprecated per-workload shims
-# ----------------------------------------------------------------------
-
-def _deprecated(old: str) -> None:
-    warnings.warn(
-        f"{old}() is deprecated; build an ExperimentSpec and call "
-        f"run(spec) (repro.harness.spec)", DeprecationWarning,
-        stacklevel=3)
-
-
-def run_ycsb(engine: str, mixture: str, skew: str,
-             latency: Optional[LatencyProfile] = None,
-             num_tuples: int = 2000, num_txns: int = 2000,
-             partitions: int = 1,
-             engine_config: Optional[EngineConfig] = None,
-             seed: int = 31,
-             database: Optional[Database] = None,
-             cache_bytes: int = DEFAULT_CACHE_BYTES,
-             run_checkpoint_interval: Optional[int] = None,
-             obs: Optional[ObservabilitySession] = None,
-             crash_recover: bool = False,
-             ) -> ExperimentResult:
-    """Deprecated: use ``run(ExperimentSpec.ycsb(...))``."""
-    _deprecated("run_ycsb")
-    spec = ExperimentSpec.ycsb(
-        engine, mixture, skew,
-        latency=latency or LatencyProfile.dram(),
-        num_tuples=num_tuples, num_txns=num_txns,
-        partitions=partitions, engine_config=engine_config, seed=seed,
-        cache_bytes=cache_bytes,
-        run_checkpoint_interval=run_checkpoint_interval,
-        crash_recover=crash_recover)
-    return run(spec, obs=obs, database=database)
-
-
-def run_tpcc(engine: str,
-             latency: Optional[LatencyProfile] = None,
-             tpcc_config: Optional[TPCCConfig] = None,
-             num_txns: int = 400, partitions: int = 1,
-             engine_config: Optional[EngineConfig] = None,
-             seed: int = 47,
-             cache_bytes: int = DEFAULT_CACHE_BYTES,
-             run_checkpoint_interval: Optional[int] = None,
-             obs: Optional[ObservabilitySession] = None,
-             crash_recover: bool = False,
-             ) -> ExperimentResult:
-    """Deprecated: use ``run(ExperimentSpec.tpcc(...))``."""
-    _deprecated("run_tpcc")
-    spec = ExperimentSpec.tpcc(
-        engine, latency=latency or LatencyProfile.dram(),
-        tpcc_config=tpcc_config, num_txns=num_txns,
-        partitions=partitions, engine_config=engine_config, seed=seed,
-        cache_bytes=cache_bytes,
-        run_checkpoint_interval=run_checkpoint_interval,
-        crash_recover=crash_recover)
-    return run(spec, obs=obs)

@@ -40,9 +40,12 @@ no processes. Failures carry the full formatted traceback in
 
 from __future__ import annotations
 
+import contextlib
 import json
 import multiprocessing
 import os
+import signal
+import sys
 import time
 import traceback
 from collections import deque
@@ -175,7 +178,17 @@ def _point_worker(spec: ExperimentSpec, observe: bool, conn,
                   source: str = "") -> None:
     """Worker-process entry: run the point — streaming telemetry
     events over the pipe when live — then ship back
-    ``("done", (result, session, error))``."""
+    ``("done", (result, session, error))``.
+
+    SIGTERM (the scheduler's terminate, or a batch manager reaping the
+    tree) is converted to ``SystemExit`` so the worker ships a final
+    tagged message and closes its pipe end instead of dying mid-write;
+    a Ctrl-C KeyboardInterrupt takes the same path via the
+    ``BaseException`` handler."""
+    try:
+        signal.signal(signal.SIGTERM, lambda *_: sys.exit(143))
+    except ValueError:
+        pass  # not the main thread (in-process test harnesses)
     publisher = PipePublisher(conn, source=source,
                               heartbeat_s=heartbeat_s) \
         if telemetry else None
@@ -196,6 +209,25 @@ def _point_worker(spec: ExperimentSpec, observe: bool, conn,
 def _backoff_s(retry_backoff_s: float, attempt: int) -> float:
     """Exponential backoff before launch number ``attempt + 1``."""
     return retry_backoff_s * (2 ** (attempt - 1))
+
+
+@contextlib.contextmanager
+def _sigterm_raises_interrupt():
+    """For the duration of a sweep, a SIGTERM to the coordinator takes
+    the same clean-shutdown path as Ctrl-C (terminate + drain + reap
+    workers) instead of killing the process with children attached.
+    A no-op off the main thread, where signals cannot be installed."""
+    def _raise(signum, frame):
+        raise KeyboardInterrupt("SIGTERM")
+    try:
+        previous = signal.signal(signal.SIGTERM, _raise)
+    except ValueError:
+        yield
+        return
+    try:
+        yield
+    finally:
+        signal.signal(signal.SIGTERM, previous)
 
 
 def _run_serial(outcomes: List[PointOutcome], observe: bool,
@@ -311,45 +343,77 @@ def _run_parallel(outcomes: List[PointOutcome], jobs: int,
             return
         _finish(conn, payload)
 
-    while pending or running:
-        while pending and len(running) < jobs:
-            index = _pop_ready(time.perf_counter())
-            if index is None:
-                break  # every pending point is backing off
-            outcome = outcomes[index]
-            outcome.attempts += 1
-            _publish_point(bus, _bus.POINT_STARTED, index,
-                           outcome.spec, attempt=outcome.attempts)
-            parent_conn, child_conn = context.Pipe(duplex=False)
-            process = context.Process(
-                target=_point_worker,
-                args=(outcome.spec, observe, child_conn,
-                      bus is not None, heartbeat_s,
-                      _point_source(index, outcome.spec)),
-                daemon=True)
-            process.start()
-            child_conn.close()
-            running[parent_conn] = (index, process,
-                                    time.perf_counter())
-        # A closed pipe (dead worker) is also "ready" — recv then
-        # raises EOFError and the point is marked crashed. With no
-        # running workers (all pending points backing off) this just
-        # sleeps one poll interval.
-        for conn in _connection_wait(list(running),
-                                     timeout=_POLL_INTERVAL_S):
-            _service(conn)
-        if timeout_s is None:
-            continue
-        now = time.perf_counter()
+    def _abort(now: float) -> None:
+        """Interrupted (Ctrl-C / SIGTERM): terminate every worker,
+        drain what each already piped out — streamed telemetry is
+        re-published, and a final result that raced the interrupt is
+        kept — then reap the processes so none are orphaned."""
+        pending.clear()
         for conn, (index, process, started) in list(running.items()):
-            if now - started <= timeout_s:
-                continue
-            running.pop(conn)
             process.terminate()
-            process.join()
+            outcome = outcomes[index]
+            with contextlib.suppress(EOFError, OSError):
+                while conn.poll(0.2):
+                    tag, payload = conn.recv()
+                    if tag == "event":
+                        if bus is not None:
+                            bus.publish(TelemetryEvent.from_dict(payload))
+                    elif tag == "done":
+                        outcome.result, outcome.session, outcome.error \
+                            = payload
             conn.close()
-            outcomes[index].host_seconds += now - started
-            _fail_or_requeue(index, f"timeout after {timeout_s:g}s")
+            process.join(5.0)
+            if process.is_alive():
+                process.kill()
+                process.join(1.0)
+            outcome.host_seconds += now - started
+            if outcome.result is None and outcome.error is None:
+                outcome.error = "interrupted"
+        running.clear()
+
+    try:
+        while pending or running:
+            while pending and len(running) < jobs:
+                index = _pop_ready(time.perf_counter())
+                if index is None:
+                    break  # every pending point is backing off
+                outcome = outcomes[index]
+                outcome.attempts += 1
+                _publish_point(bus, _bus.POINT_STARTED, index,
+                               outcome.spec, attempt=outcome.attempts)
+                parent_conn, child_conn = context.Pipe(duplex=False)
+                process = context.Process(
+                    target=_point_worker,
+                    args=(outcome.spec, observe, child_conn,
+                          bus is not None, heartbeat_s,
+                          _point_source(index, outcome.spec)),
+                    daemon=True)
+                process.start()
+                child_conn.close()
+                running[parent_conn] = (index, process,
+                                        time.perf_counter())
+            # A closed pipe (dead worker) is also "ready" — recv then
+            # raises EOFError and the point is marked crashed. With no
+            # running workers (all pending points backing off) this
+            # just sleeps one poll interval.
+            for conn in _connection_wait(list(running),
+                                         timeout=_POLL_INTERVAL_S):
+                _service(conn)
+            if timeout_s is None:
+                continue
+            now = time.perf_counter()
+            for conn, (index, process, started) in list(running.items()):
+                if now - started <= timeout_s:
+                    continue
+                running.pop(conn)
+                process.terminate()
+                process.join()
+                conn.close()
+                outcomes[index].host_seconds += now - started
+                _fail_or_requeue(index, f"timeout after {timeout_s:g}s")
+    except BaseException:
+        _abort(time.perf_counter())
+        raise
 
 
 def run_sweep(specs: Sequence[ExperimentSpec], jobs: int = 1,
@@ -387,22 +451,36 @@ def run_sweep(specs: Sequence[ExperimentSpec], jobs: int = 1,
     if bus is not None:
         bus.publish(_bus.SWEEP_STARTED, source="sweep",
                     points=len(outcomes), jobs=jobs)
-    if jobs <= 1 or len(outcomes) <= 1:
-        _run_serial(outcomes, observe, retries, retry_backoff_s,
-                    bus, heartbeat_s)
-    else:
-        _run_parallel(outcomes, jobs, observe, timeout_s, retries,
-                      retry_backoff_s, bus, heartbeat_s)
-    if bus is not None:
-        bus.publish(_bus.SWEEP_FINISHED, source="sweep",
-                    points=len(outcomes),
-                    failed=sum(1 for o in outcomes if not o.ok),
-                    retries=sum(max(0, o.attempts - 1)
-                                for o in outcomes),
-                    host_seconds=time.perf_counter() - started,
-                    **bus.stats())
-    if artifacts_dir is not None:
-        _write_artifacts(outcomes, artifacts_dir)
+    interrupted = False
+    try:
+        with _sigterm_raises_interrupt():
+            if jobs <= 1 or len(outcomes) <= 1:
+                _run_serial(outcomes, observe, retries,
+                            retry_backoff_s, bus, heartbeat_s)
+            else:
+                _run_parallel(outcomes, jobs, observe, timeout_s,
+                              retries, retry_backoff_s, bus,
+                              heartbeat_s)
+    except (KeyboardInterrupt, SystemExit):
+        interrupted = True
+        for outcome in outcomes:
+            if outcome.result is None and outcome.error is None:
+                outcome.error = "interrupted"
+        raise
+    finally:
+        # The closing accounting record is published even on an
+        # interrupt, so a persisted event log always balances.
+        if bus is not None:
+            bus.publish(_bus.SWEEP_FINISHED, source="sweep",
+                        points=len(outcomes),
+                        failed=sum(1 for o in outcomes if not o.ok),
+                        retries=sum(max(0, o.attempts - 1)
+                                    for o in outcomes),
+                        host_seconds=time.perf_counter() - started,
+                        interrupted=interrupted,
+                        **bus.stats())
+        if artifacts_dir is not None and not interrupted:
+            _write_artifacts(outcomes, artifacts_dir)
     return outcomes
 
 

@@ -11,9 +11,8 @@ defines one point, so it can
 * key the deterministic merge of a parallel sweep (results are ordered
   by spec, never by completion).
 
-`repro.harness.runner.run(spec)` executes a spec. The legacy
-``run_ycsb(...)``/``run_tpcc(...)`` entry points survive as deprecated
-shims that build a spec and delegate.
+`repro.harness.runner.run(spec)` executes a spec — it is the single
+entry point for running experiment points.
 """
 
 from __future__ import annotations

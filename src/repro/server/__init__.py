@@ -1,0 +1,29 @@
+"""The network tier: serve the storage engines over a wire.
+
+The paper's testbed is a single process; this package puts its
+coordinator behind a socket so N independent clients can drive the
+engines concurrently — which is what makes **group commit** (Sections
+3.1-3.2's log-flush batching) observable as a systems effect rather
+than a loop counter: concurrent commits coalesce into shared durable
+points, and the per-transaction durability cost (WAL fsyncs,
+flush+fence trains) drops with the batch size.
+
+- :mod:`repro.server.protocol` — length-prefixed JSON frames.
+- :mod:`repro.server.server` — the asyncio server (serial execution
+  per partition, admission control, per-session state).
+- :mod:`repro.server.groupcommit` — the commit-batching stage.
+- :mod:`repro.server.registry` — stored procedures callable by name.
+
+See ``docs/server.md`` for the protocol specification.
+"""
+
+from .groupcommit import GroupCommitConfig, GroupCommitStage
+from .protocol import MAX_FRAME_BYTES, PROTOCOL_VERSION
+from .registry import ProcedureRegistry
+from .server import DatabaseServer, ServerConfig, ServerThread
+
+__all__ = [
+    "DatabaseServer", "ServerConfig", "ServerThread",
+    "GroupCommitConfig", "GroupCommitStage", "ProcedureRegistry",
+    "PROTOCOL_VERSION", "MAX_FRAME_BYTES",
+]

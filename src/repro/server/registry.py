@@ -1,0 +1,65 @@
+"""Stored-procedure registry for the network tier.
+
+Remote clients cannot ship code; they invoke procedures **by name**
+(the ``call`` verb), exactly like the paper's testbed executes
+registered transactions serially at each partition. A procedure is any
+callable taking a :class:`~repro.core.executor.TransactionContext`
+first — the same signature :meth:`Database.execute` accepts in
+process, so one function serves both tiers::
+
+    registry = ProcedureRegistry()
+
+    @registry.procedure("accounts.deposit")
+    def deposit(ctx, account_id, amount):
+        row = ctx.get("accounts", account_id)
+        ctx.update("accounts", account_id,
+                   {"balance": row["balance"] + amount})
+
+    server = DatabaseServer(config, procedures=registry)
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Optional
+
+from ..errors import ServerError
+
+__all__ = ["ProcedureRegistry"]
+
+
+class ProcedureRegistry:
+    """Name -> stored procedure mapping with decorator registration."""
+
+    def __init__(self) -> None:
+        self._procedures: Dict[str, Callable] = {}
+
+    def procedure(self, name: Optional[str] = None) -> Callable:
+        """Decorator: register under ``name`` (default: ``__name__``)."""
+        def wrap(fn: Callable) -> Callable:
+            self.register(name or fn.__name__, fn)
+            return fn
+        return wrap
+
+    def register(self, name: str, fn: Callable) -> None:
+        if not name:
+            raise ServerError("procedure name must be non-empty")
+        if name in self._procedures:
+            raise ServerError(f"procedure {name!r} already registered")
+        self._procedures[name] = fn
+
+    def get(self, name: str) -> Callable:
+        try:
+            return self._procedures[name]
+        except KeyError:
+            raise ServerError(
+                f"unknown procedure {name!r}; registered: "
+                f"{sorted(self._procedures) or 'none'}") from None
+
+    def names(self) -> Iterable[str]:
+        return sorted(self._procedures)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._procedures
+
+    def __len__(self) -> int:
+        return len(self._procedures)

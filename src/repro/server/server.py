@@ -1,0 +1,777 @@
+"""The asyncio database server.
+
+One :class:`DatabaseServer` owns one :class:`~repro.core.database.
+Database` and serves it over a socket speaking the length-prefixed
+JSON protocol of :mod:`repro.server.protocol`. The concurrency model
+mirrors the paper's testbed:
+
+* **Transaction execution is serial per partition.** A per-partition
+  ``asyncio.Lock`` is held from ``begin`` to the logical commit or
+  abort, so engine operations of different sessions never interleave
+  within a partition (the engines assume serial execution and provide
+  no inter-transaction isolation).
+* **Durability is batched across sessions.** The logical commit
+  releases the partition lock and enqueues onto the partition's
+  :class:`~repro.server.groupcommit.GroupCommitStage`; the commit
+  *response* is sent only once the batch reaches its durable point,
+  so a client never observes a commit the recovery protocol could
+  lose.
+* **Admission control** bounds transactions in flight (active plus
+  awaiting durability) with a semaphore; a ``begin`` past the bound
+  parks, and because each connection processes frames sequentially,
+  that parks the whole connection — natural backpressure down the
+  socket.
+
+All database work runs on the event-loop thread; engine calls never
+await, so each verb handler is atomic between awaits by construction.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import dataclasses
+import logging
+import signal
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Set, Tuple, Union
+
+from ..config import EngineConfig, LatencyProfile
+from ..core.database import Database
+from ..errors import (ConfigError, CrashedError, DatabaseClosedError,
+                      ProtocolError, ReproError, SimulatedCrash)
+from ..obs.metrics import MetricsRegistry
+from .groupcommit import GroupCommitConfig, GroupCommitStage
+from .protocol import (MAX_FRAME_BYTES, PROTOCOL_VERSION, encode_frame,
+                       error_response, ok_response, read_frame,
+                       schema_from_wire, schema_to_wire, unwire_value,
+                       wire_value)
+from .registry import ProcedureRegistry
+
+__all__ = ["ServerConfig", "DatabaseServer", "ServerThread"]
+
+logger = logging.getLogger("repro.server")
+
+#: Engine auto-flush is disabled on server-built databases — the
+#: group-commit stage owns the durable-point cadence.
+_NO_AUTO_FLUSH = 1 << 30
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Everything that defines one server instance."""
+
+    host: str = "127.0.0.1"
+    port: int = 0                      # 0 = ephemeral (reported by start)
+    engine: str = "nvm-inp"
+    partitions: int = 1
+    latency: Union[None, str, LatencyProfile] = None
+    seed: int = 0x5EED
+    engine_config: Optional[EngineConfig] = None
+    group_commit: GroupCommitConfig = field(
+        default_factory=GroupCommitConfig)
+    #: Transactions in flight (active + awaiting durability) before
+    #: ``begin`` blocks.
+    max_inflight: int = 64
+    max_frame_bytes: int = MAX_FRAME_BYTES
+
+    def __post_init__(self) -> None:
+        if self.max_inflight < 1:
+            raise ConfigError("max_inflight must be >= 1")
+
+
+class _RemoteSession:
+    """Server-side bookkeeping around one wire session."""
+
+    __slots__ = ("session", "partition_id", "lock_held", "sem_held",
+                 "awaiting")
+
+    def __init__(self, session) -> None:
+        self.session = session
+        self.partition_id = 0
+        self.lock_held = False        # partition lock (execution)
+        self.sem_held = False         # admission slot
+        self.awaiting = False         # parked on a group-commit future
+
+
+class DatabaseServer:
+    """Serves one database over the wire protocol."""
+
+    def __init__(self, config: Optional[ServerConfig] = None, *,
+                 database: Optional[Database] = None,
+                 procedures: Optional[ProcedureRegistry] = None) -> None:
+        self.config = config or ServerConfig()
+        self.database = database or self._build_database(self.config)
+        self.procedures = procedures or ProcedureRegistry()
+        self.metrics = MetricsRegistry()
+        self.address: Optional[Tuple[str, int]] = None
+        self._sessions: Dict[int, _RemoteSession] = {}
+        self._latency_hists: Dict[str, Any] = {}
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._stages: Dict[int, GroupCommitStage] = {}
+        self._locks: Dict[int, asyncio.Lock] = {}
+        self._admission: Optional[asyncio.Semaphore] = None
+        self._conn_tasks: Set[asyncio.Task] = set()
+        self._shutdown_event: Optional[asyncio.Event] = None
+        self._stopped = False
+        self._frames = self.metrics.counter("server.frames")
+        self._error_count = self.metrics.counter("server.errors")
+        self._admission_waits = self.metrics.counter(
+            "server.admission_waits")
+
+    @staticmethod
+    def _build_database(config: ServerConfig) -> Database:
+        engine_config = dataclasses.replace(
+            config.engine_config or EngineConfig(),
+            group_commit_size=_NO_AUTO_FLUSH)
+        latency = config.latency
+        if isinstance(latency, str):
+            latency = LatencyProfile.parse(latency)
+        return Database(config.engine, partitions=config.partitions,
+                        latency=latency, engine_config=engine_config,
+                        seed=config.seed)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    async def start(self) -> Tuple[str, int]:
+        """Bind and listen; returns the bound ``(host, port)``."""
+        self._loop = asyncio.get_running_loop()
+        self._shutdown_event = asyncio.Event()
+        self._admission = asyncio.Semaphore(self.config.max_inflight)
+        for partition in self.database.partitions:
+            pid = partition.partition_id
+            self._locks[pid] = asyncio.Lock()
+            self._stages[pid] = GroupCommitStage(
+                partition, self.config.group_commit, self._loop,
+                on_crash=self._crash_from_engine,
+                batch_histogram=self.metrics.histogram(
+                    "server.group_commit.batch_txns",
+                    partition=str(pid)))
+        self._server = await asyncio.start_server(
+            self._serve_connection, self.config.host, self.config.port)
+        sockname = self._server.sockets[0].getsockname()
+        self.address = (sockname[0], sockname[1])
+        logger.info("serving %s engine on %s:%d", self.database.engine_name,
+                    *self.address)
+        return self.address
+
+    async def serve_forever(self) -> None:
+        """Serve until :meth:`request_shutdown` (or the ``shutdown``
+        verb) fires, then stop cleanly."""
+        if self._server is None:
+            await self.start()
+        await self._shutdown_event.wait()
+        await self.stop()
+
+    def request_shutdown(self) -> None:
+        """Ask the serve loop to exit (thread-safe from the loop)."""
+        if self._shutdown_event is not None:
+            self._shutdown_event.set()
+
+    async def stop(self) -> None:
+        """Stop listening, resolve outstanding durability, close every
+        session, and cancel connection tasks."""
+        if self._stopped:
+            return
+        self._stopped = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        alive = not (self.database.closed or self.database.crashed)
+        for stage in self._stages.values():
+            if alive:
+                stage.flush("shutdown")
+            else:
+                stage.fail_pending("server shut down")
+            stage.close()
+        for task in list(self._conn_tasks):
+            task.cancel()
+        if self._conn_tasks:
+            await asyncio.gather(*self._conn_tasks,
+                                 return_exceptions=True)
+        for session_id in list(self._sessions):
+            self._close_session(session_id)
+        logger.info("server stopped (%d committed, %d aborted)",
+                    self.database.committed_txns,
+                    self.database.aborted_txns)
+
+    def run(self, ready=None) -> None:
+        """Blocking entry point: serve until SIGINT/SIGTERM, then shut
+        down gracefully (used by ``python -m repro serve``). ``ready``
+        is called with the bound ``(host, port)`` once listening."""
+        asyncio.run(self._run_with_signals(ready))
+
+    async def _run_with_signals(self, ready=None) -> None:
+        await self.start()
+        if ready is not None:
+            ready(self.address)
+        loop = asyncio.get_running_loop()
+        installed = []
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, self.request_shutdown)
+                installed.append(signum)
+            except (NotImplementedError, RuntimeError):
+                pass
+        try:
+            await self.serve_forever()
+        finally:
+            for signum in installed:
+                loop.remove_signal_handler(signum)
+
+    # ------------------------------------------------------------------
+    # Connection loop
+    # ------------------------------------------------------------------
+
+    async def _serve_connection(self, reader: asyncio.StreamReader,
+                                writer: asyncio.StreamWriter) -> None:
+        task = asyncio.current_task()
+        self._conn_tasks.add(task)
+        conn_sessions: Set[int] = set()
+        try:
+            while True:
+                try:
+                    payload = await read_frame(
+                        reader,
+                        max_frame_bytes=self.config.max_frame_bytes)
+                except (asyncio.IncompleteReadError, ConnectionError):
+                    break
+                except ProtocolError as exc:
+                    # Corrupt framing: answer once, then drop the
+                    # connection (resynchronization is impossible).
+                    self._error_count.inc()
+                    await self._send(writer, error_response(None, exc))
+                    break
+                response = await self._dispatch(conn_sessions, payload)
+                await self._send(writer, response)
+        except asyncio.CancelledError:
+            pass
+        finally:
+            self._conn_tasks.discard(task)
+            for session_id in list(conn_sessions):
+                self._close_session(session_id)
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+
+    async def _send(self, writer: asyncio.StreamWriter,
+                    response: Dict[str, Any]) -> None:
+        try:
+            frame = encode_frame(
+                response, max_frame_bytes=self.config.max_frame_bytes)
+        except (ProtocolError, TypeError, ValueError) as exc:
+            # Unserializable or oversized result: degrade to an error
+            # frame rather than killing the connection.
+            self._error_count.inc()
+            frame = encode_frame(error_response(response.get("id"), exc))
+        writer.write(frame)
+        with contextlib.suppress(ConnectionError):
+            await writer.drain()
+
+    async def _dispatch(self, conn_sessions: Set[int],
+                        payload: Dict[str, Any]) -> Dict[str, Any]:
+        request_id = payload.get("id")
+        verb = payload.get("verb")
+        args = payload.get("args", {})
+        self._frames.inc()
+        handler = self._HANDLERS.get(verb) if isinstance(verb, str) \
+            else None
+        if handler is None:
+            self._error_count.inc()
+            return error_response(request_id, ProtocolError(
+                f"unknown verb {verb!r}"))
+        if not isinstance(args, dict):
+            self._error_count.inc()
+            return error_response(request_id, ProtocolError(
+                f"args must be an object, got {type(args).__name__}"))
+        try:
+            result = await handler(self, conn_sessions, args)
+        except asyncio.CancelledError:
+            raise
+        except ReproError as exc:
+            self._error_count.inc()
+            return error_response(request_id, exc)
+        except Exception as exc:  # procedure bugs etc.
+            self._error_count.inc()
+            logger.exception("verb %s failed unexpectedly", verb)
+            return error_response(request_id, exc)
+        return ok_response(request_id, result)
+
+    # ------------------------------------------------------------------
+    # Crash plumbing
+    # ------------------------------------------------------------------
+
+    def _crash_from_engine(self) -> None:
+        """A SimulatedCrash escaped an engine flush: convert it into a
+        full platform crash, exactly like Database.flush does."""
+        if not (self.database.closed or self.database.crashed):
+            self.database.crash()
+        self._after_crash()
+
+    def _after_crash(self) -> int:
+        """The database just crashed: fail pending durability waiters,
+        invalidate every session's live transaction, and release
+        execution locks/admission slots the dead transactions held.
+        Commit coroutines parked on a group-commit future release their
+        own admission slot when the future fails. Returns the number of
+        logically-committed transactions that were lost."""
+        lost = 0
+        for stage in self._stages.values():
+            lost += stage.fail_pending("power failure")
+        for remote in self._sessions.values():
+            remote.session.invalidate()
+            if remote.lock_held:
+                remote.lock_held = False
+                self._locks[remote.partition_id].release()
+            if remote.sem_held and not remote.awaiting:
+                remote.sem_held = False
+                self._admission.release()
+        return lost
+
+    # ------------------------------------------------------------------
+    # Session / grant helpers
+    # ------------------------------------------------------------------
+
+    def _remote(self, conn_sessions: Set[int],
+                args: Dict[str, Any]) -> _RemoteSession:
+        session_id = args.get("session")
+        remote = self._sessions.get(session_id) \
+            if session_id in conn_sessions else None
+        if remote is None:
+            raise ProtocolError(
+                f"no open session {session_id!r} on this connection")
+        return remote
+
+    def _partition_id(self, args: Dict[str, Any]) -> int:
+        pid = args.get("partition", 0)
+        if not isinstance(pid, int) \
+                or not 0 <= pid < len(self.database.partitions):
+            raise ProtocolError(f"no such partition {pid!r}")
+        return pid
+
+    async def _admit(self, remote: _RemoteSession, pid: int) -> None:
+        """Take an admission slot and the partition's execution lock."""
+        if self._admission.locked():
+            self._admission_waits.inc()
+        await self._admission.acquire()
+        remote.sem_held = True
+        try:
+            await self._locks[pid].acquire()
+        except BaseException:
+            remote.sem_held = False
+            self._admission.release()
+            raise
+        remote.lock_held = True
+        remote.partition_id = pid
+
+    def _release_execution(self, remote: _RemoteSession) -> None:
+        if remote.lock_held:
+            remote.lock_held = False
+            self._locks[remote.partition_id].release()
+
+    def _release_all(self, remote: _RemoteSession) -> None:
+        self._release_execution(remote)
+        if remote.sem_held:
+            remote.sem_held = False
+            self._admission.release()
+
+    async def _await_durable(self, remote: _RemoteSession,
+                             pid: int) -> None:
+        """Park on the partition's group-commit stage until the just-
+        committed transaction is durable; the admission slot is held
+        until then."""
+        remote.awaiting = True
+        future = self._stages[pid].enqueue()
+        try:
+            await future
+        finally:
+            remote.awaiting = False
+            if remote.sem_held:
+                remote.sem_held = False
+                self._admission.release()
+
+    def _observe_latency(self, remote: _RemoteSession,
+                         latency_ns: float) -> None:
+        name = remote.session.name
+        hist = self._latency_hists.get(name)
+        if hist is None:
+            hist = self.metrics.histogram("server.txn_latency_ns",
+                                          session=name)
+            self._latency_hists[name] = hist
+        hist.observe(latency_ns)
+
+    def _close_session(self, session_id: int) -> None:
+        remote = self._sessions.pop(session_id, None)
+        if remote is None:
+            return
+        try:
+            if remote.session.in_transaction \
+                    and not (self.database.closed
+                             or self.database.crashed):
+                remote.session.abort()
+            else:
+                remote.session.invalidate()
+        except SimulatedCrash:
+            self._after_crash()
+        finally:
+            if not remote.awaiting:
+                self._release_all(remote)
+            else:
+                self._release_execution(remote)
+            remote.session.close()
+
+    # ------------------------------------------------------------------
+    # Verb handlers
+    # ------------------------------------------------------------------
+
+    async def _verb_hello(self, conn_sessions, args):
+        gc = self.config.group_commit
+        return {"server": "repro", "protocol": PROTOCOL_VERSION,
+                "engine": self.database.engine_name,
+                "partitions": len(self.database.partitions),
+                "group_commit": {"enabled": gc.enabled,
+                                 "batch_size": gc.batch_size,
+                                 "max_hold_ns": gc.max_hold_ns},
+                "max_inflight": self.config.max_inflight}
+
+    async def _verb_ping(self, conn_sessions, args):
+        return {"now_ns": self.database.partitions[0].platform.clock.now_ns}
+
+    async def _verb_open_session(self, conn_sessions, args):
+        session = self.database.session(str(args.get("name", "")))
+        self._sessions[session.session_id] = _RemoteSession(session)
+        conn_sessions.add(session.session_id)
+        return {"session": session.session_id, "name": session.name}
+
+    async def _verb_close_session(self, conn_sessions, args):
+        remote = self._remote(conn_sessions, args)
+        session_id = remote.session.session_id
+        self._close_session(session_id)
+        conn_sessions.discard(session_id)
+        return {"closed": session_id}
+
+    async def _verb_create_table(self, conn_sessions, args):
+        schema = schema_from_wire(args.get("schema"))
+        self.database.create_table(schema)
+        return {"table": schema.table}
+
+    async def _verb_schema(self, conn_sessions, args):
+        table = args.get("table")
+        schema = self.database.partitions[0].engine.schemas.get(table)
+        if schema is None:
+            raise ProtocolError(f"no such table {table!r}")
+        return {"schema": schema_to_wire(schema)}
+
+    async def _verb_begin(self, conn_sessions, args):
+        remote = self._remote(conn_sessions, args)
+        pid = self._partition_id(args)
+        # Fail fast before taking locks for an illegal state.
+        remote.session._require_open()
+        self.database._require_alive()
+        await self._admit(remote, pid)
+        try:
+            context = remote.session.begin(partition=pid)
+        except SimulatedCrash:
+            self._after_crash()
+            raise
+        except BaseException:
+            self._release_all(remote)
+            raise
+        return {"txn": context.txn.txn_id, "partition": pid}
+
+    async def _verb_commit(self, conn_sessions, args):
+        remote = self._remote(conn_sessions, args)
+        context = remote.session.context
+        if context is None:
+            remote.session._require_active()   # raises SessionStateError
+        pid = remote.partition_id
+        txn = context.txn
+        try:
+            txn_id = remote.session.commit()
+        except SimulatedCrash:
+            self._after_crash()
+            raise
+        self._release_execution(remote)
+        latency_ns = txn.commit_ns - txn.begin_ns
+        await self._await_durable(remote, pid)
+        self._observe_latency(remote, latency_ns)
+        return {"txn": txn_id, "durable": True, "latency_ns": latency_ns}
+
+    async def _verb_abort(self, conn_sessions, args):
+        remote = self._remote(conn_sessions, args)
+        try:
+            txn_id = remote.session.abort()
+        except SimulatedCrash:
+            self._after_crash()
+            raise
+        self._release_all(remote)
+        return {"txn": txn_id, "aborted": True}
+
+    async def _verb_call(self, conn_sessions, args):
+        remote = self._remote(conn_sessions, args)
+        procedure = self.procedures.get(str(args.get("name", "")))
+        call_args = unwire_value(args.get("args", []))
+        if not isinstance(call_args, list):
+            raise ProtocolError("call args must be a list")
+        pid = self._partition_id(args)
+        remote.session._require_open()
+        self.database._require_alive()
+        await self._admit(remote, pid)
+        try:
+            context = remote.session.begin(partition=pid)
+        except SimulatedCrash:
+            self._after_crash()
+            raise
+        except BaseException:
+            self._release_all(remote)
+            raise
+        txn = context.txn
+        try:
+            result = procedure(context, *call_args)
+        except SimulatedCrash:
+            # Power failure mid-procedure: no rollback — recovery
+            # decides the transaction's fate (one-shot semantics).
+            remote.session.invalidate()
+            if not (self.database.closed or self.database.crashed):
+                self.database.crash()
+            self._after_crash()
+            raise
+        except Exception:
+            try:
+                remote.session.abort()
+            except SimulatedCrash:
+                self._after_crash()
+                raise
+            self._release_all(remote)
+            raise
+        try:
+            txn_id = remote.session.commit()
+        except SimulatedCrash:
+            self._after_crash()
+            raise
+        self._release_execution(remote)
+        latency_ns = txn.commit_ns - txn.begin_ns
+        await self._await_durable(remote, pid)
+        self._observe_latency(remote, latency_ns)
+        return {"txn": txn_id, "result": wire_value(result),
+                "latency_ns": latency_ns}
+
+    async def _verb_procedures(self, conn_sessions, args):
+        return {"procedures": list(self.procedures.names())}
+
+    # -- in-transaction table operations --------------------------------
+
+    async def _verb_insert(self, conn_sessions, args):
+        remote = self._remote(conn_sessions, args)
+        self._crashable(remote, remote.session.insert,
+                        str(args.get("table", "")),
+                        unwire_value(args.get("values")))
+        return {}
+
+    async def _verb_update(self, conn_sessions, args):
+        remote = self._remote(conn_sessions, args)
+        self._crashable(remote, remote.session.update,
+                        str(args.get("table", "")),
+                        unwire_value(args.get("key")),
+                        unwire_value(args.get("changes")))
+        return {}
+
+    async def _verb_delete(self, conn_sessions, args):
+        remote = self._remote(conn_sessions, args)
+        self._crashable(remote, remote.session.delete,
+                        str(args.get("table", "")),
+                        unwire_value(args.get("key")))
+        return {}
+
+    async def _verb_get(self, conn_sessions, args):
+        remote = self._remote(conn_sessions, args)
+        row = self._crashable(remote, remote.session.get,
+                              str(args.get("table", "")),
+                              unwire_value(args.get("key")))
+        return {"row": wire_value(row)}
+
+    async def _verb_get_secondary(self, conn_sessions, args):
+        remote = self._remote(conn_sessions, args)
+        keys = self._crashable(remote, remote.session.get_secondary,
+                               str(args.get("table", "")),
+                               str(args.get("index", "")),
+                               unwire_value(args.get("key")))
+        return {"keys": wire_value(keys)}
+
+    async def _verb_scan(self, conn_sessions, args):
+        remote = self._remote(conn_sessions, args)
+        rows = self._crashable(remote, remote.session.scan,
+                               str(args.get("table", "")),
+                               unwire_value(args.get("lo")),
+                               unwire_value(args.get("hi")))
+        return {"rows": [[wire_value(key), wire_value(row)]
+                         for key, row in rows]}
+
+    def _crashable(self, remote: _RemoteSession, op, *args):
+        """Run one engine operation; a mid-operation power failure has
+        already crashed the database (Session._op) — clean up server
+        state before re-raising."""
+        try:
+            return op(*args)
+        except SimulatedCrash:
+            self._after_crash()
+            raise
+
+    # -- admin ----------------------------------------------------------
+
+    async def _verb_flush(self, conn_sessions, args):
+        self.database._require_alive()
+        flushed = 0
+        for stage in self._stages.values():
+            flushed += stage.flush("explicit")
+        if self.database.crashed:
+            raise CrashedError("power failed during the durable point")
+        return {"flushed": flushed}
+
+    async def _verb_checkpoint(self, conn_sessions, args):
+        try:
+            self.database.checkpoint()
+        except SimulatedCrash:
+            self._after_crash()
+            raise
+        return {}
+
+    async def _verb_crash(self, conn_sessions, args):
+        if self.database.closed:
+            raise DatabaseClosedError("cannot crash a closed database")
+        if not self.database.crashed:
+            self.database.crash()
+        lost = self._after_crash()
+        return {"crashed": True, "lost_commits": lost}
+
+    async def _verb_recover(self, conn_sessions, args):
+        try:
+            seconds = self.database.recover()
+        except SimulatedCrash:
+            self._after_crash()
+            raise
+        return {"seconds": seconds,
+                "committed_txns": self.database.committed_txns}
+
+    async def _verb_stats(self, conn_sessions, args):
+        latency = {
+            name: hist.percentiles((50, 95, 99))
+            for name, hist in sorted(self._latency_hists.items())
+        }
+        return {
+            "engine": self.database.engine_name,
+            "partitions": len(self.database.partitions),
+            "crashed": self.database.crashed,
+            "committed_txns": self.database.committed_txns,
+            "aborted_txns": self.database.aborted_txns,
+            "sessions": [
+                {"session": remote.session.session_id,
+                 "name": remote.session.name,
+                 "state": remote.session.state.value,
+                 "committed": remote.session.txns_committed,
+                 "aborted": remote.session.txns_aborted}
+                for remote in self._sessions.values()
+            ],
+            "group_commit": [stage.stats()
+                             for _, stage in sorted(self._stages.items())],
+            "latency_ns": latency,
+            "admission": {
+                "max_inflight": self.config.max_inflight,
+                "waits": int(self._admission_waits.value),
+            },
+            "frames": int(self._frames.value),
+            "errors": int(self._error_count.value),
+        }
+
+    async def _verb_shutdown(self, conn_sessions, args):
+        self._loop.call_soon(self.request_shutdown)
+        return {"stopping": True}
+
+    _HANDLERS = {
+        "hello": _verb_hello,
+        "ping": _verb_ping,
+        "open_session": _verb_open_session,
+        "close_session": _verb_close_session,
+        "create_table": _verb_create_table,
+        "schema": _verb_schema,
+        "begin": _verb_begin,
+        "commit": _verb_commit,
+        "abort": _verb_abort,
+        "call": _verb_call,
+        "procedures": _verb_procedures,
+        "insert": _verb_insert,
+        "update": _verb_update,
+        "delete": _verb_delete,
+        "get": _verb_get,
+        "get_secondary": _verb_get_secondary,
+        "scan": _verb_scan,
+        "flush": _verb_flush,
+        "checkpoint": _verb_checkpoint,
+        "crash": _verb_crash,
+        "recover": _verb_recover,
+        "stats": _verb_stats,
+        "shutdown": _verb_shutdown,
+    }
+
+
+class ServerThread:
+    """Run a :class:`DatabaseServer` on a background thread — the
+    loopback harness used by tests, the closed-loop driver, and the CI
+    smoke job."""
+
+    def __init__(self, config: Optional[ServerConfig] = None, *,
+                 database: Optional[Database] = None,
+                 procedures: Optional[ProcedureRegistry] = None) -> None:
+        self.server = DatabaseServer(config, database=database,
+                                     procedures=procedures)
+        self._thread: Optional[threading.Thread] = None
+        self._ready = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+
+    def start(self) -> Tuple[str, int]:
+        """Start serving; returns the bound ``(host, port)``."""
+        self._thread = threading.Thread(
+            target=self._run, name="repro-server", daemon=True)
+        self._thread.start()
+        self._ready.wait()
+        if self._startup_error is not None:
+            raise self._startup_error
+        return self.server.address
+
+    def _run(self) -> None:
+        try:
+            asyncio.run(self._main())
+        except BaseException as exc:    # surface startup failures
+            if not self._ready.is_set():
+                self._startup_error = exc
+                self._ready.set()
+            else:
+                raise
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        try:
+            await self.server.start()
+        finally:
+            self._ready.set()
+        await self.server.serve_forever()
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Request a graceful shutdown and join the thread."""
+        if self._loop is not None and self._thread is not None \
+                and self._thread.is_alive():
+            self._loop.call_soon_threadsafe(self.server.request_shutdown)
+        if self._thread is not None:
+            self._thread.join(timeout)
+
+    def __enter__(self) -> "ServerThread":
+        self.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()

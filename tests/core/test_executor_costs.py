@@ -40,18 +40,20 @@ def test_cpu_costs_make_latency_scaling_sublinear():
     """The compute-bound share does not scale with NVM latency, which
     is what bounds the Fig. 7 throughput drop."""
     from repro.config import LatencyProfile
-    from repro.harness.runner import run_ycsb
+    from repro.harness.runner import run
+    from repro.harness.spec import ExperimentSpec
 
     drops = {}
     for op_cpu in (0.0, 400.0):
         config = EngineConfig(op_cpu_ns=op_cpu, txn_cpu_ns=op_cpu)
-        fast = run_ycsb("inp", "read-only", "low",
-                        latency=LatencyProfile.dram(),
-                        num_tuples=300, num_txns=300,
-                        engine_config=config, cache_bytes=32 * 1024)
-        slow = run_ycsb("inp", "read-only", "low",
-                        latency=LatencyProfile.high_nvm(),
-                        num_tuples=300, num_txns=300,
-                        engine_config=config, cache_bytes=32 * 1024)
+        fast = run(ExperimentSpec.ycsb(
+            "inp", "read-only", "low", latency=LatencyProfile.dram(),
+            num_tuples=300, num_txns=300, engine_config=config,
+            cache_bytes=32 * 1024))
+        slow = run(ExperimentSpec.ycsb(
+            "inp", "read-only", "low",
+            latency=LatencyProfile.high_nvm(),
+            num_tuples=300, num_txns=300, engine_config=config,
+            cache_bytes=32 * 1024))
         drops[op_cpu] = fast.throughput / slow.throughput
     assert drops[400.0] < drops[0.0]

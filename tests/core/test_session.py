@@ -1,0 +1,207 @@
+"""The Session lifecycle state machine (docs/server.md):
+
+    open --begin()--> active-txn --commit()/abort()--> open
+      |                                                  |
+      +------------------close()<------------------------+
+
+and the error taxonomy each transition raises when misused."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (Column, ColumnType, CrashedError, Database,
+                   DatabaseClosedError, Schema, SessionClosedError,
+                   SessionState, SessionStateError)
+
+KV = Schema.build(
+    "kv", [Column("k", ColumnType.INT),
+           Column("v", ColumnType.STRING, capacity=32)],
+    primary_key=["k"])
+
+
+@pytest.fixture()
+def db():
+    database = Database("nvm-inp")
+    database.create_table(KV)
+    return database
+
+
+# ----------------------------------------------------------------------
+# The happy path walks the state machine
+# ----------------------------------------------------------------------
+
+def test_lifecycle_states(db):
+    session = db.session("walker")
+    assert session.state is SessionState.OPEN
+    assert not session.in_transaction and not session.closed
+    assert session.partition_id is None and session.context is None
+
+    context = session.begin()
+    assert session.state is SessionState.ACTIVE
+    assert session.in_transaction
+    assert session.partition_id == 0
+    assert session.context is context
+
+    txn_id = session.commit()
+    assert txn_id == context.txn.txn_id
+    assert session.state is SessionState.OPEN
+    assert session.context is None
+    assert session.txns_committed == 1
+
+    session.begin()
+    session.abort()
+    assert session.state is SessionState.OPEN
+    assert session.txns_aborted == 1
+
+    session.close()
+    assert session.state is SessionState.CLOSED
+    assert session.closed
+
+
+def test_session_ops_and_commit_visibility(db):
+    with db.session() as session:
+        session.begin()
+        session.insert("kv", {"k": 1, "v": "one"})
+        session.update("kv", 1, {"v": "uno"})
+        assert session.get("kv", 1)["v"] == "uno"
+        session.commit()
+
+        session.begin()
+        assert [row["v"] for _, row in session.scan("kv")] == ["uno"]
+        session.delete("kv", 1)
+        session.abort()
+
+        session.begin()
+        assert session.get("kv", 1)["v"] == "uno"   # delete rolled back
+        session.commit()
+
+
+def test_abort_rolls_back_effects(db):
+    with db.session() as session:
+        session.begin()
+        session.insert("kv", {"k": 5, "v": "ghost"})
+        session.abort()
+    assert db.get("kv", 5) is None
+
+
+# ----------------------------------------------------------------------
+# Illegal transitions raise SessionStateError / SessionClosedError
+# ----------------------------------------------------------------------
+
+def test_wrong_state_raises(db):
+    session = db.session()
+    with pytest.raises(SessionStateError):
+        session.commit()                # no active transaction
+    with pytest.raises(SessionStateError):
+        session.abort()
+    with pytest.raises(SessionStateError):
+        session.get("kv", 1)            # ops need an active txn
+    session.begin()
+    with pytest.raises(SessionStateError):
+        session.begin()                 # nested begin
+    session.abort()
+
+
+def test_closed_session_raises(db):
+    session = db.session()
+    session.close()
+    session.close()                     # idempotent
+    for verb in (session.begin, session.commit, session.abort):
+        with pytest.raises(SessionClosedError):
+            verb()
+    with pytest.raises(SessionClosedError):
+        session.insert("kv", {"k": 1, "v": "x"})
+    with pytest.raises(SessionClosedError):
+        with session:
+            pass
+
+
+def test_close_aborts_active_transaction(db):
+    session = db.session()
+    session.begin()
+    session.insert("kv", {"k": 7, "v": "dropped"})
+    session.close()
+    assert session.closed
+    assert session.txns_aborted == 1
+    assert db.get("kv", 7) is None
+
+
+# ----------------------------------------------------------------------
+# One-shot execute shares the path with Database.execute
+# ----------------------------------------------------------------------
+
+def test_execute_commits_on_return(db):
+    def put(ctx, key, value):
+        ctx.insert("kv", {"k": key, "v": value})
+        return value
+
+    with db.session() as session:
+        assert session.execute(put, 3, "three") == "three"
+        assert session.txns_committed == 1
+    assert db.get("kv", 3)["v"] == "three"
+    # Database.execute is the same path, one-shot.
+    assert db.execute(put, 4, "four") == "four"
+    assert db.get("kv", 4)["v"] == "four"
+
+
+def test_execute_aborts_on_exception(db):
+    def explode(ctx):
+        ctx.insert("kv", {"k": 8, "v": "doomed"})
+        raise ValueError("boom")
+
+    with db.session() as session:
+        with pytest.raises(ValueError):
+            session.execute(explode)
+        assert session.state is SessionState.OPEN   # reusable
+        assert session.txns_aborted == 1
+    assert db.get("kv", 8) is None
+
+
+# ----------------------------------------------------------------------
+# Database-level taxonomy: closed vs crashed
+# ----------------------------------------------------------------------
+
+def test_closed_database_raises_database_closed(db):
+    session = db.session()
+    db.close()
+    with pytest.raises(DatabaseClosedError):
+        session.begin()
+    with pytest.raises(DatabaseClosedError):
+        db.session()
+
+
+def test_crashed_database_raises_crashed_error(db):
+    session = db.session()
+    db.crash()
+    with pytest.raises(CrashedError):
+        session.begin()
+    db.recover()
+    session.begin()                     # usable again after recovery
+    session.abort()
+
+
+def test_invalidate_drops_txn_without_engine_rollback(db):
+    session = db.session()
+    session.begin()
+    assert session.invalidate() is True
+    assert session.state is SessionState.OPEN
+    assert session.txns_aborted == 1
+    assert session.invalidate() is False    # idempotent when idle
+
+
+def test_crash_mid_session_then_close_is_safe(db):
+    session = db.session()
+    session.begin()
+    session.insert("kv", {"k": 9, "v": "in-flight"})
+    db.crash()
+    session.close()                     # must not touch the dead engine
+    assert session.closed
+    db.recover()
+    assert db.get("kv", 9) is None      # uncommitted work gone
+
+
+def test_session_ids_are_unique(db):
+    ids = {db.session().session_id for _ in range(5)}
+    assert len(ids) == 5
+    assert db.session("named").name == "named"

@@ -1,0 +1,90 @@
+"""The closed-loop multi-client driver against a loopback server —
+including the PR's acceptance comparison: with >= 8 concurrent
+sessions, group commit must cut simulated durability rounds per
+committed transaction versus batching disabled."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.harness import ClosedLoopConfig, run_loopback, sweep_clients
+from repro.server import GroupCommitConfig, ServerConfig
+
+#: Small but genuinely concurrent workload shape.
+_WORKLOAD = ClosedLoopConfig(clients=8, txns_per_client=12, ops_per_txn=2,
+                             keys=128, seed=77)
+
+
+def _server_config(enabled: bool) -> ServerConfig:
+    return ServerConfig(
+        engine="inp",
+        group_commit=GroupCommitConfig(enabled=enabled, batch_size=8,
+                                       max_hold_ns=500_000.0,
+                                       max_hold_wall_s=0.002))
+
+
+@pytest.mark.slow
+def test_group_commit_reduces_durability_rounds():
+    disabled = run_loopback(_server_config(False), _WORKLOAD)
+    enabled = run_loopback(_server_config(True), _WORKLOAD)
+
+    expected = _WORKLOAD.clients * _WORKLOAD.txns_per_client
+    for result in (disabled, enabled):
+        assert result.clients == 8
+        assert result.committed == expected
+        assert result.failed == 0
+        assert result.throughput > 0
+
+    # Unbatched: one durable point per transaction.
+    assert disabled.rounds_per_txn >= 1.0
+    assert disabled.max_batch == 1
+    # Batched: concurrent commits share durable points.
+    assert enabled.mean_batch > 1.0
+    assert enabled.max_batch > 1
+    assert enabled.rounds_per_txn < disabled.rounds_per_txn
+
+
+@pytest.mark.slow
+def test_sweep_clients_dimension():
+    base = dataclasses.replace(_WORKLOAD, txns_per_client=6)
+    results = sweep_clients([1, 8], _server_config(True), base)
+    assert [r.clients for r in results] == [1, 8]
+    assert all(r.failed == 0 for r in results)
+    assert all(r.committed == r.clients * 6 for r in results)
+    # More clients -> fuller batches -> cheaper durability per txn.
+    assert results[1].mean_batch > results[0].mean_batch
+    assert results[1].rounds_per_txn < results[0].rounds_per_txn
+
+
+@pytest.mark.slow
+def test_closed_loop_survives_crash_recover_midrun():
+    """One mid-run power failure: workers count failures, reopen
+    sessions, and the run still completes every transaction."""
+    import threading
+    import time
+
+    from repro.client import ReproClient
+    from repro.harness.closed_loop import run_closed_loop
+    from repro.server import ServerThread
+
+    config = _server_config(True)
+    workload = dataclasses.replace(_WORKLOAD, txns_per_client=25)
+    with ServerThread(config) as thread:
+        host, port = thread.server.address
+
+        def saboteur():
+            time.sleep(0.3)
+            with ReproClient(host, port) as admin:
+                admin.crash()
+                time.sleep(0.05)
+                admin.recover()
+
+        chaos = threading.Thread(target=saboteur, daemon=True)
+        chaos.start()
+        result = run_closed_loop(host, port, workload)
+        chaos.join(timeout=10.0)
+
+    assert result.committed == workload.clients * workload.txns_per_client
+    assert result.server_stats["crashed"] is False

@@ -1,17 +1,12 @@
-"""Tests for the unified run(spec) entry point and deprecated shims."""
+"""Tests for the unified run(spec) entry point."""
 
 import pytest
 
-from repro.config import LatencyProfile
-from repro.harness.runner import run, run_tpcc, run_ycsb
+from repro.harness.runner import run
 from repro.harness.spec import ExperimentSpec
 from repro.obs.session import ObservabilitySession
-from repro.workloads.tpcc import TPCCConfig
 
 TINY = dict(num_tuples=200, num_txns=150, cache_bytes=64 * 1024)
-TINY_TPCC = TPCCConfig(warehouses=1, districts_per_warehouse=2,
-                       customers_per_district=10, items=30,
-                       initial_orders_per_district=5)
 
 
 def test_run_result_carries_spec_identity_in_extra():
@@ -32,25 +27,15 @@ def test_run_to_dict_includes_throughput():
     assert payload["extra"]["seed"] == 31
 
 
-def test_run_ycsb_shim_warns_and_matches_run():
-    with pytest.warns(DeprecationWarning, match="run_ycsb"):
-        legacy = run_ycsb("log", "balanced", "high",
-                          latency=LatencyProfile.low_nvm(), seed=5,
-                          **TINY)
-    modern = run(ExperimentSpec.ycsb(
-        "log", "balanced", "high", latency=LatencyProfile.low_nvm(),
-        seed=5, **TINY))
-    assert legacy == modern
-
-
-def test_run_tpcc_shim_warns_and_matches_run():
-    with pytest.warns(DeprecationWarning, match="run_tpcc"):
-        legacy = run_tpcc("nvm-log", tpcc_config=TINY_TPCC,
-                          num_txns=40)
-    modern = run(ExperimentSpec.tpcc("nvm-log",
-                                     tpcc_config=TINY_TPCC,
-                                     num_txns=40))
-    assert legacy == modern
+def test_shims_are_gone():
+    """PR 2's deprecated per-workload entry points are removed;
+    run(spec) is the single entry point."""
+    import repro.harness as harness
+    import repro.harness.runner as runner
+    assert not hasattr(runner, "run_ycsb")
+    assert not hasattr(runner, "run_tpcc")
+    assert "run_ycsb" not in harness.__all__
+    assert "run_tpcc" not in harness.__all__
 
 
 def test_run_with_observability_session():

@@ -4,7 +4,8 @@ import pytest
 
 from repro.config import LatencyProfile
 from repro.harness.experiments import Scale
-from repro.harness.runner import run_tpcc, run_ycsb
+from repro.harness.runner import run
+from repro.harness.spec import ExperimentSpec
 from repro.workloads.tpcc import TPCCConfig
 
 SMALL = Scale(ycsb_tuples=300, ycsb_txns=300, tpcc_txns=60,
@@ -14,12 +15,17 @@ SMALL = Scale(ycsb_tuples=300, ycsb_txns=300, tpcc_txns=60,
               cache_bytes=64 * 1024, tpcc_cache_bytes=32 * 1024)
 
 
+def _ycsb_spec(engine, mixture, skew, **overrides):
+    params = dict(num_tuples=SMALL.ycsb_tuples,
+                  num_txns=SMALL.ycsb_txns,
+                  engine_config=SMALL.engine_config(),
+                  cache_bytes=SMALL.cache_bytes)
+    params.update(overrides)
+    return ExperimentSpec.ycsb(engine, mixture, skew, **params)
+
+
 def test_run_ycsb_returns_complete_result():
-    result = run_ycsb("nvm-inp", "balanced", "low",
-                      num_tuples=SMALL.ycsb_tuples,
-                      num_txns=SMALL.ycsb_txns,
-                      engine_config=SMALL.engine_config(),
-                      cache_bytes=SMALL.cache_bytes)
+    result = run(_ycsb_spec("nvm-inp", "balanced", "low"))
     assert result.engine == "nvm-inp"
     assert result.workload == "ycsb/balanced/low"
     assert result.txns == SMALL.ycsb_txns
@@ -32,70 +38,49 @@ def test_run_ycsb_returns_complete_result():
 
 
 def test_run_ycsb_read_only_no_stores():
-    result = run_ycsb("inp", "read-only", "low",
-                      num_tuples=SMALL.ycsb_tuples,
-                      num_txns=SMALL.ycsb_txns,
-                      engine_config=SMALL.engine_config(),
-                      cache_bytes=SMALL.cache_bytes)
+    result = run(_ycsb_spec("inp", "read-only", "low"))
     assert result.nvm_stores < result.nvm_loads * 0.05 + 50
 
 
 def test_run_ycsb_deterministic():
-    def run():
-        result = run_ycsb("log", "balanced", "high",
-                          num_tuples=SMALL.ycsb_tuples,
-                          num_txns=SMALL.ycsb_txns,
-                          engine_config=SMALL.engine_config(),
-                          cache_bytes=SMALL.cache_bytes, seed=5)
+    def run_point():
+        result = run(_ycsb_spec("log", "balanced", "high", seed=5))
         return (result.sim_seconds, result.nvm_loads,
                 result.nvm_stores)
 
-    assert run() == run()
+    assert run_point() == run_point()
 
 
 def test_latency_profile_slows_reads():
-    fast = run_ycsb("nvm-inp", "read-heavy", "low",
-                    latency=LatencyProfile.dram(),
-                    num_tuples=SMALL.ycsb_tuples,
-                    num_txns=SMALL.ycsb_txns,
-                    engine_config=SMALL.engine_config(),
-                    cache_bytes=SMALL.cache_bytes)
-    slow = run_ycsb("nvm-inp", "read-heavy", "low",
-                    latency=LatencyProfile.high_nvm(),
-                    num_tuples=SMALL.ycsb_tuples,
-                    num_txns=SMALL.ycsb_txns,
-                    engine_config=SMALL.engine_config(),
-                    cache_bytes=SMALL.cache_bytes)
+    fast = run(_ycsb_spec("nvm-inp", "read-heavy", "low",
+                          latency=LatencyProfile.dram()))
+    slow = run(_ycsb_spec("nvm-inp", "read-heavy", "low",
+                          latency=LatencyProfile.high_nvm()))
     assert slow.throughput < fast.throughput
     # Sub-linear: 8x latency must cost far less than 8x throughput.
     assert fast.throughput / slow.throughput < 8
 
 
 def test_run_tpcc_returns_complete_result():
-    result = run_tpcc("nvm-cow", tpcc_config=SMALL.tpcc,
-                      num_txns=SMALL.tpcc_txns,
-                      engine_config=SMALL.engine_config(),
-                      cache_bytes=SMALL.tpcc_cache_bytes)
+    result = run(ExperimentSpec.tpcc(
+        "nvm-cow", tpcc_config=SMALL.tpcc, num_txns=SMALL.tpcc_txns,
+        engine_config=SMALL.engine_config(),
+        cache_bytes=SMALL.tpcc_cache_bytes))
     assert result.workload == "tpcc"
     assert result.throughput > 0
     assert result.nvm_stores > 0
 
 
 def test_run_checkpoint_interval_applies():
-    result = run_ycsb("inp", "write-heavy", "low",
-                      num_tuples=SMALL.ycsb_tuples,
-                      num_txns=SMALL.ycsb_txns,
-                      engine_config=SMALL.engine_config(),
-                      cache_bytes=SMALL.cache_bytes,
-                      run_checkpoint_interval=100)
+    result = run(_ycsb_spec("inp", "write-heavy", "low",
+                            run_checkpoint_interval=100))
     # A checkpoint happened during the measured window.
     assert result.storage_breakdown.get("checkpoint", 0) > 0
 
 
 @pytest.mark.parametrize("engine", ["inp", "nvm-inp"])
 def test_partitioned_run(engine):
-    result = run_ycsb(engine, "balanced", "low",
-                      num_tuples=400, num_txns=200, partitions=2,
-                      engine_config=SMALL.engine_config(),
-                      cache_bytes=SMALL.cache_bytes)
+    result = run(_ycsb_spec(engine, "balanced", "low",
+                            num_tuples=400, num_txns=200,
+                            partitions=2))
     assert result.throughput > 0

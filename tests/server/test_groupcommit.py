@@ -1,0 +1,263 @@
+"""Group-commit batch boundaries under a deterministic workload.
+
+These drive a :class:`GroupCommitStage` directly on an event loop
+against a real engine (auto-flush disabled, as the server builds it),
+so batch boundaries depend only on the configured triggers and the
+simulated clock — no sockets, no wall-clock races except where the
+wall timer itself is under test.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.config import EngineConfig
+from repro.core.database import Database
+from repro.core.schema import Column, ColumnType, Schema
+from repro.errors import CrashedError, SimulatedCrash
+from repro.server.groupcommit import GroupCommitConfig, GroupCommitStage
+
+_NO_AUTO_FLUSH = 1 << 30
+
+_FAR = dict(max_hold_ns=1e18, max_hold_wall_s=3600.0)
+
+
+def _database() -> Database:
+    db = Database("inp", engine_config=EngineConfig(
+        group_commit_size=_NO_AUTO_FLUSH))
+    db.create_table(Schema.build(
+        "kv", [Column("k", ColumnType.INT), Column("v", ColumnType.INT)],
+        primary_key=["k"]))
+    return db
+
+
+def _commit_one(db: Database, key: int) -> None:
+    """One logical commit (engine durable point deferred)."""
+    session = db.session()
+    session.begin()
+    session.insert("kv", {"k": key, "v": key})
+    session.commit()
+    session.close()
+
+
+def _run(scenario):
+    return asyncio.run(scenario())
+
+
+# ----------------------------------------------------------------------
+# Trigger: size
+# ----------------------------------------------------------------------
+
+def test_size_trigger_flushes_exactly_at_batch_size():
+    async def scenario():
+        db = _database()
+        stage = GroupCommitStage(
+            db.partitions[0],
+            GroupCommitConfig(batch_size=3, **_FAR),
+            asyncio.get_running_loop())
+        futures = []
+        for key in range(3):
+            _commit_one(db, key)
+            futures.append(stage.enqueue())
+            if key < 2:
+                assert not futures[-1].done()
+        await asyncio.gather(*futures)
+        return stage.stats()
+
+    stats = _run(scenario)
+    assert stats["txns"] == 3
+    assert stats["batches"] == 1
+    assert stats["max_batch"] == 3
+    assert stats["mean_batch"] == 3.0
+    assert stats["flush_reasons"] == {"size": 1}
+    assert stats["pending"] == 0
+    # One batched durable point is cheaper than three solo ones.
+    assert 1 <= stats["durability_rounds"] <= 2
+    assert stats["rounds_per_txn"] < 1.0
+
+
+def test_deterministic_boundaries_across_runs():
+    def boundaries():
+        async def scenario():
+            db = _database()
+            stage = GroupCommitStage(
+                db.partitions[0],
+                GroupCommitConfig(batch_size=4, **_FAR),
+                asyncio.get_running_loop())
+            futures = [stage.enqueue()
+                       for key in range(10) if _commit_one(db, key) is None]
+            stage.flush("explicit")     # drain the final partial batch
+            await asyncio.gather(*futures)
+            return (stage.stats()["batches"],
+                    stage.stats()["flush_reasons"],
+                    stage.stats()["durability_rounds"])
+        return _run(scenario)
+
+    first, second = boundaries(), boundaries()
+    assert first == second
+    batches, reasons, _rounds = first
+    assert batches == 3                 # 4 + 4 + 2 (explicit drain)
+    assert reasons == {"size": 2, "explicit": 1}
+
+
+# ----------------------------------------------------------------------
+# Trigger: simulated-clock hold
+# ----------------------------------------------------------------------
+
+def test_hold_trigger_uses_simulated_clock():
+    async def scenario():
+        db = _database()
+        stage = GroupCommitStage(
+            db.partitions[0],
+            GroupCommitConfig(batch_size=1000, max_hold_ns=1.0,
+                              max_hold_wall_s=3600.0),
+            asyncio.get_running_loop())
+        _commit_one(db, 0)
+        first = stage.enqueue()         # opens the batch
+        assert not first.done()
+        _commit_one(db, 1)              # advances the simulated clock
+        second = stage.enqueue()        # now > 1ns past the batch open
+        await asyncio.gather(first, second)
+        return stage.stats()
+
+    stats = _run(scenario)
+    assert stats["batches"] == 1
+    assert stats["max_batch"] == 2
+    assert stats["flush_reasons"] == {"hold": 1}
+
+
+# ----------------------------------------------------------------------
+# Trigger: wall-clock backstop timer
+# ----------------------------------------------------------------------
+
+def test_wall_timer_drains_the_final_batch():
+    async def scenario():
+        db = _database()
+        stage = GroupCommitStage(
+            db.partitions[0],
+            GroupCommitConfig(batch_size=1000, max_hold_ns=1e18,
+                              max_hold_wall_s=0.02),
+            asyncio.get_running_loop())
+        _commit_one(db, 0)
+        future = stage.enqueue()
+        await asyncio.wait_for(future, timeout=5.0)
+        return stage.stats()
+
+    stats = _run(scenario)
+    assert stats["flush_reasons"] == {"timer": 1}
+    assert stats["txns"] == stats["max_batch"] == 1
+
+
+# ----------------------------------------------------------------------
+# Batching disabled: one durable point per transaction
+# ----------------------------------------------------------------------
+
+def test_disabled_flushes_every_commit():
+    async def scenario():
+        db = _database()
+        stage = GroupCommitStage(
+            db.partitions[0],
+            GroupCommitConfig(enabled=False),
+            asyncio.get_running_loop())
+        for key in range(4):
+            _commit_one(db, key)
+            future = stage.enqueue()
+            assert future.done()        # resolved synchronously
+            await future
+        return stage.stats()
+
+    stats = _run(scenario)
+    assert stats["txns"] == stats["batches"] == 4
+    assert stats["max_batch"] == 1
+    assert stats["flush_reasons"] == {"immediate": 4}
+    assert stats["rounds_per_txn"] >= 1.0
+
+
+def test_batching_reduces_durability_rounds_per_txn():
+    """The acceptance comparison in miniature: same workload, same
+    engine, batched vs unbatched durable points."""
+    def rounds_per_txn(enabled):
+        async def scenario():
+            db = _database()
+            config = GroupCommitConfig(enabled=enabled, batch_size=8,
+                                       **_FAR) if enabled else \
+                GroupCommitConfig(enabled=False)
+            stage = GroupCommitStage(db.partitions[0], config,
+                                     asyncio.get_running_loop())
+            futures = []
+            for key in range(16):
+                _commit_one(db, key)
+                futures.append(stage.enqueue())
+            stage.flush("explicit")
+            await asyncio.gather(*futures)
+            return stage.stats()["rounds_per_txn"]
+        return _run(scenario)
+
+    assert rounds_per_txn(True) < rounds_per_txn(False)
+
+
+# ----------------------------------------------------------------------
+# Power failure during the durable point
+# ----------------------------------------------------------------------
+
+def test_crash_during_flush_fails_waiters_with_crashed_error():
+    async def scenario():
+        db = _database()
+        crashes = []
+        stage = GroupCommitStage(
+            db.partitions[0],
+            GroupCommitConfig(batch_size=2, **_FAR),
+            asyncio.get_running_loop(),
+            on_crash=lambda: crashes.append(True))
+
+        def exploding_flush():
+            raise SimulatedCrash("power failed in the WAL fsync")
+
+        _commit_one(db, 0)
+        first = stage.enqueue()
+        _commit_one(db, 1)
+        db.partitions[0].engine.flush_commits = exploding_flush
+        second = stage.enqueue()        # size trigger -> crash
+        results = await asyncio.gather(first, second,
+                                       return_exceptions=True)
+        return crashes, results, stage.stats()
+
+    crashes, results, stats = _run(scenario)
+    assert crashes == [True]
+    assert all(isinstance(r, CrashedError) for r in results)
+    assert stats["batches"] == 0        # a lost batch is not a batch
+    assert stats["pending"] == 0
+
+
+def test_fail_pending_fails_every_waiter():
+    async def scenario():
+        db = _database()
+        stage = GroupCommitStage(
+            db.partitions[0],
+            GroupCommitConfig(batch_size=1000, **_FAR),
+            asyncio.get_running_loop())
+        _commit_one(db, 0)
+        _commit_one(db, 1)
+        futures = [stage.enqueue(), stage.enqueue()]
+        failed = stage.fail_pending("power failure")
+        results = await asyncio.gather(*futures, return_exceptions=True)
+        return failed, results
+
+    failed, results = _run(scenario)
+    assert failed == 2
+    assert all(isinstance(r, CrashedError) for r in results)
+
+
+# ----------------------------------------------------------------------
+# Config validation
+# ----------------------------------------------------------------------
+
+def test_config_rejects_nonsense():
+    with pytest.raises(ValueError):
+        GroupCommitConfig(batch_size=0)
+    with pytest.raises(ValueError):
+        GroupCommitConfig(max_hold_ns=-1.0)
+    with pytest.raises(ValueError):
+        GroupCommitConfig(max_hold_wall_s=0.0)
