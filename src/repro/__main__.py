@@ -544,7 +544,10 @@ def _cmd_serve(args) -> int:
         host=args.host, port=args.port, engine=args.engine,
         partitions=args.partitions, latency=args.latency,
         seed=args.seed, max_inflight=args.max_inflight,
-        group_commit=group_commit)
+        group_commit=group_commit,
+        max_admission_queue=args.max_queue,
+        session_lease_s=args.session_lease,
+        watchdog_recover_s=args.watchdog)
     server = DatabaseServer(config)
 
     def _ready(address):
@@ -569,6 +572,80 @@ def _cmd_serve(args) -> int:
             rows, title=f"group commit on {host}:{port} "
                         f"({server.database.engine_name})"))
     return 0
+
+
+def _cmd_chaos(args) -> int:
+    # Imported lazily: the campaign pulls in the full network stack.
+    import dataclasses
+    import json
+
+    from .chaos import ChaosConfig, run_chaos_campaign
+
+    base = ChaosConfig()
+    faults = base.faults
+    if args.fault_scale != 1.0:
+        faults = dataclasses.replace(
+            faults,
+            **{name: min(1.0, getattr(faults, name) * args.fault_scale)
+               for name in ("drop_p", "delay_p", "truncate_p",
+                            "corrupt_p", "duplicate_p",
+                            "blackhole_p")})
+    faults = dataclasses.replace(faults, seed=args.seed)
+    config = dataclasses.replace(
+        base, clients=args.clients, txns_per_client=args.txns,
+        keys=args.keys, seed=args.seed, engine=args.engine,
+        crash_cycles=args.crash_cycles, faults=faults,
+        max_wall_s=args.max_wall)
+    telemetry = _Telemetry(args)
+    publisher = None
+    if telemetry.bus is not None:
+        from .obs.bus import BusPublisher
+        publisher = BusPublisher(telemetry.bus, source="chaos")
+    report = None
+    try:
+        report = run_chaos_campaign(config, publisher=publisher)
+    finally:
+        telemetry.finish([])
+    if args.json:
+        payload = dict(report.to_dict(), kind="repro-chaos-report")
+        try:
+            with open(args.json, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            print(f"report -> {args.json}")
+        except OSError as error:
+            print(f"cannot write {args.json}: {error}",
+                  file=sys.stderr)
+            return 2
+    proxy = report.proxy_stats
+    print(format_table(
+        ["metric", "value"],
+        [["committed (acked durable)", report.committed],
+         ["ambiguous commits", report.ambiguous],
+         ["  resolved durable (ledger)", report.resolved_durable],
+         ["  resolved not-applied", report.resolved_not_applied],
+         ["  still ambiguous", report.still_ambiguous],
+         ["failed attempts (retried)", report.failed_attempts],
+         ["nemesis crashes / recoveries",
+          f"{report.crashes} / {report.recoveries}"],
+         ["proxy connections", proxy.get("connections", 0)],
+         ["frames dropped/delayed/cut",
+          f"{proxy.get('drop', 0)}/{proxy.get('delay', 0)}/"
+          f"{proxy.get('truncate', 0)}"],
+         ["frames corrupted/duplicated/blackholed",
+          f"{proxy.get('corrupt', 0)}/{proxy.get('duplicate', 0)}/"
+          f"{proxy.get('blackhole', 0) + proxy.get('blackholed', 0)}"],
+         ["keys checked", report.keys_checked],
+         ["final counter total", report.final_total],
+         ["wall seconds", f"{report.wall_seconds:.2f}"]],
+        title=f"Chaos campaign, seed {args.seed} "
+              f"({args.clients} clients, {args.engine})"))
+    for violation in report.violations:
+        print(f"oracle violation: {violation}", file=sys.stderr)
+    print("invariants: "
+          + ("all held" if report.ok
+             else f"{len(report.violations)} VIOLATED"))
+    return 0 if report.ok else 1
 
 
 def _cmd_figure(args) -> int:
@@ -845,7 +922,53 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--max-inflight", type=int, default=64, metavar="N",
         help="admission control: transactions in flight before "
              "begin blocks")
+    serve_parser.add_argument(
+        "--max-queue", type=int, default=None, metavar="N",
+        help="load shedding: begins parked for admission before "
+             "further ones are refused with RetryAfter "
+             "(default: park without bound)")
+    serve_parser.add_argument(
+        "--session-lease", type=float, default=None, metavar="S",
+        help="reap sessions idle longer than S seconds, aborting "
+             "their transaction and releasing their locks "
+             "(default: no leases)")
+    serve_parser.add_argument(
+        "--watchdog", type=float, default=None, metavar="S",
+        help="auto-recover the database S seconds after a crash "
+             "(default: recovery stays explicit)")
     serve_parser.set_defaults(func=_cmd_serve)
+
+    chaos_parser = commands.add_parser(
+        "chaos",
+        help="chaos campaign: N clients commit through a seeded "
+             "fault proxy while a nemesis crashes/recovers the "
+             "server; an oracle checks exactly-once invariants "
+             "(see docs/fault-injection.md)")
+    chaos_parser.add_argument("--clients", type=int, default=4)
+    chaos_parser.add_argument("--txns", type=int, default=40,
+                              metavar="N",
+                              help="transactions per client")
+    chaos_parser.add_argument("--keys", type=int, default=64)
+    chaos_parser.add_argument("--seed", type=int, default=0xDB05)
+    chaos_parser.add_argument("--engine", default="nvm-inp",
+                              choices=engine_names())
+    chaos_parser.add_argument("--crash-cycles", type=int, default=2,
+                              metavar="N",
+                              help="nemesis crash/recover cycles")
+    chaos_parser.add_argument(
+        "--fault-scale", type=float, default=1.0, metavar="X",
+        help="multiply every fault probability by X "
+             "(0 disables faults)")
+    chaos_parser.add_argument(
+        "--max-wall", type=float, default=120.0, metavar="S",
+        help="hard wall-clock bound; a stalled worker past it is "
+             "reported as a violation, never a hang")
+    chaos_parser.add_argument(
+        "--json", metavar="FILE", default=None,
+        help="write the full campaign report (kind "
+             "repro-chaos-report) to FILE")
+    _add_telemetry_flags(chaos_parser)
+    chaos_parser.set_defaults(func=_cmd_chaos)
 
     args = parser.parse_args(argv)
     return args.func(args)

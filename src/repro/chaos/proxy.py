@@ -1,0 +1,324 @@
+"""A frame-boundary-aware TCP fault proxy.
+
+The proxy listens on its own port and forwards byte streams to an
+upstream server, but it understands just enough of the wire format —
+the 4-byte big-endian length prefix of :mod:`repro.server.protocol` —
+to inject faults at *frame* granularity, which is where the
+interesting failure modes live: a dropped request (did the server see
+my commit?), a dropped response (the server saw it — did the client?),
+a connection cut mid-frame, a corrupted body, a duplicated frame, a
+half-open partition.
+
+Determinism: every connection gets one :class:`random.Random` per
+direction, seeded from ``(seed, connection index, direction)``, so a
+campaign with a fixed seed replays the same fault plan regardless of
+scheduler interleavings across connections.
+
+Fault actions, chosen independently per complete frame:
+
+========== ==========================================================
+``drop``       the frame silently vanishes
+``delay``      the frame is forwarded after a uniform random sleep
+``truncate``   a prefix of the frame is forwarded, then the
+               connection is cut (both directions) — the classic
+               mid-frame disconnect
+``corrupt``    the body bytes are XOR-mangled (length prefix intact):
+               the receiver sees a well-framed JSON parse error
+``duplicate``  the frame is forwarded twice back to back
+``blackhole``  this *direction* of this connection forwards nothing
+               from now on (one-way partition); the connection stays
+               open so the peer blocks until its own timeout
+========== ==========================================================
+
+A partial frame is never forwarded (except by ``truncate``): bytes
+buffer until the frame completes, preserving frame alignment for the
+peer's decoder.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import random
+import struct
+import threading
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..errors import ConfigError
+
+__all__ = ["FaultConfig", "NetworkFaultProxy", "FaultProxyThread"]
+
+_HEADER = struct.Struct(">I")
+
+#: Order in which fault probabilities are evaluated per frame.
+_ACTIONS = ("drop", "delay", "truncate", "corrupt", "duplicate",
+            "blackhole")
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Per-frame fault probabilities (independent; first match wins,
+    evaluated in :data:`_ACTIONS` order; no match = forward)."""
+
+    seed: int = 0xC4A05
+    drop_p: float = 0.0
+    delay_p: float = 0.0
+    #: Uniform sleep range for ``delay`` (seconds).
+    delay_s: Tuple[float, float] = (0.0005, 0.005)
+    truncate_p: float = 0.0
+    corrupt_p: float = 0.0
+    duplicate_p: float = 0.0
+    blackhole_p: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("drop_p", "delay_p", "truncate_p", "corrupt_p",
+                     "duplicate_p", "blackhole_p"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigError(f"{name} must be in [0, 1]")
+        if self.delay_s[0] < 0 or self.delay_s[1] < self.delay_s[0]:
+            raise ConfigError("delay_s must be a (lo, hi) range")
+
+    def total_fault_p(self) -> float:
+        return (self.drop_p + self.delay_p + self.truncate_p
+                + self.corrupt_p + self.duplicate_p + self.blackhole_p)
+
+
+class _Cut(Exception):
+    """Internal: the fault plan cut this connection mid-frame."""
+
+
+class NetworkFaultProxy:
+    """Asyncio fault proxy in front of one upstream ``(host, port)``."""
+
+    def __init__(self, upstream_host: str, upstream_port: int, *,
+                 config: Optional[FaultConfig] = None,
+                 host: str = "127.0.0.1", port: int = 0) -> None:
+        self.upstream = (upstream_host, upstream_port)
+        self.config = config or FaultConfig()
+        self.host = host
+        self.port = port
+        self.address: Optional[Tuple[str, int]] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._conn_count = 0
+        #: Frames per action (plus ``blackholed`` for frames swallowed
+        #: by an already-open blackhole).
+        self.counters: Dict[str, int] = {action: 0
+                                         for action in _ACTIONS}
+        self.counters["forward"] = 0
+        self.counters["blackholed"] = 0
+
+    # ------------------------------------------------------------------
+
+    async def start(self) -> Tuple[str, int]:
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port)
+        sockname = self._server.sockets[0].getsockname()
+        self.address = (sockname[0], sockname[1])
+        return self.address
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    def stats(self) -> Dict[str, int]:
+        return {"connections": self._conn_count, **self.counters}
+
+    # ------------------------------------------------------------------
+
+    async def _handle(self, client_reader: asyncio.StreamReader,
+                      client_writer: asyncio.StreamWriter) -> None:
+        index = self._conn_count
+        self._conn_count += 1
+        try:
+            upstream_reader, upstream_writer = \
+                await asyncio.open_connection(*self.upstream)
+        except OSError:
+            client_writer.close()
+            with contextlib.suppress(Exception):
+                await client_writer.wait_closed()
+            return
+        pumps = [
+            asyncio.ensure_future(self._pump(
+                client_reader, upstream_writer,
+                self._direction_rng(index, "c2s"))),
+            asyncio.ensure_future(self._pump(
+                upstream_reader, client_writer,
+                self._direction_rng(index, "s2c"))),
+        ]
+        # Either side finishing (EOF, error, or a truncate cut) tears
+        # down the whole connection — half-open forwarding is only
+        # simulated *inside* a pump via blackhole. A cancellation
+        # (proxy shutdown) is just another teardown, not an error.
+        try:
+            await asyncio.wait(pumps,
+                               return_when=asyncio.FIRST_COMPLETED)
+        except asyncio.CancelledError:
+            pass
+        for pump in pumps:
+            pump.cancel()
+        await asyncio.gather(*pumps, return_exceptions=True)
+        for writer in (client_writer, upstream_writer):
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+
+    def _direction_rng(self, index: int, direction: str
+                       ) -> random.Random:
+        return random.Random(
+            (self.config.seed * 1000003 + index) * 31
+            + (0 if direction == "c2s" else 1))
+
+    async def _pump(self, reader: asyncio.StreamReader,
+                    writer: asyncio.StreamWriter,
+                    rng: random.Random) -> None:
+        buffer = bytearray()
+        blackholed = False
+        try:
+            while True:
+                data = await reader.read(65536)
+                if not data:
+                    return
+                buffer.extend(data)
+                while True:
+                    frame = self._next_frame(buffer)
+                    if frame is None:
+                        break
+                    if blackholed:
+                        self.counters["blackholed"] += 1
+                        continue
+                    blackholed = await self._apply(frame, writer, rng)
+                if not blackholed:
+                    await writer.drain()
+        except (_Cut, ConnectionError, asyncio.IncompleteReadError):
+            return
+
+    @staticmethod
+    def _next_frame(buffer: bytearray) -> Optional[bytes]:
+        """Pop one complete frame (header + body) off the buffer. A
+        length the proxy cannot trust (it only forwards between our
+        own client and server) still parses — the proxy is not a
+        validator, just frame-aligned."""
+        if len(buffer) < _HEADER.size:
+            return None
+        (length,) = _HEADER.unpack_from(buffer)
+        total = _HEADER.size + length
+        if len(buffer) < total:
+            return None
+        frame = bytes(buffer[:total])
+        del buffer[:total]
+        return frame
+
+    async def _apply(self, frame: bytes,
+                     writer: asyncio.StreamWriter,
+                     rng: random.Random) -> bool:
+        """Run one frame through the fault plan. Returns True when the
+        direction just blackholed."""
+        action = self._choose(rng)
+        self.counters[action] += 1
+        if action == "drop":
+            return False
+        if action == "delay":
+            await asyncio.sleep(rng.uniform(*self.config.delay_s))
+            writer.write(frame)
+            return False
+        if action == "truncate":
+            # Forward a strict prefix that still includes the header,
+            # then cut the connection: the peer sees a mid-frame EOF.
+            cut_at = rng.randrange(_HEADER.size, len(frame))
+            writer.write(frame[:max(1, cut_at)])
+            with contextlib.suppress(ConnectionError):
+                await writer.drain()
+            raise _Cut()
+        if action == "corrupt":
+            body = bytearray(frame)
+            for _ in range(max(1, len(body) // 64)):
+                position = rng.randrange(_HEADER.size, len(body))
+                body[position] ^= 0xFF
+            writer.write(bytes(body))
+            return False
+        if action == "duplicate":
+            writer.write(frame + frame)
+            return False
+        if action == "blackhole":
+            return True
+        writer.write(frame)
+        return False
+
+    def _choose(self, rng: random.Random) -> str:
+        roll = rng.random()
+        config = self.config
+        for action, probability in (
+                ("drop", config.drop_p),
+                ("delay", config.delay_p),
+                ("truncate", config.truncate_p),
+                ("corrupt", config.corrupt_p),
+                ("duplicate", config.duplicate_p),
+                ("blackhole", config.blackhole_p)):
+            if roll < probability:
+                return action
+            roll -= probability
+        return "forward"
+
+
+class FaultProxyThread:
+    """Run a :class:`NetworkFaultProxy` on a background thread — the
+    sibling of :class:`repro.server.ServerThread` for tests and the
+    chaos campaign."""
+
+    def __init__(self, upstream_host: str, upstream_port: int, *,
+                 config: Optional[FaultConfig] = None) -> None:
+        self.proxy = NetworkFaultProxy(upstream_host, upstream_port,
+                                       config=config)
+        self._thread: Optional[threading.Thread] = None
+        self._ready = threading.Event()
+        self._stop = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+
+    def start(self) -> Tuple[str, int]:
+        self._thread = threading.Thread(
+            target=self._run, name="repro-chaos-proxy", daemon=True)
+        self._thread.start()
+        self._ready.wait()
+        if self._startup_error is not None:
+            raise self._startup_error
+        return self.proxy.address
+
+    def _run(self) -> None:
+        try:
+            asyncio.run(self._main())
+        except BaseException as exc:
+            if not self._ready.is_set():
+                self._startup_error = exc
+                self._ready.set()
+            else:
+                raise
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        stop_event = asyncio.Event()
+        self._stop_event = stop_event
+        try:
+            await self.proxy.start()
+        finally:
+            self._ready.set()
+        await stop_event.wait()
+        await self.proxy.stop()
+
+    def stop(self, timeout: float = 10.0) -> None:
+        if self._loop is not None and self._thread is not None \
+                and self._thread.is_alive():
+            self._loop.call_soon_threadsafe(self._stop_event.set)
+        if self._thread is not None:
+            self._thread.join(timeout)
+
+    def __enter__(self) -> "FaultProxyThread":
+        self.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()

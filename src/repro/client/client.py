@@ -14,22 +14,38 @@ code reads like in-process code::
             session.commit()        # returns once durable
 
 **Retries.** A transient disconnect (server restart, dropped socket)
-is retried transparently — reconnect with backoff, replay the frame —
-but only for verbs that are safe to repeat (handshake, ping, stats,
-flush, recover, ...). Verbs inside a transaction are *not* replayed:
-the server closed the session with the connection, so the client
-raises :class:`~repro.errors.ServerDisconnected` and the caller
+is retried transparently — reconnect with full-jitter backoff, replay
+the frame — but only for verbs that are safe to repeat. ``commit`` is
+one of them: every :meth:`ClientSession.commit` carries a
+client-generated **commit token**, and the server's bounded commit
+ledger resolves a replayed token against the recorded outcome instead
+of re-running the transaction, closing the classic ack-lost ambiguity
+window (exactly-once commits). Other in-transaction verbs are *not*
+replayed: the server closed the session with the connection, so the
+client raises :class:`~repro.errors.ServerDisconnected` and the caller
 decides (the closed-loop driver opens a fresh session and carries on).
+
+**Degradation.** A server shedding load answers with
+:class:`~repro.errors.RetryAfterError` *before doing any work*; the
+client honors the hint with jittered sleeps and retries (bounded by
+``shed_retries``). Any call may carry a ``deadline`` (seconds of total
+wall time including backoff); once spent, the retry loop raises
+:class:`~repro.errors.DeadlineExceededError` instead of sleeping.
 """
 
 from __future__ import annotations
 
+import itertools
+import random
 import socket
 import time
+import uuid
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from ..core.schema import Schema
-from ..errors import ProtocolError, ServerDisconnected
+from ..errors import (CommitAmbiguousError, CrashedError,
+                      DeadlineExceededError, ProtocolError,
+                      RetryAfterError, ServerDisconnected)
 from ..server.protocol import (MAX_FRAME_BYTES, FrameDecoder,
                                encode_frame, error_to_exception, request,
                                schema_from_wire, schema_to_wire,
@@ -40,10 +56,12 @@ __all__ = ["ReproClient", "ClientSession", "RETRYABLE_VERBS"]
 #: Verbs safe to replay on a fresh connection after a transient
 #: disconnect: they carry no per-connection session state and are
 #: idempotent (or, like ``flush``/``recover``, converge to the same
-#: state when repeated).
+#: state when repeated). ``commit`` joined the set when it grew
+#: tokens — the server's commit ledger answers a replayed token from
+#: its record, so the engine never sees the retry.
 RETRYABLE_VERBS = frozenset(
     {"hello", "ping", "stats", "procedures", "schema",
-     "flush", "checkpoint", "recover"})
+     "flush", "checkpoint", "recover", "commit", "commit_status"})
 
 
 class ReproClient:
@@ -53,17 +71,31 @@ class ReproClient:
                  timeout: float = 30.0,
                  retries: int = 2,
                  retry_backoff_s: float = 0.05,
+                 shed_retries: int = 16,
+                 deadline_s: Optional[float] = None,
+                 jitter_seed: Optional[int] = None,
                  max_frame_bytes: int = MAX_FRAME_BYTES) -> None:
         self.host = host
         self.port = port
         self.timeout = timeout
         self.retries = retries
         self.retry_backoff_s = retry_backoff_s
+        #: RetryAfterError (load-shed) answers honored before giving up.
+        self.shed_retries = shed_retries
+        #: Default per-call wall-clock budget (None = unbounded).
+        self.deadline_s = deadline_s
         self.max_frame_bytes = max_frame_bytes
         self._sock: Optional[socket.socket] = None
         self._decoder = FrameDecoder(max_frame_bytes=max_frame_bytes)
         self._pending: List[Dict[str, Any]] = []
         self._request_ids = iter(range(1, 2 ** 62))
+        self._rng = random.Random(jitter_seed)
+        #: Nonce naming this client lifetime in commit tokens.
+        self._nonce = uuid.uuid4().hex[:16]
+        self._commit_seq = itertools.count(1)
+        #: Sockets opened over this client's lifetime (first connect
+        #: included); a change across a call means it reconnected.
+        self.reconnects = 0
         self.server_info: Dict[str, Any] = {}
 
     # ------------------------------------------------------------------
@@ -83,7 +115,7 @@ class ReproClient:
                 last_error = exc
                 self._drop_socket()
                 if attempt < self.retries:
-                    time.sleep(self.retry_backoff_s * 2 ** attempt)
+                    time.sleep(self._backoff(attempt))
         raise ServerDisconnected(
             f"could not connect to {self.host}:{self.port}: {last_error}")
 
@@ -94,6 +126,7 @@ class ReproClient:
         self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         self._decoder = FrameDecoder(max_frame_bytes=self.max_frame_bytes)
         self._pending = []
+        self.reconnects += 1
 
     def _drop_socket(self) -> None:
         if self._sock is not None:
@@ -122,13 +155,23 @@ class ReproClient:
     # The wire
     # ------------------------------------------------------------------
 
-    def call(self, verb: str, **args: Any) -> Any:
+    def call(self, verb: str, deadline: Optional[float] = None,
+             **args: Any) -> Any:
         """Send one request and wait for its response; server errors
-        re-raise as their :mod:`repro.errors` class."""
+        re-raise as their :mod:`repro.errors` class.
+
+        ``deadline`` caps this call's total wall time (sends, retries,
+        and backoff sleeps); past it the retry loop raises
+        :class:`~repro.errors.DeadlineExceededError` instead of
+        sleeping again. Defaults to the client-wide ``deadline_s``.
+        """
         retryable = verb in RETRYABLE_VERBS
-        attempts = (self.retries + 1) if retryable else 1
-        last_error: Optional[Exception] = None
-        for attempt in range(attempts):
+        if deadline is None:
+            deadline = self.deadline_s
+        start = time.monotonic()
+        attempt = 0             # disconnect retries spent
+        sheds = 0               # RetryAfterError answers honored
+        while True:
             if self._sock is None:
                 # Reconnecting before anything was sent is always safe,
                 # even for non-retryable verbs.
@@ -139,28 +182,70 @@ class ReproClient:
             try:
                 self._sock.sendall(frame)
                 payload = self._read_frame()
+                # A response for an older request id is the echo of a
+                # duplicated frame (fault injection); skip to ours.
+                while payload.get("id") is not None \
+                        and payload.get("id") != request_id:
+                    payload = self._read_frame()
             except (ConnectionError, OSError) as exc:
-                last_error = exc
                 self._drop_socket()
-                if retryable and attempt < attempts - 1:
-                    time.sleep(self.retry_backoff_s * 2 ** attempt)
-                    continue
-                raise ServerDisconnected(
-                    f"connection to {self.host}:{self.port} lost during "
-                    f"{verb!r}: {exc}") from None
-            return self._unpack(payload, request_id, verb)
-        raise ServerDisconnected(
-            f"{verb!r} failed after {attempts} attempts: {last_error}")
+                if not retryable or attempt >= self.retries:
+                    raise ServerDisconnected(
+                        f"connection to {self.host}:{self.port} lost "
+                        f"during {verb!r}: {exc}") from None
+                self._retry_sleep(self._backoff(attempt), start,
+                                  deadline, verb, exc)
+                attempt += 1
+                continue
+            try:
+                return self._unpack(payload, request_id, verb)
+            except RetryAfterError as exc:
+                # The server shed the request *before doing any work*,
+                # so repeating it is safe for every verb. Full jitter
+                # around the server's hint spreads the retry herd.
+                if sheds >= self.shed_retries:
+                    raise
+                self._retry_sleep(
+                    self._rng.uniform(0, exc.retry_after_s * 2),
+                    start, deadline, verb, exc)
+                sheds += 1
+
+    def _backoff(self, attempt: int) -> float:
+        """Full-jitter exponential backoff: uniform over [0, cap) so
+        simultaneous retriers decorrelate instead of thundering back
+        in lockstep."""
+        return self._rng.uniform(0, self.retry_backoff_s * 2 ** attempt)
+
+    def _retry_sleep(self, seconds: float, start: float,
+                     deadline: Optional[float], verb: str,
+                     cause: Exception) -> None:
+        """Sleep before a retry — unless that would overrun the call's
+        deadline, in which case give up now."""
+        if deadline is not None:
+            remaining = deadline - (time.monotonic() - start)
+            if remaining <= seconds:
+                raise DeadlineExceededError(
+                    f"{verb!r} exceeded its {deadline:g}s deadline: "
+                    f"{cause}") from cause
+        time.sleep(seconds)
 
     def _read_frame(self) -> Dict[str, Any]:
         while True:
             if self._pending:
                 return self._pending.pop(0)
             data = self._sock.recv(65536)
-            if not data:
-                self._decoder.eof()     # raises on a truncated frame
-                raise ConnectionError("server closed the connection")
-            self._pending.extend(self._decoder.feed(data))
+            try:
+                if not data:
+                    self._decoder.eof()  # raises on a truncated frame
+                    raise ConnectionError(
+                        "server closed the connection")
+                self._pending.extend(self._decoder.feed(data))
+            except ProtocolError as exc:
+                # A corrupt byte stream cannot be resynchronized; treat
+                # it as a dead connection so the retry machinery (and
+                # commit tokens) take over.
+                raise ConnectionError(
+                    f"unrecoverable byte stream: {exc}") from None
 
     @staticmethod
     def _unpack(payload: Dict[str, Any], request_id: int,
@@ -210,6 +295,20 @@ class ReproClient:
     def stats(self) -> Dict[str, Any]:
         return self.call("stats")
 
+    def commit_token(self) -> str:
+        """A fresh commit token (``"<nonce>:<seq>"``): unique per
+        commit attempt *across reconnects* of this client."""
+        return f"{self._nonce}:{next(self._commit_seq)}"
+
+    def commit_status(self, token: str,
+                      deadline: Optional[float] = None
+                      ) -> Dict[str, Any]:
+        """Ask the server's commit ledger about a token's fate:
+        ``pending`` / ``durable`` / ``failed`` / ``unknown`` /
+        ``forgotten``."""
+        return self.call("commit_status", deadline=deadline,
+                         token=token)
+
     def shutdown_server(self) -> None:
         self.call("shutdown")
 
@@ -233,10 +332,59 @@ class ClientSession:
     def begin(self, partition: int = 0) -> int:
         return self._call("begin", partition=partition)["txn"]
 
-    def commit(self) -> int:
+    def commit(self, deadline: Optional[float] = None,
+               token: Optional[str] = None) -> int:
         """Commit; returns once the transaction is *durable* (its
-        group-commit batch flushed)."""
-        return self._call("commit")["txn"]
+        group-commit batch flushed).
+
+        Exactly-once: the request carries a commit token, so a commit
+        replayed across a reconnect resolves against the server's
+        ledger instead of re-running. If the replay lands on a fresh
+        connection whose session died with the old one, the token's
+        recorded fate decides the answer: never recorded → the commit
+        certainly never ran (:class:`~repro.errors.ServerDisconnected`,
+        safe to re-run the transaction); recorded-but-evicted →
+        :class:`~repro.errors.CommitAmbiguousError` (reconcile from
+        data).
+
+        Pass ``token`` (from :meth:`ReproClient.commit_token`) to keep
+        a handle on the commit's fate — e.g. for a later
+        ``commit_status`` reconciliation, as the chaos oracle does.
+        """
+        if token is None:
+            token = self.client.commit_token()
+        reconnects = self.client.reconnects
+        try:
+            return self.client.call("commit", deadline=deadline,
+                                    session=self.session_id,
+                                    token=token)["txn"]
+        except ProtocolError as exc:
+            if self.client.reconnects == reconnects:
+                raise           # a real protocol bug, not a replay
+            return self._resolve_token(token, exc, deadline)
+
+    def _resolve_token(self, token: str, cause: Exception,
+                       deadline: Optional[float]) -> int:
+        """A replayed commit hit a connection with no session: consult
+        the ledger (``commit_status``) for the token's fate."""
+        while True:
+            status = self.client.commit_status(token, deadline=deadline)
+            fate = status.get("status")
+            if fate != "pending":
+                break
+            time.sleep(self.client.retry_backoff_s)
+        if fate == "durable":
+            return status["result"]["txn"]
+        if fate == "failed":
+            raise CrashedError(
+                f"commit not durable: {status.get('reason')}") from cause
+        if fate == "unknown":
+            raise ServerDisconnected(
+                "connection lost before the commit reached the server "
+                "(transaction was not applied)") from cause
+        raise CommitAmbiguousError(
+            f"commit {token} may or may not have been applied: "
+            f"{status.get('reason')}") from cause
 
     def abort(self) -> int:
         return self._call("abort")["txn"]

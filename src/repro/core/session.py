@@ -31,9 +31,9 @@ from __future__ import annotations
 import enum
 from typing import Any, Dict, List, Optional, Tuple
 
-from ..errors import (CrashedError, SessionClosedError,
-                      SessionStateError, SimulatedCrash,
-                      TransactionAborted)
+from ..errors import (CrashedError, LeaseExpiredError,
+                      SessionClosedError, SessionStateError,
+                      SimulatedCrash, TransactionAborted)
 from .executor import TransactionContext
 from .partition import Partition, StoredProcedure
 
@@ -59,7 +59,8 @@ class Session:
     """
 
     __slots__ = ("database", "session_id", "name", "_state", "_context",
-                 "_partition", "txns_committed", "txns_aborted")
+                 "_partition", "txns_committed", "txns_aborted",
+                 "_expired_reason")
 
     def __init__(self, database, session_id: int,
                  name: str = "") -> None:
@@ -71,6 +72,7 @@ class Session:
         self._partition: Optional[Partition] = None
         self.txns_committed = 0
         self.txns_aborted = 0
+        self._expired_reason: Optional[str] = None
 
     # ------------------------------------------------------------------
     # State machine
@@ -100,7 +102,16 @@ class Session:
         """The active transaction's context (None when idle)."""
         return self._context
 
+    @property
+    def expired(self) -> bool:
+        """True when the session was closed by :meth:`expire` (e.g.
+        the server's lease reaper)."""
+        return self._expired_reason is not None
+
     def _require_open(self) -> None:
+        if self._expired_reason is not None:
+            raise LeaseExpiredError(
+                f"{self.name} expired: {self._expired_reason}")
         if self._state is SessionState.CLOSED:
             raise SessionClosedError(
                 f"{self.name} is closed; open a new session")
@@ -110,6 +121,9 @@ class Session:
                 "commit() or abort() it first")
 
     def _require_active(self) -> None:
+        if self._expired_reason is not None:
+            raise LeaseExpiredError(
+                f"{self.name} expired: {self._expired_reason}")
         if self._state is SessionState.CLOSED:
             raise SessionClosedError(
                 f"{self.name} is closed; open a new session")
@@ -278,6 +292,16 @@ class Session:
                 except CrashedError:
                     self.invalidate()
         self._state = SessionState.CLOSED
+
+    def expire(self, reason: str) -> None:
+        """Close the session *with cause* — the server's lease reaper
+        uses this so later verbs raise
+        :class:`~repro.errors.LeaseExpiredError` (telling the client
+        its work was revoked, not merely that the handle is stale)
+        instead of :class:`~repro.errors.SessionClosedError`."""
+        self.close()
+        if self._expired_reason is None:
+            self._expired_reason = reason
 
     def __enter__(self) -> "Session":
         if self._state is SessionState.CLOSED:

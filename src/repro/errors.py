@@ -106,6 +106,13 @@ class SessionClosedError(SessionError):
     """An operation was attempted on a closed session."""
 
 
+class LeaseExpiredError(SessionError):
+    """The server's lease reaper expired the session (its client went
+    idle past the session lease): the active transaction was aborted
+    and its partition lock and admission slot released. Open a new
+    session to continue."""
+
+
 class SweepError(ReproError):
     """One or more points of an experiment sweep failed."""
 
@@ -122,5 +129,39 @@ class AdmissionError(ServerError):
     """The server refused new work (admission control limit hit)."""
 
 
+class RetryAfterError(AdmissionError):
+    """The server shed this request under overload (the admission
+    queue is full). Nothing was executed; retry after
+    ``retry_after_s`` seconds (the client adds jitter)."""
+
+    def __init__(self, message: str,
+                 retry_after_s: float = 0.05) -> None:
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+
+    def wire_data(self) -> dict:
+        return {"retry_after_s": self.retry_after_s}
+
+    @classmethod
+    def from_wire(cls, message: str, data: dict) -> "RetryAfterError":
+        try:
+            retry_after_s = float(data.get("retry_after_s", 0.05))
+        except (TypeError, ValueError):
+            retry_after_s = 0.05
+        return cls(message, retry_after_s=retry_after_s)
+
+
 class ServerDisconnected(ServerError):
     """The connection to the server was lost mid-conversation."""
+
+
+class DeadlineExceededError(ServerError):
+    """A client call's retry loop ran out of its wall-clock deadline
+    before the request succeeded."""
+
+
+class CommitAmbiguousError(ServerError):
+    """The fate of a tokened commit could not be resolved: the server
+    already evicted the token from its bounded commit ledger, so the
+    transaction may or may not have been applied. The caller must
+    reconcile from data (re-read) rather than retry blindly."""

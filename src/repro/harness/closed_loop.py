@@ -30,7 +30,8 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
 from ..core.schema import Column, ColumnType, Schema
-from ..errors import (CrashedError, ReproError, ServerDisconnected,
+from ..errors import (CrashedError, ProtocolError, ReproError,
+                      RetryAfterError, ServerDisconnected,
                       SessionError)
 
 __all__ = ["ClosedLoopConfig", "ClosedLoopResult", "run_closed_loop",
@@ -163,6 +164,10 @@ class _Worker(threading.Thread):
                 session.commit()
                 self.committed += 1
                 return session
+            except RetryAfterError as exc:
+                # Load shed before any work: honor the server's hint
+                # (the transaction never started, so nothing failed).
+                time.sleep(exc.retry_after_s)
             except CrashedError:
                 # Power failure: the transaction (possibly logically
                 # committed, not yet durable) is gone. Wait out the
@@ -170,16 +175,20 @@ class _Worker(threading.Thread):
                 self.failed += 1
                 time.sleep(config.retry_sleep_s)
             except SessionError:
-                # Session state got out of step with a failure above;
-                # start over with a fresh one. The server may still be
-                # crashed — then wait it out and retry, same as above.
+                # Session state got out of step with a failure above,
+                # or the lease reaper expired the session; start over
+                # with a fresh one. The server may still be crashed —
+                # then wait it out and retry, same as above.
                 try:
                     session = client.session(
                         f"client-{self.index}r{attempt}")
                 except CrashedError:
                     self.failed += 1
                     time.sleep(config.retry_sleep_s)
-            except ServerDisconnected:
+            except (ServerDisconnected, ProtocolError):
+                # A dropped connection — or a session handle gone
+                # stale across a mid-call reconnect ("no open
+                # session"): reconnect and start a fresh session.
                 self.failed += 1
                 client.connect()
                 session = client.session(

@@ -61,11 +61,16 @@ HEARTBEAT = "heartbeat"
 CAMPAIGN_STARTED = "campaign_started"
 CAMPAIGN_COUNTED = "campaign_counted"
 LOG_CLOSED = "log_closed"
+CHAOS_STARTED = "chaos_started"
+CHAOS_CRASH = "chaos_crash"
+CHAOS_RECOVER = "chaos_recover"
+CHAOS_FINISHED = "chaos_finished"
 
 EVENT_KINDS = (
     SWEEP_STARTED, SWEEP_FINISHED, POINT_STARTED, POINT_FINISHED,
     POINT_RETRIED, POINT_CRASHED, PHASE_ENTER, PHASE_EXIT, HEARTBEAT,
     CAMPAIGN_STARTED, CAMPAIGN_COUNTED, LOG_CLOSED,
+    CHAOS_STARTED, CHAOS_CRASH, CHAOS_RECOVER, CHAOS_FINISHED,
 )
 
 #: Minimum wall seconds between heartbeats from one publisher.

@@ -12,18 +12,20 @@ flush+fence trains) drops with the batch size.
 - :mod:`repro.server.server` — the asyncio server (serial execution
   per partition, admission control, per-session state).
 - :mod:`repro.server.groupcommit` — the commit-batching stage.
+- :mod:`repro.server.ledger` — exactly-once commit-token memory.
 - :mod:`repro.server.registry` — stored procedures callable by name.
 
 See ``docs/server.md`` for the protocol specification.
 """
 
 from .groupcommit import GroupCommitConfig, GroupCommitStage
+from .ledger import CommitLedger
 from .protocol import MAX_FRAME_BYTES, PROTOCOL_VERSION
 from .registry import ProcedureRegistry
 from .server import DatabaseServer, ServerConfig, ServerThread
 
 __all__ = [
     "DatabaseServer", "ServerConfig", "ServerThread",
-    "GroupCommitConfig", "GroupCommitStage", "ProcedureRegistry",
-    "PROTOCOL_VERSION", "MAX_FRAME_BYTES",
+    "GroupCommitConfig", "GroupCommitStage", "CommitLedger",
+    "ProcedureRegistry", "PROTOCOL_VERSION", "MAX_FRAME_BYTES",
 ]

@@ -5,7 +5,10 @@ followed by that many bytes of UTF-8 JSON encoding one object. Requests
 carry ``{"id", "verb", "args"}``; responses carry ``{"id", "ok":
 true, "result"}`` or ``{"id", "ok": false, "error": {"code",
 "message"}}`` where ``code`` is the exception class name from
-:mod:`repro.errors` (so the client re-raises the same type).
+:mod:`repro.errors` (so the client re-raises the same type). An error
+may carry structured ``data`` (e.g. ``retry_after_s`` on a shed
+request); exception classes opt in with ``wire_data()`` /
+``from_wire()``.
 
 The codec is deliberately defensive: an oversized length prefix, a
 zero-length frame, a body that is not valid UTF-8 JSON, or a payload
@@ -37,7 +40,9 @@ __all__ = [
 ]
 
 #: Version spoken by this module; the ``hello`` handshake reports it.
-PROTOCOL_VERSION = 1
+#: Version 2 adds commit tokens, ``commit_status``, and structured
+#: error data (load-shedding ``retry_after_s``).
+PROTOCOL_VERSION = 2
 
 #: Default upper bound on one frame body (1 MiB). Scan responses are
 #: the largest legitimate frames; anything bigger is a corrupt prefix.
@@ -50,7 +55,7 @@ VERBS = (
     "hello", "ping",
     "open_session", "close_session",
     "create_table", "schema",
-    "begin", "commit", "abort",
+    "begin", "commit", "commit_status", "abort",
     "insert", "update", "delete", "get", "get_secondary", "scan",
     "call", "procedures",
     "flush", "checkpoint", "crash", "recover",
@@ -171,9 +176,17 @@ def ok_response(request_id: Optional[int],
 
 def error_response(request_id: Optional[int],
                    exc: BaseException) -> Dict[str, Any]:
-    """Structured error frame; ``code`` is the exception class name."""
-    return {"id": request_id, "ok": False,
-            "error": {"code": type(exc).__name__, "message": str(exc)}}
+    """Structured error frame; ``code`` is the exception class name.
+    Exceptions exposing ``wire_data()`` ship that dict as ``data``
+    (rebuilt client-side by the class's ``from_wire``)."""
+    error: Dict[str, Any] = {"code": type(exc).__name__,
+                             "message": str(exc)}
+    wire_data = getattr(exc, "wire_data", None)
+    if callable(wire_data):
+        data = wire_data()
+        if data:
+            error["data"] = data
+    return {"id": request_id, "ok": False, "error": error}
 
 
 #: Exception classes a ``code`` may name (everything in repro.errors).
@@ -189,7 +202,13 @@ def error_to_exception(error: Dict[str, Any]) -> Exception:
     if not isinstance(error, dict):
         return ServerError(f"malformed error frame: {error!r}")
     cls = _ERROR_TYPES.get(error.get("code", ""), ServerError)
-    return cls(str(error.get("message", "")))
+    message = str(error.get("message", ""))
+    from_wire = getattr(cls, "from_wire", None)
+    if callable(from_wire):
+        data = error.get("data")
+        return from_wire(message, data if isinstance(data, dict)
+                         else {})
+    return cls(message)
 
 
 # ----------------------------------------------------------------------

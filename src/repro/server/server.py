@@ -34,15 +34,18 @@ import dataclasses
 import logging
 import signal
 import threading
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional, Set, Tuple, Union
 
 from ..config import EngineConfig, LatencyProfile
 from ..core.database import Database
 from ..errors import (ConfigError, CrashedError, DatabaseClosedError,
-                      ProtocolError, ReproError, SimulatedCrash)
+                      LeaseExpiredError, ProtocolError, ReproError,
+                      RetryAfterError, SimulatedCrash)
 from ..obs.metrics import MetricsRegistry
 from .groupcommit import GroupCommitConfig, GroupCommitStage
+from .ledger import CommitLedger
 from .protocol import (MAX_FRAME_BYTES, PROTOCOL_VERSION, encode_frame,
                        error_response, ok_response, read_frame,
                        schema_from_wire, schema_to_wire, unwire_value,
@@ -75,24 +78,59 @@ class ServerConfig:
     #: ``begin`` blocks.
     max_inflight: int = 64
     max_frame_bytes: int = MAX_FRAME_BYTES
+    #: Load shedding: once this many ``begin``/``call`` requests are
+    #: already parked waiting for admission, further ones are refused
+    #: with :class:`~repro.errors.RetryAfterError` instead of parking
+    #: (None = park without bound, the pre-shedding behavior).
+    max_admission_queue: Optional[int] = None
+    #: The backoff hint a shed request carries (clients add jitter).
+    retry_after_s: float = 0.05
+    #: Session lease: a session idle (no frame touching it) longer
+    #: than this is reaped — its transaction aborted, its partition
+    #: lock and admission slot released (None = no leases).
+    session_lease_s: Optional[float] = None
+    #: Cadence of the lease reaper / crash watchdog maintenance task.
+    reaper_interval_s: float = 0.05
+    #: Watchdog: auto-recover the database this many seconds after a
+    #: crash (None = recovery stays explicit).
+    watchdog_recover_s: Optional[float] = None
+    #: Completed commit tokens remembered for exactly-once replay.
+    commit_ledger_size: int = 4096
 
     def __post_init__(self) -> None:
         if self.max_inflight < 1:
             raise ConfigError("max_inflight must be >= 1")
+        if self.max_admission_queue is not None \
+                and self.max_admission_queue < 0:
+            raise ConfigError("max_admission_queue must be >= 0")
+        if self.retry_after_s <= 0:
+            raise ConfigError("retry_after_s must be positive")
+        if self.session_lease_s is not None \
+                and self.session_lease_s <= 0:
+            raise ConfigError("session_lease_s must be positive")
+        if self.reaper_interval_s <= 0:
+            raise ConfigError("reaper_interval_s must be positive")
+        if self.watchdog_recover_s is not None \
+                and self.watchdog_recover_s < 0:
+            raise ConfigError("watchdog_recover_s must be >= 0")
+        if self.commit_ledger_size < 1:
+            raise ConfigError("commit_ledger_size must be >= 1")
 
 
 class _RemoteSession:
     """Server-side bookkeeping around one wire session."""
 
     __slots__ = ("session", "partition_id", "lock_held", "sem_held",
-                 "awaiting")
+                 "awaiting", "busy", "last_seen")
 
-    def __init__(self, session) -> None:
+    def __init__(self, session, now: float = 0.0) -> None:
         self.session = session
         self.partition_id = 0
         self.lock_held = False        # partition lock (execution)
         self.sem_held = False         # admission slot
         self.awaiting = False         # parked on a group-commit future
+        self.busy = 0                 # verb handlers currently running
+        self.last_seen = now          # loop time of the last frame
 
 
 class DatabaseServer:
@@ -116,10 +154,24 @@ class DatabaseServer:
         self._conn_tasks: Set[asyncio.Task] = set()
         self._shutdown_event: Optional[asyncio.Event] = None
         self._stopped = False
+        self._ledger = CommitLedger(self.config.commit_ledger_size)
+        #: Reaped session ids -> reason (bounded; LeaseExpiredError).
+        self._expired: "OrderedDict[int, str]" = OrderedDict()
+        self._admission_queue = 0     # begins parked waiting admission
+        self._inflight = 0            # admission slots currently held
+        self._crashed_at: Optional[float] = None
+        self._maintenance_task: Optional[asyncio.Task] = None
         self._frames = self.metrics.counter("server.frames")
         self._error_count = self.metrics.counter("server.errors")
         self._admission_waits = self.metrics.counter(
             "server.admission_waits")
+        self._shed_count = self.metrics.counter("server.shed")
+        self._reaped_count = self.metrics.counter(
+            "server.reaper.expired")
+        self._watchdog_recoveries = self.metrics.counter(
+            "server.watchdog.recoveries")
+        self._commit_dedup = self.metrics.counter(
+            "server.commit.dedup")
 
     @staticmethod
     def _build_database(config: ServerConfig) -> Database:
@@ -151,6 +203,10 @@ class DatabaseServer:
                 batch_histogram=self.metrics.histogram(
                     "server.group_commit.batch_txns",
                     partition=str(pid)))
+        if self.config.session_lease_s is not None \
+                or self.config.watchdog_recover_s is not None:
+            self._maintenance_task = self._loop.create_task(
+                self._maintenance_loop())
         self._server = await asyncio.start_server(
             self._serve_connection, self.config.host, self.config.port)
         sockname = self._server.sockets[0].getsockname()
@@ -178,6 +234,11 @@ class DatabaseServer:
         if self._stopped:
             return
         self._stopped = True
+        if self._maintenance_task is not None:
+            self._maintenance_task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._maintenance_task
+            self._maintenance_task = None
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -288,6 +349,13 @@ class DatabaseServer:
             self._error_count.inc()
             return error_response(request_id, ProtocolError(
                 f"args must be an object, got {type(args).__name__}"))
+        # Lease bookkeeping: any frame naming a session renews its
+        # lease, and a session with a handler mid-flight (e.g. parked
+        # in ``begin`` on admission) is never reaped out from under it.
+        remote = self._sessions.get(args.get("session"))
+        if remote is not None:
+            remote.busy += 1
+            remote.last_seen = self._loop.time()
         try:
             result = await handler(self, conn_sessions, args)
         except asyncio.CancelledError:
@@ -299,6 +367,10 @@ class DatabaseServer:
             self._error_count.inc()
             logger.exception("verb %s failed unexpectedly", verb)
             return error_response(request_id, exc)
+        finally:
+            if remote is not None:
+                remote.busy -= 1
+                remote.last_seen = self._loop.time()
         return ok_response(request_id, result)
 
     # ------------------------------------------------------------------
@@ -319,6 +391,8 @@ class DatabaseServer:
         Commit coroutines parked on a group-commit future release their
         own admission slot when the future fails. Returns the number of
         logically-committed transactions that were lost."""
+        self._crashed_at = self._loop.time() \
+            if self._loop is not None else None
         lost = 0
         for stage in self._stages.values():
             lost += stage.fail_pending("power failure")
@@ -327,10 +401,81 @@ class DatabaseServer:
             if remote.lock_held:
                 remote.lock_held = False
                 self._locks[remote.partition_id].release()
-            if remote.sem_held and not remote.awaiting:
-                remote.sem_held = False
-                self._admission.release()
+            if not remote.awaiting:
+                self._sem_release(remote)
         return lost
+
+    # ------------------------------------------------------------------
+    # Maintenance: the lease reaper and the crash watchdog
+    # ------------------------------------------------------------------
+
+    async def _maintenance_loop(self) -> None:
+        """Periodic housekeeping on the event loop: reap sessions idle
+        past their lease (so one dead client cannot wedge a partition
+        forever) and, when configured, auto-recover the database after
+        a crash."""
+        while True:
+            await asyncio.sleep(self.config.reaper_interval_s)
+            now = self._loop.time()
+            self._reap_expired(now)
+            self._watchdog_check(now)
+
+    def _reap_expired(self, now: float) -> None:
+        lease = self.config.session_lease_s
+        if lease is None:
+            return
+        for session_id, remote in list(self._sessions.items()):
+            # A handler mid-flight (parked in begin, executing a
+            # procedure) or a commit awaiting durability is server-side
+            # progress, not client idleness — never reap those.
+            if remote.busy or remote.awaiting:
+                continue
+            if now - remote.last_seen < lease:
+                continue
+            self._reap_session(session_id, remote, lease)
+
+    def _reap_session(self, session_id: int, remote: _RemoteSession,
+                      lease: float) -> None:
+        self._sessions.pop(session_id, None)
+        reason = f"exceeded the {lease:g}s session lease while idle"
+        logger.info("reaping session %s (%s)", remote.session.name,
+                    reason)
+        try:
+            if remote.session.in_transaction \
+                    and not (self.database.closed
+                             or self.database.crashed):
+                remote.session.abort()
+            else:
+                remote.session.invalidate()
+        except SimulatedCrash:
+            self._after_crash()
+        finally:
+            self._release_all(remote)
+            remote.session.expire(reason)
+            self._reaped_count.inc()
+            self._expired[session_id] = reason
+            while len(self._expired) > 1024:
+                self._expired.popitem(last=False)
+
+    def _watchdog_check(self, now: float) -> None:
+        delay = self.config.watchdog_recover_s
+        if delay is None or self.database.closed \
+                or not self.database.crashed:
+            return
+        if self._crashed_at is None:    # crash predates this observer
+            self._crashed_at = now
+            return
+        if now - self._crashed_at < delay:
+            return
+        try:
+            seconds = self.database.recover()
+        except SimulatedCrash:
+            self._after_crash()
+            return
+        self._crashed_at = None
+        self._watchdog_recoveries.inc()
+        logger.info("watchdog recovered the database "
+                    "(%.6f simulated seconds)", seconds)
 
     # ------------------------------------------------------------------
     # Session / grant helpers
@@ -342,6 +487,11 @@ class DatabaseServer:
         remote = self._sessions.get(session_id) \
             if session_id in conn_sessions else None
         if remote is None:
+            if session_id in conn_sessions \
+                    and session_id in self._expired:
+                raise LeaseExpiredError(
+                    f"session {session_id} "
+                    f"{self._expired[session_id]}")
             raise ProtocolError(
                 f"no open session {session_id!r} on this connection")
         return remote
@@ -354,16 +504,33 @@ class DatabaseServer:
         return pid
 
     async def _admit(self, remote: _RemoteSession, pid: int) -> None:
-        """Take an admission slot and the partition's execution lock."""
+        """Take an admission slot and the partition's execution lock.
+        With ``max_admission_queue`` set, a request that would park
+        behind a full queue is shed with
+        :class:`~repro.errors.RetryAfterError` before any state
+        changes — overload degrades to fast refusals, not an
+        ever-deepening convoy."""
+        limit = self.config.max_admission_queue
         if self._admission.locked():
+            if limit is not None and self._admission_queue >= limit:
+                self._shed_count.inc()
+                raise RetryAfterError(
+                    f"server overloaded: {self._admission_queue} "
+                    f"transactions already queued for admission; "
+                    f"retry later",
+                    retry_after_s=self.config.retry_after_s)
             self._admission_waits.inc()
-        await self._admission.acquire()
+        self._admission_queue += 1
+        try:
+            await self._admission.acquire()
+        finally:
+            self._admission_queue -= 1
         remote.sem_held = True
+        self._inflight += 1
         try:
             await self._locks[pid].acquire()
         except BaseException:
-            remote.sem_held = False
-            self._admission.release()
+            self._sem_release(remote)
             raise
         remote.lock_held = True
         remote.partition_id = pid
@@ -373,11 +540,15 @@ class DatabaseServer:
             remote.lock_held = False
             self._locks[remote.partition_id].release()
 
-    def _release_all(self, remote: _RemoteSession) -> None:
-        self._release_execution(remote)
+    def _sem_release(self, remote: _RemoteSession) -> None:
         if remote.sem_held:
             remote.sem_held = False
+            self._inflight -= 1
             self._admission.release()
+
+    def _release_all(self, remote: _RemoteSession) -> None:
+        self._release_execution(remote)
+        self._sem_release(remote)
 
     async def _await_durable(self, remote: _RemoteSession,
                              pid: int) -> None:
@@ -390,9 +561,7 @@ class DatabaseServer:
             await future
         finally:
             remote.awaiting = False
-            if remote.sem_held:
-                remote.sem_held = False
-                self._admission.release()
+            self._sem_release(remote)
 
     def _observe_latency(self, remote: _RemoteSession,
                          latency_ns: float) -> None:
@@ -436,14 +605,19 @@ class DatabaseServer:
                 "group_commit": {"enabled": gc.enabled,
                                  "batch_size": gc.batch_size,
                                  "max_hold_ns": gc.max_hold_ns},
-                "max_inflight": self.config.max_inflight}
+                "max_inflight": self.config.max_inflight,
+                "max_admission_queue": self.config.max_admission_queue,
+                "session_lease_s": self.config.session_lease_s,
+                "watchdog_recover_s": self.config.watchdog_recover_s,
+                "commit_ledger_size": self.config.commit_ledger_size}
 
     async def _verb_ping(self, conn_sessions, args):
         return {"now_ns": self.database.partitions[0].platform.clock.now_ns}
 
     async def _verb_open_session(self, conn_sessions, args):
         session = self.database.session(str(args.get("name", "")))
-        self._sessions[session.session_id] = _RemoteSession(session)
+        self._sessions[session.session_id] = _RemoteSession(
+            session, now=self._loop.time())
         conn_sessions.add(session.session_id)
         return {"session": session.session_id, "name": session.name}
 
@@ -484,22 +658,64 @@ class DatabaseServer:
         return {"txn": context.txn.txn_id, "partition": pid}
 
     async def _verb_commit(self, conn_sessions, args):
+        token = args.get("token")
+        if token is not None:
+            token = str(token)
+            entry = self._ledger.lookup(token)
+            if entry is not None:       # a retry of a recorded commit
+                return self._replay_commit(token, entry)
         remote = self._remote(conn_sessions, args)
         context = remote.session.context
         if context is None:
             remote.session._require_active()   # raises SessionStateError
         pid = remote.partition_id
         txn = context.txn
+        if token is not None:
+            # Recorded before any engine work: from here on, a token
+            # the ledger does not know was certainly never applied.
+            self._ledger.begin(token)
         try:
             txn_id = remote.session.commit()
-        except SimulatedCrash:
+        except SimulatedCrash as exc:
+            if token is not None:
+                self._ledger.resolve_failed(
+                    token, f"power failed during the logical commit "
+                           f"({exc})")
             self._after_crash()
             raise
         self._release_execution(remote)
         latency_ns = txn.commit_ns - txn.begin_ns
-        await self._await_durable(remote, pid)
+        try:
+            await self._await_durable(remote, pid)
+        except CrashedError as exc:
+            if token is not None:
+                self._ledger.resolve_failed(token, str(exc))
+            raise
+        result = {"txn": txn_id, "durable": True,
+                  "latency_ns": latency_ns}
+        if token is not None:
+            self._ledger.resolve_durable(token, dict(result))
         self._observe_latency(remote, latency_ns)
-        return {"txn": txn_id, "durable": True, "latency_ns": latency_ns}
+        return result
+
+    def _replay_commit(self, token: str, entry) -> Dict[str, Any]:
+        """A commit frame whose token the ledger already knows: answer
+        from the record — the engine never sees the retry."""
+        self._commit_dedup.inc()
+        self._ledger.dedup_hits += 1
+        if entry.status == "pending":
+            # The original commit coroutine is still parked on group
+            # commit; tell the client to ask again shortly.
+            raise RetryAfterError(
+                f"commit {token} is still awaiting its durable point",
+                retry_after_s=min(self.config.retry_after_s, 0.02))
+        if entry.status == "durable":
+            return dict(entry.result)
+        raise CrashedError(f"commit not durable: {entry.reason}")
+
+    async def _verb_commit_status(self, conn_sessions, args):
+        token = str(args.get("token", ""))
+        return self._ledger.status(token)
 
     async def _verb_abort(self, conn_sessions, args):
         remote = self._remote(conn_sessions, args)
@@ -654,6 +870,7 @@ class DatabaseServer:
         except SimulatedCrash:
             self._after_crash()
             raise
+        self._crashed_at = None
         return {"seconds": seconds,
                 "committed_txns": self.database.committed_txns}
 
@@ -673,7 +890,9 @@ class DatabaseServer:
                  "name": remote.session.name,
                  "state": remote.session.state.value,
                  "committed": remote.session.txns_committed,
-                 "aborted": remote.session.txns_aborted}
+                 "aborted": remote.session.txns_aborted,
+                 "awaiting": remote.awaiting,
+                 "busy": remote.busy > 0}
                 for remote in self._sessions.values()
             ],
             "group_commit": [stage.stats()
@@ -681,8 +900,24 @@ class DatabaseServer:
             "latency_ns": latency,
             "admission": {
                 "max_inflight": self.config.max_inflight,
+                "in_flight": self._inflight,
+                "queue": self._admission_queue,
+                "queue_limit": self.config.max_admission_queue,
                 "waits": int(self._admission_waits.value),
+                "shed": int(self._shed_count.value),
             },
+            "locks_held": [pid for pid, lock
+                           in sorted(self._locks.items())
+                           if lock.locked()],
+            "reaper": {
+                "lease_s": self.config.session_lease_s,
+                "expired": int(self._reaped_count.value),
+            },
+            "watchdog": {
+                "recover_s": self.config.watchdog_recover_s,
+                "recoveries": int(self._watchdog_recoveries.value),
+            },
+            "ledger": self._ledger.stats(),
             "frames": int(self._frames.value),
             "errors": int(self._error_count.value),
         }
@@ -700,6 +935,7 @@ class DatabaseServer:
         "schema": _verb_schema,
         "begin": _verb_begin,
         "commit": _verb_commit,
+        "commit_status": _verb_commit_status,
         "abort": _verb_abort,
         "call": _verb_call,
         "procedures": _verb_procedures,

@@ -1,0 +1,169 @@
+"""NetworkFaultProxy behavior, one fault action at a time: a sink
+server records exactly the bytes the proxy let through, so each
+action's on-the-wire effect is asserted directly — and replayed, since
+the fault plan is seeded."""
+
+from __future__ import annotations
+
+import socket
+import struct
+import threading
+import time
+
+import pytest
+
+from repro.chaos import FaultConfig, FaultProxyThread
+from repro.errors import ConfigError
+from repro.server.protocol import FrameDecoder, encode_frame
+
+
+def _frames(count):
+    return [encode_frame({"id": i, "verb": "ping", "args": {}})
+            for i in range(count)]
+
+
+class _Sink:
+    """Accept one connection; record every byte until EOF."""
+
+    def __init__(self):
+        self._server = socket.create_server(("127.0.0.1", 0))
+        self.address = self._server.getsockname()
+        self.data = b""
+        self.closed = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self):
+        try:
+            conn, _ = self._server.accept()
+        except OSError:
+            return
+        with conn:
+            while True:
+                chunk = conn.recv(65536)
+                if not chunk:
+                    break
+                self.data += chunk
+        self.closed.set()
+
+    def __enter__(self):
+        self._thread.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self._server.close()
+
+
+def _push(config, frames, chunk_gap_s=0.0):
+    """Send ``frames`` through a proxy into a sink; return what the
+    sink received and the proxy's counters."""
+    with _Sink() as sink:
+        with FaultProxyThread(*sink.address, config=config) as proxy:
+            sock = socket.create_connection(proxy.proxy.address)
+            for frame in frames:
+                sock.sendall(frame)
+                if chunk_gap_s:
+                    time.sleep(chunk_gap_s)
+            sock.close()
+            if not sink.closed.wait(timeout=5.0):
+                # a blackhole/truncate plan may keep the sink open
+                # until the proxy itself tears down
+                pass
+        sink.closed.wait(timeout=5.0)
+        return sink.data, proxy.proxy.stats()
+
+
+# ----------------------------------------------------------------------
+# Config validation
+# ----------------------------------------------------------------------
+
+def test_fault_probabilities_validated():
+    with pytest.raises(ConfigError):
+        FaultConfig(drop_p=1.5)
+    with pytest.raises(ConfigError):
+        FaultConfig(corrupt_p=-0.1)
+    with pytest.raises(ConfigError):
+        FaultConfig(delay_s=(0.01, 0.001))
+    assert FaultConfig(drop_p=0.25,
+                       delay_p=0.5).total_fault_p() == pytest.approx(0.75)
+
+
+# ----------------------------------------------------------------------
+# One action at a time
+# ----------------------------------------------------------------------
+
+def test_clean_config_forwards_everything_intact():
+    frames = _frames(5)
+    data, stats = _push(FaultConfig(), frames)
+    assert data == b"".join(frames)
+    assert stats["forward"] == 5
+    assert stats["connections"] == 1
+
+
+def test_drop_swallows_frames():
+    frames = _frames(4)
+    data, stats = _push(FaultConfig(drop_p=1.0), frames)
+    assert data == b""
+    assert stats["drop"] == 4
+
+
+def test_delay_forwards_late_but_intact():
+    frames = _frames(3)
+    data, stats = _push(
+        FaultConfig(delay_p=1.0, delay_s=(0.001, 0.002)), frames)
+    assert data == b"".join(frames)
+    assert stats["delay"] == 3
+
+
+def test_duplicate_doubles_each_frame():
+    frames = _frames(3)
+    data, stats = _push(FaultConfig(duplicate_p=1.0), frames)
+    assert data == b"".join(frame + frame for frame in frames)
+    assert stats["duplicate"] == 3
+    # The duplicated stream still decodes: framing was preserved.
+    assert len(FrameDecoder().feed(data)) == 6
+
+
+def test_corrupt_mangles_the_body_not_the_framing():
+    frames = _frames(1)
+    data, stats = _push(FaultConfig(corrupt_p=1.0), frames)
+    assert stats["corrupt"] == 1
+    assert len(data) == len(frames[0])
+    assert data[:4] == frames[0][:4]        # length prefix intact
+    assert data != frames[0]                # body mangled
+
+
+def test_truncate_cuts_mid_frame():
+    frames = _frames(1)
+    data, stats = _push(FaultConfig(truncate_p=1.0), frames)
+    assert stats["truncate"] == 1
+    assert 0 < len(data) < len(frames[0])   # a strict prefix
+    decoder = FrameDecoder()
+    assert decoder.feed(data) == []         # never a complete frame
+    with pytest.raises(Exception):
+        decoder.eof()                       # truncated, says the peer
+
+
+def test_blackhole_opens_a_one_way_partition():
+    frames = _frames(4)
+    data, stats = _push(FaultConfig(blackhole_p=1.0), frames,
+                        chunk_gap_s=0.01)
+    assert data == b""
+    assert stats["blackhole"] == 1          # the frame that tripped it
+    assert stats["blackholed"] == 3         # everything after
+
+
+# ----------------------------------------------------------------------
+# Determinism
+# ----------------------------------------------------------------------
+
+def test_fault_plan_replays_for_a_fixed_seed():
+    config = FaultConfig(seed=99, drop_p=0.4, duplicate_p=0.3)
+    frames = _frames(20)
+    first_data, first_stats = _push(config, frames)
+    second_data, second_stats = _push(config, frames)
+    assert first_data == second_data
+    assert first_stats == second_stats
+    # ...and a different seed draws a different plan.
+    other_data, _ = _push(
+        FaultConfig(seed=100, drop_p=0.4, duplicate_p=0.3), frames)
+    assert other_data != first_data

@@ -1,0 +1,98 @@
+"""Client retry mechanics: seeded full-jitter backoff, the per-call
+wall-clock deadline, and commit-token generation."""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.client import RETRYABLE_VERBS, ReproClient
+from repro.errors import DeadlineExceededError
+
+
+def test_full_jitter_backoff_is_seeded_and_bounded():
+    first = ReproClient("127.0.0.1", 1, retry_backoff_s=0.1,
+                        jitter_seed=42)
+    second = ReproClient("127.0.0.1", 1, retry_backoff_s=0.1,
+                         jitter_seed=42)
+    first_draws = [first._backoff(i) for i in range(6)]
+    assert first_draws == [second._backoff(i) for i in range(6)]
+    for attempt, draw in enumerate(first_draws):
+        assert 0 <= draw < 0.1 * 2 ** attempt   # full jitter: [0, cap)
+    other = ReproClient("127.0.0.1", 1, retry_backoff_s=0.1,
+                        jitter_seed=43)
+    assert first_draws != [other._backoff(i) for i in range(6)]
+
+
+def test_commit_tokens_are_monotonic_and_client_unique():
+    client = ReproClient("127.0.0.1", 1)
+    tokens = [client.commit_token() for _ in range(3)]
+    nonces = {token.rpartition(":")[0] for token in tokens}
+    assert len(nonces) == 1
+    seqs = [int(token.rpartition(":")[2]) for token in tokens]
+    assert seqs == sorted(seqs) and len(set(seqs)) == 3
+    assert ReproClient("127.0.0.1", 1).commit_token() \
+        .rpartition(":")[0] not in nonces
+
+
+def test_commit_and_commit_status_are_retryable():
+    """The exactly-once machinery only works if a disconnected commit
+    is replayed at all — both verbs must be in the retryable set."""
+    assert "commit" in RETRYABLE_VERBS
+    assert "commit_status" in RETRYABLE_VERBS
+    assert "begin" not in RETRYABLE_VERBS       # never blindly retried
+    assert "insert" not in RETRYABLE_VERBS
+
+
+class _SilentListener:
+    """Accepts connections and never answers: every request times out,
+    which is what drives the retry loop into its deadline."""
+
+    def __init__(self):
+        self._server = socket.create_server(("127.0.0.1", 0))
+        self.address = self._server.getsockname()
+        self._conns = []
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self):
+        while True:
+            try:
+                conn, _ = self._server.accept()
+            except OSError:
+                return
+            self._conns.append(conn)    # hold it open, say nothing
+
+    def __enter__(self):
+        self._thread.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self._server.close()
+        for conn in self._conns:
+            conn.close()
+
+
+def test_deadline_caps_the_retry_loop():
+    with _SilentListener() as listener:
+        client = ReproClient(*listener.address, timeout=0.05,
+                             retries=100, retry_backoff_s=0.01,
+                             jitter_seed=1)
+        started = time.monotonic()
+        with pytest.raises(DeadlineExceededError):
+            client.call("ping", deadline=0.3)
+        elapsed = time.monotonic() - started
+        assert elapsed < 5.0            # gave up, did not spend retries
+        client.close()
+
+
+def test_client_wide_deadline_default_applies():
+    with _SilentListener() as listener:
+        client = ReproClient(*listener.address, timeout=0.05,
+                             retries=100, retry_backoff_s=0.01,
+                             deadline_s=0.3, jitter_seed=1)
+        with pytest.raises(DeadlineExceededError):
+            client.call("ping")
+        client.close()

@@ -1,0 +1,344 @@
+"""Exactly-once commits: the bounded commit ledger, the
+``commit_status`` verb, and the full client retry path — a commit
+whose ack the proxy dropped is replayed across a reconnect and applied
+exactly once. Also documents, as a regression test, the ambiguity the
+tokens close: a tokenless commit retried after a dropped ack cannot
+learn its own fate."""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.chaos import FaultProxyThread, NetworkFaultProxy
+from repro.client import ReproClient
+from repro.core.schema import Column, ColumnType, Schema
+from repro.errors import (CrashedError, ProtocolError, RetryAfterError,
+                          ServerDisconnected)
+from repro.server import (CommitLedger, GroupCommitConfig, ServerConfig,
+                          ServerThread)
+
+KV = Schema.build(
+    "kv", [Column("k", ColumnType.INT), Column("v", ColumnType.INT)],
+    primary_key=["k"])
+
+#: Fast timer backstop so single-session commits return promptly.
+_GC = GroupCommitConfig(batch_size=8, max_hold_ns=1e18,
+                        max_hold_wall_s=0.005)
+
+
+# ----------------------------------------------------------------------
+# CommitLedger unit behavior
+# ----------------------------------------------------------------------
+
+def test_ledger_lifecycle_pending_to_durable():
+    ledger = CommitLedger(capacity=4)
+    ledger.begin("n:1")
+    assert ledger.status("n:1")["status"] == "pending"
+    ledger.resolve_durable("n:1", {"txn": 7, "durable": True})
+    status = ledger.status("n:1")
+    assert status["status"] == "durable"
+    assert status["result"]["txn"] == 7
+
+
+def test_ledger_failed_keeps_the_reason():
+    ledger = CommitLedger(capacity=4)
+    ledger.begin("n:1")
+    ledger.resolve_failed("n:1", "power failed mid-batch")
+    status = ledger.status("n:1")
+    assert status["status"] == "failed"
+    assert "power failed" in status["reason"]
+
+
+def test_ledger_unrecorded_tokens_are_unknown():
+    """Never-recorded = the commit verb never started = certainly not
+    applied. Both a fresh seq on a known nonce and a fresh nonce."""
+    ledger = CommitLedger(capacity=4)
+    ledger.begin("n:1")
+    ledger.resolve_durable("n:1", {"txn": 1})
+    assert ledger.status("n:2")["status"] == "unknown"
+    assert ledger.status("other:9")["status"] == "unknown"
+
+
+def test_ledger_eviction_is_forgotten_not_unknown():
+    """A recorded-but-evicted token must answer ``forgotten`` (genuine
+    ambiguity), never ``unknown`` (safe to re-run): the per-nonce
+    high-water mark survives entry eviction."""
+    ledger = CommitLedger(capacity=2)
+    for seq in range(1, 6):
+        ledger.begin(f"n:{seq}")
+        ledger.resolve_durable(f"n:{seq}", {"txn": seq})
+    assert ledger.status("n:1")["status"] == "forgotten"
+    assert ledger.status("n:5")["status"] == "durable"
+    assert ledger.status("n:99")["status"] == "unknown"
+    assert ledger.stats()["evicted"] == 3
+
+
+def test_ledger_never_evicts_pending_entries():
+    """A pending entry's commit coroutine is still running and will
+    resolve it; eviction only ages out completed entries."""
+    ledger = CommitLedger(capacity=1)
+    ledger.begin("n:1")                 # stays pending
+    for seq in range(2, 5):
+        ledger.begin(f"n:{seq}")
+        ledger.resolve_durable(f"n:{seq}", {"txn": seq})
+    assert ledger.status("n:1")["status"] == "pending"
+    assert ledger.stats()["pending"] == 1
+
+
+def test_ledger_evicted_nonce_window_degrades_to_forgotten():
+    """Once the nonce-tracking window overflows, an unseen nonce can
+    no longer prove ``unknown`` — the safe answer is ``forgotten``."""
+    ledger = CommitLedger(capacity=1, nonce_capacity=2)
+    for nonce in ("a", "b", "c"):
+        ledger.begin(f"{nonce}:1")
+        ledger.resolve_durable(f"{nonce}:1", {"txn": 1})
+    assert ledger.status("a:1")["status"] == "forgotten"
+    assert ledger.status("never-seen:1")["status"] == "forgotten"
+
+
+def test_ledger_rejects_malformed_tokens():
+    ledger = CommitLedger()
+    for bad in ("", "noseq", ":1", "n:x"):
+        with pytest.raises(ProtocolError):
+            ledger.status(bad)
+    ledger.begin("n:1")
+    with pytest.raises(ProtocolError):
+        ledger.begin("n:1")             # duplicate begin
+
+
+# ----------------------------------------------------------------------
+# The commit_status verb and server-side token replay
+# ----------------------------------------------------------------------
+
+@pytest.fixture()
+def server():
+    config = ServerConfig(engine="nvm-inp", group_commit=_GC)
+    with ServerThread(config) as thread:
+        yield thread.server
+
+
+def _seed(client, key=1, value=0):
+    client.create_table(KV)
+    with client.session("seed") as session:
+        session.begin()
+        session.insert("kv", {"k": key, "v": value})
+        session.commit()
+
+
+def test_commit_status_verb_reports_token_fate(server):
+    with ReproClient(*server.address) as client:
+        _seed(client)
+        token = client.commit_token()
+        assert client.commit_status(token)["status"] == "unknown"
+        session = client.session("writer")
+        session.begin()
+        session.update("kv", 1, {"v": 1})
+        txn = session.commit(token=token)
+        status = client.commit_status(token)
+        assert status["status"] == "durable"
+        assert status["result"]["txn"] == txn
+        session.close()
+
+
+def test_replayed_commit_token_answers_from_the_ledger(server):
+    """A second ``commit`` frame with the same token returns the
+    recorded result without touching the engine."""
+    with ReproClient(*server.address) as client:
+        _seed(client)
+        session = client.session("writer")
+        session.begin()
+        session.update("kv", 1, {"v": 1})
+        token = client.commit_token()
+        first = client.call("commit", session=session.session_id,
+                            token=token)
+        replay = client.call("commit", session=session.session_id,
+                             token=token)
+        assert replay == first
+        session.begin()
+        assert session.get("kv", 1)["v"] == 1   # applied exactly once
+        session.abort()
+        session.close()
+        ledger = client.stats()["ledger"]
+        assert ledger["dedup_hits"] >= 1
+        assert ledger["recorded"] >= 1
+
+
+def test_commit_lost_to_a_crash_resolves_failed():
+    """A tokened commit parked on group commit when the power fails is
+    recorded ``failed`` — a retry gets CrashedError, never a silent
+    re-run, and ``commit_status`` agrees."""
+    config = ServerConfig(
+        engine="inp",
+        group_commit=GroupCommitConfig(batch_size=64, max_hold_ns=1e18,
+                                       max_hold_wall_s=3600.0))
+    with ServerThread(config) as thread:
+        host, port = thread.server.address
+        with ReproClient(host, port) as admin:
+            admin.create_table(KV)
+            outcome = {}
+
+            def commit_then_lose():
+                with ReproClient(host, port) as c:
+                    token = c.commit_token()
+                    outcome["token"] = token
+                    with c.session("loser") as s:
+                        s.begin()
+                        s.insert("kv", {"k": 5, "v": 1})
+                        try:
+                            s.commit(token=token)
+                        except Exception as exc:
+                            outcome["exc"] = exc
+
+            t = threading.Thread(target=commit_then_lose, daemon=True)
+            t.start()
+            for _ in range(200):
+                if sum(s["pending"] for s in
+                       admin.stats()["group_commit"]):
+                    break
+                time.sleep(0.02)
+            assert admin.crash()["lost_commits"] == 1
+            t.join(timeout=10.0)
+            assert isinstance(outcome["exc"], CrashedError)
+            admin.recover()
+            status = admin.commit_status(outcome["token"])
+            assert status["status"] == "failed"
+
+
+# ----------------------------------------------------------------------
+# The acceptance test: ack dropped by the proxy, retried, applied once
+# ----------------------------------------------------------------------
+
+class _AckDropProxy(NetworkFaultProxy):
+    """Deterministic fault plan: swallow the first server->client
+    response to a ``commit`` request, forward everything else."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._commit_ids = set()
+        self.dropped_acks = 0
+
+    async def _apply(self, frame, writer, rng):
+        payload = json.loads(frame[4:])
+        if payload.get("verb") == "commit":
+            self._commit_ids.add(payload.get("id"))
+        elif payload.get("id") in self._commit_ids \
+                and self.dropped_acks == 0:
+            self.dropped_acks += 1
+            self.counters["drop"] += 1
+            return False
+        writer.write(frame)
+        self.counters["forward"] += 1
+        return False
+
+
+def _ack_drop_proxy(host, port):
+    thread = FaultProxyThread(host, port)
+    thread.proxy = _AckDropProxy(host, port)
+    return thread
+
+
+def test_dropped_commit_ack_is_applied_exactly_once(server):
+    """The satellite acceptance test: the client commits through a
+    proxy that eats the ack, times out, reconnects, and replays the
+    commit with its token — the server answers from the ledger and the
+    increment lands exactly once."""
+    host, port = server.address
+    with ReproClient(host, port) as admin:
+        _seed(admin)
+        with _ack_drop_proxy(host, port) as proxy:
+            client = ReproClient(*proxy.proxy.address, timeout=0.3,
+                                 retries=6, retry_backoff_s=0.01,
+                                 jitter_seed=7)
+            client.connect()
+            session = client.session("retrier")
+            session.begin()
+            row = session.get("kv", 1)
+            session.update("kv", 1, {"v": row["v"] + 1})
+            assert session.commit() > 0     # survives the dropped ack
+            assert proxy.proxy.dropped_acks == 1
+            assert client.reconnects >= 2   # connect + the retry
+            client.close()
+        with admin.session("check") as check:
+            check.begin()
+            assert check.get("kv", 1)["v"] == 1     # exactly once
+            check.abort()
+        assert admin.stats()["ledger"]["dedup_hits"] >= 1
+
+
+def test_tokenless_commit_ack_drop_is_ambiguous(server):
+    """Regression documentation: before commit tokens, a dropped ack
+    left the client unable to learn the commit's fate — the bare retry
+    lands on a fresh connection with no session and dies with
+    ProtocolError, while the transaction WAS applied. Tokens
+    (the test above) close exactly this window."""
+    host, port = server.address
+    with ReproClient(host, port) as admin:
+        _seed(admin)
+        with _ack_drop_proxy(host, port) as proxy:
+            client = ReproClient(*proxy.proxy.address, timeout=0.3,
+                                 retries=6, retry_backoff_s=0.01,
+                                 jitter_seed=7)
+            client.connect()
+            session = client.session("legacy")
+            session.begin()
+            row = session.get("kv", 1)
+            session.update("kv", 1, {"v": row["v"] + 1})
+            with pytest.raises((ProtocolError, ServerDisconnected)):
+                client.call("commit", session=session.session_id)
+            assert proxy.proxy.dropped_acks == 1
+            client.close()
+        with admin.session("check") as check:
+            check.begin()
+            # The commit the client could not confirm was applied.
+            assert check.get("kv", 1)["v"] == 1
+            check.abort()
+
+
+def test_pending_replay_answers_retry_after():
+    """A commit replayed while the original is still parked on group
+    commit gets a RetryAfterError hint, not a hang and not a re-run."""
+    config = ServerConfig(
+        engine="nvm-inp",
+        group_commit=GroupCommitConfig(batch_size=64, max_hold_ns=1e18,
+                                       max_hold_wall_s=3600.0))
+    with ServerThread(config) as thread:
+        host, port = thread.server.address
+        with ReproClient(host, port) as admin:
+            admin.create_table(KV)
+            token_box = {}
+
+            def committer():
+                with ReproClient(host, port) as c:
+                    token_box["token"] = token = c.commit_token()
+                    with c.session("parked") as s:
+                        s.begin()
+                        s.insert("kv", {"k": 9, "v": 9})
+                        try:
+                            s.commit(token=token)
+                        except Exception:
+                            pass
+
+            t = threading.Thread(target=committer, daemon=True)
+            t.start()
+            for _ in range(200):
+                if sum(s["pending"] for s in
+                       admin.stats()["group_commit"]):
+                    break
+                time.sleep(0.02)
+            with pytest.raises(RetryAfterError):
+                # shed_retries=0 surfaces the hint instead of honoring it
+                probe = ReproClient(host, port, shed_retries=0)
+                probe.connect()
+                try:
+                    probe.call("commit", session=0,
+                               token=token_box["token"])
+                finally:
+                    probe.close()
+            assert admin.commit_status(
+                token_box["token"])["status"] == "pending"
+            admin.flush()
+            t.join(timeout=10.0)

@@ -96,6 +96,47 @@ def test_truncated_stream_rejected_at_eof():
         decoder.eof()
 
 
+def test_truncated_length_prefix_rejected_at_eof():
+    """A stream that dies inside the 4-byte header is still a
+    truncated frame, not a clean close."""
+    decoder = FrameDecoder()
+    assert decoder.feed(struct.pack(">I", 8)[:2]) == []
+    with pytest.raises(ProtocolError, match="truncated"):
+        decoder.eof()
+
+
+def test_frame_exactly_at_limit_accepted():
+    """The size limit is inclusive: a body of exactly
+    ``max_frame_bytes`` decodes."""
+    body = b'{"pad":"' + b"x" * (1024 - 10) + b'"}'
+    assert len(body) == 1024
+    decoder = FrameDecoder(max_frame_bytes=1024)
+    (payload,) = decoder.feed(struct.pack(">I", len(body)) + body)
+    assert payload == {"pad": "x" * (1024 - 10)}
+    decoder.eof()
+
+
+def test_frame_one_byte_over_limit_rejected():
+    body = b'{"pad":"' + b"x" * (1024 - 9) + b'"}'
+    assert len(body) == 1025
+    decoder = FrameDecoder(max_frame_bytes=1024)
+    with pytest.raises(ProtocolError, match="exceeds"):
+        decoder.feed(struct.pack(">I", len(body)) + body)
+
+
+def test_garbage_after_valid_frame_still_poisons_the_stream():
+    """A well-framed garbage body following a good frame must raise —
+    the good frame decodes, but the stream is then unrecoverable (the
+    client maps this to a dead connection and relies on commit tokens,
+    never on resynchronization)."""
+    good = encode_frame({"id": 1, "ok": True, "result": None})
+    garbage = struct.pack(">I", 9) + b"\x00\xffnotjson"
+    decoder = FrameDecoder()
+    assert decoder.feed(good) == [{"id": 1, "ok": True, "result": None}]
+    with pytest.raises(ProtocolError, match="not valid JSON"):
+        decoder.feed(garbage)
+
+
 def test_decoder_stays_in_sync_after_good_frames():
     good = encode_frame({"id": 1, "verb": "ping", "args": {}})
     decoder = FrameDecoder()

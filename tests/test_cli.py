@@ -159,3 +159,17 @@ def test_lint_command_json_output(tmp_path, capsys):
 def test_lint_command_unknown_select(capsys):
     assert main(["lint", "--select", "LNT999"]) == 2
     assert "unknown rule codes" in capsys.readouterr().err
+
+
+def test_chaos_command_fault_free_json_report(tmp_path, capsys):
+    report_path = tmp_path / "chaos.json"
+    assert main(["chaos", "--clients", "2", "--txns", "4",
+                 "--keys", "8", "--seed", "3", "--crash-cycles", "0",
+                 "--fault-scale", "0.0",
+                 "--json", str(report_path)]) == 0
+    out = capsys.readouterr().out
+    assert "invariants: all held" in out
+    payload = json.loads(report_path.read_text())
+    assert payload["kind"] == "repro-chaos-report"
+    assert payload["ok"] is True
+    assert payload["committed"] == 8
