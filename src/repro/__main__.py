@@ -11,6 +11,11 @@ Examples::
     python -m repro figure 12 --workload tpcc
     python -m repro obs out.jsonl
     python -m repro crashtest --engines inp,nvm-cow --seed 7
+    python -m repro check --engines all
+    python -m repro lint
+    python -m repro analyze --gate
+    python -m repro serve --engine nvm-inp --port 7333
+    python -m repro chaos --clients 4 --crash-cycles 2
 """
 
 from __future__ import annotations
@@ -384,34 +389,62 @@ def _cmd_check(args) -> int:
 
 
 def _cmd_lint(args) -> int:
-    import json
-
-    from .lint import DEFAULT_LINT_PATHS, LINT_RULES, lint_paths
+    from .lint import (DEFAULT_LINT_PATHS, LINT_RULES, emit_findings,
+                       lint_paths, parse_select, print_rule_catalogue)
 
     if args.rules:
-        print(format_table(
-            ["code", "name", "description"],
-            [[code, name, description]
-             for code, (name, description) in sorted(LINT_RULES.items())],
-            title="repro lint rules"))
+        print_rule_catalogue("repro lint rules", LINT_RULES)
         return 0
     paths = args.paths or list(DEFAULT_LINT_PATHS)
-    select = [code.strip() for code in args.select.split(",")
-              if code.strip()] if args.select else None
     try:
-        violations = lint_paths(paths, select=select)
+        violations = lint_paths(paths,
+                                select=parse_select(args.select))
     except (OSError, SyntaxError, ValueError) as error:
         print(f"lint failed: {error}", file=sys.stderr)
         return 2
-    if args.json:
-        json.dump([violation.to_dict() for violation in violations],
-                  sys.stdout, indent=2)
-        print()
-    else:
-        for violation in violations:
-            print(violation)
-        print(f"{len(violations)} finding(s)")
-    return 1 if violations else 0
+    return emit_findings(violations,
+                         json_out="-" if args.json else None)
+
+
+def _cmd_analyze(args) -> int:
+    from .analysis.static import (DEFAULT_ANALYZE_PATHS, analyze_paths,
+                                  static_rules)
+    from .lint import (baseline_diff, emit_findings, load_baseline,
+                       parse_select, print_rule_catalogue,
+                       save_baseline)
+
+    if args.rules:
+        print_rule_catalogue("repro analyze rules", static_rules())
+        return 0
+    paths = args.paths or list(DEFAULT_ANALYZE_PATHS)
+    try:
+        violations = analyze_paths(paths,
+                                   select=parse_select(args.select))
+    except (OSError, SyntaxError, ValueError) as error:
+        print(f"analyze failed: {error}", file=sys.stderr)
+        return 2
+    if args.write_baseline:
+        save_baseline(args.baseline, violations)
+        print(f"baseline -> {args.baseline} "
+              f"({len(violations)} finding(s))")
+        return 0
+    if args.gate:
+        try:
+            baseline = load_baseline(args.baseline)
+        except (OSError, ValueError) as error:
+            print(f"analyze failed: {error}", file=sys.stderr)
+            return 2
+        fresh, stale = baseline_diff(violations, baseline)
+        code = emit_findings(fresh, json_out=args.json)
+        for key in stale:
+            print(f"stale baseline entry (fixed or moved — shrink "
+                  f"the baseline): {key}", file=sys.stderr)
+        suppressed = len(violations) - len(fresh)
+        if suppressed:
+            print(f"{suppressed} finding(s) suppressed by "
+                  f"{args.baseline}")
+        return 1 if (code or stale) else 0
+    return emit_findings(violations, json_out=args.json)
 
 
 def _cmd_bench(args) -> int:
@@ -701,7 +734,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         prog="repro",
         description="NVM DBMS storage & recovery reproduction "
                     "(SIGMOD 2015)")
-    commands = parser.add_subparsers(dest="command", required=True)
+    commands = parser.add_subparsers(
+        dest="command", required=True, metavar="COMMAND",
+        title="commands")
 
     engines_parser = commands.add_parser(
         "engines", help="list registered storage engines")
@@ -823,6 +858,40 @@ def main(argv: Optional[List[str]] = None) -> int:
     lint_parser.add_argument("--rules", action="store_true",
                              help="print the rule catalogue and exit")
     lint_parser.set_defaults(func=_cmd_lint)
+
+    analyze_parser = commands.add_parser(
+        "analyze",
+        help="path-sensitive static analysis: durability-ordering "
+             "(SDA) and asyncio-discipline (ACD) rules over per-"
+             "function CFGs and the project call graph")
+    analyze_parser.add_argument(
+        "paths", nargs="*",
+        help="files/directories to analyze (default: all of "
+             "src/repro)")
+    analyze_parser.add_argument(
+        "--select", metavar="SDA001,...", default=None,
+        help="run only these rule codes")
+    analyze_parser.add_argument(
+        "--json", metavar="FILE", default=None,
+        help="write findings as JSON to FILE ('-' for stdout)")
+    analyze_parser.add_argument(
+        "--rules", action="store_true",
+        help="print the rule catalogue and exit")
+    analyze_parser.add_argument(
+        "--baseline", metavar="FILE",
+        default="analysis-baseline.json",
+        help="baseline file for --gate/--write-baseline "
+             "(default: analysis-baseline.json)")
+    analyze_parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="write the current findings as the new baseline and "
+             "exit 0")
+    analyze_parser.add_argument(
+        "--gate", action="store_true",
+        help="CI mode: fail on findings missing from the baseline "
+             "AND on stale baseline entries (the ratchet only "
+             "shrinks)")
+    analyze_parser.set_defaults(func=_cmd_analyze)
 
     bench_parser = commands.add_parser(
         "bench",

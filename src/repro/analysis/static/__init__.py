@@ -1,0 +1,24 @@
+"""Static analysis substrate and the SDA/ACD rule families.
+
+Importing this package registers every rule (the ``sda``/``acd``
+modules run their ``@register_static_rule`` decorators on import), so
+``repro analyze`` and tests only need::
+
+    from repro.analysis.static import analyze_paths
+"""
+
+from . import acd as _acd          # noqa: F401  (registers ACD rules)
+from . import sda as _sda          # noqa: F401  (registers SDA rules)
+from .callgraph import Project, build_project
+from .cfg import CFG, build_cfg, statement_calls
+from .dataflow import solve_forward
+from .runner import (DEFAULT_ANALYZE_PATHS, STATIC_REGISTRY,
+                     StaticRule, analyze_paths, analyze_project,
+                     register_static_rule, static_rules)
+
+__all__ = [
+    "CFG", "DEFAULT_ANALYZE_PATHS", "Project", "STATIC_REGISTRY",
+    "StaticRule", "analyze_paths", "analyze_project", "build_cfg",
+    "build_project", "register_static_rule", "solve_forward",
+    "statement_calls", "static_rules",
+]

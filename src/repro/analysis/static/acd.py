@@ -1,0 +1,500 @@
+"""ACD001–ACD004: asyncio concurrency discipline.
+
+The server tier's correctness argument (docs/server.md, "Failure
+semantics") leans on four disciplines that the chaos campaign probes
+dynamically; these rules prove them over all CFG paths:
+
+========  ==========================================================
+ACD001    a blocking call (``time.sleep``, ``os.fsync``, sync socket
+          or subprocess I/O) inside a coroutine — it stalls the
+          whole event loop, not just the calling task
+ACD002    a ``.acquire()`` with no guaranteed ``.release()`` on some
+          path to a normal or exceptional exit — the exact leak
+          class the chaos campaign's lease checker hunts at runtime;
+          use ``async with`` or ``try/finally``
+ACD003    an await of an unbounded operation (socket read, bare
+          future, ``drain``/``wait``/``gather``/queue ``get``) while
+          holding an ``asyncio.Lock`` — a stalled peer wedges every
+          task queued on that lock
+ACD004    a shared ``self`` attribute read into a local, carried
+          across an ``await``, then written back — the value may be
+          stale because another task interleaved at the await
+========  ==========================================================
+
+Lock receivers are classified by their creation sites (an assignment
+whose value calls ``asyncio.Lock`` / ``asyncio.Semaphore`` anywhere in
+the project); subscripted receivers (``self._locks[pid]``) are keyed
+by their base so acquire and release sites match even when the index
+expression differs. Semaphore-classified receivers are exempt from
+ACD003 — holding an admission slot across a durability await is the
+server's intended backpressure design.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import (Dict, FrozenSet, Iterator, List, Optional, Set,
+                    Tuple)
+
+from repro.lint.framework import LintViolation
+
+from .callgraph import FunctionInfo, Project, call_name, receiver_text
+from .cfg import STMT, WITH_EXIT, statement_calls
+from .dataflow import solve_forward
+from .runner import StaticRule, register_static_rule
+
+__all__ = ["BLOCKING_CALLS", "UNBOUNDED_AWAIT_NAMES"]
+
+#: Dotted names that block the event loop when called from a
+#: coroutine.
+BLOCKING_CALLS = frozenset({
+    "time.sleep", "os.fsync", "os.fdatasync", "os.sync",
+    "select.select", "socket.create_connection",
+    "subprocess.run", "subprocess.call", "subprocess.check_call",
+    "subprocess.check_output",
+})
+
+#: Final name segments whose awaits have no intrinsic bound —
+#: ``wait_for`` (timeout) and ``sleep`` (fixed) are deliberately
+#: absent.
+UNBOUNDED_AWAIT_NAMES = frozenset({
+    "read", "readexactly", "readline", "readuntil", "recv", "drain",
+    "wait", "gather", "join", "get", "acquire", "wait_closed",
+})
+
+
+def _last_segment(name: str) -> str:
+    return name.rsplit(".", 1)[-1]
+
+
+def _receiver_base(node: ast.expr) -> str:
+    """Normalised token base of a lock expression: subscripts key by
+    their container (``self._locks[pid]`` → ``self._locks``) so
+    acquire/release sites match across index spellings."""
+    if isinstance(node, ast.Subscript):
+        return receiver_text(node.value)
+    return receiver_text(node)
+
+
+def _acquire_base(call: ast.Call) -> Optional[str]:
+    """For ``X.acquire()``: the token base of ``X``."""
+    if not isinstance(call.func, ast.Attribute):
+        return None
+    if call.func.attr != "acquire":
+        return None
+    return _receiver_base(call.func.value)
+
+
+def _release_base(call: ast.Call) -> Optional[str]:
+    if not isinstance(call.func, ast.Attribute):
+        return None
+    if call.func.attr != "release":
+        return None
+    return _receiver_base(call.func.value)
+
+
+class LockClassifier:
+    """Project-wide map of token bases to their primitive kind, from
+    creation sites (``X = asyncio.Lock()`` etc.)."""
+
+    _KINDS = {"Lock": "lock", "Semaphore": "semaphore",
+              "BoundedSemaphore": "semaphore", "Condition": "lock"}
+
+    def __init__(self, project: Project) -> None:
+        self.kinds: Dict[str, str] = {}
+        for file in project.files:
+            for node in ast.walk(file.tree):
+                if not isinstance(node, ast.Assign):
+                    continue
+                kind = self._creation_kind(node.value)
+                if kind is None:
+                    continue
+                for target in node.targets:
+                    self.kinds[_receiver_base(target)] = kind
+
+    def _creation_kind(self, value: ast.expr) -> Optional[str]:
+        if not isinstance(value, ast.Call):
+            return None
+        return self._KINDS.get(_last_segment(call_name(value)))
+
+    def is_lock(self, base: str) -> bool:
+        return self.kinds.get(base) == "lock"
+
+
+def _own_async_functions(
+        project: Project) -> Iterator[FunctionInfo]:
+    for func in project.functions:
+        if func.is_async:
+            yield func
+
+
+@register_static_rule
+class BlockingCallInCoroutine(StaticRule):
+    """ACD001."""
+
+    code = "ACD001"
+    name = "blocking-call-in-coroutine"
+    description = ("blocking call (time.sleep / os.fsync / sync "
+                   "socket or subprocess I/O) inside an async def — "
+                   "it stalls the whole event loop")
+
+    def check_project(self,
+                      project: Project) -> Iterator[LintViolation]:
+        for func in _own_async_functions(project):
+            for node in func.cfg.nodes:
+                if node.stmt is None:
+                    continue
+                for item in statement_calls(node.stmt):
+                    if not isinstance(item, ast.Call):
+                        continue
+                    name = call_name(item)
+                    if name in BLOCKING_CALLS:
+                        yield self.violation(
+                            func, item,
+                            f"{name}() blocks the event loop inside "
+                            f"coroutine {func.name}(); use the "
+                            f"asyncio equivalent or a thread "
+                            f"executor")
+
+
+#: Held-token state: (base text, acquire line, acquire col).
+_Held = Tuple[str, int, int]
+_HeldState = FrozenSet[_Held]
+_H_EMPTY: _HeldState = frozenset()
+_H_BOTTOM: _HeldState = frozenset({("<unreached>", -1, -1)})
+
+
+class _HeldLockAnalysis:
+    """Forward may-analysis of explicitly-acquired (non-context-
+    managed) tokens, with optional tracking of ``async with`` lock
+    regions. Self-calls subtract the callee's transitive may-release
+    set."""
+
+    def __init__(self, project: Project,
+                 track_with_regions: bool = False,
+                 classifier: Optional[LockClassifier] = None) -> None:
+        self.project = project
+        self.track_with = track_with_regions
+        self.classifier = classifier
+        self._release_sets: Dict[int, FrozenSet[str]] = {}
+
+    # -- release summaries ----------------------------------------------
+
+    def may_release(self, func: FunctionInfo) -> FrozenSet[str]:
+        """Token bases ``func`` may release, transitively through
+        ``self.helper()`` calls (fixpoint over the call graph)."""
+        cached = self._release_sets.get(id(func.node))
+        if cached is not None:
+            return cached
+        self._release_sets[id(func.node)] = frozenset()
+        result: Set[str] = set()
+        for stmt in ast.walk(func.node):
+            if not isinstance(stmt, ast.Call):
+                continue
+            base = _release_base(stmt)
+            if base is not None:
+                result.add(base)
+            name = call_name(stmt)
+            if (func.cls is not None and name.startswith("self.")
+                    and name.count(".") == 1):
+                callee = self.project.resolve_method(
+                    func.cls.name, name.split(".", 1)[1])
+                if callee is not None \
+                        and callee.node is not func.node:
+                    result |= self.may_release(callee)
+        summary = frozenset(result)
+        self._release_sets[id(func.node)] = summary
+        return summary
+
+    # -- transfer -------------------------------------------------------
+
+    def _node_effects(self, func: FunctionInfo, node_index: int
+                      ) -> List[Tuple[str, object]]:
+        """Ordered (effect, payload) list for one CFG node: acquire /
+        release / call-releases effects."""
+        cfg = func.cfg
+        node = cfg.nodes[node_index]
+        effects: List[Tuple[str, object]] = []
+        if node.kind == STMT and node.context_expr is not None \
+                and self.track_with:
+            base = _receiver_base(node.context_expr)
+            if self.classifier is None \
+                    or self.classifier.is_lock(base):
+                effects.append(("acquire", (base, node.line, 0)))
+            return effects
+        if node.kind == WITH_EXIT:
+            if self.track_with and node.context_expr is not None:
+                base = _receiver_base(node.context_expr)
+                effects.append(("release", base))
+            return effects
+        if node.stmt is None:
+            return effects
+        for item in statement_calls(node.stmt):
+            if not isinstance(item, ast.Call):
+                continue
+            base = _acquire_base(item)
+            if base is not None:
+                effects.append(
+                    ("acquire",
+                     (base, getattr(item, "lineno", 0),
+                      getattr(item, "col_offset", 0))))
+                continue
+            base = _release_base(item)
+            if base is not None:
+                effects.append(("release", base))
+                continue
+            name = call_name(item)
+            if (func.cls is not None and name.startswith("self.")
+                    and name.count(".") == 1):
+                callee = self.project.resolve_method(
+                    func.cls.name, name.split(".", 1)[1])
+                if callee is not None \
+                        and callee.node is not func.node:
+                    released = self.may_release(callee)
+                    if released:
+                        effects.append(("call-releases", released))
+        return effects
+
+    def apply(self, state: Set[_Held],
+              effect: Tuple[str, object]) -> None:
+        kind, payload = effect
+        if kind == "acquire":
+            assert isinstance(payload, tuple)
+            state.add(payload)
+        elif kind == "release":
+            assert isinstance(payload, str)
+            for held in [h for h in state if h[0] == payload]:
+                state.discard(held)
+        elif kind == "call-releases":
+            assert isinstance(payload, frozenset)
+            for held in [h for h in state if h[0] in payload]:
+                state.discard(held)
+
+    def run(self, func: FunctionInfo) -> Dict[int, _HeldState]:
+        cfg = func.cfg
+
+        def transfer(index: int, state: _HeldState) -> _HeldState:
+            if state == _H_BOTTOM:
+                return state
+            current = set(state)
+            for effect in self._node_effects(func, index):
+                self.apply(current, effect)
+            return frozenset(current)
+
+        def exc_transfer(index: int,
+                         state: _HeldState) -> _HeldState:
+            # Releases (direct, via helper, or a with-block __exit__)
+            # still count on the exceptional edge: the raising
+            # statement in ``finally: lock.release()`` must not leak
+            # its own token to the exceptional exit. Acquires do not —
+            # if acquire() raises, the lock was never taken.
+            if state == _H_BOTTOM:
+                return state
+            current = set(state)
+            for effect in self._node_effects(func, index):
+                if effect[0] != "acquire":
+                    self.apply(current, effect)
+            return frozenset(current)
+
+        def join(a: _HeldState, b: _HeldState) -> _HeldState:
+            if a == _H_BOTTOM:
+                return b
+            if b == _H_BOTTOM:
+                return a
+            return a | b
+
+        return solve_forward(cfg, _H_EMPTY, transfer, join,
+                             _H_BOTTOM, exc_transfer=exc_transfer)
+
+
+@register_static_rule
+class AcquireWithoutGuaranteedRelease(StaticRule):
+    """ACD002."""
+
+    code = "ACD002"
+    name = "acquire-without-guaranteed-release"
+    description = (".acquire() that may reach a normal or exceptional "
+                   "exit with no matching .release(); use async with "
+                   "or try/finally")
+
+    def check_project(self,
+                      project: Project) -> Iterator[LintViolation]:
+        analysis = _HeldLockAnalysis(project)
+        for func in project.functions:
+            states = analysis.run(func)
+            cfg = func.cfg
+            leaked: Dict[_Held, str] = {}
+            for exit_index, how in ((cfg.exit, "return"),
+                                    (cfg.raise_exit, "exception")):
+                state = states[exit_index]
+                if state == _H_BOTTOM:
+                    continue
+                for held in state:
+                    leaked.setdefault(held, how)
+            for held in sorted(leaked):
+                base, line, col = held
+                anchor = ast.Pass()
+                anchor.lineno = line
+                anchor.col_offset = col
+                yield self.violation(
+                    func, anchor,
+                    f"{base}.acquire() in {func.name}() may reach a "
+                    f"{leaked[held]} exit without release; use "
+                    f"async with or try/finally")
+
+
+def _await_targets(stmt: ast.AST) -> Iterator[Tuple[ast.Await, str]]:
+    """(await node, description) for awaits of unbounded operations."""
+    for item in statement_calls(stmt):
+        if not isinstance(item, ast.Await):
+            continue
+        value = item.value
+        if isinstance(value, ast.Call):
+            name = call_name(value)
+            if _last_segment(name) in UNBOUNDED_AWAIT_NAMES:
+                yield item, f"{name}()"
+        elif isinstance(value, (ast.Name, ast.Attribute)):
+            # A bare future/task: unbounded unless externally timed.
+            yield item, receiver_text(value)
+
+
+@register_static_rule
+class UnboundedAwaitHoldingLock(StaticRule):
+    """ACD003."""
+
+    code = "ACD003"
+    name = "unbounded-await-holding-lock"
+    description = ("await of an unbounded operation (socket read, "
+                   "bare future, drain/wait/gather) while holding an "
+                   "asyncio.Lock")
+
+    def check_project(self,
+                      project: Project) -> Iterator[LintViolation]:
+        classifier = LockClassifier(project)
+        analysis = _HeldLockAnalysis(project, track_with_regions=True,
+                                     classifier=classifier)
+        for func in _own_async_functions(project):
+            states = analysis.run(func)
+            cfg = func.cfg
+            for node in cfg.nodes:
+                state = states[node.index]
+                if state == _H_BOTTOM or node.stmt is None:
+                    continue
+                held_locks = sorted(
+                    {h[0] for h in state
+                     if classifier.is_lock(h[0])})
+                if not held_locks:
+                    continue
+                for await_node, label in _await_targets(node.stmt):
+                    yield self.violation(
+                        func, await_node,
+                        f"awaits unbounded {label} while holding "
+                        f"{', '.join(held_locks)} — a stalled peer "
+                        f"wedges every task queued on the lock")
+
+
+#: Tracked binding: (local name, self attribute, went stale).
+_Bind = Tuple[str, str, bool]
+_BindState = FrozenSet[_Bind]
+_B_BOTTOM: _BindState = frozenset({("<unreached>", "", False)})
+
+
+def _self_attr_reads(value: ast.expr) -> Set[str]:
+    attrs: Set[str] = set()
+    for node in ast.walk(value):
+        if (isinstance(node, ast.Attribute)
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "self"
+                and isinstance(node.ctx, ast.Load)):
+            attrs.add(node.attr)
+    return attrs
+
+
+def _has_await(stmt: ast.AST) -> bool:
+    return any(isinstance(item, ast.Await)
+               for item in statement_calls(stmt))
+
+
+@register_static_rule
+class StaleReadModifyWrite(StaticRule):
+    """ACD004."""
+
+    code = "ACD004"
+    name = "stale-read-modify-write-across-await"
+    description = ("a self attribute read into a local, carried "
+                   "across an await, then written back — another "
+                   "task may have updated it at the await point")
+
+    def check_project(self,
+                      project: Project) -> Iterator[LintViolation]:
+        for func in _own_async_functions(project):
+            yield from self._check_function(func)
+
+    def _check_function(
+            self, func: FunctionInfo) -> Iterator[LintViolation]:
+        cfg = func.cfg
+
+        def transfer(index: int,
+                     state: _BindState) -> _BindState:
+            if state == _B_BOTTOM:
+                return state
+            node = cfg.nodes[index]
+            if node.stmt is None:
+                return state
+            return frozenset(self._step(node.stmt, set(state)))
+
+        def join(a: _BindState, b: _BindState) -> _BindState:
+            if a == _B_BOTTOM:
+                return b
+            if b == _B_BOTTOM:
+                return a
+            return a | b
+
+        states = solve_forward(cfg, frozenset(), transfer, join,
+                               _B_BOTTOM)
+        for node in cfg.nodes:
+            state = states[node.index]
+            if state == _B_BOTTOM or node.stmt is None:
+                continue
+            yield from self._report(func, node.stmt, set(state))
+
+    def _step(self, stmt: ast.AST,
+              state: Set[_Bind]) -> Set[_Bind]:
+        if _has_await(stmt):
+            state = {(name, attr, True)
+                     for name, attr, _stale in state}
+        if not isinstance(stmt, ast.Assign):
+            return state
+        if len(stmt.targets) == 1 \
+                and isinstance(stmt.targets[0], ast.Name):
+            local = stmt.targets[0].id
+            state = {bind for bind in state if bind[0] != local}
+            reads = _self_attr_reads(stmt.value)
+            if len(reads) == 1:
+                state.add((local, reads.pop(), False))
+        return state
+
+    def _report(self, func: FunctionInfo, stmt: ast.AST,
+                state: Set[_Bind]) -> Iterator[LintViolation]:
+        if _has_await(stmt):
+            state = {(name, attr, True)
+                     for name, attr, _stale in state}
+        if not isinstance(stmt, ast.Assign):
+            return
+        target = stmt.targets[0] if len(stmt.targets) == 1 else None
+        if not (isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"):
+            return
+        written = target.attr
+        used = {node.id for node in ast.walk(stmt.value)
+                if isinstance(node, ast.Name)}
+        for name, attr, stale in sorted(state):
+            if stale and attr == written and name in used:
+                yield self.violation(
+                    func, stmt,
+                    f"self.{written} is written from local "
+                    f"{name!r} that was read from self.{attr} "
+                    f"before an await — another task may have "
+                    f"updated it; re-read after the await or hold "
+                    f"the owning lock across it")

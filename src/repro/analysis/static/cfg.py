@@ -1,0 +1,405 @@
+"""Function-level control-flow graphs over the stdlib AST.
+
+The static rules (:mod:`.sda`, :mod:`.acd`) need *paths*, not just
+syntax: "a store can reach the commit marker with no fence on some
+path" is a reachability question. This module lowers one
+``FunctionDef`` / ``AsyncFunctionDef`` into a statement-level CFG:
+
+* one :class:`Node` per executed simple statement (compound statements
+  contribute their header expression — an ``if`` test, a loop iterator,
+  a ``with`` context expression — as the node);
+* **normal edges** follow sequential/branch/loop control flow;
+* **exception edges** (``Node.raises_to``) model "this statement may
+  raise": they target the innermost enclosing handler dispatch, or the
+  synthetic :attr:`CFG.raise_exit` when nothing encloses it;
+* ``try/finally``, ``with`` and ``async with`` route *all* exits
+  (normal, exceptional, ``return``/``break``/``continue``) through the
+  finalizer, which is what makes the lock-release rule (ACD002) accept
+  the canonical ``acquire(); try: ... finally: release()`` pattern and
+  reject the bare one;
+* synthetic **with-exit** nodes carry the implicit ``__exit__`` call of
+  a ``with`` block so context-managed locks release on every path.
+
+The graph deliberately over-approximates feasibility (both branch arms
+are always possible, every call may raise). That is the right
+direction for "may reach a bad state on some path" rules; rules that
+need a must-property intersect over paths instead.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Union
+
+__all__ = ["CFG", "Node", "build_cfg", "statement_calls",
+           "FunctionNode"]
+
+FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+#: Node kinds. ``stmt`` nodes carry a real AST statement; the others
+#: are synthetic control points.
+ENTRY = "entry"
+EXIT = "exit"            # normal return / fall-off-the-end
+RAISE_EXIT = "raise"     # an exception escaped the function
+STMT = "stmt"
+WITH_EXIT = "with-exit"  # the implicit __exit__ of a with block
+DISPATCH = "dispatch"    # exception dispatch point of a try block
+
+
+class Node:
+    """One CFG node: a statement (or synthetic control point) plus its
+    outgoing normal and exceptional edges."""
+
+    __slots__ = ("index", "kind", "stmt", "succ", "raises_to",
+                 "context_expr", "is_async_with")
+
+    def __init__(self, index: int, kind: str,
+                 stmt: Optional[ast.AST] = None) -> None:
+        self.index = index
+        self.kind = kind
+        self.stmt = stmt
+        self.succ: List[int] = []
+        self.raises_to: List[int] = []
+        #: For WITH_EXIT nodes: the managed context expression (the
+        #: lock being released); for STMT nodes of With headers: the
+        #: same expression at entry.
+        self.context_expr: Optional[ast.expr] = None
+        self.is_async_with = False
+
+    @property
+    def line(self) -> int:
+        node = self.stmt if self.stmt is not None else self.context_expr
+        return getattr(node, "lineno", 0)
+
+    def __repr__(self) -> str:
+        return (f"Node({self.index}, {self.kind}, "
+                f"line={self.line}, succ={self.succ}, "
+                f"raises_to={self.raises_to})")
+
+
+class CFG:
+    """The control-flow graph of one function."""
+
+    __slots__ = ("func", "nodes", "entry", "exit", "raise_exit")
+
+    def __init__(self, func: FunctionNode) -> None:
+        self.func = func
+        self.nodes: List[Node] = []
+        self.entry = self._new(ENTRY).index
+        self.exit = self._new(EXIT).index
+        self.raise_exit = self._new(RAISE_EXIT).index
+
+    def _new(self, kind: str, stmt: Optional[ast.AST] = None) -> Node:
+        node = Node(len(self.nodes), kind, stmt)
+        self.nodes.append(node)
+        return node
+
+    def successors(self, index: int) -> Iterator[int]:
+        node = self.nodes[index]
+        yield from node.succ
+        yield from node.raises_to
+
+    def exits(self) -> List[int]:
+        """Both exit nodes (normal and exceptional)."""
+        return [self.exit, self.raise_exit]
+
+
+class _LoopFrame:
+    __slots__ = ("continue_target", "breaks")
+
+    def __init__(self, continue_target: int) -> None:
+        self.continue_target = continue_target
+        self.breaks: List[int] = []
+
+
+class _FinallyFrame:
+    """One pending ``finally`` (or with-exit) block: abnormal exits
+    inside its protected region divert here, then continue to every
+    recorded continuation."""
+
+    __slots__ = ("entry", "continuations")
+
+    def __init__(self, entry: int) -> None:
+        self.entry = entry
+        self.continuations: Set[int] = set()
+
+
+class _Builder:
+    def __init__(self, func: FunctionNode) -> None:
+        self.cfg = CFG(func)
+        #: Innermost-last stacks.
+        self.exc_targets: List[int] = [self.cfg.raise_exit]
+        self.loops: List[_LoopFrame] = []
+        self.finallies: List[_FinallyFrame] = []
+
+    # -- plumbing -------------------------------------------------------
+
+    def _connect(self, frontier: Sequence[int], target: int) -> None:
+        for index in frontier:
+            succ = self.cfg.nodes[index].succ
+            if target not in succ:
+                succ.append(target)
+
+    def _stmt_node(self, stmt: ast.stmt, frontier: Sequence[int],
+                   may_raise: bool = True) -> Node:
+        node = self.cfg._new(STMT, stmt)
+        self._connect(frontier, node.index)
+        if may_raise:
+            node.raises_to.append(self.exc_targets[-1])
+        return node
+
+    def _divert(self, node: Node, final_target: int) -> None:
+        """Route an abnormal exit (return/break/continue) through any
+        pending finally blocks, ultimately reaching ``final_target``."""
+        if self.finallies:
+            frame = self.finallies[-1]
+            node.succ.append(frame.entry)
+            frame.continuations.add(final_target)
+        else:
+            node.succ.append(final_target)
+
+    # -- statement lowering ---------------------------------------------
+
+    def lower_body(self, stmts: Sequence[ast.stmt],
+                   frontier: List[int]) -> List[int]:
+        for stmt in stmts:
+            frontier = self.lower(stmt, frontier)
+        return frontier
+
+    def lower(self, stmt: ast.stmt,
+              frontier: List[int]) -> List[int]:
+        handler = getattr(self, f"_lower_{type(stmt).__name__}", None)
+        if handler is not None:
+            return handler(stmt, frontier)
+        # Simple statement (Expr, Assign, AugAssign, AnnAssign, Assert,
+        # Delete, Import, Global, Nonlocal, Pass, nested def/class, ...).
+        node = self._stmt_node(stmt, frontier)
+        return [node.index]
+
+    def _lower_Return(self, stmt: ast.Return,
+                      frontier: List[int]) -> List[int]:
+        node = self._stmt_node(stmt, frontier)
+        self._divert(node, self.cfg.exit)
+        return []
+
+    def _lower_Raise(self, stmt: ast.Raise,
+                     frontier: List[int]) -> List[int]:
+        self._stmt_node(stmt, frontier)
+        return []       # only the exception edge leaves a raise
+
+    def _lower_Break(self, stmt: ast.Break,
+                     frontier: List[int]) -> List[int]:
+        node = self._stmt_node(stmt, frontier, may_raise=False)
+        if self.loops:
+            self.loops[-1].breaks.append(node.index)
+        return []
+
+    def _lower_Continue(self, stmt: ast.Continue,
+                        frontier: List[int]) -> List[int]:
+        node = self._stmt_node(stmt, frontier, may_raise=False)
+        if self.loops:
+            node.succ.append(self.loops[-1].continue_target)
+        return []
+
+    def _lower_If(self, stmt: ast.If,
+                  frontier: List[int]) -> List[int]:
+        test = self._stmt_node(stmt, frontier)
+        then_frontier = self.lower_body(stmt.body, [test.index])
+        if stmt.orelse:
+            else_frontier = self.lower_body(stmt.orelse, [test.index])
+        else:
+            else_frontier = [test.index]
+        return then_frontier + else_frontier
+
+    def _lower_While(self, stmt: ast.While,
+                     frontier: List[int]) -> List[int]:
+        test = self._stmt_node(stmt, frontier)
+        frame = _LoopFrame(test.index)
+        self.loops.append(frame)
+        body_frontier = self.lower_body(stmt.body, [test.index])
+        self.loops.pop()
+        self._connect(body_frontier, test.index)
+        out = list(frame.breaks)
+        infinite = (isinstance(stmt.test, ast.Constant)
+                    and bool(stmt.test.value))
+        if not infinite:
+            out.append(test.index)
+        if stmt.orelse:
+            out = self.lower_body(stmt.orelse, out) + frame.breaks
+        return out
+
+    def _lower_For(self, stmt: Union[ast.For, ast.AsyncFor],
+                   frontier: List[int]) -> List[int]:
+        head = self._stmt_node(stmt, frontier)
+        frame = _LoopFrame(head.index)
+        self.loops.append(frame)
+        body_frontier = self.lower_body(stmt.body, [head.index])
+        self.loops.pop()
+        self._connect(body_frontier, head.index)
+        out = [head.index] + frame.breaks
+        if stmt.orelse:
+            out = self.lower_body(stmt.orelse, [head.index]) \
+                + frame.breaks
+        return out
+
+    _lower_AsyncFor = _lower_For
+
+    def _lower_With(self, stmt: Union[ast.With, ast.AsyncWith],
+                    frontier: List[int]) -> List[int]:
+        head = self._stmt_node(stmt, frontier)
+        head.context_expr = stmt.items[0].context_expr
+        head.is_async_with = isinstance(stmt, ast.AsyncWith)
+        exit_node = self.cfg._new(WITH_EXIT)
+        exit_node.context_expr = stmt.items[0].context_expr
+        exit_node.is_async_with = head.is_async_with
+        # Every exit of the body — normal, exceptional, or a diverted
+        # return/break/continue — runs __exit__ first.
+        frame = _FinallyFrame(exit_node.index)
+        self.finallies.append(frame)
+        self.exc_targets.append(exit_node.index)
+        body_frontier = self.lower_body(stmt.body, [head.index])
+        self.exc_targets.pop()
+        self.finallies.pop()
+        self._connect(body_frontier, exit_node.index)
+        # Exceptions propagate onward after __exit__ runs, and diverted
+        # exits continue to their recorded targets.
+        exit_node.raises_to.append(self.exc_targets[-1])
+        for continuation in sorted(frame.continuations):
+            self._route_continuation(exit_node, continuation)
+        return [exit_node.index]
+
+    _lower_AsyncWith = _lower_With
+
+    def _route_continuation(self, node: Node,
+                            continuation: int) -> None:
+        """A finalizer finished for a diverted return/break/continue:
+        chain through the next enclosing finally, if any."""
+        if self.finallies:
+            frame = self.finallies[-1]
+            if continuation != frame.entry:
+                frame.continuations.add(continuation)
+                if frame.entry not in node.succ:
+                    node.succ.append(frame.entry)
+                return
+        if continuation not in node.succ:
+            node.succ.append(continuation)
+
+    def _lower_Try(self, stmt: ast.Try,
+                   frontier: List[int]) -> List[int]:
+        if stmt.finalbody:
+            return self._lower_try_finally(stmt, frontier)
+        dispatch = self.cfg._new(DISPATCH)
+        # Body: exceptions go to the dispatch node.
+        self.exc_targets.append(dispatch.index)
+        body_frontier = self.lower_body(stmt.body, list(frontier))
+        if stmt.orelse:
+            body_frontier = self.lower_body(stmt.orelse, body_frontier)
+        self.exc_targets.pop()
+        # Handlers run under the *outer* exception target (an exception
+        # raised inside a handler propagates out); an exception nothing
+        # handles also propagates out.
+        dispatch.raises_to.append(self.exc_targets[-1])
+        handler_frontiers: List[int] = []
+        for handler in stmt.handlers:
+            handler_frontiers += self.lower_body(
+                handler.body, [dispatch.index])
+        return body_frontier + handler_frontiers
+
+    def _lower_try_finally(self, stmt: ast.Try,
+                           frontier: List[int]) -> List[int]:
+        fin_entry = self.cfg._new(DISPATCH)
+        frame = _FinallyFrame(fin_entry.index)
+        self.finallies.append(frame)
+        dispatch = self.cfg._new(DISPATCH)
+        self.exc_targets.append(dispatch.index)
+        body_frontier = self.lower_body(stmt.body, list(frontier))
+        if stmt.orelse:
+            body_frontier = self.lower_body(stmt.orelse, body_frontier)
+        self.exc_targets.pop()
+        # An exception nothing handles still runs the finally, then
+        # continues to the outer exception target.
+        dispatch.raises_to.append(fin_entry.index)
+        frame.continuations.add(self.exc_targets[-1])
+        # An exception raised *inside* a handler runs the finally too.
+        self.exc_targets.append(fin_entry.index)
+        handler_frontiers: List[int] = []
+        for handler in stmt.handlers:
+            handler_frontiers += self.lower_body(
+                handler.body, [dispatch.index])
+        self.exc_targets.pop()
+        self.finallies.pop()
+        self._connect(body_frontier + handler_frontiers,
+                      fin_entry.index)
+        fin_frontier = self.lower_body(stmt.finalbody,
+                                       [fin_entry.index])
+        for continuation in sorted(frame.continuations):
+            for index in fin_frontier:
+                self._route_continuation(self.cfg.nodes[index],
+                                         continuation)
+        return fin_frontier
+
+
+def build_cfg(func: FunctionNode) -> CFG:
+    """Lower one function body into its CFG."""
+    builder = _Builder(func)
+    frontier = builder.lower_body(func.body, [builder.cfg.entry])
+    builder._connect(frontier, builder.cfg.exit)
+    return builder.cfg
+
+
+class _EventWalker:
+    """Yield the calls/awaits of one statement in (approximate)
+    evaluation order, skipping nested function/class bodies — those
+    execute later, under their own CFG."""
+
+    _SKIP = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda,
+             ast.ClassDef)
+
+    def walk(self, stmt: ast.AST) -> Iterator[ast.AST]:
+        # Assignments evaluate their value before binding targets.
+        if isinstance(stmt, ast.Assign):
+            yield from self._expr(stmt.value)
+            return
+        if isinstance(stmt, (ast.AugAssign, ast.AnnAssign)):
+            if stmt.value is not None:
+                yield from self._expr(stmt.value)
+            return
+        if isinstance(stmt, (ast.If, ast.While)):
+            yield from self._expr(stmt.test)
+            return
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            yield from self._expr(stmt.iter)
+            return
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                yield from self._expr(item.context_expr)
+            return
+        yield from self._expr(stmt)
+
+    def _expr(self, node: ast.AST) -> Iterator[ast.AST]:
+        if isinstance(node, self._SKIP):
+            return
+        if isinstance(node, ast.Await):
+            yield from self._expr(node.value)
+            yield node
+            return
+        if isinstance(node, ast.Call):
+            yield from self._expr(node.func)
+            for arg in node.args:
+                yield from self._expr(arg)
+            for keyword in node.keywords:
+                yield from self._expr(keyword.value)
+            yield node
+            return
+        for child in ast.iter_child_nodes(node):
+            yield from self._expr(child)
+
+
+_WALKER = _EventWalker()
+
+
+def statement_calls(stmt: ast.AST) -> List[ast.AST]:
+    """The :class:`ast.Call` and :class:`ast.Await` nodes a statement
+    evaluates, innermost-first (evaluation order), excluding nested
+    function/lambda/class bodies."""
+    return list(_WALKER.walk(stmt))

@@ -1,0 +1,73 @@
+"""Generic forward worklist dataflow over a :class:`~.cfg.CFG`.
+
+One convention matters for rule precision: **exception edges carry the
+pre-state of the raising statement**, not its post-state. A statement
+is treated as either completing (all its effects apply, normal edge)
+or raising before any effect (exception edge). That keeps the
+canonical ``lock.acquire()`` / ``try: ... finally: release()`` pattern
+clean — if ``acquire()`` itself raises, the lock was never taken — at
+the cost of under-approximating statements that raise *between* two
+effects, which the rules here don't depend on.
+
+An analysis can refine that convention with ``exc_transfer``: when
+given, the state carried on an exception edge is
+``exc_transfer(index, pre)`` instead of ``pre``. The held-lock
+analysis uses it to apply *release* effects (but not acquires) on the
+exceptional edge — otherwise the ``finally: lock.release()``
+statement's own may-raise edge would leak the held token straight to
+the function's exceptional exit and flag the very pattern the rule
+recommends.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, TypeVar
+
+from .cfg import CFG
+
+__all__ = ["solve_forward"]
+
+S = TypeVar("S")
+
+
+def solve_forward(cfg: CFG, initial: S,
+                  transfer: Callable[[int, S], S],
+                  join: Callable[[S, S], S],
+                  bottom: S,
+                  exc_transfer: Optional[Callable[[int, S], S]] = None
+                  ) -> Dict[int, S]:
+    """Run ``transfer`` to fixpoint; return the IN state per node.
+
+    ``initial`` seeds the entry node; unreached nodes keep ``bottom``.
+    States must be immutable values with ``==`` (frozensets, tuples,
+    frozen dataclasses) — the solver detects convergence by equality.
+    Exception edges carry ``exc_transfer(index, pre)`` when given,
+    else the raw pre-state.
+    """
+    states: Dict[int, S] = {node.index: bottom for node in cfg.nodes}
+    states[cfg.entry] = initial
+    work = [cfg.entry]
+    in_work = {cfg.entry}
+    while work:
+        index = work.pop()
+        in_work.discard(index)
+        node = cfg.nodes[index]
+        pre = states[index]
+        post = transfer(index, pre)
+        exc = pre if exc_transfer is None else exc_transfer(index, pre)
+        for succ in node.succ:
+            _propagate(states, succ, post, join, work, in_work)
+        for succ in node.raises_to:
+            _propagate(states, succ, exc, join, work, in_work)
+    return states
+
+
+def _propagate(states: Dict[int, S], succ: int, carried: S,
+               join: Callable[[S, S], S], work: list,
+               in_work: set) -> None:
+    merged = join(states[succ], carried)
+    if merged != states[succ]:
+        states[succ] = merged
+        if succ not in in_work:
+            work.append(succ)
+            in_work.add(succ)

@@ -1,0 +1,101 @@
+"""Static-rule registry and runner (`repro analyze`'s engine room).
+
+Static rules differ from the LNT lint rules in one way: they operate
+on a :class:`~.callgraph.Project` (CFGs + class hierarchy), not on a
+single parsed file. They reuse the lint framework's violation type and
+``# noqa`` waiver semantics, so a waiver comment works identically for
+``LNT``, ``SDA`` and ``ACD`` codes.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import (Dict, Iterable, Iterator, List, Optional, Tuple,
+                    Type, Union)
+
+from repro.lint.framework import LintViolation, SourceFile
+
+from .callgraph import FunctionInfo, Project, build_project
+
+__all__ = ["StaticRule", "STATIC_REGISTRY", "register_static_rule",
+           "analyze_project", "analyze_paths", "DEFAULT_ANALYZE_PATHS",
+           "static_rules"]
+
+#: `repro analyze` scans the whole package by default.
+_PACKAGE_ROOT = Path(__file__).resolve().parents[3]
+
+DEFAULT_ANALYZE_PATHS: Tuple[str, ...] = (str(_PACKAGE_ROOT),)
+
+
+class StaticRule:
+    """Base class: subclasses set ``code``/``name``/``description``
+    and yield violations from :meth:`check_project`."""
+
+    code: str = ""
+    name: str = ""
+    description: str = ""
+
+    def check_project(self,
+                      project: Project) -> Iterator[LintViolation]:
+        return iter(())
+
+    def violation(self, func: FunctionInfo, node: ast.AST,
+                  message: str) -> LintViolation:
+        return LintViolation(
+            code=self.code, message=message, path=func.file.path,
+            line=getattr(node, "lineno", func.node.lineno),
+            col=getattr(node, "col_offset", 0),
+            symbol=func.qualname)
+
+
+STATIC_REGISTRY: Dict[str, Type[StaticRule]] = {}
+
+
+def register_static_rule(cls: Type[StaticRule]) -> Type[StaticRule]:
+    if not cls.code:
+        raise ValueError(f"rule {cls.__name__} has no code")
+    if cls.code in STATIC_REGISTRY:
+        raise ValueError(f"duplicate static rule code {cls.code}")
+    STATIC_REGISTRY[cls.code] = cls
+    return cls
+
+
+def analyze_project(project: Project,
+                    select: Optional[Iterable[str]] = None
+                    ) -> List[LintViolation]:
+    """Run all (or ``select``-ed) static rules, apply noqa waivers,
+    return violations sorted by location."""
+    wanted = None if select is None else {code.upper()
+                                          for code in select}
+    unknown = (wanted or set()) - set(STATIC_REGISTRY)
+    if unknown:
+        raise ValueError(
+            f"unknown rule codes: {', '.join(sorted(unknown))}; "
+            f"choose from {', '.join(sorted(STATIC_REGISTRY))}")
+    by_path: Dict[str, SourceFile] = {file.path: file
+                                      for file in project.files}
+    violations: List[LintViolation] = []
+    for code in sorted(STATIC_REGISTRY):
+        if wanted is not None and code not in wanted:
+            continue
+        violations.extend(STATIC_REGISTRY[code]().check_project(project))
+    kept = [violation for violation in violations
+            if violation.path not in by_path
+            or not by_path[violation.path].waives(violation)]
+    kept.sort(key=lambda v: (v.path, v.line, v.col, v.code))
+    return kept
+
+
+def analyze_paths(paths: Iterable[Union[str, Path]],
+                  select: Optional[Iterable[str]] = None
+                  ) -> List[LintViolation]:
+    return analyze_project(build_project(paths), select=select)
+
+
+def static_rules() -> Dict[str, Tuple[str, str]]:
+    """code -> (name, description) for docs and ``analyze --rules``
+    (a function, not a constant: the rule modules import this module,
+    so the registry fills in after it loads)."""
+    return {code: (cls.name, cls.description)
+            for code, cls in sorted(STATIC_REGISTRY.items())}

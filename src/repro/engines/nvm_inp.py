@@ -335,6 +335,13 @@ class NVMInPEngine(InPEngine):
                 owned.append(old_ptr)
             if before:
                 self._restore_fields(store, addr, before, replaced)
+                # The restored field bytes must be durable before
+                # recover() truncates this txn's WAL entries — a crash
+                # after truncation would otherwise leave the aborted
+                # update's bytes in the tuple with no undo record left
+                # to repair them (SDA002; mirrors the abort path).
+                self.memory.sync_ranges(
+                    self._field_ranges(store, addr, before))
                 old_all = dict(current)
                 old_all.update(before)
                 self._index_update(store, record.key, {}, before, current)

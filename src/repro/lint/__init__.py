@@ -10,8 +10,14 @@ See ``docs/static-analysis.md`` for the rule catalogue.
 
 from .framework import (LintViolation, Rule, RULE_REGISTRY, SourceFile,
                         lint_files, lint_paths, register_rule)
+from .reporting import (baseline_diff, emit_findings, fingerprint,
+                        load_baseline, parse_select,
+                        print_rule_catalogue, save_baseline)
 from .rules import DEFAULT_LINT_PATHS, LINT_RULES
 
 __all__ = ["LintViolation", "Rule", "RULE_REGISTRY", "SourceFile",
            "lint_files", "lint_paths", "register_rule",
-           "DEFAULT_LINT_PATHS", "LINT_RULES"]
+           "DEFAULT_LINT_PATHS", "LINT_RULES",
+           "baseline_diff", "emit_findings", "fingerprint",
+           "load_baseline", "parse_select", "print_rule_catalogue",
+           "save_baseline"]

@@ -36,17 +36,24 @@ _NOQA = re.compile(
 
 @dataclass(frozen=True)
 class LintViolation:
-    """One finding: rule code + message anchored to a source line."""
+    """One finding: rule code + message anchored to a source line.
+
+    ``symbol`` (the enclosing function's qualname, when the rule knows
+    it) anchors baseline fingerprints so findings survive line drift;
+    file-granularity rules leave it empty.
+    """
 
     code: str
     message: str
     path: str
     line: int
     col: int = 0
+    symbol: str = ""
 
     def to_dict(self) -> Dict[str, object]:
         return {"code": self.code, "message": self.message,
-                "path": self.path, "line": self.line, "col": self.col}
+                "path": self.path, "line": self.line, "col": self.col,
+                "symbol": self.symbol}
 
     def __str__(self) -> str:
         return (f"{self.path}:{self.line}:{self.col + 1}: "

@@ -522,13 +522,22 @@ class DatabaseServer:
             self._admission_waits.inc()
         self._admission_queue += 1
         try:
-            await self._admission.acquire()
+            # ACD002 waived: ownership transfers to the session —
+            # remote.sem_held marks it, and every verb exit path
+            # (_release_all / _sem_release, including _after_crash)
+            # releases the slot once the txn is durable or dead.
+            await self._admission.acquire()  # noqa: ACD002
         finally:
             self._admission_queue -= 1
         remote.sem_held = True
         self._inflight += 1
         try:
-            await self._locks[pid].acquire()
+            # ACD002 waived: same ownership transfer — the partition
+            # lock is held begin→logical-commit across verb handlers
+            # (remote.lock_held) and released by _release_execution
+            # on every exit path; the except below covers a cancelled
+            # acquire.
+            await self._locks[pid].acquire()  # noqa: ACD002
         except BaseException:
             self._sem_release(remote)
             raise

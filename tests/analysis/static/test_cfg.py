@@ -1,0 +1,220 @@
+"""CFG construction: branch/loop/exception/finally edge shape."""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+
+from repro.analysis.static.cfg import (STMT, WITH_EXIT, build_cfg,
+                                       statement_calls)
+
+
+def cfg_of(source: str):
+    tree = ast.parse(textwrap.dedent(source).lstrip("\n"))
+    func = tree.body[0]
+    assert isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef))
+    return build_cfg(func)
+
+
+def reachable(cfg, start):
+    seen = set()
+    work = [start]
+    while work:
+        index = work.pop()
+        if index in seen:
+            continue
+        seen.add(index)
+        work.extend(cfg.successors(index))
+    return seen
+
+
+def stmt_nodes(cfg):
+    return [node for node in cfg.nodes if node.kind == STMT]
+
+
+def node_at_line(cfg, line):
+    for node in cfg.nodes:
+        if node.kind == STMT and node.line == line:
+            return node
+    raise AssertionError(f"no statement node at line {line}")
+
+
+class TestLinear:
+    def test_all_statements_reach_exit(self):
+        cfg = cfg_of("""
+            def f():
+                a()
+                b()
+            """)
+        seen = reachable(cfg, cfg.entry)
+        assert cfg.exit in seen
+        assert all(node.index in seen for node in stmt_nodes(cfg))
+
+    def test_calls_may_raise(self):
+        cfg = cfg_of("""
+            def f():
+                a()
+            """)
+        assert cfg.raise_exit in reachable(cfg, cfg.entry)
+
+
+class TestBranches:
+    def test_both_arms_reach_exit(self):
+        cfg = cfg_of("""
+            def f(c):
+                if c:
+                    a()
+                else:
+                    b()
+            """)
+        for line in (3, 5):
+            assert cfg.exit in reachable(cfg, node_at_line(cfg, line).index)
+
+    def test_if_without_else_can_skip_body(self):
+        cfg = cfg_of("""
+            def f(c):
+                if c:
+                    a()
+            """)
+        test_node = node_at_line(cfg, 2)
+        body_node = node_at_line(cfg, 3)
+        assert body_node.index in test_node.succ
+        assert cfg.exit in test_node.succ  # fall-through arm
+
+    def test_return_diverts_to_exit(self):
+        cfg = cfg_of("""
+            def f(c):
+                if c:
+                    return 1
+                a()
+            """)
+        ret = node_at_line(cfg, 3)
+        assert ret.succ == [cfg.exit]
+
+
+class TestLoops:
+    def test_while_has_back_edge(self):
+        cfg = cfg_of("""
+            def f(c):
+                while c:
+                    a()
+            """)
+        head = node_at_line(cfg, 2)
+        body = node_at_line(cfg, 3)
+        assert head.index in body.succ
+        assert cfg.exit in head.succ
+
+    def test_while_true_only_exits_by_break(self):
+        cfg = cfg_of("""
+            def f(c):
+                while True:
+                    if c:
+                        break
+            """)
+        head = node_at_line(cfg, 2)
+        assert cfg.exit not in head.succ
+        brk = node_at_line(cfg, 4)
+        assert cfg.exit in brk.succ
+
+    def test_for_loop_shape(self):
+        cfg = cfg_of("""
+            def f(items):
+                for item in items:
+                    a(item)
+                b()
+            """)
+        head = node_at_line(cfg, 2)
+        body = node_at_line(cfg, 3)
+        after = node_at_line(cfg, 4)
+        assert head.index in body.succ      # next iteration
+        assert after.index in head.succ     # loop exhausted
+
+
+class TestExceptions:
+    def test_try_body_raise_goes_to_handler(self):
+        cfg = cfg_of("""
+            def f():
+                try:
+                    a()
+                except ValueError:
+                    b()
+            """)
+        body = node_at_line(cfg, 3)
+        handler = node_at_line(cfg, 5)
+        assert handler.index in reachable(cfg, body.raises_to[0])
+        # A raise inside the handler escapes the function.
+        assert cfg.raise_exit in reachable(cfg, handler.index)
+
+    def test_finally_runs_on_return_and_exception(self):
+        cfg = cfg_of("""
+            def f():
+                try:
+                    a()
+                    return 1
+                finally:
+                    b()
+            """)
+        fin = node_at_line(cfg, 6)
+        ret = node_at_line(cfg, 4)
+        body = node_at_line(cfg, 3)
+        # The return reaches exit only through the finally.
+        assert cfg.exit not in ret.succ
+        assert fin.index in reachable(cfg, ret.succ[0])
+        assert cfg.exit in reachable(cfg, fin.index)
+        # The exceptional path also runs the finally, then escapes.
+        assert fin.index in reachable(cfg, body.raises_to[0])
+        assert cfg.raise_exit in reachable(cfg, fin.index)
+
+
+class TestWith:
+    def test_with_exit_node_on_all_paths(self):
+        cfg = cfg_of("""
+            def f(lock):
+                with lock:
+                    a()
+                b()
+            """)
+        exits = [node for node in cfg.nodes
+                 if node.kind == WITH_EXIT]
+        assert len(exits) == 1
+        exit_node = exits[0]
+        assert ast.unparse(exit_node.context_expr) == "lock"
+        body = node_at_line(cfg, 3)
+        # Normal and exceptional body exits both run __exit__.
+        assert exit_node.index in body.succ
+        assert exit_node.index in body.raises_to
+        after = node_at_line(cfg, 4)
+        assert after.index in exit_node.succ
+
+    def test_async_with_is_marked(self):
+        cfg = cfg_of("""
+            async def f(lock):
+                async with lock:
+                    a()
+            """)
+        exits = [node for node in cfg.nodes
+                 if node.kind == WITH_EXIT]
+        assert exits[0].is_async_with
+
+
+class TestStatementCalls:
+    def test_evaluation_order(self):
+        stmt = ast.parse("x = outer(inner())").body[0]
+        names = [ast.unparse(call.func)
+                 for call in statement_calls(stmt)
+                 if isinstance(call, ast.Call)]
+        assert names == ["inner", "outer"]
+
+    def test_nested_defs_are_skipped(self):
+        stmt = ast.parse(textwrap.dedent("""
+            def g():
+                body_call()
+            """)).body[0]
+        assert statement_calls(stmt) == []
+
+    def test_awaits_are_yielded(self):
+        stmt = ast.parse("async def f():\n    await g()").body[0]
+        inner = stmt.body[0]
+        kinds = [type(item).__name__
+                 for item in statement_calls(inner)]
+        assert kinds == ["Call", "Await"]

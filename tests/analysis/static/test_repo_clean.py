@@ -1,0 +1,106 @@
+"""The analyzer over the real tree: clean modulo the committed
+baseline, fast enough for CI, and wired into the CLI gate."""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.__main__ import main
+from repro.analysis.static import DEFAULT_ANALYZE_PATHS, analyze_paths
+from repro.lint import baseline_diff, load_baseline
+
+REPO_ROOT = Path(__file__).resolve().parents[3]
+BASELINE = REPO_ROOT / "analysis-baseline.json"
+
+VIOLATING_FIXTURE = """\
+def commit(memory):
+    memory.store_u64(0, 1)
+    memory.atomic_durable_store_u64(8, 2)
+"""
+
+
+class TestWholeRepo:
+    def test_clean_modulo_baseline_and_fast(self):
+        start = time.monotonic()
+        violations = analyze_paths(DEFAULT_ANALYZE_PATHS)
+        elapsed = time.monotonic() - start
+        baseline = load_baseline(BASELINE)
+        fresh, _stale = baseline_diff(violations, baseline,
+                                      root=REPO_ROOT)
+        assert fresh == [], [str(v) for v in fresh]
+        # The acceptance bar: whole-package analysis inside CI budget.
+        assert elapsed < 30.0
+
+    def test_server_tier_has_no_baselined_findings(self):
+        # The ISSUE's bar: the network tier must be *actually* clean,
+        # not grandfathered — no server/ fingerprint in the baseline.
+        baseline = load_baseline(BASELINE)
+        offenders = [key for key in baseline if "/server/" in key]
+        assert offenders == []
+
+
+class TestAnalyzeCLI:
+    def test_rule_catalogue(self, capsys):
+        assert main(["analyze", "--rules"]) == 0
+        out = capsys.readouterr().out
+        for code in ("SDA001", "SDA002", "SDA003", "SDA004",
+                     "ACD001", "ACD002", "ACD003", "ACD004"):
+            assert code in out
+
+    def test_seeded_violation_exits_nonzero(self, tmp_path, capsys):
+        fixture = tmp_path / "seeded.py"
+        fixture.write_text(VIOLATING_FIXTURE)
+        assert main(["analyze", str(fixture)]) == 1
+        assert "SDA001" in capsys.readouterr().out
+
+    def test_clean_fixture_exits_zero(self, tmp_path, capsys):
+        fixture = tmp_path / "clean.py"
+        fixture.write_text("def noop():\n    pass\n")
+        assert main(["analyze", str(fixture)]) == 0
+        capsys.readouterr()
+
+    def test_json_report(self, tmp_path, capsys):
+        fixture = tmp_path / "seeded.py"
+        fixture.write_text(VIOLATING_FIXTURE)
+        report = tmp_path / "report.json"
+        assert main(["analyze", str(fixture),
+                     "--json", str(report)]) == 1
+        capsys.readouterr()
+        payload = json.loads(report.read_text())
+        assert payload[0]["code"] == "SDA001"
+        assert payload[0]["symbol"] == "commit"
+
+    def test_gate_ratchet(self, tmp_path, capsys):
+        fixture = tmp_path / "seeded.py"
+        fixture.write_text(VIOLATING_FIXTURE)
+        baseline = tmp_path / "baseline.json"
+        # Record the debt, then gate against it: passes.
+        assert main(["analyze", str(fixture), "--baseline",
+                     str(baseline), "--write-baseline"]) == 0
+        assert main(["analyze", str(fixture), "--baseline",
+                     str(baseline), "--gate"]) == 0
+        out = capsys.readouterr().out
+        assert "suppressed" in out
+        # A new finding on top of the baseline fails the gate.
+        fixture.write_text(VIOLATING_FIXTURE + "\n\n"
+                           "def fence(memory):\n"
+                           "    memory.sfence()\n")
+        assert main(["analyze", str(fixture), "--baseline",
+                     str(baseline), "--gate"]) == 1
+        capsys.readouterr()
+        # Fixing the baselined finding also fails until the baseline
+        # shrinks — the ratchet only ever tightens.
+        fixture.write_text("def noop():\n    pass\n")
+        assert main(["analyze", str(fixture), "--baseline",
+                     str(baseline), "--gate"]) == 1
+        captured = capsys.readouterr()
+        assert "stale baseline entry" in captured.err
+
+    def test_select_unknown_code_is_an_error(self, tmp_path, capsys):
+        fixture = tmp_path / "clean.py"
+        fixture.write_text("def noop():\n    pass\n")
+        assert main(["analyze", str(fixture),
+                     "--select", "SDA999"]) == 2
+        assert "unknown rule codes" in capsys.readouterr().err
