@@ -21,6 +21,7 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import os
 import sys
 from typing import List, Optional
@@ -48,6 +49,19 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                              "processes (1 = serial in-process); "
                              "results are merged in spec order, so the "
                              "output is identical to a serial run")
+
+
+def _add_sharded_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--partitions", type=int, default=1, metavar="N",
+        help="data partitions (one executor process each with "
+             "--sharded)")
+    parser.add_argument(
+        "--sharded", action="store_true",
+        help="execute on the shared-nothing tier: one executor "
+             "process per partition (see docs/scaleout.md); simulated "
+             "results are identical, wall-clock time scales with "
+             "real cores")
 
 
 def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
@@ -245,6 +259,8 @@ def _cmd_ycsb(args) -> int:
             num_txns=args.txns or scale.ycsb_txns,
             engine_config=scale.engine_config(),
             cache_bytes=scale.cache_bytes,
+            partitions=args.partitions,
+            sharded=args.sharded,
             crash_recover=bool(args.trace))
         for engine in engines
     ]
@@ -257,18 +273,60 @@ def _cmd_tpcc(args) -> int:
     scale = _scale(args)
     engines = list(ENGINE_NAMES.ALL) if args.all_engines \
         else [args.engine]
+    tpcc_config = scale.tpcc
+    if args.remote_pct:
+        tpcc_config = dataclasses.replace(
+            tpcc_config, remote_order_fraction=args.remote_pct / 100.0)
     specs = [
         ExperimentSpec.tpcc(
             engine, latency=LatencyProfile.parse(args.latency),
-            tpcc_config=scale.tpcc,
+            tpcc_config=tpcc_config,
             num_txns=args.txns or scale.tpcc_txns,
             engine_config=scale.engine_config(),
             cache_bytes=scale.tpcc_cache_bytes,
+            partitions=args.partitions,
+            sharded=args.sharded,
             crash_recover=bool(args.trace))
         for engine in engines
     ]
     return _run_and_report(args, specs,
                            title=f"TPC-C @ {args.latency}")
+
+
+def _cmd_twopc_crashtest(args, engines) -> int:
+    """``crashtest --twopc``: sweep the distributed-commit fault
+    points (in-process, serial — the coordinate space is tiny)."""
+    from .dist import campaign
+
+    report = campaign.run_twopc_campaign(
+        engines, seed=args.seed, ops=args.ops,
+        max_hits_per_point=args.max_hits)
+    if args.json:
+        import json
+
+        try:
+            with open(args.json, "w", encoding="utf-8") as handle:
+                json.dump(report.to_dict(), handle, indent=2,
+                          sort_keys=True)
+                handle.write("\n")
+            print(f"report -> {args.json}")
+        except OSError as error:
+            print(f"cannot write {args.json}: {error}",
+                  file=sys.stderr)
+            return 2
+    print(format_table(
+        ["engine", "fault point", "coords", "crashes", "violations",
+         "status"],
+        report.point_rows(),
+        title=f"2PC crash campaign, seed {args.seed} "
+              f"({len(report.results)} coordinates)"))
+    for violation in report.violations:
+        print(f"oracle violation: {violation}", file=sys.stderr)
+    for engine, points in sorted(report.uncovered.items()):
+        for point in points:
+            print(f"uncovered fault point: {engine}/{point}",
+                  file=sys.stderr)
+    return 0 if report.ok else 1
 
 
 def _cmd_crashtest(args) -> int:
@@ -283,6 +341,8 @@ def _cmd_crashtest(args) -> int:
         print(f"unknown engines: {', '.join(unknown) or '(none given)'}"
               f"; choose from {', '.join(known)}", file=sys.stderr)
         return 2
+    if args.twopc:
+        return _cmd_twopc_crashtest(args, engines)
     telemetry = _Telemetry(args)
     report = None
     try:
@@ -757,6 +817,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="write per-point traces/metrics and the merged "
              "summary.json under DIR")
     _add_common(ycsb_parser)
+    _add_sharded_flags(ycsb_parser)
     _add_obs_flags(ycsb_parser)
     _add_telemetry_flags(ycsb_parser)
     ycsb_parser.set_defaults(func=_cmd_ycsb)
@@ -767,10 +828,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     tpcc_parser.add_argument("--all-engines", action="store_true")
     tpcc_parser.add_argument("--txns", type=int, default=None)
     tpcc_parser.add_argument(
+        "--remote-pct", type=float, default=0.0, metavar="PCT",
+        help="percent of new-order transactions that source one item "
+             "from a remote warehouse (serial runs redirect the "
+             "access; --sharded runs execute it as real 2PC)")
+    tpcc_parser.add_argument(
         "--artifacts", default=None, metavar="DIR",
         help="write per-point traces/metrics and the merged "
              "summary.json under DIR")
     _add_common(tpcc_parser)
+    _add_sharded_flags(tpcc_parser)
     _add_obs_flags(tpcc_parser)
     _add_telemetry_flags(tpcc_parser)
     tpcc_parser.set_defaults(func=_cmd_tpcc)
@@ -810,6 +877,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     crashtest_parser.add_argument(
         "--artifacts", default=None, metavar="DIR",
         help="write per-coordinate traces/metrics + summary.json here")
+    crashtest_parser.add_argument(
+        "--twopc", action="store_true",
+        help="campaign the two-phase-commit protocol instead: "
+             "pair-writes across two partitions, crashing at the "
+             "twopc.* fault points (see docs/scaleout.md)")
     crashtest_parser.add_argument(
         "--json", metavar="FILE", default=None,
         help="write the full campaign report (kind "

@@ -56,7 +56,8 @@ class Database:
                  latency: Optional[LatencyProfile] = None,
                  platform_config: Optional[PlatformConfig] = None,
                  engine_config: Optional[EngineConfig] = None,
-                 seed: int = 0x5EED) -> None:
+                 seed: int = 0x5EED,
+                 first_partition: int = 0) -> None:
         if partitions < 1:
             raise ConfigError("need at least one partition")
         base_config = platform_config or PlatformConfig(seed=seed)
@@ -64,13 +65,20 @@ class Database:
             base_config = base_config.with_latency(latency)
         self.engine_name = engine
         self.engine_config = engine_config or EngineConfig()
+        # ``first_partition`` offsets the partition ids (and thereby the
+        # per-partition platform seeds): a sharded executor process
+        # hosting only partition k of n builds Database(partitions=1,
+        # first_partition=k) and gets bit-identical simulation state to
+        # partition k of an in-process n-partition database.
         self.partitions = [
-            Partition(pid, engine, base_config, self.engine_config)
-            for pid in range(partitions)
+            Partition(first_partition + index, engine, base_config,
+                      self.engine_config)
+            for index in range(partitions)
         ]
         self._crashed = False
         self._closed = False
         self._session_ids = itertools.count(1)
+        self._recovery_hooks: List[Any] = []
         # The autocommit session behind Database.execute — the one-shot
         # API is a thin wrapper over the same Session code path.
         self._autocommit = Session(self, 0, name="autocommit")
@@ -237,6 +245,16 @@ class Database:
             self.crash()
             raise
         self._crashed = False
+        # Post-recovery hooks (e.g. two-phase-commit in-doubt
+        # resolution) run once the engines are consistent; they may
+        # execute transactions, and a nested simulated crash takes the
+        # same crash-and-retry path the engines use.
+        for hook in self._recovery_hooks:
+            try:
+                latency = max(latency, hook(self) or 0.0)
+            except SimulatedCrash:
+                self.crash()
+                raise
         return latency
 
     def checkpoint(self) -> None:
@@ -247,6 +265,27 @@ class Database:
         except SimulatedCrash:
             self.crash()
             raise
+
+    def register_recovery_hook(self, hook) -> None:
+        """Register ``hook(db) -> float`` to run at the end of every
+        successful :meth:`recover` (after engine recovery, before new
+        transactions); its return value, simulated seconds, is folded
+        into the recovery latency. Idempotent per hook object."""
+        if hook not in self._recovery_hooks:
+            self._recovery_hooks.append(hook)
+
+    # ------------------------------------------------------------------
+    # Distributed transactions
+    # ------------------------------------------------------------------
+
+    def execute_distributed(self, txn) -> Any:
+        """Run a :class:`~repro.dist.txn.DistributedTransaction` across
+        this database's partitions with two-phase commit (see
+        :mod:`repro.dist.twopc`). Single-process counterpart of the
+        sharded tier's cross-executor 2PC — same protocol, same
+        prepare/decision records, same fault points."""
+        from ..dist.twopc import execute_two_phase
+        return execute_two_phase(self, txn)
 
     # ------------------------------------------------------------------
     # Fault injection
@@ -327,18 +366,31 @@ class Database:
                 totals[component] = totals.get(component, 0) + size
         return totals
 
-    def time_breakdown(self) -> Dict[str, float]:
-        """Aggregated execution-time fractions per category (Fig. 13)."""
+    def category_ns(self) -> Dict[str, float]:
+        """Raw simulated nanoseconds per execution category, summed
+        across partitions in partition order (the runner's measurement
+        snapshots and :meth:`time_breakdown` both build on this)."""
         totals = {category.value: 0.0 for category in Category}
         for partition in self.partitions:
             stats = partition.platform.stats
             for category in Category:
                 totals[category.value] += stats.category_ns(category)
+        return totals
+
+    def time_breakdown(self) -> Dict[str, float]:
+        """Aggregated execution-time fractions per category (Fig. 13)."""
+        totals = self.category_ns()
         grand_total = sum(totals.values())
         if grand_total == 0:
             return totals
         return {name: value / grand_total
                 for name, value in totals.items()}
+
+    def set_checkpoint_interval(self, txns: int) -> None:
+        """Adjust every partition engine's checkpoint interval at
+        runtime (e.g. after bulk loading)."""
+        for partition in self.partitions:
+            partition.engine.checkpoint_interval_txns = txns
 
     def __repr__(self) -> str:
         return (f"Database(engine={self.engine_name!r}, "

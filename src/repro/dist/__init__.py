@@ -1,0 +1,31 @@
+"""Shared-nothing scale-out tier: process-per-partition execution.
+
+The paper's H-Store-style testbed pins one partition to each worker
+core. Everything in :mod:`repro.core` keeps that model inside a single
+Python process — partitions are simulated cores, wall-clock is the max
+across their simulated clocks, but only one real core ever runs. This
+package turns that simulation into a parallel system:
+
+- :mod:`repro.dist.coordinator` — :class:`ShardedDatabase`, a
+  drop-in ``Database`` facade that spawns one long-lived executor
+  process per partition and routes transactions over
+  ``multiprocessing`` pipes (the tagged-pipe protocol from
+  :mod:`repro.harness.ipc`).
+- :mod:`repro.dist.executor` — the per-partition worker loop: owns a
+  single-partition :class:`~repro.core.database.Database` whose
+  simulation state is bit-identical to the corresponding partition of
+  an in-process run.
+- :mod:`repro.dist.twopc` — two-phase commit with presumed abort for
+  cross-partition transactions, shared by the in-process and sharded
+  paths (same prepare/decision records, same fault points).
+- :mod:`repro.dist.txn` — :class:`DistributedTransaction`, the
+  multi-branch transaction description handed to either path.
+
+See ``docs/scaleout.md`` for the architecture, the 2PC state machine,
+and the determinism contract.
+"""
+
+from .coordinator import ShardedDatabase
+from .txn import Branch, DistributedTransaction
+
+__all__ = ["Branch", "DistributedTransaction", "ShardedDatabase"]

@@ -1,0 +1,369 @@
+"""Two-phase commit with presumed abort over the simulated NVM.
+
+Cross-partition transactions run as one branch per participating
+partition. The protocol (one coordinator, the *home* partition doubling
+as the decision-record owner) is the classic presumed-abort 2PC:
+
+1. **Prepare** — every branch executes inside an ordinary engine
+   transaction that is left *open*, while a :class:`RecordingContext`
+   captures the branch's redo operations. The participant then appends
+   a durable ``prepare`` record (redo included) to its own
+   ``twopc.log`` and votes yes; a branch that aborts votes no and rolls
+   back immediately.
+2. **Decide** — if every branch voted yes, the home partition appends a
+   durable ``commit`` decision to ``twopc.decisions``. No decision is
+   logged for aborts: absence of a decision *is* the abort decision
+   (presumed abort).
+3. **Finish** — every prepared branch commits its open engine
+   transaction, forces a durable point
+   (:meth:`~repro.engines.base.StorageEngine.flush_commits`), and only
+   then appends a ``resolved`` marker to its ``twopc.log``. The marker
+   can therefore never be durable before the data it covers.
+
+Recovery (presumed abort): a prepare without a resolved marker is *in
+doubt*. The participant asks the home partition's decision log — a
+``commit`` decision means the redo operations are reapplied (they are
+idempotent: inserts skip-or-update, updates carry absolute values and
+apply only if the row exists, deletes apply only if the row exists);
+no decision means abort, and since the engine's own recovery already
+rolled back the in-flight prepared transaction there is nothing to
+undo. Either way the branch then writes its resolved marker.
+
+All records go through the engine platform's NVM filesystem with an
+``append`` + ``fsync`` pair, so the existing crash model (un-synced
+writes roll back wholesale) guarantees no torn protocol records, and
+the static durability analyzer sees the same append-then-fsync
+discipline the engines use.
+
+Crash points (armed like any engine fault point, but scoped to the
+pseudo-engine ``"2pc"`` so the standard per-engine campaigns ignore
+them):
+
+- ``twopc.prepare.after`` — participant crashed after its prepare
+  record became durable (vote never reached the coordinator).
+- ``twopc.decide.before`` — coordinator crashed after collecting
+  unanimous yes votes, before the decision became durable.
+- ``twopc.decide.after`` — coordinator crashed after the decision
+  became durable, before any participant finished.
+"""
+
+from __future__ import annotations
+
+import itertools
+import pickle
+import struct
+from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
+
+from ..core.partition import Partition
+from ..errors import SimulatedCrash, TransactionAborted
+from ..fault.injector import register_fault_point
+
+__all__ = ["LOG_FILE", "DECISIONS_FILE", "RecordingContext",
+           "branch_prepare", "log_decision", "branch_finish",
+           "replay_redo", "resolve_prepared", "pending_prepares",
+           "committed_decisions", "resolve_in_doubt",
+           "execute_two_phase",
+           "FP_PREPARE_AFTER", "FP_DECIDE_BEFORE", "FP_DECIDE_AFTER"]
+
+#: Per-participant protocol log: ``prepare`` and ``resolved`` records.
+LOG_FILE = "twopc.log"
+#: Per-home decision log: ``commit`` records (absence = abort).
+DECISIONS_FILE = "twopc.decisions"
+
+FP_PREPARE_AFTER = register_fault_point(
+    "twopc.prepare.after",
+    "2PC participant: prepare record durable, vote not yet delivered",
+    engines=("2pc",))
+FP_DECIDE_BEFORE = register_fault_point(
+    "twopc.decide.before",
+    "2PC coordinator: all participants prepared, decision not durable",
+    engines=("2pc",))
+FP_DECIDE_AFTER = register_fault_point(
+    "twopc.decide.after",
+    "2PC coordinator: commit decision durable, participants unfinished",
+    engines=("2pc",))
+
+_LEN = struct.Struct("<I")
+
+
+def _append_record(partition: Partition, name: str,
+                   record: Tuple[Any, ...]) -> None:
+    """Append one length-prefixed pickled record and force it durable."""
+    filesystem = partition.platform.filesystem
+    file = filesystem.open(name, create=True)
+    blob = pickle.dumps(record, protocol=pickle.HIGHEST_PROTOCOL)
+    filesystem.append(file, _LEN.pack(len(blob)) + blob)
+    filesystem.fsync(file)
+
+
+def _read_records(partition: Partition,
+                  name: str) -> List[Tuple[Any, ...]]:
+    filesystem = partition.platform.filesystem
+    if not filesystem.exists(name):
+        return []
+    data = filesystem.read_all(filesystem.open(name))
+    records: List[Tuple[Any, ...]] = []
+    offset = 0
+    while offset + _LEN.size <= len(data):
+        (length,) = _LEN.unpack_from(data, offset)
+        offset += _LEN.size
+        if offset + length > len(data):
+            break  # torn tail: cannot happen post-fsync, be defensive
+        records.append(pickle.loads(data[offset:offset + length]))
+        offset += length
+    return records
+
+
+class RecordingContext:
+    """Transaction-context proxy that captures a branch's redo log.
+
+    Write operations pass through to the real
+    :class:`~repro.core.executor.TransactionContext` *and* are recorded
+    (with absolute values, exactly as issued) so a prepared branch can
+    be replayed idempotently after a crash wiped its open transaction.
+    """
+
+    __slots__ = ("_inner", "redo")
+
+    def __init__(self, inner: Any) -> None:
+        self._inner = inner
+        self.redo: List[Tuple[Any, ...]] = []
+
+    @property
+    def txn(self) -> Any:
+        return self._inner.txn
+
+    def insert(self, table: str, values: Dict[str, Any]) -> None:
+        self._inner.insert(table, values)
+        self.redo.append(("insert", table, dict(values)))
+
+    def update(self, table: str, key: Any,
+               changes: Dict[str, Any]) -> None:
+        self._inner.update(table, key, changes)
+        self.redo.append(("update", table, key, dict(changes)))
+
+    def delete(self, table: str, key: Any) -> None:
+        self._inner.delete(table, key)
+        self.redo.append(("delete", table, key))
+
+    def get(self, table: str, key: Any) -> Optional[Dict[str, Any]]:
+        return self._inner.get(table, key)
+
+    def get_secondary(self, table: str, index_name: str,
+                      key: Any) -> List[Any]:
+        return self._inner.get_secondary(table, index_name, key)
+
+    def scan(self, table: str, lo: Any = None, hi: Any = None):
+        return self._inner.scan(table, lo=lo, hi=hi)
+
+    def abort(self, reason: str = "aborted by procedure") -> None:
+        self._inner.abort(reason)
+
+
+# ----------------------------------------------------------------------
+# Branch primitives (shared by the in-process driver below and by the
+# sharded tier's executor processes, which invoke them one pipe command
+# at a time)
+# ----------------------------------------------------------------------
+
+def branch_prepare(partition: Partition, dtxn_id: int, home: int,
+                   procedure: Any, *args: Any
+                   ) -> Tuple[bool, Any, Optional[Any]]:
+    """Phase 1 on one participant.
+
+    Runs ``procedure`` in an engine transaction that stays open, makes
+    the prepare record (with the captured redo) durable, and returns
+    ``(vote, result, context)``. A no vote (``TransactionAborted``)
+    rolls the branch back on the spot; any other exception aborts and
+    re-raises.
+    """
+    context = partition.begin()
+    recording = RecordingContext(context)
+    try:
+        result = procedure(recording, *args)
+    except SimulatedCrash:
+        raise
+    except TransactionAborted:
+        partition.abort(context)
+        return False, None, None
+    except Exception:
+        partition.abort(context)
+        raise
+    _append_record(partition, LOG_FILE,
+                   ("prepare", dtxn_id, home, recording.redo))
+    partition.platform.faults.fire(FP_PREPARE_AFTER)
+    return True, result, context
+
+
+def log_decision(partition: Partition, dtxn_id: int,
+                 participants: Iterable[int]) -> None:
+    """Make the commit decision durable on the home partition."""
+    faults = partition.platform.faults
+    faults.fire(FP_DECIDE_BEFORE)
+    _append_record(partition, DECISIONS_FILE,
+                   ("commit", dtxn_id, tuple(participants)))
+    faults.fire(FP_DECIDE_AFTER)
+
+
+def branch_finish(partition: Partition, context: Any, dtxn_id: int,
+                  commit: bool) -> None:
+    """Phase 2 on one participant: commit (and force durability) or
+    abort the prepared branch, then mark it resolved. The resolved
+    marker is appended only after ``flush_commits`` returns, so it is
+    never durable before the data it covers."""
+    if commit:
+        partition.commit(context)
+        partition.engine.flush_commits()
+    else:
+        partition.abort(context)
+    _append_record(partition, LOG_FILE, ("resolved", dtxn_id))
+
+
+# ----------------------------------------------------------------------
+# Recovery
+# ----------------------------------------------------------------------
+
+def pending_prepares(partition: Partition
+                     ) -> List[Tuple[int, int, List[Tuple[Any, ...]]]]:
+    """In-doubt branches on this partition:
+    ``[(dtxn_id, home_partition, redo), ...]`` sorted by id."""
+    prepared: Dict[int, Tuple[int, List[Tuple[Any, ...]]]] = {}
+    for record in _read_records(partition, LOG_FILE):
+        if record[0] == "prepare":
+            __, dtxn_id, home, redo = record
+            prepared[dtxn_id] = (home, redo)
+        elif record[0] == "resolved":
+            prepared.pop(record[1], None)
+    return [(dtxn_id, home, redo)
+            for dtxn_id, (home, redo) in sorted(prepared.items())]
+
+
+def committed_decisions(partition: Partition,
+                        dtxn_ids: Optional[Iterable[int]] = None
+                        ) -> Set[int]:
+    """Transaction ids with a durable commit decision on this home
+    partition (optionally filtered to ``dtxn_ids``)."""
+    decided = {record[1]
+               for record in _read_records(partition, DECISIONS_FILE)
+               if record[0] == "commit"}
+    if dtxn_ids is not None:
+        decided &= set(dtxn_ids)
+    return decided
+
+
+def replay_redo(partition: Partition,
+                redo: Iterable[Tuple[Any, ...]]) -> None:
+    """Reapply a committed branch's redo log in a fresh transaction.
+
+    Idempotent by construction: inserts become updates when the row
+    already exists, updates carry absolute values and skip missing
+    rows, deletes skip missing rows — so it is safe whether or not the
+    original engine commit survived the crash.
+    """
+    def procedure(ctx: Any) -> None:
+        for op in redo:
+            kind = op[0]
+            if kind == "insert":
+                __, table, values = op
+                schema = partition.engine._schema(table)
+                key = schema.key_of(values)
+                if ctx.get(table, key) is None:
+                    ctx.insert(table, values)
+                else:
+                    primary = set(schema.primary_key)
+                    changes = {column: value
+                               for column, value in values.items()
+                               if column not in primary}
+                    if changes:
+                        ctx.update(table, key, changes)
+            elif kind == "update":
+                __, table, key, changes = op
+                if ctx.get(table, key) is not None:
+                    ctx.update(table, key, changes)
+            else:
+                __, table, key = op
+                if ctx.get(table, key) is not None:
+                    ctx.delete(table, key)
+
+    partition.execute(procedure)
+    partition.engine.flush_commits()
+
+
+def resolve_prepared(partition: Partition, dtxn_id: int, commit: bool,
+                     redo: Iterable[Tuple[Any, ...]]) -> None:
+    """Finish one in-doubt branch after a crash (the open engine
+    transaction is gone; engine recovery already rolled it back)."""
+    if commit:
+        replay_redo(partition, redo)
+    _append_record(partition, LOG_FILE, ("resolved", dtxn_id))
+
+
+def resolve_in_doubt(db: Any) -> float:
+    """Post-recovery hook for the in-process database: resolve every
+    in-doubt prepared branch against the home partitions' decision
+    logs. Returns the simulated seconds the resolution took."""
+    base = db.partitions[0].partition_id
+    start_ns = db.now_ns
+    for partition in db.partitions:
+        for dtxn_id, home, redo in pending_prepares(partition):
+            home_partition = db.partitions[home - base]
+            commit = dtxn_id in committed_decisions(
+                home_partition, (dtxn_id,))
+            resolve_prepared(partition, dtxn_id, commit, redo)
+    return (db.now_ns - start_ns) / 1e9
+
+
+# ----------------------------------------------------------------------
+# In-process driver
+# ----------------------------------------------------------------------
+
+class _TwoPCState:
+    """Per-database coordinator state (lazily attached)."""
+
+    def __init__(self) -> None:
+        self.ids = itertools.count(1)
+
+
+def _coordinator_state(db: Any) -> _TwoPCState:
+    state = getattr(db, "_twopc", None)
+    if state is None:
+        state = _TwoPCState()
+        db._twopc = state
+        db.register_recovery_hook(resolve_in_doubt)
+    return state
+
+
+def execute_two_phase(db: Any, dtxn: Any) -> Any:
+    """Run a :class:`~repro.dist.txn.DistributedTransaction` across an
+    in-process database's partitions; returns the home branch's result.
+    Raises :class:`~repro.errors.TransactionAborted` if any branch
+    votes no (all prepared branches are rolled back first)."""
+    state = _coordinator_state(db)
+    base = db.partitions[0].partition_id
+    dtxn_id = next(state.ids)
+    home_partition = db.partitions[dtxn.home - base]
+    prepared: List[Tuple[Any, Any]] = []
+    home_result = None
+    try:
+        for branch in dtxn.branches():
+            partition = db.partitions[branch.partition - base]
+            vote, result, context = branch_prepare(
+                partition, dtxn_id, dtxn.home, branch.procedure,
+                *branch.args)
+            if not vote:
+                for ready, open_context in prepared:
+                    branch_finish(ready, open_context, dtxn_id,
+                                  commit=False)
+                raise TransactionAborted(
+                    f"distributed transaction {dtxn_id}: partition "
+                    f"{branch.partition} voted no")
+            prepared.append((partition, context))
+            if branch.partition == dtxn.home:
+                home_result = result
+        log_decision(home_partition, dtxn_id, dtxn.participants)
+        for partition, context in prepared:
+            branch_finish(partition, context, dtxn_id, commit=True)
+    except SimulatedCrash:
+        db.crash()
+        raise
+    return home_result

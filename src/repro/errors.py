@@ -165,3 +165,10 @@ class CommitAmbiguousError(ServerError):
     already evicted the token from its bounded commit ledger, so the
     transaction may or may not have been applied. The caller must
     reconcile from data (re-read) rather than retry blindly."""
+
+
+class ShardedError(ReproError):
+    """A sharded (process-per-partition) execution tier failure: an
+    executor process died, returned a malformed reply, or was asked to
+    do something the sharded facade does not support (see
+    :mod:`repro.dist.coordinator`)."""

@@ -466,3 +466,108 @@ def table1_technologies() -> Tuple[List[str], List[List]]:
          *[f"{tech.endurance_writes:.0e}" for tech in technologies]],
     ]
     return headers, rows
+
+
+# ----------------------------------------------------------------------
+# Scale-out — wall-clock throughput vs executor processes
+# ----------------------------------------------------------------------
+
+def sweep_workers(worker_counts: Sequence[int] = (1, 2, 4),
+                  workload: str = "ycsb",
+                  scale: Scale = QUICK_SCALE,
+                  engine: str = ENGINE_NAMES.NVM_INP,
+                  remote_order_fraction: float = 0.0,
+                  num_txns: Optional[int] = None,
+                  seed: Optional[int] = None,
+                  ) -> Tuple[List[str], List[List],
+                             Dict[int, Dict[str, float]]]:
+    """The scale-out sweep dimension: the same workload executed
+    serially (every partition in one process) and sharded (one
+    executor process per partition — see :mod:`repro.dist`) at
+    increasing partition counts.
+
+    Unlike every other driver in this module this one measures
+    **wall-clock** throughput: the simulated results of a serial and a
+    sharded run are byte-identical by construction (that is the tier's
+    correctness contract, enforced by ``tests/dist``), so the only
+    thing sharding can change is how fast real cores chew through the
+    simulation. The numbers therefore depend on the host and are *not*
+    part of any determinism gate.
+
+    For TPC-C, ``remote_order_fraction`` makes that fraction of
+    new-order transactions source one item from a remote warehouse;
+    sharded runs execute those as genuine two-phase commits, so the
+    sweep exposes the 2PC round-trip cost directly. The warehouse
+    count is raised to the partition count when needed so every
+    executor owns at least one warehouse.
+    """
+    import dataclasses
+    import time
+
+    from ..dist.coordinator import ShardedDatabase
+
+    if workload not in ("ycsb", "tpcc"):
+        raise ValueError(f"unknown workload {workload!r}")
+    headers = ["workers", "serial txn/s", "sharded txn/s", "speedup"]
+    rows: List[List] = []
+    results: Dict[int, Dict[str, float]] = {}
+    for workers in worker_counts:
+        if workload == "ycsb":
+            config = YCSBConfig(
+                num_tuples=scale.ycsb_tuples,
+                seed=seed if seed is not None else 31)
+            bench = YCSBWorkload(config, partitions=workers)
+            txns = num_txns if num_txns is not None \
+                else scale.ycsb_txns * 5
+        else:
+            config = dataclasses.replace(
+                scale.tpcc,
+                warehouses=max(scale.tpcc.warehouses, workers),
+                remote_order_fraction=remote_order_fraction,
+                seed=seed if seed is not None else 47)
+            bench = TPCCWorkload(config, partitions=workers)
+            txns = num_txns if num_txns is not None \
+                else scale.tpcc_txns * 5
+        # Pre-generate the transaction stream outside the timed
+        # window: generation cost is client-side work (a real client
+        # is a different machine) and both modes consume the identical
+        # stream.
+        stream = list(bench.transactions(txns))
+        walls: Dict[str, float] = {}
+        for mode in ("serial", "sharded"):
+            if mode == "serial":
+                db = Database(engine=engine, partitions=workers,
+                              engine_config=scale.engine_config())
+            else:
+                db = ShardedDatabase(engine=engine, partitions=workers,
+                                     engine_config=scale.engine_config())
+            try:
+                point = type(bench)(config, partitions=workers)
+                point.load(db)
+                db.settle()
+                if mode == "sharded":
+                    db.barrier()
+                start = time.perf_counter()
+                if workload == "ycsb":
+                    for procedure, args, pid in stream:
+                        db.execute(procedure, *args, partition=pid)
+                else:
+                    for txn in stream:
+                        point.execute_one(db, txn)
+                db.flush()
+                if mode == "sharded":
+                    # Dispatch is fire-and-forget on the sharded tier;
+                    # the barrier waits for every executor to drain.
+                    db.barrier()
+                walls[mode] = time.perf_counter() - start
+            finally:
+                if mode == "sharded":
+                    db.close()
+        speedup = walls["serial"] / walls["sharded"] \
+            if walls["sharded"] > 0 else 0.0
+        rows.append([workers, txns / walls["serial"],
+                     txns / walls["sharded"], speedup])
+        results[workers] = {"serial_wall_s": walls["serial"],
+                            "sharded_wall_s": walls["sharded"],
+                            "txns": float(txns), "speedup": speedup}
+    return headers, rows, results

@@ -58,6 +58,7 @@ from ..obs import bus as _bus
 from ..obs.bus import (DEFAULT_HEARTBEAT_S, BusPublisher, EventBus,
                        PipePublisher, TelemetryEvent)
 from ..obs.session import ObservabilitySession
+from . import ipc
 from .runner import ExperimentResult, run
 from .spec import ExperimentSpec
 
@@ -196,10 +197,10 @@ def _point_worker(spec: ExperimentSpec, observe: bool, conn,
         result, session = _execute_point(spec, observe) \
             if publisher is None \
             else _execute_point(spec, observe, publisher)
-        conn.send(("done", (result, session, None)))
+        ipc.send_done(conn, (result, session, None))
     except BaseException as exc:  # isolate *any* point failure
         try:
-            conn.send(("done", (None, None, _format_error(exc))))
+            ipc.send_done(conn, (None, None, _format_error(exc)))
         except Exception:
             pass  # parent will see EOF and report a crash
     finally:
@@ -332,12 +333,11 @@ def _run_parallel(outcomes: List[PointOutcome], jobs: int,
         (re-publish and keep the worker running) or the final tagged
         result / an EOF from a dead worker."""
         try:
-            message = conn.recv()
+            tag, payload = ipc.recv(conn)
         except (EOFError, OSError):
             _finish(conn, None)
             return
-        tag, payload = message
-        if tag == "event":
+        if tag == ipc.TAG_EVENT:
             if bus is not None:
                 bus.publish(TelemetryEvent.from_dict(payload))
             return
@@ -354,11 +354,11 @@ def _run_parallel(outcomes: List[PointOutcome], jobs: int,
             outcome = outcomes[index]
             with contextlib.suppress(EOFError, OSError):
                 while conn.poll(0.2):
-                    tag, payload = conn.recv()
-                    if tag == "event":
+                    tag, payload = ipc.recv(conn)
+                    if tag == ipc.TAG_EVENT:
                         if bus is not None:
                             bus.publish(TelemetryEvent.from_dict(payload))
-                    elif tag == "done":
+                    elif tag == ipc.TAG_DONE:
                         outcome.result, outcome.session, outcome.error \
                             = payload
             conn.close()

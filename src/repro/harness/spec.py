@@ -71,6 +71,12 @@ class ExperimentSpec:
     observe: bool = False
     #: Append a crash + recovery cycle after the measurement window.
     crash_recover: bool = False
+    #: Execute on the sharded tier: one executor process per partition
+    #: (:class:`~repro.dist.coordinator.ShardedDatabase`) instead of
+    #: the in-process database. Simulated results are identical on
+    #: single-partition-only workloads; wall-clock time scales with
+    #: real cores (see docs/scaleout.md).
+    sharded: bool = False
 
     def __post_init__(self) -> None:
         if self.workload not in ("ycsb", "tpcc"):
@@ -140,6 +146,8 @@ class ExperimentSpec:
         parts = [self.workload_name.replace("/", "-"), self.engine,
                  self.latency.name, f"p{self.partitions}",
                  f"s{self.seed}"]
+        if self.sharded:
+            parts.append("sharded")
         return _SLUG_UNSAFE.sub("_", "_".join(parts))
 
     def to_dict(self) -> Dict[str, Any]:
@@ -157,4 +165,6 @@ class ExperimentSpec:
             spec["num_tuples"] = self.num_tuples
         if self.run_checkpoint_interval is not None:
             spec["run_checkpoint_interval"] = self.run_checkpoint_interval
+        if self.sharded:
+            spec["sharded"] = True
         return spec

@@ -318,11 +318,11 @@ class BusPublisher(TelemetryPublisher):
 
 class PipePublisher(TelemetryPublisher):
     """Worker-process publisher: events travel the scheduler's result
-    pipe as ``("event", payload)`` messages, interleaved ahead of the
-    final ``("done", ...)``. Sends are lock-serialized (heartbeats may
-    fire from instrumentation hooks) and a dead pipe — the coordinator
-    gave up on this point — degrades to counting, never raising into
-    the workload."""
+    pipe as :data:`~repro.harness.ipc.TAG_EVENT` messages, interleaved
+    ahead of the final :data:`~repro.harness.ipc.TAG_DONE`. Sends are
+    lock-serialized (heartbeats may fire from instrumentation hooks)
+    and a dead pipe — the coordinator gave up on this point — degrades
+    to counting, never raising into the workload."""
 
     def __init__(self, conn, source: str = "",
                  heartbeat_s: float = DEFAULT_HEARTBEAT_S) -> None:
@@ -332,11 +332,10 @@ class PipePublisher(TelemetryPublisher):
         self.send_failures = 0
 
     def _emit(self, event: TelemetryEvent) -> None:
-        try:
-            with self._lock:
-                self._conn.send(("event", event.to_dict()))
-        except (OSError, ValueError, BrokenPipeError):
-            self.send_failures += 1
+        from ..harness import ipc
+        with self._lock:
+            if not ipc.send_event(self._conn, event.to_dict()):
+                self.send_failures += 1
 
 
 class HeartbeatEmitter:

@@ -80,9 +80,20 @@ class ObservabilitySession:
     # ------------------------------------------------------------------
 
     def attach(self, db, engine: str, workload: str) -> None:
-        """Activate tracers and samplers on every partition of ``db``."""
+        """Activate tracers and samplers on every partition of ``db``.
+
+        A database that instruments itself remotely (the sharded tier's
+        :class:`~repro.dist.coordinator.ShardedDatabase`, whose
+        partitions live in other processes) exposes ``obs_attach`` /
+        ``obs_begin_run`` / ``obs_end_run`` / ``obs_detach`` hooks; the
+        session delegates to them and receives the per-partition
+        records and metrics back, merged in partition order."""
         self._engine = engine
         self._workload = workload
+        hook = getattr(db, "obs_attach", None)
+        if hook is not None:
+            hook(self, engine, workload)
+            return
         self._samplers = []
         for partition in db.partitions:
             platform = partition.platform
@@ -103,6 +114,10 @@ class ObservabilitySession:
 
     def detach(self, db) -> None:
         """Archive spans/samples and deactivate all instrumentation."""
+        hook = getattr(db, "obs_detach", None)
+        if hook is not None:
+            hook(self)
+            return
         for partition, sampler in zip(db.partitions, self._samplers):
             platform = partition.platform
             tags = {"engine": self._engine,
@@ -132,6 +147,10 @@ class ObservabilitySession:
     def begin_run(self, db) -> None:
         """Start the measurement window: arm the per-transaction
         latency histogram and snapshot run-level counters."""
+        hook = getattr(db, "obs_begin_run", None)
+        if hook is not None:
+            hook(self)
+            return
         histogram = self.registry.histogram(
             "txn.latency_ns",
             help="Per-transaction simulated latency",
@@ -150,6 +169,9 @@ class ObservabilitySession:
     def end_run(self, db) -> Dict[str, Any]:
         """Close the measurement window; returns ``latency_percentiles``
         and the counter ``timeseries`` collected so far."""
+        hook = getattr(db, "obs_end_run", None)
+        if hook is not None:
+            return hook(self)
         histogram = self.registry.histogram(
             "txn.latency_ns", engine=self._engine,
             workload=self._workload)

@@ -4,9 +4,15 @@ The industry-standard order-entry benchmark: nine tables and five
 transaction types (New-Order, Payment, Order-Status, Delivery,
 Stock-Level) in the standard 45/43/4/4/4 mix — "transactions involving
 database modifications comprise around 88% of the workload". Each
-warehouse maps to one partition, and (as in the paper) all transactions
-are single-partition: remote item/stock accesses are redirected to the
-home warehouse.
+warehouse maps to one partition. By default all transactions are
+single-partition; with ``remote_order_fraction > 0`` a fraction of
+New-Order transactions source one order line from a *remote* supply
+warehouse. On the in-process database those remote stock accesses are
+redirected to the home warehouse (the paper's single-partition cheat)
+and counted in :attr:`TPCCWorkload.remote_redirected`; on the sharded
+tier (:class:`~repro.dist.coordinator.ShardedDatabase`) they execute
+on their true home partition as a real cross-partition two-phase
+commit transaction (see docs/scaleout.md).
 
 The paper runs 8 warehouses and 100,000 items (~1 GB); the simulator
 defaults are scaled down (see EXPERIMENTS.md) while keeping the schema,
@@ -53,12 +59,22 @@ class TPCCConfig:
     min_order_lines: int = 5
     max_order_lines: int = 15
     seed: int = 47
+    #: Fraction of New-Order transactions with one remote-warehouse
+    #: order line (the spec's remote supply rule). 0.0 draws no extra
+    #: random numbers, so default runs are bit-for-bit unchanged.
+    remote_order_fraction: float = 0.0
 
     def __post_init__(self) -> None:
         if self.warehouses < 1:
             raise WorkloadError("need at least one warehouse")
         if self.min_order_lines > self.max_order_lines:
             raise WorkloadError("min_order_lines > max_order_lines")
+        if not 0.0 <= self.remote_order_fraction <= 1.0:
+            raise WorkloadError(
+                "remote_order_fraction must be in [0, 1]")
+        if self.remote_order_fraction > 0.0 and self.warehouses < 2:
+            raise WorkloadError(
+                "remote order lines need at least two warehouses")
 
 
 def tpcc_schemas() -> List[Schema]:
@@ -154,6 +170,11 @@ class TPCCWorkload:
                              for p in range(partitions)]
         self.new_order_count = 0
         self.payment_count = 0
+        #: Remote order lines redirected to the home warehouse by the
+        #: single-process path (the visible cost of the paper's cheat).
+        self.remote_redirected = 0
+        #: Remote order lines executed on their true partition via 2PC.
+        self.remote_distributed = 0
 
     def partition_of(self, w_id: int) -> int:
         return (w_id - 1) % self.partitions
@@ -278,12 +299,25 @@ class TPCCWorkload:
             if name == "new_order":
                 c_id = 1 + self._rng.randrange(
                     config.customers_per_district)
-                lines = [
+                lines: List[Tuple[int, ...]] = [
                     (1 + self._rng.randrange(config.items),
                      1 + self._rng.randrange(10))
                     for __ in range(self._rng.randint(
                         config.min_order_lines, config.max_order_lines))
                 ]
+                # Remote supply rule: one line of a remote New-Order is
+                # sourced from another warehouse. Guarded so the
+                # default (0.0) draws nothing and stays bit-identical
+                # to historical runs.
+                if config.remote_order_fraction > 0.0 \
+                        and self._rng.random() \
+                        < config.remote_order_fraction:
+                    index = self._rng.randrange(len(lines))
+                    supply_w = 1 + self._rng.randrange(
+                        config.warehouses - 1)
+                    if supply_w >= w_id:
+                        supply_w += 1
+                    lines[index] = lines[index] + (supply_w,)
                 yield name, new_order_txn, \
                     (w_id, d_id, c_id, lines, sequence), pid
             elif name == "payment":
@@ -309,23 +343,81 @@ class TPCCWorkload:
                 yield name, stock_level_txn, (w_id, d_id, 60), pid
 
     def run(self, db: Database, num_txns: int) -> Dict[str, int]:
-        """Execute ``num_txns`` transactions; returns per-type counts."""
+        """Execute ``num_txns`` transactions; returns per-type counts.
+
+        New-Order transactions with remote order lines run as real
+        cross-partition 2PC transactions on a sharded database; on the
+        in-process database the remote stock accesses are redirected to
+        the home warehouse and counted (the paper's cheat, made
+        visible)."""
         executed: Dict[str, int] = {name: 0 for name, __ in TXN_MIX}
-        for name, procedure, args, pid in self.transactions(num_txns):
-            db.execute(procedure, *args, partition=pid)
-            executed[name] += 1
+        for txn in self.transactions(num_txns):
+            executed[self.execute_one(db, txn)] += 1
         db.flush()
         return executed
+
+    def execute_one(self, db: Database,
+                    txn: Tuple[str, Any, tuple, int]) -> str:
+        """Dispatch one :meth:`transactions` entry on ``db``; returns
+        the transaction's type name."""
+        name, procedure, args, pid = txn
+        if name == "new_order":
+            remote = [line for line in args[3] if len(line) > 2]
+            if remote and getattr(db, "is_sharded", False):
+                db.execute_distributed(self._new_order_dtxn(pid, *args))
+                self.remote_distributed += len(remote)
+                return name
+            self.remote_redirected += len(remote)
+        db.execute(procedure, *args, partition=pid)
+        return name
+
+    def _new_order_dtxn(self, home_pid: int, w_id: int, d_id: int,
+                        c_id: int, lines: List[Tuple[int, ...]],
+                        entry_d: int):
+        """Split a remote New-Order into its per-partition branches:
+        the home branch does everything except stock updates for lines
+        supplied by other partitions; each remote partition gets one
+        branch applying its stock updates."""
+        from ..dist.txn import Branch, DistributedTransaction
+        tagged: List[Tuple[int, int, int, bool]] = []
+        by_partition: Dict[int, List[Tuple[int, int, int]]] = {}
+        for line in lines:
+            i_id, quantity = line[0], line[1]
+            supply_w = line[2] if len(line) > 2 else w_id
+            supply_pid = self.partition_of(supply_w)
+            local = supply_pid == home_pid
+            tagged.append((i_id, quantity, supply_w, local))
+            if not local:
+                by_partition.setdefault(supply_pid, []).append(
+                    (supply_w, i_id, quantity))
+        home = Branch(home_pid, new_order_home_branch,
+                      (w_id, d_id, c_id, tagged, entry_d))
+        remotes = [Branch(pid, new_order_remote_branch,
+                          (tuple(updates),))
+                   for pid, updates in sorted(by_partition.items())]
+        return DistributedTransaction(home, remotes)
 
 
 # ----------------------------------------------------------------------
 # Stored procedures
 # ----------------------------------------------------------------------
 
-def new_order_txn(ctx, w_id: int, d_id: int, c_id: int,
-                  lines: List[Tuple[int, int]], entry_d: int) -> int:
-    """Place an order: read warehouse/district/customer, consume stock,
-    insert the order, its order lines, and the new-order record."""
+def _consume_stock(ctx, s_w_id: int, i_id: int, quantity: int) -> None:
+    """Decrement one stock row (with the spec's +91 restock rule)."""
+    stock = ctx.get("stock", (s_w_id, i_id))
+    new_quantity = stock["s_quantity"] - quantity
+    if new_quantity < 10:
+        new_quantity += 91
+    ctx.update("stock", (s_w_id, i_id), {
+        "s_quantity": new_quantity,
+        "s_ytd": stock["s_ytd"] + quantity,
+        "s_order_cnt": stock["s_order_cnt"] + 1,
+    })
+
+
+def _new_order_header(ctx, w_id: int, d_id: int, c_id: int,
+                      entry_d: int, ol_cnt: int) -> int:
+    """Shared New-Order prologue: reads, order-id bump, order rows."""
     warehouse = ctx.get("warehouse", w_id)
     district = ctx.get("district", (w_id, d_id))
     customer = ctx.get("customer", (w_id, d_id, c_id))
@@ -335,34 +427,73 @@ def new_order_txn(ctx, w_id: int, d_id: int, c_id: int,
     ctx.insert("orders", {
         "o_w_id": w_id, "o_d_id": d_id, "o_id": o_id, "o_c_id": c_id,
         "o_entry_d": entry_d, "o_carrier_id": 0,
-        "o_ol_cnt": len(lines),
+        "o_ol_cnt": ol_cnt,
     })
     ctx.insert("new_order", {"no_w_id": w_id, "no_d_id": d_id,
                              "no_o_id": o_id})
-    total = 0.0
-    for number, (i_id, quantity) in enumerate(lines, start=1):
+    return o_id
+
+
+def new_order_txn(ctx, w_id: int, d_id: int, c_id: int,
+                  lines: List[Tuple[int, ...]], entry_d: int) -> int:
+    """Place an order: read warehouse/district/customer, consume stock,
+    insert the order, its order lines, and the new-order record.
+
+    Single-partition variant: a line carrying a remote supply
+    warehouse (a 3-tuple) is *redirected* to the home warehouse's
+    stock, reproducing the paper's single-partition cheat. The caller
+    (:meth:`TPCCWorkload.run`) counts these redirections."""
+    o_id = _new_order_header(ctx, w_id, d_id, c_id, entry_d,
+                             len(lines))
+    for number, line in enumerate(lines, start=1):
+        i_id, quantity = line[0], line[1]
         item = ctx.get("item", i_id)
         if item is None:
             ctx.abort("unused item number (1% rollback)")
-        stock = ctx.get("stock", (w_id, i_id))
-        new_quantity = stock["s_quantity"] - quantity
-        if new_quantity < 10:
-            new_quantity += 91
-        ctx.update("stock", (w_id, i_id), {
-            "s_quantity": new_quantity,
-            "s_ytd": stock["s_ytd"] + quantity,
-            "s_order_cnt": stock["s_order_cnt"] + 1,
-        })
-        amount = quantity * item["i_price"]
-        total += amount
+        _consume_stock(ctx, w_id, i_id, quantity)
         ctx.insert("order_line", {
             "ol_w_id": w_id, "ol_d_id": d_id, "ol_o_id": o_id,
             "ol_number": number, "ol_i_id": i_id,
             "ol_delivery_d": 0, "ol_quantity": quantity,
-            "ol_amount": amount,
+            "ol_amount": quantity * item["i_price"],
             "ol_dist_info": "dist-info-" + str(d_id).rjust(13, "0"),
         })
     return o_id
+
+
+def new_order_home_branch(ctx, w_id: int, d_id: int, c_id: int,
+                          lines: List[Tuple[int, int, int, bool]],
+                          entry_d: int) -> int:
+    """Home branch of a distributed New-Order: the full order minus
+    stock updates owned by other partitions. ``lines`` carry
+    ``(i_id, quantity, supply_w, local)``; item rows are replicated so
+    prices resolve locally either way."""
+    o_id = _new_order_header(ctx, w_id, d_id, c_id, entry_d,
+                             len(lines))
+    for number, (i_id, quantity, supply_w, local) in \
+            enumerate(lines, start=1):
+        item = ctx.get("item", i_id)
+        if item is None:
+            ctx.abort("unused item number (1% rollback)")
+        if local:
+            _consume_stock(ctx, supply_w, i_id, quantity)
+        ctx.insert("order_line", {
+            "ol_w_id": w_id, "ol_d_id": d_id, "ol_o_id": o_id,
+            "ol_number": number, "ol_i_id": i_id,
+            "ol_delivery_d": 0, "ol_quantity": quantity,
+            "ol_amount": quantity * item["i_price"],
+            "ol_dist_info": "dist-info-" + str(d_id).rjust(13, "0"),
+        })
+    return o_id
+
+
+def new_order_remote_branch(
+        ctx, stock_updates: Tuple[Tuple[int, int, int], ...]) -> int:
+    """Remote branch of a distributed New-Order: apply the stock
+    updates this partition owns (``(supply_w, i_id, quantity)``)."""
+    for supply_w, i_id, quantity in stock_updates:
+        _consume_stock(ctx, supply_w, i_id, quantity)
+    return len(stock_updates)
 
 
 def _find_customer(ctx, w_id: int, d_id: int,

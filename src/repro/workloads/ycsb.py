@@ -152,19 +152,27 @@ class YCSBWorkload:
                 if self._op_rng.random() < update_fraction else "read"
             yield kind, pid, key
 
+    def transactions(self, num_txns: int
+                     ) -> Iterator[Tuple[Any, tuple, int]]:
+        """Yield the next ``num_txns`` transactions as ``(procedure,
+        args, partition)`` triples — the same RNG stream :meth:`run`
+        consumes, exposed so callers (the scale-out sweep) can
+        pre-generate the stream outside a timed window."""
+        table = self.TABLE
+        for kind, pid, key in self.operations(num_txns):
+            if kind == "read":
+                yield _read_txn, (table, key), pid
+            else:
+                field = f"field{self._op_rng.randrange(NUM_VALUE_COLUMNS)}"
+                value = self._random_string()
+                yield _update_txn, (table, key, field, value), pid
+
     def run(self, db: Database, num_txns: int) -> int:
         """Execute ``num_txns`` pre-generated transactions; returns the
         number committed."""
         committed = 0
-        table = self.TABLE
-        for kind, pid, key in self.operations(num_txns):
-            if kind == "read":
-                db.execute(_read_txn, table, key, partition=pid)
-            else:
-                field = f"field{self._op_rng.randrange(NUM_VALUE_COLUMNS)}"
-                value = self._random_string()
-                db.execute(_update_txn, table, key, field, value,
-                           partition=pid)
+        for procedure, args, pid in self.transactions(num_txns):
+            db.execute(procedure, *args, partition=pid)
             committed += 1
         db.flush()
         return committed

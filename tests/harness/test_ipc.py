@@ -1,0 +1,63 @@
+"""Tests for the shared tagged-pipe IPC helpers."""
+
+import multiprocessing
+
+import pytest
+
+from repro.harness import ipc
+
+HAVE_FORK = "fork" in multiprocessing.get_all_start_methods()
+
+
+def test_tags_are_distinct():
+    tags = {ipc.TAG_EVENT, ipc.TAG_DONE, ipc.TAG_CMDS, ipc.TAG_REPLY}
+    assert len(tags) == 4
+
+
+def test_send_recv_roundtrip_in_process():
+    parent, child = multiprocessing.Pipe(duplex=False)
+    ipc.send(child, ipc.TAG_CMDS, [("op", ("arg",))])
+    tag, payload = ipc.recv(parent)
+    assert tag == ipc.TAG_CMDS
+    assert payload == [("op", ("arg",))]
+    child.close()
+    parent.close()
+
+
+def test_recv_raises_eof_on_closed_pipe():
+    parent, child = multiprocessing.Pipe(duplex=False)
+    child.close()
+    with pytest.raises(EOFError):
+        ipc.recv(parent)
+    parent.close()
+
+
+def test_try_send_swallows_closed_pipe():
+    parent, child = multiprocessing.Pipe(duplex=False)
+    parent.close()
+    child.close()
+    assert ipc.try_send(child, ipc.TAG_EVENT, {"kind": "x"}) is False
+
+
+def _echo_child(conn_recv, conn_send):
+    tag, payload = ipc.recv(conn_recv)
+    ipc.send(conn_send, tag, payload)
+    ipc.send_done(conn_send, {"ok": True})
+
+
+@pytest.mark.skipif(not HAVE_FORK, reason="needs fork start method")
+def test_cross_process_roundtrip():
+    context = multiprocessing.get_context("fork")
+    cmd_r, cmd_w = context.Pipe(duplex=False)
+    out_r, out_w = context.Pipe(duplex=False)
+    process = context.Process(target=_echo_child,
+                              args=(cmd_r, out_w), daemon=True)
+    process.start()
+    ipc.send(cmd_w, ipc.TAG_CMDS, ["ping"])
+    tag, payload = ipc.recv(out_r)
+    assert (tag, payload) == (ipc.TAG_CMDS, ["ping"])
+    tag, payload = ipc.recv(out_r)
+    assert tag == ipc.TAG_DONE
+    assert payload == {"ok": True}
+    process.join(5)
+    assert process.exitcode == 0
